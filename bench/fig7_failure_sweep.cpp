@@ -1,0 +1,66 @@
+// Figure 7: PEEL is fast in asymmetric Clos.
+//
+// Two-tier leaf-spine (16 spines, 48 leaves, 2 servers/leaf, 8 GPUs/server),
+// 64-GPU Broadcasts of 8 MB while 1-10% of spine-leaf links are randomly
+// failed.  PEEL uses the §2.3 layer-peeling greedy trees; Ring and Tree
+// reroute their unicasts around the failures.  The paper reports PEEL's p99
+// 3x below Ring and 30x below Tree at 10% failures.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/harness/experiment.h"
+#include "src/harness/table.h"
+#include "src/topology/failures.h"
+
+using namespace peel;
+
+int main() {
+  bench::banner("Figure 7 — robustness to failures", "Fig. 7 (mean & p99)");
+
+  const std::vector<double> failure_pcts =
+      bench::quick_mode() ? std::vector<double>{1, 10}
+                          : std::vector<double>{1, 2, 4, 8, 10};
+  const Bytes message = 8 * kMiB;
+
+  CsvWriter csv("fig7_failure_sweep.csv",
+                {"failure_pct", "scheme", "mean_cct_s", "p99_cct_s"});
+
+  for (double pct : failure_pcts) {
+    // Fresh fabric per failure level (deterministic failure draw).
+    LeafSpine ls = build_leaf_spine(LeafSpineConfig{16, 48, 2, 8});
+    Rng frng(1000 + static_cast<std::uint64_t>(pct * 10));
+    fail_random_fraction(ls.topo, duplex_spine_leaf_links(ls.topo), pct / 100.0,
+                         frng);
+    const Fabric fabric = Fabric::of(ls);
+
+    Table table({"scheme", "mean CCT", "p99 CCT"});
+    std::printf("--- %.0f%% spine-leaf links failed ---\n", pct);
+    for (Scheme scheme : {Scheme::BinaryTree, Scheme::Ring, Scheme::Peel}) {
+      ScenarioConfig sc;
+      sc.scheme = scheme;
+      sc.group_size = 64;
+      sc.message_bytes = message;
+      sc.collectives = bench::samples_for(message);
+      sc.sim = bench::scaled_sim(message, 7);
+      sc.runner.peel_asymmetric = (scheme == Scheme::Peel);
+      sc.seed = 777 + static_cast<std::uint64_t>(pct);
+      const ScenarioResult r = run_broadcast_scenario(fabric, sc);
+      table.add_row({to_string(scheme), format_seconds(r.cct_seconds.mean()),
+                     format_seconds(r.cct_seconds.p99())});
+      csv.row({cell("%.0f", pct), to_string(scheme),
+               cell("%.6f", r.cct_seconds.mean()),
+               cell("%.6f", r.cct_seconds.p99())});
+      if (r.unfinished) {
+        std::printf("WARNING: %zu unfinished under %s\n", r.unfinished,
+                    to_string(scheme));
+      }
+    }
+    table.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf("paper: PEEL beats Ring and Tree at every failure level; the "
+              "greedy trees stay near-optimal even at 10%%.\n"
+              "CSV -> fig7_failure_sweep.csv\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// §1's "microsecond-sensitive RDMA fabrics": the latency regime.
+//
+// Tiny collectives (barriers, small parameter syncs) are dominated by setup
+// latency and hop counts, not bandwidth.  PEEL's deploy-once data plane means
+// zero start-up cost — the property that rules out controller-driven schemes
+// for this regime ("multi-millisecond setup delays ... none palatable", §3).
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/harness/experiment.h"
+#include "src/harness/table.h"
+
+using namespace peel;
+
+int main() {
+  bench::banner("Small-message latency — the microsecond regime",
+                "§1/§3 (setup latency intolerable on RDMA fabrics)");
+
+  const FatTree ft = build_fat_tree(FatTreeConfig{8, 4, 8});
+  const Fabric fabric = Fabric::of(ft);
+
+  const std::vector<Bytes> sizes = bench::quick_mode()
+                                       ? std::vector<Bytes>{64 * kKiB}
+                                       : std::vector<Bytes>{64 * kKiB, 256 * kKiB,
+                                                            1 * kMiB};
+
+  CsvWriter csv("small_message_latency.csv",
+                {"message_kib", "scheme", "mean_cct_us", "p99_cct_us"});
+
+  for (Bytes size : sizes) {
+    Table table({"scheme", "mean CCT", "p99 CCT"});
+    std::printf("--- %lld KiB broadcast, 64 GPUs, idle-ish fabric (5%% load) ---\n",
+                static_cast<long long>(size / kKiB));
+    for (Scheme scheme : {Scheme::Ring, Scheme::BinaryTree, Scheme::Optimal,
+                          Scheme::Orca, Scheme::Peel}) {
+      ScenarioConfig sc;
+      sc.scheme = scheme;
+      sc.group_size = 64;
+      sc.message_bytes = size;
+      sc.collectives = bench::samples_override(40, 8);
+      sc.offered_load = 0.05;  // latency regime: no queueing to hide behind
+      sc.seed = 1515;
+      const ScenarioResult r = run_broadcast_scenario(fabric, sc);
+      table.add_row({to_string(scheme), format_seconds(r.cct_seconds.mean()),
+                     format_seconds(r.cct_seconds.p99())});
+      csv.row({std::to_string(size / kKiB), to_string(scheme),
+               cell("%.2f", r.cct_seconds.mean() * 1e6),
+               cell("%.2f", r.cct_seconds.p99() * 1e6)});
+    }
+    table.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf("PEEL's zero-setup static prefixes keep tiny collectives at "
+              "wire latency; Orca's ~10 ms controller dwarfs them by orders "
+              "of magnitude.\nCSV -> small_message_latency.csv\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// §1 barrier 2 / §5: "thousands of concurrent training jobs can spawn
+// thousands of multicast groups, quickly overflowing switch TCAMs."
+//
+// We admit random bin-packed 64-GPU groups into conventional IP-multicast
+// tables of realistic capacities and count how many concurrent groups fit
+// before some switch rejects an installation.  PEEL's data plane is k-1
+// static rules regardless of group count — the exponential-to-linear cut.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/baselines/group_table.h"
+#include "src/harness/table.h"
+#include "src/prefix/prefix.h"
+#include "src/steiner/symmetric.h"
+#include "src/workload/placement.h"
+
+using namespace peel;
+
+int main() {
+  bench::banner("Concurrent groups vs switch state",
+                "§1 barrier 2, §5 (TCAM exhaustion)");
+
+  const FatTree ft = build_fat_tree(FatTreeConfig{8, 4, 8});
+  const Fabric fabric = Fabric::of(ft);
+
+  Table table({"scheme", "table capacity", "admitted groups",
+               "hottest switch", "total entries"});
+  CsvWriter csv("state_vs_groups.csv",
+                {"capacity", "admitted", "hottest_switch", "total_entries"});
+
+  const int attempts = bench::samples_override(20000, 2000);
+  for (std::size_t capacity : {512u, 2048u, 8192u}) {
+    MulticastGroupTable tcam(ft.topo, capacity);
+    Rng rng(77);
+    PlacementOptions placement;
+    placement.group_size = 64;
+    int admitted = 0;
+    for (int i = 0; i < attempts; ++i) {
+      const GroupSelection sel = select_local_group(fabric, placement, rng);
+      const MulticastTree tree = optimal_fat_tree_tree(
+          ft, sel.source, sel.destinations, static_cast<std::uint64_t>(i));
+      if (!tcam.install(static_cast<std::uint64_t>(i), tree)) break;
+      ++admitted;
+    }
+    table.add_row({"IP multicast", cell("%zu entries", capacity),
+                   cell("%d", admitted), cell("%zu", tcam.max_occupancy()),
+                   cell("%zu", tcam.total_entries())});
+    csv.row({std::to_string(capacity), std::to_string(admitted),
+             std::to_string(tcam.max_occupancy()),
+             std::to_string(tcam.total_entries())});
+  }
+  table.add_row({"PEEL", cell("%zu static rules", rule_count(id_bits(4))),
+                 "unlimited", "k-1 (fixed)", "k-1 per switch"});
+  table.print(std::cout);
+
+  std::printf("\nIP multicast admits only as many concurrent groups as the "
+              "hottest switch's table allows; PEEL never installs per-group "
+              "state (63 rules at k=64 vs 4.3e9 naive entries).\n"
+              "CSV -> state_vs_groups.csv\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: the PEEL public API in one file.
+//
+//   1. Build a k-ary fat-tree fabric.
+//   2. Pick a bin-packed broadcast group.
+//   3. Derive the PEEL plan (power-of-two prefixes, §3.2) and inspect it.
+//   4. Simulate the broadcast and compare against a unicast ring.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/harness/experiment.h"
+#include "src/prefix/plan.h"
+#include "src/prefix/prefix.h"
+
+using namespace peel;
+
+int main() {
+  // 1. An 8-ary fat-tree: 16 pods? no — 8 pods, 4 ToRs/pod, 4 servers per
+  //    ToR, 8 GPUs per server (the paper's §4 setup), 1024 GPUs total.
+  FatTreeConfig config;
+  config.k = 8;
+  config.hosts_per_tor = 4;
+  config.gpus_per_host = 8;
+  const FatTree ft = build_fat_tree(config);
+  const Fabric fabric = Fabric::of(ft);
+  std::printf("fabric: %d-ary fat-tree, %zu GPUs, %zu switches\n", config.k,
+              ft.gpus.size(), ft.cores.size() + ft.aggs.size() + ft.tors.size());
+
+  // 2. A 64-GPU job bin-packed into two whole racks (buddy-aligned, the way
+  //    schedulers hand out rack blocks).
+  Rng rng(7);
+  PlacementOptions placement;
+  placement.group_size = 64;
+  placement.buddy_aligned = true;
+  const GroupSelection group = select_local_group(fabric, placement, rng);
+  std::printf("group: 64 GPUs, source %s\n",
+              ft.topo.name(group.source).c_str());
+
+  // 3. The PEEL plan: which prefix packets the source emits.
+  const PeelPlan plan = build_peel_plan(ft, group.source, group.destinations);
+  std::printf("\nPEEL plan: %zu fabric packet class(es), %d header bits "
+              "(< 8 B), %zu local NVLink deliveries\n",
+              plan.packets.size(), plan.header_bits(), plan.source_local.size());
+  for (const auto& rule : plan.packets) {
+    std::printf("  pod-prefix %s  tor-prefix %s  host-prefix %s  -> %zu pod(s), "
+                "%zu member rack(s), %zu over-covered\n",
+                rule.pod_prefix.to_string(plan.pod_id_bits).c_str(),
+                rule.tor_prefix.to_string(plan.tor_id_bits).c_str(),
+                rule.host_prefix.to_string(plan.host_id_bits).c_str(),
+                rule.pods.size(), rule.member_tors.size(),
+                rule.redundant_tors.size());
+  }
+  std::printf("switch state: %zu static rules per aggregation switch "
+              "(vs %.3g naive IP-multicast entries)\n",
+              rule_count(plan.tor_id_bits), naive_multicast_entries(config.k));
+
+  // 4. Simulate: PEEL vs unicast Ring vs the bandwidth-optimal tree.
+  SimConfig sim;
+  RunnerOptions opts;
+  std::printf("\nbroadcasting 8 MiB to the group:\n");
+  for (Scheme scheme : {Scheme::Ring, Scheme::Optimal, Scheme::Peel}) {
+    const SingleResult r =
+        run_single_broadcast(fabric, scheme, group, 8 * kMiB, sim, opts);
+    std::printf("  %-8s  CCT %-12s  fabric bytes %s\n", to_string(scheme),
+                format_seconds(r.cct_seconds).c_str(),
+                format_bytes(static_cast<double>(r.fabric_bytes)).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// scenario_cli: run any scheme/collective/size/load combination from the
+// command line — the knob-turning tool for exploring the design space
+// without writing code.
+//
+// Usage:
+//   scenario_cli [scheme] [collective] [group_gpus] [message_MiB] [load%] [n]
+//     scheme:      ring | tree | optimal | orca | peel | peelcores
+//     collective:  broadcast | allgather | allreduce
+//   e.g. scenario_cli peel broadcast 256 64 30 20
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/harness/experiment.h"
+
+using namespace peel;
+
+namespace {
+
+Scheme parse_scheme(const char* s) {
+  if (!std::strcmp(s, "ring")) return Scheme::Ring;
+  if (!std::strcmp(s, "tree")) return Scheme::BinaryTree;
+  if (!std::strcmp(s, "optimal")) return Scheme::Optimal;
+  if (!std::strcmp(s, "orca")) return Scheme::Orca;
+  if (!std::strcmp(s, "peel")) return Scheme::Peel;
+  if (!std::strcmp(s, "peelcores")) return Scheme::PeelProgCores;
+  std::fprintf(stderr, "unknown scheme '%s'\n", s);
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ScenarioConfig sc;
+  sc.scheme = argc > 1 ? parse_scheme(argv[1]) : Scheme::Peel;
+  const char* collective = argc > 2 ? argv[2] : "broadcast";
+  sc.group_size = argc > 3 ? std::atoi(argv[3]) : 64;
+  sc.message_bytes = (argc > 4 ? std::atoll(argv[4]) : 8) * kMiB;
+  sc.offered_load = (argc > 5 ? std::atof(argv[5]) : 30.0) / 100.0;
+  sc.collectives = argc > 6 ? std::atoi(argv[6]) : 20;
+  sc.seed = 20260705;
+
+  const FatTree ft = build_fat_tree(FatTreeConfig{8, 4, 8});
+  const Fabric fabric = Fabric::of(ft);
+
+  std::printf("%s %s: %d GPUs, %lld MiB, %.0f%% load, %d collectives on a "
+              "1024-GPU 8-ary fat-tree\n",
+              to_string(sc.scheme), collective, sc.group_size,
+              static_cast<long long>(sc.message_bytes / kMiB),
+              sc.offered_load * 100, sc.collectives);
+
+  ScenarioResult r;
+  if (!std::strcmp(collective, "allgather")) {
+    r = run_allgather_scenario(fabric, sc);
+  } else if (!std::strcmp(collective, "allreduce")) {
+    r = run_allreduce_scenario(fabric, sc);
+  } else {
+    r = run_broadcast_scenario(fabric, sc);
+  }
+
+  std::printf("\n  mean CCT    %s\n", format_seconds(r.cct_seconds.mean()).c_str());
+  std::printf("  p50  CCT    %s\n", format_seconds(r.cct_seconds.p50()).c_str());
+  std::printf("  p99  CCT    %s\n", format_seconds(r.cct_seconds.p99()).c_str());
+  std::printf("  max  CCT    %s\n", format_seconds(r.cct_seconds.max()).c_str());
+  std::printf("  fabric      %s\n",
+              format_bytes(static_cast<double>(r.fabric_bytes)).c_str());
+  std::printf("  core links  %s\n",
+              format_bytes(static_cast<double>(r.core_bytes)).c_str());
+  std::printf("  ECN marks   %llu, PFC pauses %llu, events %llu\n",
+              static_cast<unsigned long long>(r.ecn_marks),
+              static_cast<unsigned long long>(r.pfc_pauses),
+              static_cast<unsigned long long>(r.events));
+  if (r.unfinished) {
+    std::printf("  WARNING: %zu collectives did not finish\n", r.unfinished);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "src/baselines/group_table.h"
+
+#include <algorithm>
+
+namespace peel {
+
+MulticastGroupTable::MulticastGroupTable(const Topology& topo,
+                                         std::size_t capacity_per_switch)
+    : topo_(&topo), capacity_(capacity_per_switch) {}
+
+std::vector<NodeId> MulticastGroupTable::tree_switches(
+    const MulticastTree& tree) const {
+  std::unordered_set<NodeId> switches;
+  for (LinkId l : tree.links()) {
+    const NodeId src = topo_->link(l).src;
+    if (is_switch(topo_->kind(src))) switches.insert(src);
+  }
+  return {switches.begin(), switches.end()};
+}
+
+bool MulticastGroupTable::install(std::uint64_t group_id, const MulticastTree& tree) {
+  if (groups_.contains(group_id)) return false;
+  std::vector<NodeId> switches = tree_switches(tree);
+  for (NodeId sw : switches) {
+    if (entries_at(sw) >= capacity_) return false;
+  }
+  for (NodeId sw : switches) ++occupancy_[sw];
+  groups_.emplace(group_id, std::move(switches));
+  return true;
+}
+
+void MulticastGroupTable::remove(std::uint64_t group_id) {
+  const auto it = groups_.find(group_id);
+  if (it == groups_.end()) return;
+  for (NodeId sw : it->second) --occupancy_[sw];
+  groups_.erase(it);
+}
+
+std::size_t MulticastGroupTable::entries_at(NodeId sw) const {
+  const auto it = occupancy_.find(sw);
+  return it == occupancy_.end() ? 0 : it->second;
+}
+
+std::size_t MulticastGroupTable::max_occupancy() const {
+  std::size_t max = 0;
+  for (const auto& [sw, n] : occupancy_) max = std::max(max, n);
+  return max;
+}
+
+std::size_t MulticastGroupTable::total_entries() const {
+  std::size_t sum = 0;
+  for (const auto& [sw, n] : occupancy_) sum += n;
+  return sum;
+}
+
+}  // namespace peel

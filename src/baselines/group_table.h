@@ -1,0 +1,55 @@
+// Conventional IP-multicast switch state (§1 barrier 2, §5 "IP multicast").
+//
+// Classic multicast needs one forwarding entry per group at every switch the
+// group's tree passes through, and commodity switches expose only a few
+// thousand multicast entries [12, 18].  This model admits groups until some
+// switch's table fills — quantifying how quickly "thousands of concurrent
+// training jobs" exhaust TCAM, the failure mode PEEL's k-1 static rules
+// eliminate.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/steiner/multicast_tree.h"
+#include "src/topology/topology.h"
+
+namespace peel {
+
+class MulticastGroupTable {
+ public:
+  /// `capacity_per_switch`: multicast entries each switch can hold.
+  MulticastGroupTable(const Topology& topo, std::size_t capacity_per_switch);
+
+  /// Attempts to install per-switch entries for a group's tree. Installs
+  /// nothing and returns false if any switch on the tree is full (admission
+  /// control, as an SDN controller would enforce).
+  bool install(std::uint64_t group_id, const MulticastTree& tree);
+
+  /// Removes a group's entries everywhere (no-op for unknown groups).
+  void remove(std::uint64_t group_id);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t groups_installed() const noexcept {
+    return groups_.size();
+  }
+  /// Entries currently occupied at one switch.
+  [[nodiscard]] std::size_t entries_at(NodeId sw) const;
+  /// Highest occupancy across all switches.
+  [[nodiscard]] std::size_t max_occupancy() const;
+  /// Total entries across the fabric.
+  [[nodiscard]] std::size_t total_entries() const;
+
+ private:
+  /// Switches (replication points) a tree occupies entries at.
+  [[nodiscard]] std::vector<NodeId> tree_switches(const MulticastTree& tree) const;
+
+  const Topology* topo_;
+  std::size_t capacity_;
+  std::unordered_map<NodeId, std::size_t> occupancy_;
+  std::unordered_map<std::uint64_t, std::vector<NodeId>> groups_;
+};
+
+}  // namespace peel

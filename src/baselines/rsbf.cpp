@@ -1,0 +1,36 @@
+#include "src/baselines/rsbf.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace peel {
+
+std::size_t rsbf_tree_elements(int k) {
+  if (k < 4 || k % 2 != 0) throw std::invalid_argument("fat-tree k must be even >= 4");
+  const std::size_t uk = static_cast<std::size_t>(k);
+  const std::size_t hosts = uk * uk * uk / 4;        // host access links
+  const std::size_t agg_to_tor = uk * uk / 2;        // k pods x k/2 ToRs
+  const std::size_t core_to_agg = uk - 1;            // one agg per pod
+  const std::size_t up_path = 3;                     // host->ToR->agg->core
+  return hosts + agg_to_tor + core_to_agg + up_path;
+}
+
+double bloom_filter_bits(std::size_t n, double fpr) {
+  if (fpr <= 0.0 || fpr >= 1.0) throw std::invalid_argument("fpr must be in (0,1)");
+  constexpr double ln2_sq = 0.4804530139182014;  // ln(2)^2
+  return static_cast<double>(n) * std::log(1.0 / fpr) / ln2_sq;
+}
+
+double rsbf_header_bytes(int k, double fpr) {
+  return std::ceil(bloom_filter_bits(rsbf_tree_elements(k), fpr) / 8.0);
+}
+
+double rsbf_bandwidth_overhead(int k, double fpr, Bytes mtu) {
+  return rsbf_header_bytes(k, fpr) / static_cast<double>(mtu);
+}
+
+double rsbf_expected_redundant_links(std::size_t probes, double fpr) {
+  return static_cast<double>(probes) * fpr;
+}
+
+}  // namespace peel

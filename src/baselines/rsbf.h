@@ -1,0 +1,38 @@
+// Analytic model of RSBF-style Bloom-filter multicast headers (§3.1,
+// Figure 3).
+//
+// Bloom-filter schemes (RSBF, LIPSIN, Elmo, Yeti) push the multicast tree
+// into the packet: the header encodes every (switch, out-port) pair of the
+// tree in a Bloom filter sized for a target false-positive ratio.  The filter
+// needs n · ln(1/f)/ln²2 bits for n elements, and a full-fabric broadcast
+// tree in a k-ary fat-tree has Θ(k³) links — so the header outgrows a 1500 B
+// MTU once k exceeds 32 even at a generous 20% FPR, which is the paper's
+// Figure 3.
+#pragma once
+
+#include <cstddef>
+
+#include "src/common/units.h"
+
+namespace peel {
+
+/// Links (Bloom-filter elements) in a full-fabric broadcast tree of a k-ary
+/// fat-tree with the canonical k/2 hosts per ToR: host links + ToR fan-out +
+/// aggregation fan-out + core fan-out + the source's up-path.
+[[nodiscard]] std::size_t rsbf_tree_elements(int k);
+
+/// Optimal Bloom-filter size in bits for n elements at false-positive rate f.
+[[nodiscard]] double bloom_filter_bits(std::size_t n, double fpr);
+
+/// RSBF per-packet header bytes for a k-ary fat-tree at the given FPR.
+[[nodiscard]] double rsbf_header_bytes(int k, double fpr);
+
+/// Header bytes as a fraction of an MTU-sized payload — >1.0 means the
+/// "header" alone no longer fits a packet (Figure 3's dashed ceiling).
+[[nodiscard]] double rsbf_bandwidth_overhead(int k, double fpr, Bytes mtu = 1500);
+
+/// Expected number of extra (false-positive) link deliveries when a packet's
+/// filter is probed on `probes` non-tree ports at rate f.
+[[nodiscard]] double rsbf_expected_redundant_links(std::size_t probes, double fpr);
+
+}  // namespace peel

@@ -1,0 +1,48 @@
+// Broadcast trees on rail-optimized fabrics (§2.1 future work, [28]).
+//
+// On rails, a broadcast never changes rails inside the fabric: one copy
+// climbs the source's rail, the rail switch (and, across segments, the
+// rail-aligned spine) replicates to the same-rail GPU of every member
+// server, and each server's NVSwitch fans out locally.  PEEL's prefix trick
+// ports directly: the rail switch pre-installs k-1 power-of-two prefix rules
+// over server indices, and the spine over segment indices — state stays
+// O(k), no per-group entries.
+#pragma once
+
+#include <span>
+
+#include "src/collectives/trees.h"
+#include "src/prefix/plan.h"
+#include "src/sim/config.h"
+#include "src/topology/rail_optimized.h"
+
+namespace peel {
+
+/// Bandwidth-optimal broadcast tree on a rail fabric. Non-member "entry"
+/// GPUs on member servers relay through their NVSwitch (and are not counted
+/// as receivers).
+[[nodiscard]] MulticastTree rail_optimal_tree(const RailFabric& rf, NodeId source,
+                                              std::span<const NodeId> destinations,
+                                              std::uint64_t selector = 0);
+
+/// PEEL on rails: one stream per ⟨segment-prefix, server-prefix⟩ packet.
+/// Over-covered servers receive one NIC copy at their entry GPU and discard.
+[[nodiscard]] std::vector<PeelStream> rail_peel_streams(
+    const RailFabric& rf, NodeId source, std::span<const NodeId> destinations,
+    PeelCoverOptions cover = {});
+
+/// Static rules a rail switch pre-installs: power-of-two server blocks.
+[[nodiscard]] std::size_t rail_switch_rule_count(const RailConfig& config);
+
+struct RailBroadcastResult {
+  double cct_seconds = 0.0;
+  Bytes fabric_bytes = 0;   ///< NIC + fabric links
+  Bytes nvlink_bytes = 0;
+};
+
+/// Runs one broadcast over the given streams on an idle rail fabric.
+[[nodiscard]] RailBroadcastResult simulate_rail_broadcast(
+    const RailFabric& rf, const std::vector<PeelStream>& streams, Bytes message,
+    int chunks, const SimConfig& sim);
+
+}  // namespace peel

@@ -1,0 +1,1006 @@
+#include "src/collectives/runner.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace peel {
+
+const char* to_string(Scheme s) noexcept {
+  switch (s) {
+    case Scheme::Ring: return "Ring";
+    case Scheme::BinaryTree: return "Tree";
+    case Scheme::Optimal: return "Optimal";
+    case Scheme::Orca: return "Orca";
+    case Scheme::Peel: return "PEEL";
+    case Scheme::PeelProgCores: return "PEEL+ProgCores";
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint64_t delivery_key(NodeId receiver, int chunk) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(receiver)) << 24) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(chunk));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Exec base: delivery bookkeeping shared by every scheme.
+// ---------------------------------------------------------------------------
+
+struct CollectiveRunner::ExecBase {
+  CollectiveRunner* runner = nullptr;
+  BroadcastRequest req;
+  std::vector<Bytes> chunk_sizes;
+  std::vector<StreamId> streams;
+  std::unordered_set<std::uint64_t> delivered;
+  /// Streams opened by recover_broadcast; their deliveries bypass the
+  /// scheme's forwarding hooks (the recovery path covers successors itself).
+  std::unordered_set<StreamId> recovery_streams;
+  std::size_t expected = 0;
+
+  virtual ~ExecBase() = default;
+  virtual void start() = 0;
+  /// Scheme-specific reaction to a completed (receiver, chunk).
+  virtual void on_delivery(const DeliveryEvent& ev) { (void)ev; }
+
+  [[nodiscard]] Network& net() const { return *runner->net_; }
+  [[nodiscard]] EventQueue& queue() const { return *runner->queue_; }
+  [[nodiscard]] const Fabric& fabric() const { return runner->fabric_; }
+  [[nodiscard]] const RunnerOptions& options() const { return runner->options_; }
+
+  StreamId open(StreamSpec spec) {
+    spec.tag = req.id;
+    const StreamId s = net().open_stream(std::move(spec));
+    streams.push_back(s);
+    return s;
+  }
+
+  /// Schedules `fn` against this exec, skipping it if the collective has
+  /// already completed (the exec is destroyed on completion, so a raw `this`
+  /// capture would dangle).
+  void schedule(SimTime delay, void (*fn)(ExecBase&)) {
+    CollectiveRunner* r = runner;
+    const std::uint64_t id = req.id;
+    queue().after(delay, [r, id, fn] {
+      const auto it = r->execs_.find(id);
+      if (it != r->execs_.end()) fn(*it->second);
+    });
+  }
+
+  void send_all_chunks(StreamId s) {
+    for (std::size_t c = 0; c < chunk_sizes.size(); ++c) {
+      net().send_chunk(s, static_cast<int>(c), chunk_sizes[c]);
+    }
+  }
+
+  /// Returns true when the collective just completed.
+  bool handle(const DeliveryEvent& ev) {
+    if (!delivered.insert(delivery_key(ev.receiver, ev.chunk)).second) {
+      return false;  // duplicate (e.g. redundant copy) — ignore
+    }
+    if (!recovery_streams.contains(ev.stream)) on_delivery(ev);
+    return delivered.size() == expected;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Ring: locality-ordered chain; each endpoint forwards a chunk on receipt.
+// ---------------------------------------------------------------------------
+
+struct CollectiveRunner::RingExec : ExecBase {
+  std::vector<NodeId> order;
+  std::unordered_map<StreamId, std::size_t> hop_of_stream;
+
+  void start() override {
+    order.reserve(req.destinations.size() + 1);
+    order.push_back(req.source);
+    order.insert(order.end(), req.destinations.begin(), req.destinations.end());
+    std::sort(order.begin() + 1, order.end());
+
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      const Route route = runner->router_.path(
+          order[i], order[i + 1],
+          ecmp_hash(req.id, static_cast<std::uint64_t>(i), 0x7269'6e67ULL));
+      if (route.links.empty()) {
+        throw std::runtime_error("ring: endpoints disconnected");
+      }
+      StreamSpec spec = spec_from_route(route);
+      spec.cnp_mode = CnpMode::ReceiverTimer;
+      hop_of_stream[open(std::move(spec))] = i;
+    }
+    send_all_chunks(streams.front());
+  }
+
+  void on_delivery(const DeliveryEvent& ev) override {
+    const std::size_t hop = hop_of_stream.at(ev.stream);
+    if (hop + 1 < streams.size()) {
+      net().send_chunk(streams[hop + 1], ev.chunk,
+                       chunk_sizes[static_cast<std::size_t>(ev.chunk)]);
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Binary tree: rank r forwards each chunk to ranks 2r+1 and 2r+2.
+// ---------------------------------------------------------------------------
+
+struct CollectiveRunner::BinaryTreeExec : ExecBase {
+  std::vector<NodeId> order;
+  /// edge_streams[r] = stream carrying parent(r) -> r, for r >= 1.
+  std::vector<StreamId> edge_streams;
+  std::unordered_map<StreamId, std::size_t> rank_of_stream;
+
+  void start() override {
+    order.push_back(req.source);
+    order.insert(order.end(), req.destinations.begin(), req.destinations.end());
+    std::sort(order.begin() + 1, order.end());
+
+    edge_streams.assign(order.size(), -1);
+    for (std::size_t r = 1; r < order.size(); ++r) {
+      const std::size_t parent = (r - 1) / 2;
+      const Route route = runner->router_.path(
+          order[parent], order[r],
+          ecmp_hash(req.id, static_cast<std::uint64_t>(r), 0x7472'6565ULL));
+      if (route.links.empty()) {
+        throw std::runtime_error("binary tree: endpoints disconnected");
+      }
+      StreamSpec spec = spec_from_route(route);
+      spec.cnp_mode = CnpMode::ReceiverTimer;
+      const StreamId s = open(std::move(spec));
+      edge_streams[r] = s;
+      rank_of_stream[s] = r;
+    }
+    for (std::size_t child : {std::size_t{1}, std::size_t{2}}) {
+      if (child < order.size()) send_all_chunks(edge_streams[child]);
+    }
+  }
+
+  void on_delivery(const DeliveryEvent& ev) override {
+    const std::size_t r = rank_of_stream.at(ev.stream);
+    for (std::size_t child : {2 * r + 1, 2 * r + 2}) {
+      if (child < order.size()) {
+        net().send_chunk(edge_streams[child], ev.chunk,
+                         chunk_sizes[static_cast<std::size_t>(ev.chunk)]);
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// In-network multicast: Optimal (one tree) and PEEL (one tree per prefix
+// packet). All chunks are queued up-front; switches replicate.
+// ---------------------------------------------------------------------------
+
+struct CollectiveRunner::MulticastExec : ExecBase {
+  Scheme scheme = Scheme::Optimal;
+
+  void start() override {
+    // Striping (§2.3's multicast-vs-multipath question): chunks round-robin
+    // over several trees that differ in their core/aggregation choice.
+    // Asymmetric greedy trees are failure-shaped and not striped.
+    const int stripes = options().peel_asymmetric
+                            ? 1
+                            : std::max(1, options().stripe_trees);
+    for (int t = 0; t < stripes; ++t) {
+      const std::vector<StreamId> stripe = open_stripe(t);
+      for (std::size_t c = 0; c < chunk_sizes.size(); ++c) {
+        if (static_cast<int>(c % static_cast<std::size_t>(stripes)) != t) continue;
+        for (StreamId s : stripe) {
+          net().send_chunk(s, static_cast<int>(c), chunk_sizes[c]);
+        }
+      }
+    }
+  }
+
+  /// Opens the streams of one stripe and checks they partition the group.
+  std::vector<StreamId> open_stripe(int t) {
+    const std::uint64_t selector = req.id * 1000003ULL + static_cast<std::uint64_t>(t);
+    std::vector<StreamId> stripe;
+    std::size_t covered = 0;
+    if (scheme == Scheme::Optimal) {
+      const MulticastTree tree =
+          optimal_tree(fabric(), req.source, req.destinations, selector);
+      StreamSpec spec = spec_from_tree(fabric().topo(), tree, req.destinations);
+      spec.cnp_mode = options().multicast_cnp_mode;
+      stripe.push_back(open(std::move(spec)));
+      covered = req.destinations.size();
+    } else {
+      std::vector<PeelStream> parts;
+      if (options().peel_asymmetric) {
+        if (!fabric().leaf_spine) {
+          throw std::runtime_error("asymmetric PEEL requires a leaf-spine fabric");
+        }
+        parts = peel_asymmetric_trees(*fabric().leaf_spine, req.source,
+                                      req.destinations);
+      } else {
+        const PeelPlan plan =
+            fabric().fat_tree
+                ? build_peel_plan(*fabric().fat_tree, req.source, req.destinations,
+                                  options().peel_cover)
+                : build_peel_plan(*fabric().leaf_spine, req.source,
+                                  req.destinations,
+                                  options().peel_cover);
+        parts = peel_static_trees(fabric(), plan, selector);
+      }
+      for (auto& part : parts) {
+        covered += part.receivers.size();
+        if (part.receivers.empty()) continue;  // purely redundant packet class
+        StreamSpec spec =
+            spec_from_tree(fabric().topo(), part.tree, part.receivers);
+        spec.cnp_mode = options().multicast_cnp_mode;
+        stripe.push_back(open(std::move(spec)));
+      }
+    }
+    if (covered != req.destinations.size()) {
+      throw std::logic_error("multicast streams do not partition the group");
+    }
+    return stripe;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Orca: controller setup delay, then trunk multicast to designated hosts and
+// per-rack host relays.
+// ---------------------------------------------------------------------------
+
+struct CollectiveRunner::OrcaExec : ExecBase {
+  SimTime setup_delay = 0;
+  OrcaProgram program;
+  /// relay indices by designated host.
+  std::unordered_map<NodeId, std::vector<std::size_t>> relays_by_host;
+  std::vector<StreamId> relay_streams;
+  std::unordered_map<NodeId, NodeId> host_of_endpoint;
+  /// (designated host, chunk) pairs already relayed.
+  std::unordered_set<std::uint64_t> relayed;
+
+  void start() override {
+    schedule(setup_delay,
+             [](ExecBase& e) { static_cast<OrcaExec&>(e).launch(); });
+  }
+
+  void launch() {
+    const Topology& topo = fabric().topo();
+    program = orca_program(fabric(), runner->router_, req.source,
+                           req.destinations, req.id);
+
+    StreamSpec trunk = spec_from_tree(topo, program.trunk, program.trunk_receivers);
+    trunk.cnp_mode = options().multicast_cnp_mode;
+    const StreamId trunk_stream = open(std::move(trunk));
+
+    for (NodeId e : program.trunk_receivers) {
+      const NodeId host = topo.kind(e) == NodeKind::Gpu ? topo.host_of(e) : e;
+      host_of_endpoint[e] = host;
+    }
+    relay_streams.reserve(program.relays.size());
+    for (std::size_t i = 0; i < program.relays.size(); ++i) {
+      const auto& relay = program.relays[i];
+      StreamSpec spec = spec_from_route(relay.route);
+      // Extend the relay with NVLink fan-out to member GPUs.
+      const NodeId peer = relay.route.nodes.back();
+      spec.receivers.clear();
+      for (NodeId e : relay.endpoints) {
+        if (e != peer) spec.forward[peer].push_back(topo.find_link(peer, e));
+        spec.receivers.push_back(e);
+      }
+      spec.cnp_mode = CnpMode::ReceiverTimer;
+      relay_streams.push_back(open(std::move(spec)));
+      relays_by_host[relay.designated_host].push_back(i);
+    }
+    send_all_chunks(trunk_stream);
+  }
+
+  void on_delivery(const DeliveryEvent& ev) override {
+    const auto host_it = host_of_endpoint.find(ev.receiver);
+    if (host_it == host_of_endpoint.end()) return;  // relay-delivered endpoint
+    const auto relays = relays_by_host.find(host_it->second);
+    if (relays == relays_by_host.end()) return;
+    if (!relayed.insert(delivery_key(host_it->second, ev.chunk)).second) return;
+    for (std::size_t i : relays->second) {
+      net().send_chunk(relay_streams[i], ev.chunk,
+                       chunk_sizes[static_cast<std::size_t>(ev.chunk)]);
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// PEEL + programmable cores: static prefixes launch immediately; once the
+// controller finishes (setup delay), chunks not yet injected migrate onto the
+// exact tree and cross the fabric as a single copy (§3.3).
+// ---------------------------------------------------------------------------
+
+struct CollectiveRunner::PeelProgCoresExec : ExecBase {
+  SimTime setup_delay = 0;
+  std::vector<StreamId> static_streams;
+
+  void start() override {
+    const PeelPlan plan =
+        fabric().fat_tree
+            ? build_peel_plan(*fabric().fat_tree, req.source, req.destinations,
+                              options().peel_cover)
+            : build_peel_plan(*fabric().leaf_spine, req.source, req.destinations,
+                              options().peel_cover);
+    auto parts = peel_static_trees(fabric(), plan, req.id);
+    std::size_t covered = 0;
+    for (auto& part : parts) {
+      covered += part.receivers.size();
+      if (part.receivers.empty()) continue;
+      StreamSpec spec = spec_from_tree(fabric().topo(), part.tree, part.receivers);
+      spec.cnp_mode = options().multicast_cnp_mode;
+      const StreamId s = open(std::move(spec));
+      static_streams.push_back(s);
+      send_all_chunks(s);
+    }
+    if (covered != req.destinations.size()) {
+      throw std::logic_error("PEEL streams do not partition the group");
+    }
+    if (static_streams.size() > 1) {
+      schedule(setup_delay,
+               [](ExecBase& e) { static_cast<PeelProgCoresExec&>(e).refine(); });
+    }
+  }
+
+  void refine() {
+    // Chunks cancelled on *every* static stream migrate to the exact tree;
+    // chunks already in flight somewhere are re-queued where they were.
+    std::unordered_map<int, std::size_t> cancel_counts;
+    std::vector<std::vector<int>> cancelled(static_streams.size());
+    for (std::size_t i = 0; i < static_streams.size(); ++i) {
+      cancelled[i] = net().cancel_unsent_chunks(static_streams[i]);
+      for (int c : cancelled[i]) ++cancel_counts[c];
+    }
+    std::unordered_set<int> migrate;
+    for (const auto& [chunk, count] : cancel_counts) {
+      if (count == static_streams.size()) migrate.insert(chunk);
+    }
+    for (std::size_t i = 0; i < static_streams.size(); ++i) {
+      for (int c : cancelled[i]) {
+        if (!migrate.contains(c)) {
+          net().send_chunk(static_streams[i], c,
+                           chunk_sizes[static_cast<std::size_t>(c)]);
+        }
+      }
+    }
+    if (migrate.empty()) return;
+
+    const MulticastTree tree =
+        optimal_tree(fabric(), req.source, req.destinations, req.id);
+    StreamSpec spec = spec_from_tree(fabric().topo(), tree, req.destinations);
+    spec.cnp_mode = options().multicast_cnp_mode;
+    const StreamId refined = open(std::move(spec));
+    std::vector<int> ordered(migrate.begin(), migrate.end());
+    std::sort(ordered.begin(), ordered.end());
+    for (int c : ordered) {
+      net().send_chunk(refined, c, chunk_sizes[static_cast<std::size_t>(c)]);
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Ring AllGather: shards rotate around a closed ring; shard s stops at the
+// rank just before its origin. Bandwidth-optimal among unicast schedules.
+// ---------------------------------------------------------------------------
+
+struct CollectiveRunner::RingAllGatherExec : ExecBase {
+  std::vector<NodeId> order;  ///< ring order (locality-sorted members)
+  std::vector<StreamId> edge; ///< edge[r]: order[r] -> order[(r+1)%N]
+  std::unordered_map<StreamId, std::size_t> hop_of_stream;
+
+  void start() override {
+    const std::size_t n = order.size();
+    for (std::size_t r = 0; r < n; ++r) {
+      const Route route = runner->router_.path(
+          order[r], order[(r + 1) % n],
+          ecmp_hash(req.id, static_cast<std::uint64_t>(r), 0xa11'6a74ULL));
+      if (route.links.empty()) {
+        throw std::runtime_error("allgather ring: endpoints disconnected");
+      }
+      StreamSpec spec = spec_from_route(route);
+      spec.cnp_mode = CnpMode::ReceiverTimer;
+      const StreamId s = open(std::move(spec));
+      edge.push_back(s);
+      hop_of_stream[s] = r;
+    }
+    // Every rank launches its own shard simultaneously.
+    for (std::size_t r = 0; r < n; ++r) {
+      net().send_chunk(edge[r], static_cast<int>(r), chunk_sizes[r]);
+    }
+  }
+
+  void on_delivery(const DeliveryEvent& ev) override {
+    const std::size_t n = order.size();
+    const std::size_t receiver_rank = (hop_of_stream.at(ev.stream) + 1) % n;
+    const auto shard = static_cast<std::size_t>(ev.chunk);
+    // Forward unless this rank is the last stop (the shard's predecessor).
+    if (receiver_rank != (shard + n - 1) % n) {
+      net().send_chunk(edge[receiver_rank], ev.chunk, chunk_sizes[shard]);
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Multicast AllGather: one in-network multicast per member shard (Optimal /
+// PEEL trees; Orca adds its controller delay and host relays).
+// ---------------------------------------------------------------------------
+
+struct CollectiveRunner::MulticastAllGatherExec : ExecBase {
+  Scheme scheme = Scheme::Optimal;
+  SimTime setup_delay = 0;
+  std::vector<NodeId> members;
+
+  // Orca state, per shard rank.
+  struct OrcaShard {
+    std::vector<std::size_t> relay_index_of;          // indices into relay_streams
+    std::unordered_map<NodeId, std::vector<std::size_t>> relays_by_host;
+    std::unordered_map<NodeId, NodeId> host_of_endpoint;
+  };
+  std::vector<OrcaShard> orca_shards;
+  std::vector<StreamId> relay_streams;
+  std::unordered_set<std::uint64_t> relayed;  // (designated host, shard)
+
+  void start() override {
+    if (scheme == Scheme::Orca) {
+      schedule(setup_delay, [](ExecBase& e) {
+        static_cast<MulticastAllGatherExec&>(e).launch();
+      });
+    } else {
+      launch();
+    }
+  }
+
+  void launch() {
+    const Topology& topo = fabric().topo();
+    orca_shards.resize(members.size());
+    for (std::size_t r = 0; r < members.size(); ++r) {
+      const NodeId source = members[r];
+      std::vector<NodeId> dests;
+      dests.reserve(members.size() - 1);
+      for (NodeId m : members) {
+        if (m != source) dests.push_back(m);
+      }
+      const auto chunk = static_cast<int>(r);
+      const Bytes shard = chunk_sizes[r];
+      const std::uint64_t selector = req.id * 7919ULL + r;
+
+      if (scheme == Scheme::Orca) {
+        OrcaProgram program =
+            orca_program(fabric(), runner->router_, source, dests, selector);
+        StreamSpec trunk =
+            spec_from_tree(topo, program.trunk, program.trunk_receivers);
+        trunk.cnp_mode = options().multicast_cnp_mode;
+        const StreamId trunk_stream = open(std::move(trunk));
+        auto& state = orca_shards[r];
+        for (NodeId e : program.trunk_receivers) {
+          state.host_of_endpoint[e] =
+              topo.kind(e) == NodeKind::Gpu ? topo.host_of(e) : e;
+        }
+        for (const auto& relay : program.relays) {
+          StreamSpec spec = spec_from_route(relay.route);
+          const NodeId peer = relay.route.nodes.back();
+          spec.receivers.clear();
+          for (NodeId e : relay.endpoints) {
+            if (e != peer) spec.forward[peer].push_back(topo.find_link(peer, e));
+            spec.receivers.push_back(e);
+          }
+          spec.cnp_mode = CnpMode::ReceiverTimer;
+          state.relays_by_host[relay.designated_host].push_back(
+              relay_streams.size());
+          relay_streams.push_back(open(std::move(spec)));
+        }
+        net().send_chunk(trunk_stream, chunk, shard);
+        continue;
+      }
+
+      if (scheme == Scheme::Optimal) {
+        const MulticastTree tree = optimal_tree(fabric(), source, dests, selector);
+        StreamSpec spec = spec_from_tree(topo, tree, dests);
+        spec.cnp_mode = options().multicast_cnp_mode;
+        net().send_chunk(open(std::move(spec)), chunk, shard);
+        continue;
+      }
+
+      // PEEL (PeelProgCores runs its static plan; per-shard refinement would
+      // migrate at most one chunk and is omitted).
+      std::vector<PeelStream> parts;
+      if (options().peel_asymmetric) {
+        if (!fabric().leaf_spine) {
+          throw std::runtime_error("asymmetric PEEL requires a leaf-spine fabric");
+        }
+        parts = peel_asymmetric_trees(*fabric().leaf_spine, source, dests);
+      } else {
+        const PeelPlan plan =
+            fabric().fat_tree
+                ? build_peel_plan(*fabric().fat_tree, source, dests,
+                                  options().peel_cover)
+                : build_peel_plan(*fabric().leaf_spine, source, dests,
+                                  options().peel_cover);
+        parts = peel_static_trees(fabric(), plan, selector);
+      }
+      std::size_t covered = 0;
+      for (auto& part : parts) {
+        covered += part.receivers.size();
+        if (part.receivers.empty()) continue;
+        StreamSpec spec = spec_from_tree(topo, part.tree, part.receivers);
+        spec.cnp_mode = options().multicast_cnp_mode;
+        net().send_chunk(open(std::move(spec)), chunk, shard);
+      }
+      if (covered != dests.size()) {
+        throw std::logic_error("allgather PEEL streams do not partition");
+      }
+    }
+  }
+
+  void on_delivery(const DeliveryEvent& ev) override {
+    if (scheme != Scheme::Orca) return;
+    const auto shard = static_cast<std::size_t>(ev.chunk);
+    auto& state = orca_shards[shard];
+    const auto host_it = state.host_of_endpoint.find(ev.receiver);
+    if (host_it == state.host_of_endpoint.end()) return;
+    const auto relays = state.relays_by_host.find(host_it->second);
+    if (relays == state.relays_by_host.end()) return;
+    if (!relayed.insert(delivery_key(host_it->second, ev.chunk)).second) return;
+    for (std::size_t i : relays->second) {
+      net().send_chunk(relay_streams[i], ev.chunk, chunk_sizes[shard]);
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Ring AllReduce: reduce-scatter then all-gather around the same ring.
+// Chunk ids: shard s in the reduce phase is `s`, in the gather phase `s + n`.
+// ---------------------------------------------------------------------------
+
+struct CollectiveRunner::RingAllReduceExec : ExecBase {
+  std::vector<NodeId> order;
+  std::vector<StreamId> edge;  ///< edge[r]: order[r] -> order[(r+1)%n]
+  std::unordered_map<StreamId, std::size_t> hop_of_stream;
+
+  void start() override {
+    const std::size_t n = order.size();
+    for (std::size_t r = 0; r < n; ++r) {
+      const Route route = runner->router_.path(
+          order[r], order[(r + 1) % n],
+          ecmp_hash(req.id, static_cast<std::uint64_t>(r), 0xa11'5edULL));
+      if (route.links.empty()) {
+        throw std::runtime_error("allreduce ring: endpoints disconnected");
+      }
+      StreamSpec spec = spec_from_route(route);
+      spec.cnp_mode = CnpMode::ReceiverTimer;
+      const StreamId s = open(std::move(spec));
+      edge.push_back(s);
+      hop_of_stream[s] = r;
+    }
+    // Reduce-scatter: every rank launches its own shard.
+    for (std::size_t r = 0; r < n; ++r) {
+      net().send_chunk(edge[r], static_cast<int>(r), chunk_sizes[r]);
+    }
+  }
+
+  void on_delivery(const DeliveryEvent& ev) override {
+    const std::size_t n = order.size();
+    const std::size_t rank = (hop_of_stream.at(ev.stream) + 1) % n;
+    const auto cid = static_cast<std::size_t>(ev.chunk);
+    if (cid < n) {
+      // Reduce phase: combine locally (free) and pass on; the last combiner
+      // flips the shard into the gather phase.
+      const std::size_t shard = cid;
+      if (rank != (shard + n - 1) % n) {
+        net().send_chunk(edge[rank], ev.chunk, chunk_sizes[shard]);
+      } else {
+        net().send_chunk(edge[rank], static_cast<int>(shard + n),
+                         chunk_sizes[shard]);
+      }
+    } else {
+      // Gather phase: reduced shard `cid - n` circulates to everyone.
+      const std::size_t shard = cid - n;
+      // It started at rank (shard+n-1)%n; it stops one before that.
+      if (rank != (shard + n - 2) % n) {
+        net().send_chunk(edge[rank], ev.chunk, chunk_sizes[shard]);
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Tree-reduce + multicast-broadcast AllReduce: gradients combine up a binary
+// rank tree (host-side reduction), then the root broadcasts the result via
+// the scheme's machinery — the phase PEEL accelerates.
+//
+// Chunk id spaces (all unique so delivery keys never collide):
+//   reduce:    c * n + child_rank      (per reduce edge)
+//   broadcast: chunks * n + c
+// ---------------------------------------------------------------------------
+
+struct CollectiveRunner::TreeReduceBroadcastExec : ExecBase {
+  Scheme scheme = Scheme::Optimal;
+  std::vector<NodeId> order;      ///< rank 0 = root
+  std::vector<Bytes> piece_bytes; ///< the pipelined pieces of the buffer
+
+  std::vector<StreamId> up_stream_of_rank;  ///< child rank -> stream to parent
+  std::unordered_map<StreamId, std::size_t> rank_of_up_stream;
+  /// missing child contributions per (rank, piece).
+  std::vector<std::vector<int>> missing;
+
+  // Broadcast side.
+  std::vector<StreamId> down_streams;               // multicast schemes
+  std::vector<StreamId> down_edge_of_rank;          // BinaryTree scheme
+  std::unordered_map<StreamId, std::size_t> rank_of_down_stream;
+
+  [[nodiscard]] std::size_t n() const { return order.size(); }
+  [[nodiscard]] int pieces() const { return static_cast<int>(piece_bytes.size()); }
+
+  [[nodiscard]] int reduce_cid(int piece, std::size_t child_rank) const {
+    return piece * static_cast<int>(n()) + static_cast<int>(child_rank);
+  }
+  [[nodiscard]] int broadcast_cid(int piece) const {
+    return pieces() * static_cast<int>(n()) + piece;
+  }
+
+  void start() override {
+    const std::size_t count = n();
+    // Reduce edges: rank r -> parent (r-1)/2, for r >= 1.
+    up_stream_of_rank.assign(count, -1);
+    missing.assign(count, std::vector<int>(static_cast<std::size_t>(pieces()), 0));
+    for (std::size_t r = 0; r < count; ++r) {
+      int kids = 0;
+      if (2 * r + 1 < count) ++kids;
+      if (2 * r + 2 < count) ++kids;
+      for (auto& m : missing[r]) m = kids;
+    }
+    for (std::size_t r = 1; r < count; ++r) {
+      const std::size_t parent = (r - 1) / 2;
+      const Route route = runner->router_.path(
+          order[r], order[parent],
+          ecmp_hash(req.id, static_cast<std::uint64_t>(r), 0x5edcefULL));
+      if (route.links.empty()) {
+        throw std::runtime_error("allreduce tree: endpoints disconnected");
+      }
+      StreamSpec spec = spec_from_route(route);
+      spec.cnp_mode = CnpMode::ReceiverTimer;
+      const StreamId s = open(std::move(spec));
+      up_stream_of_rank[r] = s;
+      rank_of_up_stream[s] = r;
+    }
+
+    // Broadcast machinery from the root.
+    const NodeId root = order[0];
+    std::vector<NodeId> others(order.begin() + 1, order.end());
+    if (scheme == Scheme::BinaryTree) {
+      down_edge_of_rank.assign(count, -1);
+      for (std::size_t r = 1; r < count; ++r) {
+        const std::size_t parent = (r - 1) / 2;
+        const Route route = runner->router_.path(
+            order[parent], order[r],
+            ecmp_hash(req.id, static_cast<std::uint64_t>(r), 0xb0a'dca57ULL));
+        StreamSpec spec = spec_from_route(route);
+        spec.cnp_mode = CnpMode::ReceiverTimer;
+        const StreamId s = open(std::move(spec));
+        down_edge_of_rank[r] = s;
+        rank_of_down_stream[s] = r;
+      }
+    } else if (scheme == Scheme::Optimal) {
+      const MulticastTree tree = optimal_tree(fabric(), root, others, req.id);
+      StreamSpec spec = spec_from_tree(fabric().topo(), tree, others);
+      spec.cnp_mode = options().multicast_cnp_mode;
+      down_streams.push_back(open(std::move(spec)));
+    } else {  // Peel / PeelProgCores
+      std::vector<PeelStream> parts;
+      if (options().peel_asymmetric) {
+        if (!fabric().leaf_spine) {
+          throw std::runtime_error("asymmetric PEEL requires a leaf-spine fabric");
+        }
+        parts = peel_asymmetric_trees(*fabric().leaf_spine, root, others);
+      } else {
+        const PeelPlan plan =
+            fabric().fat_tree
+                ? build_peel_plan(*fabric().fat_tree, root, others,
+                                  options().peel_cover)
+                : build_peel_plan(*fabric().leaf_spine, root, others,
+                                  options().peel_cover);
+        parts = peel_static_trees(fabric(), plan, req.id);
+      }
+      std::size_t covered = 0;
+      for (auto& part : parts) {
+        covered += part.receivers.size();
+        if (part.receivers.empty()) continue;
+        StreamSpec spec = spec_from_tree(fabric().topo(), part.tree, part.receivers);
+        spec.cnp_mode = options().multicast_cnp_mode;
+        down_streams.push_back(open(std::move(spec)));
+      }
+      if (covered != others.size()) {
+        throw std::logic_error("allreduce PEEL streams do not partition");
+      }
+    }
+
+    // Leaves start pushing every piece up immediately.
+    for (std::size_t r = 1; r < count; ++r) {
+      if (2 * r + 1 >= count) {  // no children
+        for (int c = 0; c < pieces(); ++c) {
+          net().send_chunk(up_stream_of_rank[r], reduce_cid(c, r),
+                           piece_bytes[static_cast<std::size_t>(c)]);
+        }
+      }
+    }
+    // Degenerate group where the root has everything locally: n == 1 is
+    // rejected at submit; with n == 2..3 the leaves above cover it.
+  }
+
+  void broadcast_piece(int piece) {
+    const Bytes bytes = piece_bytes[static_cast<std::size_t>(piece)];
+    if (scheme == Scheme::BinaryTree) {
+      for (std::size_t child : {std::size_t{1}, std::size_t{2}}) {
+        if (child < n()) {
+          net().send_chunk(down_edge_of_rank[child], broadcast_cid(piece), bytes);
+        }
+      }
+    } else {
+      for (StreamId s : down_streams) {
+        net().send_chunk(s, broadcast_cid(piece), bytes);
+      }
+    }
+  }
+
+  void on_delivery(const DeliveryEvent& ev) override {
+    const int base = pieces() * static_cast<int>(n());
+    if (ev.chunk >= base) {
+      // Broadcast phase.
+      if (scheme == Scheme::BinaryTree) {
+        const std::size_t r = rank_of_down_stream.at(ev.stream);
+        for (std::size_t child : {2 * r + 1, 2 * r + 2}) {
+          if (child < n()) {
+            net().send_chunk(down_edge_of_rank[child], ev.chunk,
+                             piece_bytes[static_cast<std::size_t>(ev.chunk - base)]);
+          }
+        }
+      }
+      return;
+    }
+    // Reduce phase: a child's contribution for piece c arrived at its parent.
+    const std::size_t child = rank_of_up_stream.at(ev.stream);
+    const std::size_t parent = (child - 1) / 2;
+    const auto piece = static_cast<std::size_t>(ev.chunk) / n();
+    auto& left = missing[parent][piece];
+    if (--left > 0) return;
+    // Parent now holds the combined piece.
+    if (parent == 0) {
+      broadcast_piece(static_cast<int>(piece));
+    } else {
+      net().send_chunk(up_stream_of_rank[parent],
+                       reduce_cid(static_cast<int>(piece), parent),
+                       piece_bytes[piece]);
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+CollectiveRunner::CollectiveRunner(Fabric fabric, Network& net, EventQueue& queue,
+                                   Rng rng, RunnerOptions options)
+    : fabric_(fabric),
+      net_(&net),
+      queue_(&queue),
+      rng_(rng),
+      options_(options),
+      router_(fabric.topo()) {
+  net_->set_delivery_handler(
+      [this](const DeliveryEvent& ev) { handle_delivery(ev); });
+}
+
+CollectiveRunner::~CollectiveRunner() { net_->set_delivery_handler({}); }
+
+void CollectiveRunner::submit(Scheme scheme, BroadcastRequest request) {
+  if (request.destinations.empty() || request.message_bytes <= 0) {
+    throw std::invalid_argument("broadcast needs destinations and a payload");
+  }
+  if (execs_.contains(request.id)) {
+    throw std::invalid_argument("duplicate collective id");
+  }
+
+  std::unique_ptr<ExecBase> exec;
+  SimTime setup = 0;
+  const bool pays_controller =
+      scheme == Scheme::Orca || scheme == Scheme::PeelProgCores;
+  if (pays_controller && options_.controller_delay_enabled) {
+    setup = static_cast<SimTime>(rng_.normal_truncated(
+        static_cast<double>(options_.controller_mean),
+        static_cast<double>(options_.controller_stddev), 0.0));
+  }
+
+  switch (scheme) {
+    case Scheme::Ring: exec = std::make_unique<RingExec>(); break;
+    case Scheme::BinaryTree: exec = std::make_unique<BinaryTreeExec>(); break;
+    case Scheme::Optimal:
+    case Scheme::Peel: {
+      auto m = std::make_unique<MulticastExec>();
+      m->scheme = scheme;
+      exec = std::move(m);
+      break;
+    }
+    case Scheme::Orca: {
+      auto o = std::make_unique<OrcaExec>();
+      o->setup_delay = setup;
+      exec = std::move(o);
+      break;
+    }
+    case Scheme::PeelProgCores: {
+      auto p = std::make_unique<PeelProgCoresExec>();
+      p->setup_delay = setup;
+      exec = std::move(p);
+      break;
+    }
+  }
+
+  exec->runner = this;
+  exec->req = std::move(request);
+  exec->chunk_sizes = split_chunks(exec->req.message_bytes, options_.chunks);
+  exec->expected = exec->req.destinations.size() * exec->chunk_sizes.size();
+  const std::size_t group = exec->req.destinations.size();
+  const Bytes bytes = exec->req.message_bytes;
+  register_exec(std::move(exec), scheme, setup, bytes, group);
+}
+
+void CollectiveRunner::submit_allgather(Scheme scheme, AllGatherRequest request) {
+  if (request.members.size() < 2 || request.total_bytes <= 0) {
+    throw std::invalid_argument("allgather needs >= 2 members and a payload");
+  }
+  if (scheme == Scheme::BinaryTree) {
+    throw std::invalid_argument("AllGather does not support BinaryTree");
+  }
+  if (execs_.contains(request.id)) {
+    throw std::invalid_argument("duplicate collective id");
+  }
+
+  std::vector<NodeId> members = request.members;
+  std::sort(members.begin(), members.end());
+  const std::size_t n = members.size();
+
+  SimTime setup = 0;
+  if (scheme == Scheme::Orca && options_.controller_delay_enabled) {
+    setup = static_cast<SimTime>(rng_.normal_truncated(
+        static_cast<double>(options_.controller_mean),
+        static_cast<double>(options_.controller_stddev), 0.0));
+  }
+
+  std::unique_ptr<ExecBase> exec;
+  if (scheme == Scheme::Ring) {
+    auto ring = std::make_unique<RingAllGatherExec>();
+    ring->order = members;
+    exec = std::move(ring);
+  } else {
+    auto mc = std::make_unique<MulticastAllGatherExec>();
+    mc->scheme = scheme;
+    mc->setup_delay = setup;
+    mc->members = members;
+    exec = std::move(mc);
+  }
+
+  exec->runner = this;
+  exec->req.id = request.id;
+  exec->req.message_bytes = request.total_bytes;
+  // One chunk per member shard; every member receives the n-1 other shards.
+  if (request.total_bytes < static_cast<Bytes>(n)) {
+    throw std::invalid_argument("allgather shards need at least one byte each");
+  }
+  exec->chunk_sizes = split_chunks(request.total_bytes, static_cast<int>(n));
+  exec->expected = n * (n - 1);
+  register_exec(std::move(exec), scheme, setup, request.total_bytes, n);
+}
+
+void CollectiveRunner::submit_allreduce(Scheme scheme, AllReduceRequest request) {
+  if (request.members.size() < 2 || request.buffer_bytes <= 0) {
+    throw std::invalid_argument("allreduce needs >= 2 members and a payload");
+  }
+  if (scheme == Scheme::Orca) {
+    throw std::invalid_argument(
+        "AllReduce does not support Orca (its host-relay model has no "
+        "reduction phase); use Optimal with controller_delay instead");
+  }
+  if (execs_.contains(request.id)) {
+    throw std::invalid_argument("duplicate collective id");
+  }
+
+  std::vector<NodeId> members = request.members;
+  std::sort(members.begin(), members.end());
+  const std::size_t n = members.size();
+
+  std::unique_ptr<ExecBase> exec;
+  std::size_t expected = 0;
+  std::vector<Bytes> chunk_sizes;
+  if (scheme == Scheme::Ring) {
+    if (request.buffer_bytes < static_cast<Bytes>(n)) {
+      throw std::invalid_argument("allreduce shards need at least one byte each");
+    }
+    auto ring = std::make_unique<RingAllReduceExec>();
+    ring->order = members;
+    chunk_sizes = split_chunks(request.buffer_bytes, static_cast<int>(n));
+    expected = 2 * n * (n - 1);
+    exec = std::move(ring);
+  } else {
+    auto tree = std::make_unique<TreeReduceBroadcastExec>();
+    tree->scheme = scheme;
+    tree->order = members;
+    tree->piece_bytes = split_chunks(request.buffer_bytes, options_.chunks);
+    chunk_sizes = tree->piece_bytes;
+    expected = 2 * (n - 1) * tree->piece_bytes.size();
+    exec = std::move(tree);
+  }
+
+  exec->runner = this;
+  exec->req.id = request.id;
+  exec->req.message_bytes = request.buffer_bytes;
+  exec->chunk_sizes = std::move(chunk_sizes);
+  exec->expected = expected;
+  register_exec(std::move(exec), scheme, 0, request.buffer_bytes, n);
+}
+
+std::size_t CollectiveRunner::recover_broadcast(std::uint64_t id) {
+  const auto it = execs_.find(id);
+  if (it == execs_.end()) return 0;
+  ExecBase& exec = *it->second;
+  if (exec.req.destinations.empty()) return 0;  // not a broadcast
+
+  std::unordered_map<NodeId, std::vector<int>> missing;
+  for (NodeId receiver : exec.req.destinations) {
+    for (std::size_t c = 0; c < exec.chunk_sizes.size(); ++c) {
+      if (!exec.delivered.contains(delivery_key(receiver, static_cast<int>(c)))) {
+        missing[receiver].push_back(static_cast<int>(c));
+      }
+    }
+  }
+
+  std::size_t rescheduled = 0;
+  for (const auto& [receiver, chunks] : missing) {
+    const Route route = router_.path(
+        exec.req.source, receiver,
+        ecmp_hash(id, static_cast<std::uint64_t>(receiver), 0x2eC0'7e2ULL));
+    if (route.links.empty()) continue;  // receiver unreachable: unrecoverable
+    StreamSpec spec = spec_from_route(route);
+    spec.cnp_mode = CnpMode::ReceiverTimer;
+    const StreamId s = exec.open(std::move(spec));
+    exec.recovery_streams.insert(s);
+    for (int c : chunks) {
+      net_->send_chunk(s, c, exec.chunk_sizes[static_cast<std::size_t>(c)]);
+      ++rescheduled;
+    }
+  }
+  return rescheduled;
+}
+
+void CollectiveRunner::register_exec(std::unique_ptr<ExecBase> exec, Scheme scheme,
+                                     SimTime setup_delay, Bytes message_bytes,
+                                     std::size_t group_size) {
+  CollectiveRecord record;
+  record.id = exec->req.id;
+  record.scheme = scheme;
+  record.submit_time = queue_->now();
+  record.setup_delay = setup_delay;
+  record.message_bytes = message_bytes;
+  record.group_size = group_size;
+  record_index_[record.id] = records_.size();
+  records_.push_back(record);
+
+  auto [it, inserted] = execs_.emplace(record.id, std::move(exec));
+  it->second->start();
+}
+
+void CollectiveRunner::handle_delivery(const DeliveryEvent& ev) {
+  const auto it = execs_.find(ev.tag);
+  if (it == execs_.end()) return;  // stray delivery after completion
+  if (it->second->handle(ev)) finish_exec(ev.tag);
+}
+
+void CollectiveRunner::finish_exec(std::uint64_t id) {
+  const auto it = execs_.find(id);
+  auto& record = records_[record_index_.at(id)];
+  record.finished = true;
+  record.finish_time = queue_->now();
+  for (StreamId s : it->second->streams) net_->close_stream(s);
+  execs_.erase(it);
+}
+
+}  // namespace peel

@@ -1,0 +1,181 @@
+// Collective execution engine: turns broadcast requests into streams on the
+// simulated network, implements every scheme the paper evaluates, and records
+// collective completion times (CCT).
+//
+// Schemes (§4 "Baselines"):
+//   Ring          — pipelined unicast ring in locality order (NCCL-style)
+//   BinaryTree    — pipelined unicast binary tree rooted at the source
+//   Optimal       — bandwidth-optimal in-network Steiner-tree multicast
+//   Orca          — controller-installed multicast to one designated host per
+//                   rack + host relays; pays N(10ms,5ms) flow-setup delay
+//   Peel          — static power-of-two prefixes, one packet per prefix,
+//                   zero setup latency
+//   PeelProgCores — PEEL fast start + background controller that migrates
+//                   remaining chunks onto the exact tree (§3.3)
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/collectives/fabric.h"
+#include "src/collectives/trees.h"
+#include "src/common/rng.h"
+#include "src/routing/router.h"
+#include "src/sim/network.h"
+
+namespace peel {
+
+enum class Scheme {
+  Ring,
+  BinaryTree,
+  Optimal,
+  Orca,
+  Peel,
+  PeelProgCores,
+};
+
+[[nodiscard]] const char* to_string(Scheme s) noexcept;
+
+struct BroadcastRequest {
+  std::uint64_t id = 0;
+  NodeId source = kInvalidNode;
+  std::vector<NodeId> destinations;  ///< member endpoints, source excluded
+  Bytes message_bytes = 0;
+};
+
+/// AllGather: every member contributes a shard; afterwards every member
+/// holds all shards (total_bytes in aggregate).  An extension beyond the
+/// paper's Broadcast evaluation — AllGather is the other bandwidth-heavy
+/// collective the paper's motivation cites [23], and it composes naturally
+/// as one multicast per member.
+struct AllGatherRequest {
+  std::uint64_t id = 0;
+  std::vector<NodeId> members;  ///< all ranks, >= 2
+  Bytes total_bytes = 0;        ///< gathered buffer size (sum of shards)
+};
+
+/// AllReduce: every member contributes a buffer; afterwards every member
+/// holds the element-wise reduction.  Ring runs the classic reduce-scatter +
+/// all-gather; multicast schemes reduce up a binary rank tree (combining at
+/// hosts — no in-network compute assumed) and broadcast the result through
+/// the scheme's multicast tree, which is where PEEL halves the heavy phase.
+struct AllReduceRequest {
+  std::uint64_t id = 0;
+  std::vector<NodeId> members;  ///< all ranks, >= 2
+  Bytes buffer_bytes = 0;       ///< per-rank gradient buffer size
+};
+
+struct CollectiveRecord {
+  std::uint64_t id = 0;
+  Scheme scheme = Scheme::Ring;
+  SimTime submit_time = 0;
+  SimTime setup_delay = 0;  ///< controller latency charged to this collective
+  SimTime finish_time = 0;
+  bool finished = false;
+  Bytes message_bytes = 0;
+  std::size_t group_size = 0;
+
+  [[nodiscard]] double cct_seconds() const {
+    return sim_to_seconds(finish_time - submit_time);
+  }
+};
+
+struct RunnerOptions {
+  /// Pipelining chunks per message (paper §4: eight).
+  int chunks = 8;
+  /// Charge Orca/PEEL+cores the controller flow-setup delay (Figure 4's
+  /// "with/without controller overhead" toggle).
+  bool controller_delay_enabled = true;
+  SimTime controller_mean = 10 * kMillisecond;
+  SimTime controller_stddev = 5 * kMillisecond;
+  /// CNP coalescing for in-network multicast streams (§4's guard timer;
+  /// CnpMode::Unthrottled reproduces the 12x ablation).
+  CnpMode multicast_cnp_mode = CnpMode::SenderGuard;
+  /// Prefix-cover policy: exact covers by default; bound prefixes/pod or
+  /// pod blocks (PeelCoverOptions::compact()) to trade source packet count
+  /// for over-covered racks (§3.3/§3.4).
+  PeelCoverOptions peel_cover;
+  /// Use §2.3 layer-peeling greedy trees (required once links have failed;
+  /// only supported on leaf–spine fabrics, as in Figure 7).
+  bool peel_asymmetric = false;
+  /// §2.3's "multicast vs multipath" open question: build this many
+  /// near-optimal trees per collective (distinct core/aggregation choices)
+  /// and stripe chunks across them round-robin. 1 = the paper's single tree.
+  /// Applies to Optimal and symmetric PEEL.
+  int stripe_trees = 1;
+};
+
+class CollectiveRunner {
+ public:
+  CollectiveRunner(Fabric fabric, Network& net, EventQueue& queue, Rng rng,
+                   RunnerOptions options);
+  ~CollectiveRunner();
+
+  CollectiveRunner(const CollectiveRunner&) = delete;
+  CollectiveRunner& operator=(const CollectiveRunner&) = delete;
+
+  /// Starts a broadcast at the current simulation time. Request ids must be
+  /// unique across the run.
+  void submit(Scheme scheme, BroadcastRequest request);
+
+  /// Starts an AllGather. Ring uses the classic rotating-ring algorithm;
+  /// multicast schemes (Optimal, Orca, Peel, PeelProgCores) run one
+  /// in-network multicast per member shard. BinaryTree is not supported for
+  /// AllGather (NCCL's trees are broadcast/reduce shapes).
+  void submit_allgather(Scheme scheme, AllGatherRequest request);
+
+  /// Starts an AllReduce. Ring = reduce-scatter + all-gather; every other
+  /// scheme = binary-tree host-side reduction followed by that scheme's
+  /// broadcast of the reduced buffer.
+  void submit_allreduce(Scheme scheme, AllReduceRequest request);
+
+  /// Repairs a still-active broadcast after a mid-run link failure. The
+  /// caller sequence is: Topology::fail_duplex, Network::on_duplex_failed,
+  /// router().invalidate(), then this. Every missing (receiver, chunk) pair
+  /// is re-sent over a freshly routed unicast stream — the paper defers
+  /// reliability engineering (§1 footnote), so this models the simplest
+  /// RDMA-style retransmission a deployment would inherit. Returns the
+  /// number of chunk deliveries rescheduled (0 if finished, unknown, or not
+  /// a broadcast).
+  std::size_t recover_broadcast(std::uint64_t id);
+
+  [[nodiscard]] const std::vector<CollectiveRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t active_count() const noexcept { return execs_.size(); }
+  [[nodiscard]] Router& router() noexcept { return router_; }
+
+ private:
+  friend struct ExecBase;
+  struct ExecBase;
+  struct RingExec;
+  struct BinaryTreeExec;
+  struct MulticastExec;
+  struct OrcaExec;
+  struct PeelProgCoresExec;
+  struct RingAllGatherExec;
+  struct MulticastAllGatherExec;
+  struct RingAllReduceExec;
+  struct TreeReduceBroadcastExec;
+
+  void register_exec(std::unique_ptr<ExecBase> exec, Scheme scheme,
+                     SimTime setup_delay, Bytes message_bytes,
+                     std::size_t group_size);
+
+  void handle_delivery(const DeliveryEvent& ev);
+  void finish_exec(std::uint64_t id);
+
+  Fabric fabric_;
+  Network* net_;
+  EventQueue* queue_;
+  Rng rng_;
+  RunnerOptions options_;
+  Router router_;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<ExecBase>> execs_;
+  std::unordered_map<std::uint64_t, std::size_t> record_index_;
+  std::vector<CollectiveRecord> records_;
+};
+
+}  // namespace peel

@@ -1,0 +1,49 @@
+#include "src/common/csv.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace peel {
+
+std::string csv_escape(std::string_view cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(cell);
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : path_(path), out_(path), width_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (cells.size() != width_) {
+    throw std::runtime_error("CsvWriter: row width mismatch in " + path_);
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row_values(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  char buf[48];
+  for (double v : cells) {
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    text.emplace_back(buf);
+  }
+  row(text);
+}
+
+}  // namespace peel

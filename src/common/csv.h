@@ -1,0 +1,36 @@
+// Minimal CSV writer used by the benchmark harness to persist result series
+// next to the human-readable tables.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace peel {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws
+  /// std::runtime_error if the file cannot be created.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// Appends one row; the number of cells must match the header width.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience overload: formats doubles with %.9g.
+  void row_values(const std::vector<double>& cells);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+/// Escapes a cell per RFC 4180 (quotes cells containing comma/quote/newline).
+[[nodiscard]] std::string csv_escape(std::string_view cell);
+
+}  // namespace peel

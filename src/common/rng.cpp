@@ -1,0 +1,94 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+namespace peel {
+namespace {
+
+constexpr std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t v, int k) noexcept {
+  return (v << k) | (v >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless bounded sampling with rejection.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    const auto hi = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(r) * bound) >> 64);
+    const auto lo = static_cast<std::uint64_t>(
+        static_cast<unsigned __int128>(r) * bound);
+    if (lo >= threshold) return hi;
+  }
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::exponential(double mean) noexcept {
+  // 1 - u avoids log(0).
+  return -mean * std::log1p(-next_double());
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::normal_truncated(double mean, double stddev, double floor) noexcept {
+  const double v = normal(mean, stddev);
+  return v < floor ? floor : v;
+}
+
+Rng Rng::fork(std::uint64_t tag) const noexcept {
+  // Mix the child's tag with the parent state through SplitMix so sibling
+  // streams do not overlap.
+  std::uint64_t s = state_[0] ^ rotl(state_[3], 13) ^ (tag * 0x9e3779b97f4a7c15ULL);
+  return Rng(splitmix64(s));
+}
+
+}  // namespace peel

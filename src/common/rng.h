@@ -1,0 +1,64 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (failure injection, Poisson arrivals, ECMP
+// hashing salt, controller latency draws) takes an explicit Rng so that a
+// single 64-bit seed reproduces an entire experiment.  The generator is
+// xoshiro256** seeded through SplitMix64 — small, fast, and identical on every
+// platform, unlike distribution wrappers in <random> whose outputs are
+// implementation-defined.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/units.h"
+
+namespace peel {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Uniform over the full 64-bit range.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  /// Normal via Box–Muller.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Normal truncated below at `floor` (used for controller setup latency,
+  /// which can never be negative).
+  double normal_truncated(double mean, double stddev, double floor) noexcept;
+
+  /// Derives an independent child stream; children with distinct tags are
+  /// statistically independent of each other and of the parent.
+  [[nodiscard]] Rng fork(std::uint64_t tag) const noexcept;
+
+  /// Fisher–Yates shuffle of an index-addressable container.
+  template <typename Container>
+  void shuffle(Container& c) noexcept {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace peel

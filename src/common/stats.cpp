@@ -1,0 +1,79 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace peel {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void Samples::add(double x) {
+  values_.push_back(x);
+  stats_.add(x);
+  sorted_valid_ = false;
+}
+
+double Samples::quantile(double q) const {
+  if (values_.empty()) return 0.0;
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[64];
+  const double a = std::fabs(seconds);
+  if (a >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.4f s", seconds);
+  } else if (a >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", seconds * 1e3);
+  } else if (a >= 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.3f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+std::string format_bytes(double bytes) {
+  char buf[64];
+  const double a = std::fabs(bytes);
+  if (a >= 1024.0 * 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof buf, "%.2f GiB", bytes / (1024.0 * 1024.0 * 1024.0));
+  } else if (a >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof buf, "%.2f MiB", bytes / (1024.0 * 1024.0));
+  } else if (a >= 1024.0) {
+    std::snprintf(buf, sizeof buf, "%.2f KiB", bytes / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f B", bytes);
+  }
+  return buf;
+}
+
+}  // namespace peel

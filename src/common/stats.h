@@ -1,0 +1,67 @@
+// Streaming statistics used for collective-completion-time reporting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace peel {
+
+/// Welford running mean/variance plus min/max. O(1) memory.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores every sample; exact percentiles. Collective counts in our
+/// experiments are small enough (hundreds to tens of thousands) that exact
+/// quantiles are cheaper than the bias a sketch would add to p99 reporting.
+class Samples {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] double mean() const noexcept { return stats_.mean(); }
+  [[nodiscard]] double min() const noexcept { return stats_.min(); }
+  [[nodiscard]] double max() const noexcept { return stats_.max(); }
+  [[nodiscard]] double stddev() const noexcept { return stats_.stddev(); }
+
+  /// Exact q-quantile with linear interpolation, q in [0,1].
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+
+  [[nodiscard]] const std::vector<double>& values() const noexcept { return values_; }
+
+ private:
+  std::vector<double> values_;
+  RunningStats stats_;
+  mutable std::vector<double> sorted_;  // lazily rebuilt by quantile()
+  mutable bool sorted_valid_ = false;
+};
+
+/// Formats seconds with an appropriate unit (ns/µs/ms/s) for table output.
+[[nodiscard]] std::string format_seconds(double seconds);
+
+/// Formats a byte count (B/KiB/MiB/GiB).
+[[nodiscard]] std::string format_bytes(double bytes);
+
+}  // namespace peel

@@ -1,0 +1,52 @@
+// Units and fixed-point time used across the PEEL library.
+//
+// All simulation timestamps are integer nanoseconds (SimTime).  Rates are
+// carried as bytes-per-nanosecond in double precision only at the edge of
+// transmission-time computations; durations handed to the event queue are
+// always integral, which keeps runs bit-for-bit deterministic.
+#pragma once
+
+#include <cstdint>
+
+namespace peel {
+
+/// Simulation timestamp / duration in nanoseconds.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Byte quantities (message/segment sizes, queue depths).
+using Bytes = std::int64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+
+/// Link rate expressed in gigabits per second.
+struct GbpsRate {
+  double gbps = 0.0;
+
+  /// Bytes transferred per nanosecond at this rate.
+  [[nodiscard]] constexpr double bytes_per_ns() const { return gbps / 8.0; }
+
+  /// Time to serialize `n` bytes, rounded up to a whole nanosecond so that a
+  /// busy link never reports a zero-length transmission.
+  [[nodiscard]] constexpr SimTime tx_time(Bytes n) const {
+    const double ns = static_cast<double>(n) / bytes_per_ns();
+    const auto whole = static_cast<SimTime>(ns);
+    return (static_cast<double>(whole) < ns) ? whole + 1 : (whole > 0 ? whole : 1);
+  }
+};
+
+constexpr GbpsRate operator""_gbps(long double v) { return GbpsRate{static_cast<double>(v)}; }
+constexpr GbpsRate operator""_gbps(unsigned long long v) { return GbpsRate{static_cast<double>(v)}; }
+
+/// Converts seconds (as used in reports) to SimTime.
+constexpr SimTime seconds_to_sim(double s) { return static_cast<SimTime>(s * 1e9); }
+
+/// Converts SimTime to seconds for human-readable output.
+constexpr double sim_to_seconds(SimTime t) { return static_cast<double>(t) * 1e-9; }
+
+}  // namespace peel

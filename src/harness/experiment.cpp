@@ -1,0 +1,140 @@
+#include "src/harness/experiment.h"
+
+#include <stdexcept>
+
+namespace peel {
+
+Bytes bytes_on_links(const Network& net, const Topology& topo, bool fabric,
+                     bool host_nic, bool nvlink) {
+  Bytes total = 0;
+  for (LinkId l = 0; static_cast<std::size_t>(l) < topo.link_count(); ++l) {
+    const LinkKind kind = topo.link(l).kind;
+    const bool counted = (kind == LinkKind::Fabric && fabric) ||
+                         (kind == LinkKind::HostNic && host_nic) ||
+                         (kind == LinkKind::NvLink && nvlink);
+    if (counted) total += net.link_bytes(l);
+  }
+  return total;
+}
+
+namespace {
+
+enum class CollectiveKind { Broadcast, AllGather, AllReduce };
+
+ScenarioResult run_scenario_impl(const Fabric& fabric, const ScenarioConfig& config,
+                                 CollectiveKind kind) {
+  EventQueue queue;
+  Network net(fabric.topo(), config.sim, queue);
+  Rng rng(config.seed);
+  CollectiveRunner runner(fabric, net, queue, rng.fork(0xc0'11ec), config.runner);
+
+  const double lambda = arrival_rate_for_load(
+      fabric, config.offered_load, config.message_bytes, config.group_size);
+  const double mean_gap_ns = 1e9 / lambda;
+
+  PlacementOptions placement;
+  placement.group_size = config.group_size;
+  placement.fragmentation = config.fragmentation;
+  placement.buddy_aligned = config.buddy_aligned;
+
+  Rng arrivals = rng.fork(0xa41);
+  Rng placer = rng.fork(0x97ace);
+
+  SimTime t = 0;
+  for (int i = 0; i < config.collectives; ++i) {
+    t += static_cast<SimTime>(arrivals.exponential(mean_gap_ns));
+    GroupSelection group = select_local_group(fabric, placement, placer);
+    const auto id = static_cast<std::uint64_t>(i) + 1;
+    if (kind == CollectiveKind::AllGather) {
+      AllGatherRequest req;
+      req.id = id;
+      req.members = std::move(group.destinations);
+      req.members.push_back(group.source);
+      req.total_bytes = config.message_bytes;
+      queue.at(t, [&runner, req, scheme = config.scheme]() mutable {
+        runner.submit_allgather(scheme, std::move(req));
+      });
+    } else if (kind == CollectiveKind::AllReduce) {
+      AllReduceRequest req;
+      req.id = id;
+      req.members = std::move(group.destinations);
+      req.members.push_back(group.source);
+      req.buffer_bytes = config.message_bytes;
+      queue.at(t, [&runner, req, scheme = config.scheme]() mutable {
+        runner.submit_allreduce(scheme, std::move(req));
+      });
+    } else {
+      BroadcastRequest req;
+      req.id = id;
+      req.source = group.source;
+      req.destinations = std::move(group.destinations);
+      req.message_bytes = config.message_bytes;
+      queue.at(t, [&runner, req, scheme = config.scheme]() mutable {
+        runner.submit(scheme, std::move(req));
+      });
+    }
+  }
+
+  queue.run();
+
+  ScenarioResult result;
+  for (const auto& record : runner.records()) {
+    if (!record.finished) {
+      ++result.unfinished;
+      continue;
+    }
+    result.cct_seconds.add(record.cct_seconds());
+  }
+  result.fabric_bytes = bytes_on_links(net, fabric.topo(), true, true, false);
+  result.core_bytes = bytes_on_links(net, fabric.topo(), true, false, false);
+  result.sim_seconds = sim_to_seconds(queue.now());
+  result.events = queue.processed();
+  result.pfc_pauses = net.pfc_pauses();
+  result.ecn_marks = net.segments_marked();
+  return result;
+}
+
+}  // namespace
+
+ScenarioResult run_broadcast_scenario(const Fabric& fabric,
+                                      const ScenarioConfig& config) {
+  return run_scenario_impl(fabric, config, CollectiveKind::Broadcast);
+}
+
+ScenarioResult run_allgather_scenario(const Fabric& fabric,
+                                      const ScenarioConfig& config) {
+  return run_scenario_impl(fabric, config, CollectiveKind::AllGather);
+}
+
+ScenarioResult run_allreduce_scenario(const Fabric& fabric,
+                                      const ScenarioConfig& config) {
+  return run_scenario_impl(fabric, config, CollectiveKind::AllReduce);
+}
+
+SingleResult run_single_broadcast(const Fabric& fabric, Scheme scheme,
+                                  const GroupSelection& group, Bytes message_bytes,
+                                  const SimConfig& sim, const RunnerOptions& runner_opts) {
+  EventQueue queue;
+  Network net(fabric.topo(), sim, queue);
+  CollectiveRunner runner(fabric, net, queue, Rng(sim.seed), runner_opts);
+
+  BroadcastRequest req;
+  req.id = 1;
+  req.source = group.source;
+  req.destinations = group.destinations;
+  req.message_bytes = message_bytes;
+  runner.submit(scheme, std::move(req));
+  queue.run();
+
+  if (runner.records().empty() || !runner.records().front().finished) {
+    throw std::runtime_error("single broadcast did not complete");
+  }
+  SingleResult result;
+  result.cct_seconds = runner.records().front().cct_seconds();
+  result.fabric_bytes = bytes_on_links(net, fabric.topo(), true, true, false);
+  result.core_bytes = bytes_on_links(net, fabric.topo(), true, false, false);
+  result.nvlink_bytes = bytes_on_links(net, fabric.topo(), false, false, true);
+  return result;
+}
+
+}  // namespace peel

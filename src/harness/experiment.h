@@ -1,0 +1,79 @@
+// Experiment driver: runs a stream of Poisson-arriving broadcast collectives
+// through a fresh simulator instance and reports CCT statistics plus byte
+// telemetry — the machinery behind every CCT figure (Figures 4–7).
+#pragma once
+
+#include <cstdint>
+
+#include "src/collectives/runner.h"
+#include "src/common/stats.h"
+#include "src/workload/placement.h"
+
+namespace peel {
+
+struct ScenarioConfig {
+  Scheme scheme = Scheme::Peel;
+  /// Member endpoints per collective (including the source).
+  int group_size = 64;
+  Bytes message_bytes = 8 * kMiB;
+  /// Average offered load on host access links (§4 uses 0.30).
+  double offered_load = 0.30;
+  /// Collectives to sample.
+  int collectives = 50;
+  double fragmentation = 0.0;
+  /// Buddy-aligned (whole rack/pod block) placements — the bin-packing
+  /// discipline of production GPU schedulers [3]. Combine with
+  /// `fragmentation` to model scheduler holes (§3.4).
+  bool buddy_aligned = true;
+  SimConfig sim;
+  RunnerOptions runner;
+  std::uint64_t seed = 1;
+};
+
+struct ScenarioResult {
+  Samples cct_seconds;
+  /// Bytes serialized on fabric + host-NIC links (excludes NVLink).
+  Bytes fabric_bytes = 0;
+  /// Bytes serialized on switch-to-switch links only.
+  Bytes core_bytes = 0;
+  double sim_seconds = 0.0;       ///< simulated wall-clock at drain
+  std::uint64_t events = 0;       ///< discrete events processed
+  std::uint64_t pfc_pauses = 0;
+  std::uint64_t ecn_marks = 0;
+  std::size_t unfinished = 0;     ///< collectives that never completed (bug if > 0)
+};
+
+/// Runs `collectives` Poisson-arriving broadcasts of one scheme and size.
+[[nodiscard]] ScenarioResult run_broadcast_scenario(const Fabric& fabric,
+                                                    const ScenarioConfig& config);
+
+/// Same driver for AllGather collectives: every group member contributes a
+/// shard of message_bytes/group_size (BinaryTree unsupported).
+[[nodiscard]] ScenarioResult run_allgather_scenario(const Fabric& fabric,
+                                                    const ScenarioConfig& config);
+
+/// Same driver for AllReduce collectives: message_bytes is the per-rank
+/// gradient buffer (Orca unsupported).
+[[nodiscard]] ScenarioResult run_allreduce_scenario(const Fabric& fabric,
+                                                    const ScenarioConfig& config);
+
+struct SingleResult {
+  double cct_seconds = 0.0;
+  Bytes fabric_bytes = 0;
+  Bytes core_bytes = 0;
+  Bytes nvlink_bytes = 0;
+};
+
+/// Runs exactly one broadcast on an otherwise idle fabric (bandwidth
+/// accounting and micro-validation).
+[[nodiscard]] SingleResult run_single_broadcast(const Fabric& fabric, Scheme scheme,
+                                                const GroupSelection& group,
+                                                Bytes message_bytes,
+                                                const SimConfig& sim,
+                                                const RunnerOptions& runner);
+
+/// Sums serialized bytes over links of the given kinds.
+[[nodiscard]] Bytes bytes_on_links(const Network& net, const Topology& topo,
+                                   bool fabric, bool host_nic, bool nvlink);
+
+}  // namespace peel

@@ -1,0 +1,28 @@
+// Fixed-width console tables for bench output (the "same rows the paper
+// reports" requirement).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace peel {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Prints with column alignment and a header underline.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style convenience for building cells.
+[[nodiscard]] std::string cell(const char* fmt, ...);
+
+}  // namespace peel

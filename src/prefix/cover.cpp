@@ -1,0 +1,199 @@
+#include "src/prefix/cover.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace peel {
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max() / 4;
+
+void check_size(const MemberSet& members, int m) {
+  if (m < 0 || m > 20 || members.size() != (std::size_t{1} << m)) {
+    throw std::invalid_argument("member set size must equal 2^m");
+  }
+}
+
+/// Recursively emits the outermost complete sub-trees.
+/// Returns true iff the whole range [start, start+2^(m-depth)) is members.
+bool cover_rec(const MemberSet& members, int m, int depth, std::uint32_t value,
+               std::vector<Prefix>& out) {
+  const std::uint32_t start = value << (m - depth);
+  const std::uint32_t size = std::uint32_t{1} << (m - depth);
+  if (depth == m) {
+    if (members[start]) {
+      out.push_back(Prefix{value, m});
+      return true;
+    }
+    return false;
+  }
+  const std::size_t before = out.size();
+  const bool left = cover_rec(members, m, depth + 1, value << 1, out);
+  const bool right = cover_rec(members, m, depth + 1, (value << 1) | 1u, out);
+  if (left && right) {
+    // Both halves are complete: replace their two prefixes with one.
+    out.resize(before);
+    out.push_back(Prefix{value, depth});
+    return true;
+  }
+  (void)size;
+  return false;
+}
+
+/// Tri-state of a trie range for the don't-care cover.
+enum class RangeState { Empty, Coverable, Mixed };
+
+RangeState cover_dc_rec(const MemberSet& members, const MemberSet& dont_care,
+                        int m, int depth, std::uint32_t value,
+                        std::vector<Prefix>& out) {
+  const std::uint32_t start = value << (m - depth);
+  const std::uint32_t size = std::uint32_t{1} << (m - depth);
+  bool has_member = false;
+  bool has_plain = false;  // non-member, non-don't-care
+  for (std::uint32_t id = start; id < start + size; ++id) {
+    if (members[id]) {
+      has_member = true;
+    } else if (!dont_care[id]) {
+      has_plain = true;
+    }
+  }
+  if (!has_member) return RangeState::Empty;
+  if (!has_plain) return RangeState::Coverable;
+  // Mixed: recurse and emit maximal coverable children.
+  const RangeState left =
+      cover_dc_rec(members, dont_care, m, depth + 1, value << 1, out);
+  if (left == RangeState::Coverable) out.push_back(Prefix{value << 1, depth + 1});
+  const RangeState right =
+      cover_dc_rec(members, dont_care, m, depth + 1, (value << 1) | 1u, out);
+  if (right == RangeState::Coverable) {
+    out.push_back(Prefix{(value << 1) | 1u, depth + 1});
+  }
+  return RangeState::Mixed;
+}
+
+}  // namespace
+
+int member_count(const MemberSet& members) {
+  return static_cast<int>(std::count(members.begin(), members.end(), char{1}));
+}
+
+MemberSet make_member_set(const std::vector<int>& ids, int m) {
+  MemberSet set(std::size_t{1} << m, 0);
+  for (int id : ids) {
+    if (id < 0 || static_cast<std::size_t>(id) >= set.size()) {
+      throw std::out_of_range("member id outside identifier space");
+    }
+    set[static_cast<std::size_t>(id)] = 1;
+  }
+  return set;
+}
+
+std::vector<Prefix> exact_cover(const MemberSet& members, int m) {
+  check_size(members, m);
+  std::vector<Prefix> out;
+  cover_rec(members, m, 0, 0, out);
+  std::sort(out.begin(), out.end(), [&](const Prefix& a, const Prefix& b) {
+    return a.block_start(m) < b.block_start(m);
+  });
+  return out;
+}
+
+std::vector<Prefix> exact_cover(const MemberSet& members, const MemberSet& dont_care,
+                                int m) {
+  check_size(members, m);
+  check_size(dont_care, m);
+  std::vector<Prefix> out;
+  if (cover_dc_rec(members, dont_care, m, 0, 0, out) == RangeState::Coverable) {
+    out.clear();
+    out.push_back(Prefix{0, 0});
+  }
+  std::sort(out.begin(), out.end(), [&](const Prefix& a, const Prefix& b) {
+    return a.block_start(m) < b.block_start(m);
+  });
+  return out;
+}
+
+BoundedCover bounded_cover(const MemberSet& members, int m, int max_prefixes) {
+  check_size(members, m);
+  if (max_prefixes < 1) throw std::invalid_argument("max_prefixes must be >= 1");
+
+  const auto exact = exact_cover(members, m);
+  if (static_cast<int>(exact.size()) <= max_prefixes) {
+    return BoundedCover{exact, 0};
+  }
+
+  // dp over the trie: waste(node, b) = minimum over-covered non-members when
+  // the members inside this node's range are covered by at most b blocks that
+  // are aligned sub-blocks of the range.  Choice: one block covering the
+  // whole range (waste = non-members here) or split the budget across the two
+  // halves.  A memberless range needs no block and wastes nothing.
+  struct Result {
+    std::vector<int> waste;                     // index = budget 0..B
+    std::vector<std::vector<Prefix>> choice;    // prefixes achieving waste[b]
+  };
+  const int B = max_prefixes;
+
+  auto solve = [&](auto&& self, int depth, std::uint32_t value) -> Result {
+    const std::uint32_t start = value << (m - depth);
+    const std::uint32_t size = std::uint32_t{1} << (m - depth);
+    int mem = 0;
+    for (std::uint32_t i = start; i < start + size; ++i) mem += members[i] ? 1 : 0;
+
+    Result r;
+    r.waste.assign(static_cast<std::size_t>(B) + 1, kInf);
+    r.choice.resize(static_cast<std::size_t>(B) + 1);
+    if (mem == 0) {
+      for (int b = 0; b <= B; ++b) r.waste[static_cast<std::size_t>(b)] = 0;
+      return r;
+    }
+    const int whole_waste = static_cast<int>(size) - mem;
+    for (int b = 1; b <= B; ++b) {
+      r.waste[static_cast<std::size_t>(b)] = whole_waste;
+      r.choice[static_cast<std::size_t>(b)] = {Prefix{value, depth}};
+    }
+    if (depth == m) return r;
+
+    const Result left = self(self, depth + 1, value << 1);
+    const Result right = self(self, depth + 1, (value << 1) | 1u);
+    for (int b = 1; b <= B; ++b) {
+      for (int bl = 0; bl <= b; ++bl) {
+        const int br = b - bl;
+        const int w = (left.waste[static_cast<std::size_t>(bl)] >= kInf ||
+                       right.waste[static_cast<std::size_t>(br)] >= kInf)
+                          ? kInf
+                          : left.waste[static_cast<std::size_t>(bl)] +
+                                right.waste[static_cast<std::size_t>(br)];
+        if (w < r.waste[static_cast<std::size_t>(b)]) {
+          r.waste[static_cast<std::size_t>(b)] = w;
+          auto combined = left.choice[static_cast<std::size_t>(bl)];
+          const auto& rc = right.choice[static_cast<std::size_t>(br)];
+          combined.insert(combined.end(), rc.begin(), rc.end());
+          r.choice[static_cast<std::size_t>(b)] = std::move(combined);
+        }
+      }
+    }
+    return r;
+  };
+
+  const Result root = solve(solve, 0, 0);
+  // Best (lowest-waste) answer within budget; prefer fewer prefixes on ties.
+  int best_b = B;
+  for (int b = 1; b < B; ++b) {
+    if (root.waste[static_cast<std::size_t>(b)] <=
+        root.waste[static_cast<std::size_t>(best_b)]) {
+      best_b = b;
+      break;
+    }
+  }
+  BoundedCover out;
+  out.prefixes = root.choice[static_cast<std::size_t>(best_b)];
+  out.redundant = root.waste[static_cast<std::size_t>(best_b)];
+  std::sort(out.prefixes.begin(), out.prefixes.end(),
+            [&](const Prefix& a, const Prefix& b2) {
+              return a.block_start(m) < b2.block_start(m);
+            });
+  return out;
+}
+
+}  // namespace peel

@@ -1,0 +1,48 @@
+// Cover-set selection: decomposing a destination rack set into power-of-two
+// prefix blocks (§3.2), and the bounded variant that trades extra packets for
+// over-coverage when placements are fragmented (§3.3/§3.4).
+#pragma once
+
+#include <vector>
+
+#include "src/prefix/prefix.h"
+
+namespace peel {
+
+/// Membership bitmap over an m-bit identifier space (size must be 2^m; ids
+/// beyond the physical port count are simply never members).
+using MemberSet = std::vector<char>;
+
+/// Minimal exact cover: the outermost complete sub-trees of the membership
+/// trie. Covers exactly the member set — zero redundancy — using the fewest
+/// aligned blocks possible. Deterministic, ordered by block start.
+[[nodiscard]] std::vector<Prefix> exact_cover(const MemberSet& members, int m);
+
+/// Exact cover with don't-care positions: blocks may absorb ids marked in
+/// `dont_care` for free (e.g. the source's own rack, already served on the
+/// up-path) but never plain non-members. Every member is covered; blocks
+/// containing only don't-cares are never emitted.
+[[nodiscard]] std::vector<Prefix> exact_cover(const MemberSet& members,
+                                              const MemberSet& dont_care, int m);
+
+struct BoundedCover {
+  std::vector<Prefix> prefixes;
+  /// Non-member identifiers swept up by over-covering blocks (redundant
+  /// copies the ToRs will discard).
+  int redundant = 0;
+};
+
+/// Cover with at most `max_prefixes` blocks, minimizing the number of
+/// over-covered non-member identifiers (ties prefer fewer prefixes).  With a
+/// budget >= the exact cover size this degenerates to the exact cover.
+/// Dynamic program over the prefix trie: O(2^m · max_prefixes^2).
+[[nodiscard]] BoundedCover bounded_cover(const MemberSet& members, int m,
+                                         int max_prefixes);
+
+/// Number of members in the set.
+[[nodiscard]] int member_count(const MemberSet& members);
+
+/// Builds a MemberSet of size 2^m from arbitrary member indices.
+[[nodiscard]] MemberSet make_member_set(const std::vector<int>& ids, int m);
+
+}  // namespace peel

@@ -1,0 +1,234 @@
+#include "src/prefix/plan.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace peel {
+namespace {
+
+struct Layout {
+  const Topology* topo = nullptr;
+  int pod_count = 1;
+  int tors_per_pod = 0;
+  int hosts_per_rack = 0;
+  /// Resolves (pod, tor index) to the ToR node, kInvalidNode if absent.
+  std::function<NodeId(int, int)> tor_at;
+};
+
+int host_index_in_rack(const Topology& topo, NodeId host, int hosts_per_rack) {
+  return static_cast<int>(topo.node(host).tier_index) % hosts_per_rack;
+}
+
+/// A pod's contribution to one (ToR-prefix, host-prefix) packet class.
+struct PodSlice {
+  int pod = 0;
+  std::vector<NodeId> member_tors;
+  std::vector<NodeId> redundant_tors;
+};
+
+/// Key identifying a packet class before pods are merged.
+struct RuleKey {
+  Prefix tor_prefix;
+  Prefix host_prefix;
+  friend auto operator<=>(const RuleKey& a, const RuleKey& b) {
+    return std::tie(a.tor_prefix.value, a.tor_prefix.length, a.host_prefix.value,
+                    a.host_prefix.length) <=>
+           std::tie(b.tor_prefix.value, b.tor_prefix.length, b.host_prefix.value,
+                    b.host_prefix.length);
+  }
+};
+
+PeelPlan build_generic(const Layout& layout, NodeId source,
+                       std::span<const NodeId> destinations,
+                       const PeelCoverOptions& cover) {
+  const Topology& topo = *layout.topo;
+  PeelPlan plan;
+  plan.source = source;
+  plan.destinations.assign(destinations.begin(), destinations.end());
+  plan.pod_id_bits = id_bits(layout.pod_count);
+  plan.tor_id_bits = id_bits(layout.tors_per_pod);
+  plan.host_id_bits = id_bits(layout.hosts_per_rack);
+
+  const NodeId src_host =
+      topo.kind(source) == NodeKind::Gpu ? topo.host_of(source) : source;
+  const NodeId src_tor = topo.tor_of(src_host);
+  const int src_pod = static_cast<int>(topo.node(src_tor).pod);
+  const int src_tor_idx = static_cast<int>(topo.node(src_tor).tier_index);
+
+  // pod -> tor index -> (tor node, member host indices within the rack)
+  std::map<int, std::map<int, std::pair<NodeId, std::set<int>>>> pods;
+
+  for (NodeId d : destinations) {
+    if (d == source) throw std::invalid_argument("source listed among destinations");
+    const NodeId host = topo.kind(d) == NodeKind::Gpu ? topo.host_of(d) : d;
+    plan.host_members[host].push_back(d);
+    if (host == src_host) {
+      plan.source_local.push_back(d);
+      continue;  // delivered over NVLink, never enters the fabric
+    }
+    const NodeId tor = topo.tor_of(host);
+    const int pod = static_cast<int>(topo.node(tor).pod);
+    const int tor_idx = static_cast<int>(topo.node(tor).tier_index);
+    auto& rack = pods[pod][tor_idx];
+    rack.first = tor;
+    rack.second.insert(host_index_in_rack(topo, host, layout.hosts_per_rack));
+  }
+
+  // Phase 1: per-pod covers, keyed by (ToR-prefix, host-prefix).
+  std::map<RuleKey, std::vector<PodSlice>> classes;
+  for (const auto& [pod, racks] : pods) {
+    std::vector<int> member_tor_ids;
+    member_tor_ids.reserve(racks.size());
+    for (const auto& [tor_idx, rack] : racks) member_tor_ids.push_back(tor_idx);
+    const MemberSet tor_set = make_member_set(member_tor_ids, plan.tor_id_bits);
+
+    std::vector<Prefix> tor_prefixes;
+    if (cover.max_tor_prefixes_per_pod > 0) {
+      tor_prefixes = bounded_cover(tor_set, plan.tor_id_bits,
+                                   cover.max_tor_prefixes_per_pod).prefixes;
+    } else {
+      // The source's own rack is a free don't-care in its pod: the packet
+      // passes its ToR on the way up anyway, so a block absorbing it saves a
+      // whole extra packet at the cost of (at most) a few local redundant
+      // host copies.
+      MemberSet dont_care(tor_set.size(), 0);
+      if (pod == src_pod && !tor_set[static_cast<std::size_t>(src_tor_idx)]) {
+        dont_care[static_cast<std::size_t>(src_tor_idx)] = 1;
+      }
+      tor_prefixes = exact_cover(tor_set, dont_care, plan.tor_id_bits);
+    }
+
+    for (const Prefix& tp : tor_prefixes) {
+      PodSlice slice;
+      slice.pod = pod;
+      std::set<int> host_union;
+      const std::uint32_t start = tp.block_start(plan.tor_id_bits);
+      const std::uint32_t size = tp.block_size(plan.tor_id_bits);
+      for (std::uint32_t id = start; id < start + size; ++id) {
+        if (static_cast<int>(id) >= layout.tors_per_pod) continue;  // unequipped
+        const auto it = racks.find(static_cast<int>(id));
+        if (it != racks.end()) {
+          slice.member_tors.push_back(it->second.first);
+          host_union.insert(it->second.second.begin(), it->second.second.end());
+        } else {
+          const NodeId tor = layout.tor_at(pod, static_cast<int>(id));
+          if (tor != kInvalidNode) slice.redundant_tors.push_back(tor);
+        }
+      }
+
+      const MemberSet host_set = make_member_set(
+          std::vector<int>(host_union.begin(), host_union.end()), plan.host_id_bits);
+      std::vector<Prefix> host_prefixes;
+      if (cover.max_tor_prefixes_per_pod > 0) {
+        host_prefixes = bounded_cover(host_set, plan.host_id_bits,
+                                      cover.max_tor_prefixes_per_pod).prefixes;
+      } else {
+        host_prefixes = exact_cover(host_set, plan.host_id_bits);
+      }
+      for (const Prefix& hp : host_prefixes) {
+        classes[RuleKey{tp, hp}].push_back(slice);
+      }
+    }
+  }
+
+  // Phase 2: merge pods sharing a packet class into pod-prefix blocks — the
+  // core-tier prefix rules replicate one packet to every pod in the block.
+  for (const auto& [key, slices] : classes) {
+    std::vector<int> pod_ids;
+    std::map<int, const PodSlice*> slice_by_pod;
+    for (const PodSlice& s : slices) {
+      pod_ids.push_back(s.pod);
+      slice_by_pod[s.pod] = &s;
+    }
+    const MemberSet pod_set = make_member_set(pod_ids, plan.pod_id_bits);
+    std::vector<Prefix> pod_blocks;
+    if (cover.max_pod_blocks > 0) {
+      pod_blocks =
+          bounded_cover(pod_set, plan.pod_id_bits, cover.max_pod_blocks).prefixes;
+    } else {
+      pod_blocks = exact_cover(pod_set, plan.pod_id_bits);
+    }
+    for (const Prefix& pp : pod_blocks) {
+      PeelPacketRule rule;
+      rule.pod_prefix = pp;
+      rule.tor_prefix = key.tor_prefix;
+      rule.host_prefix = key.host_prefix;
+      const std::uint32_t start = pp.block_start(plan.pod_id_bits);
+      const std::uint32_t size = pp.block_size(plan.pod_id_bits);
+      for (std::uint32_t pod = start; pod < start + size; ++pod) {
+        if (static_cast<int>(pod) >= layout.pod_count) continue;  // unequipped
+        const auto it = slice_by_pod.find(static_cast<int>(pod));
+        if (it == slice_by_pod.end()) {
+          // Over-covered pod (bounded pod blocks): every live rack the ToR
+          // prefix selects there receives a copy and discards it.
+          const std::uint32_t tstart = rule.tor_prefix.block_start(plan.tor_id_bits);
+          const std::uint32_t tsize = rule.tor_prefix.block_size(plan.tor_id_bits);
+          for (std::uint32_t tid = tstart; tid < tstart + tsize; ++tid) {
+            const NodeId tor = layout.tor_at(static_cast<int>(pod),
+                                             static_cast<int>(tid));
+            if (tor != kInvalidNode) rule.redundant_tors.push_back(tor);
+          }
+          continue;
+        }
+        rule.pods.push_back(static_cast<int>(pod));
+        const PodSlice& s = *it->second;
+        rule.member_tors.insert(rule.member_tors.end(), s.member_tors.begin(),
+                                s.member_tors.end());
+        rule.redundant_tors.insert(rule.redundant_tors.end(),
+                                   s.redundant_tors.begin(),
+                                   s.redundant_tors.end());
+      }
+      const std::uint32_t hstart = rule.host_prefix.block_start(plan.host_id_bits);
+      const std::uint32_t hsize = rule.host_prefix.block_size(plan.host_id_bits);
+      for (std::uint32_t h = hstart; h < hstart + hsize; ++h) {
+        if (static_cast<int>(h) < layout.hosts_per_rack) {
+          rule.covered_host_idx.push_back(static_cast<int>(h));
+        }
+      }
+      plan.packets.push_back(std::move(rule));
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+std::size_t PeelPlan::redundant_rack_copies() const {
+  std::size_t n = 0;
+  for (const auto& p : packets) n += p.redundant_tors.size();
+  return n;
+}
+
+PeelPlan build_peel_plan(const FatTree& ft, NodeId source,
+                         std::span<const NodeId> destinations,
+                         PeelCoverOptions cover) {
+  Layout layout;
+  layout.topo = &ft.topo;
+  layout.pod_count = ft.pods();
+  layout.tors_per_pod = ft.tors_per_pod();
+  layout.hosts_per_rack = ft.hosts_per_tor();
+  layout.tor_at = [&ft](int pod, int idx) { return ft.tor_at(pod, idx); };
+  return build_generic(layout, source, destinations, cover);
+}
+
+PeelPlan build_peel_plan(const LeafSpine& ls, NodeId source,
+                         std::span<const NodeId> destinations,
+                         PeelCoverOptions cover) {
+  Layout layout;
+  layout.topo = &ls.topo;
+  layout.pod_count = 1;
+  layout.tors_per_pod = static_cast<int>(ls.leaves.size());
+  layout.hosts_per_rack = ls.config.hosts_per_leaf;
+  layout.tor_at = [&ls](int pod, int idx) {
+    (void)pod;
+    return idx < static_cast<int>(ls.leaves.size())
+               ? ls.leaves[static_cast<std::size_t>(idx)]
+               : kInvalidNode;
+  };
+  return build_generic(layout, source, destinations, cover);
+}
+
+}  // namespace peel

@@ -1,0 +1,89 @@
+#include "src/prefix/prefix.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace peel {
+
+std::string Prefix::to_string(int m) const {
+  std::string out;
+  for (int b = length - 1; b >= 0; --b) {
+    out += ((value >> b) & 1u) ? '1' : '0';
+  }
+  out.append(static_cast<std::size_t>(m - length), '*');
+  return out;
+}
+
+int id_bits(int count) {
+  if (count < 1) throw std::invalid_argument("id_bits: count must be >= 1");
+  int bits = 0;
+  while ((1 << bits) < count) ++bits;
+  return bits < 1 ? 1 : bits;
+}
+
+int tuple_header_bits(int m) {
+  int len_bits = 0;
+  while ((1 << len_bits) < m + 1) ++len_bits;
+  return m + len_bits;
+}
+
+int fat_tree_header_bits(int k) {
+  if (k < 4 || k % 2 != 0) throw std::invalid_argument("fat-tree k must be even, >= 4");
+  return tuple_header_bits(id_bits(k / 2));
+}
+
+std::size_t rule_count(int m) {
+  return (std::size_t{1} << (m + 1)) - 1;
+}
+
+double naive_multicast_entries(int k) {
+  return std::pow(2.0, k / 2);
+}
+
+std::uint32_t encode_tuple(const Prefix& p, int m) {
+  if (p.length < 0 || p.length > m || (p.length < 32 && p.value >= (1u << p.length))) {
+    throw std::out_of_range("encode_tuple: malformed prefix");
+  }
+  // Value occupies the top m bits (left-aligned inside the id field), length
+  // the low bits — mirrors how a switch parser would slice the header.
+  const auto value_field = static_cast<std::uint32_t>(p.value)
+                           << (m - p.length);
+  return (value_field << 8) | static_cast<std::uint32_t>(p.length);
+}
+
+Prefix decode_tuple(std::uint32_t wire, int m) {
+  const int length = static_cast<int>(wire & 0xffu);
+  if (length < 0 || length > m) throw std::out_of_range("decode_tuple: bad length");
+  const std::uint32_t value_field = wire >> 8;
+  return Prefix{value_field >> (m - length), length};
+}
+
+PrefixRuleTable::PrefixRuleTable(int m, int live_ports)
+    : m_(m), live_ports_(live_ports) {
+  if (m < 0 || m > 20) throw std::invalid_argument("PrefixRuleTable: m out of range");
+  rules_.resize(rule_count(m));
+  for (int len = 0; len <= m; ++len) {
+    const std::size_t offset = (std::size_t{1} << len) - 1;
+    for (std::uint32_t value = 0; value < (std::uint32_t{1} << len); ++value) {
+      const Prefix p{value, len};
+      auto& ports = rules_[offset + value];
+      const std::uint32_t start = p.block_start(m);
+      const std::uint32_t size = p.block_size(m);
+      for (std::uint32_t id = start; id < start + size; ++id) {
+        if (static_cast<int>(id) < live_ports_) ports.push_back(static_cast<int>(id));
+      }
+    }
+  }
+}
+
+std::size_t PrefixRuleTable::size() const noexcept { return rules_.size(); }
+
+const std::vector<int>& PrefixRuleTable::match(const Prefix& p) const {
+  if (p.length < 0 || p.length > m_ || p.value >= (std::uint32_t{1} << p.length)) {
+    throw std::out_of_range("PrefixRuleTable::match: malformed prefix");
+  }
+  const std::size_t offset = (std::size_t{1} << p.length) - 1;
+  return rules_[offset + p.value];
+}
+
+}  // namespace peel

@@ -1,0 +1,87 @@
+#include "src/routing/router.h"
+
+#include <deque>
+
+namespace peel {
+
+std::uint64_t ecmp_hash(std::uint64_t a, std::uint64_t b, std::uint64_t salt) noexcept {
+  std::uint64_t x = a * 0x9e3779b97f4a7c15ULL + b + (salt << 1);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+namespace {
+
+std::vector<std::int32_t> bfs_field(const Topology& topo, NodeId origin,
+                                    bool follow_out_links) {
+  std::vector<std::int32_t> dist(topo.node_count(), Router::kUnreachable);
+  std::deque<NodeId> queue{origin};
+  dist[static_cast<std::size_t>(origin)] = 0;
+  while (!queue.empty()) {
+    const NodeId cur = queue.front();
+    queue.pop_front();
+    const auto links = follow_out_links ? topo.out_links(cur) : topo.in_links(cur);
+    for (LinkId l : links) {
+      const Link& lk = topo.link(l);
+      if (lk.failed) continue;
+      const NodeId next = follow_out_links ? lk.dst : lk.src;
+      auto& d = dist[static_cast<std::size_t>(next)];
+      if (d == Router::kUnreachable) {
+        d = dist[static_cast<std::size_t>(cur)] + 1;
+        queue.push_back(next);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+const std::vector<std::int32_t>& Router::distances_to(NodeId dst) {
+  auto it = dist_cache_.find(dst);
+  if (it == dist_cache_.end()) {
+    // Distances *to* dst follow links backwards.
+    it = dist_cache_.emplace(dst, bfs_field(*topo_, dst, /*follow_out_links=*/false))
+             .first;
+  }
+  return it->second;
+}
+
+std::vector<std::int32_t> Router::distances_from(NodeId src) const {
+  return bfs_field(*topo_, src, /*follow_out_links=*/true);
+}
+
+Route Router::path(NodeId src, NodeId dst, std::uint64_t flow_hash) {
+  Route route;
+  if (src == dst) {
+    route.nodes.push_back(src);
+    return route;
+  }
+  const auto& dist = distances_to(dst);
+  if (dist[static_cast<std::size_t>(src)] == kUnreachable) return route;
+
+  route.nodes.push_back(src);
+  NodeId cur = src;
+  std::uint64_t hop = 0;
+  while (cur != dst) {
+    // Collect all live links that make progress toward dst.
+    std::vector<LinkId> candidates;
+    const std::int32_t here = dist[static_cast<std::size_t>(cur)];
+    for (LinkId l : topo_->out_links(cur)) {
+      const Link& lk = topo_->link(l);
+      if (lk.failed) continue;
+      if (dist[static_cast<std::size_t>(lk.dst)] == here - 1) candidates.push_back(l);
+    }
+    const auto pick = static_cast<std::size_t>(
+        ecmp_hash(flow_hash, hop) % candidates.size());
+    const LinkId chosen = candidates[pick];
+    route.links.push_back(chosen);
+    cur = topo_->link(chosen).dst;
+    route.nodes.push_back(cur);
+    ++hop;
+  }
+  return route;
+}
+
+}  // namespace peel

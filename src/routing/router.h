@@ -1,0 +1,56 @@
+// Shortest-path routing with ECMP over live links.
+//
+// Clos fabrics are routed up–down; on a unit-cost graph that is exactly
+// shortest-path routing, so the Router computes BFS distance fields and walks
+// them greedily.  Among equal-cost next hops it picks one by hashing the flow
+// id with the hop index — the same deterministic spreading ECMP provides in
+// real fabrics.  Distance fields are cached per destination and invalidated
+// when the failure set changes.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/topology/topology.h"
+
+namespace peel {
+
+/// A concrete unicast route: links[i] goes nodes[i] -> nodes[i+1].
+struct Route {
+  std::vector<NodeId> nodes;
+  std::vector<LinkId> links;
+
+  [[nodiscard]] bool empty() const noexcept { return links.empty(); }
+  [[nodiscard]] std::size_t hops() const noexcept { return links.size(); }
+};
+
+/// Mixes flow identifiers into an ECMP hash.
+[[nodiscard]] std::uint64_t ecmp_hash(std::uint64_t a, std::uint64_t b,
+                                      std::uint64_t salt = 0) noexcept;
+
+class Router {
+ public:
+  explicit Router(const Topology& topo) : topo_(&topo) {}
+
+  /// Hop distances from every node to `dst` over live links; kUnreachable for
+  /// disconnected nodes. Cached until invalidate().
+  [[nodiscard]] const std::vector<std::int32_t>& distances_to(NodeId dst);
+
+  /// Hop distances from `src` to every node (used for layer peeling).
+  [[nodiscard]] std::vector<std::int32_t> distances_from(NodeId src) const;
+
+  /// ECMP shortest path src -> dst; empty Route if unreachable.
+  [[nodiscard]] Route path(NodeId src, NodeId dst, std::uint64_t flow_hash);
+
+  /// Drops all cached distance fields (call after failing/restoring links).
+  void invalidate() { dist_cache_.clear(); }
+
+  static constexpr std::int32_t kUnreachable = -1;
+
+ private:
+  const Topology* topo_;
+  std::unordered_map<NodeId, std::vector<std::int32_t>> dist_cache_;
+};
+
+}  // namespace peel

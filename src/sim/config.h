@@ -1,0 +1,72 @@
+// Simulation parameters. Defaults follow the paper's §4 "Congestion control"
+// setup: 12 MB switch buffers, ECN marking between 5 kB and 200 kB with 1%
+// maximum probability, PFC Stop at 11% free buffer with a 5-MTU hysteresis,
+// and DCQCN-style rate control with PEEL's 50 µs sender-side guard timer.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/units.h"
+
+namespace peel {
+
+struct DcqcnParams {
+  /// Alpha EWMA gain. The canonical 1/256 assumes per-MTU CNPs; our
+  /// serialization unit is a (much larger) segment, so the gain is scaled up
+  /// to keep the per-byte reaction strength comparable.
+  double g = 1.0 / 16.0;
+  SimTime alpha_timer = 55 * kMicrosecond;    ///< alpha decay period
+  SimTime increase_timer = 55 * kMicrosecond; ///< rate recovery period
+  int fast_recovery_stages = 5;               ///< hyper-increase after F stages
+  double additive_increase_fraction = 0.005;  ///< Rai as a fraction of line rate
+  double min_rate_fraction = 0.01;            ///< rate floor
+};
+
+/// How a stream's source reacts to congestion notifications (§4).
+enum class CnpMode : std::uint8_t {
+  /// Classic DCQCN: each receiver rate-limits its own CNPs to one per 50 µs;
+  /// the sender reacts to every CNP it gets. Fine for unicast, but a
+  /// multicast sender hears every receiver's timer — CNPs multiply.
+  ReceiverTimer,
+  /// PEEL's replacement: receivers signal freely, the sender reacts at most
+  /// once per guard interval.
+  SenderGuard,
+  /// Ablation: no coalescing anywhere; sender reacts to every CNP.
+  Unthrottled,
+};
+
+struct SimConfig {
+  /// Serialization/queueing granularity. Smaller = higher fidelity, more
+  /// events; 64 KiB keeps ECN behaviour meaningful against the 5–200 kB
+  /// marking band.
+  Bytes segment_bytes = 64 * kKiB;
+
+  /// Shared buffer per switch (paper: 12 MB).
+  Bytes switch_buffer_bytes = 12 * kMiB;
+
+  // ECN / RED marking at egress enqueue (paper: 5 kB .. 200 kB, 1%).
+  Bytes ecn_kmin = 5 * 1000;
+  Bytes ecn_kmax = 200 * 1000;
+  double ecn_pmax = 0.01;
+
+  // PFC: pause upstream when free shared buffer < 11%, resume with a 5-MTU
+  // hysteresis (MTU taken as 4096 B RoCE).
+  double pfc_pause_free_fraction = 0.11;
+  Bytes pfc_hysteresis = 5 * 4096;
+
+  /// One-way latency of a CNP control message back to the sender.
+  SimTime cnp_delay = 5 * kMicrosecond;
+  /// Receiver-side minimum CNP spacing (CnpMode::ReceiverTimer).
+  SimTime receiver_cnp_interval = 50 * kMicrosecond;
+  /// PEEL's sender-side guard timer (CnpMode::SenderGuard).
+  SimTime sender_guard_interval = 50 * kMicrosecond;
+
+  DcqcnParams dcqcn;
+
+  /// Disables rate control entirely (links still serialize FIFO).
+  bool congestion_control = true;
+
+  std::uint64_t seed = 1;
+};
+
+}  // namespace peel

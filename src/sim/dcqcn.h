@@ -1,0 +1,57 @@
+// DCQCN-lite per-stream rate control (Zhu et al., SIGCOMM'15 shape).
+//
+// The sender keeps a current rate Rc and target rate Rt.  A congestion
+// reaction sets Rt := Rc, cuts Rc by alpha/2, and bumps alpha; between
+// reactions alpha decays and Rc recovers toward Rt (fast recovery), then Rt
+// additively increases (active increase).  All timer evolution is applied
+// lazily at query time — the simulator never schedules per-flow timer events.
+//
+// Multicast twist (§4 of the paper): one ECN mark fans out into many CNPs.
+// CnpMode selects whether CNPs are limited at each receiver (classic DCQCN),
+// coalesced by a sender-side guard timer (PEEL), or not at all (ablation).
+#pragma once
+
+#include "src/sim/config.h"
+
+namespace peel {
+
+class Dcqcn {
+ public:
+  Dcqcn() = default;
+  Dcqcn(const DcqcnParams& params, double line_rate_bytes_per_ns, CnpMode mode,
+        SimTime guard_interval);
+
+  /// Handles a CNP arriving at the sender; returns true if it caused a rate
+  /// reaction (false when the guard timer swallowed it).
+  bool on_cnp(SimTime now);
+
+  /// Current sending rate in bytes/ns after lazily applying elapsed recovery.
+  [[nodiscard]] double rate(SimTime now);
+
+  [[nodiscard]] double line_rate() const noexcept { return line_rate_; }
+  [[nodiscard]] std::uint64_t reactions() const noexcept { return reactions_; }
+  [[nodiscard]] std::uint64_t cnps_seen() const noexcept { return cnps_seen_; }
+
+ private:
+  void advance(SimTime now);
+
+  DcqcnParams p_{};
+  double line_rate_ = 1.0;  // bytes/ns
+  CnpMode mode_ = CnpMode::ReceiverTimer;
+  SimTime guard_ = 50 * kMicrosecond;
+
+  double rc_ = 1.0;
+  double rt_ = 1.0;
+  double alpha_ = 1.0;
+  int stage_ = 0;
+  SimTime clock_ = 0;           // last time advance() ran
+  SimTime alpha_credit_ = 0;    // time accumulated toward the next alpha decay
+  SimTime increase_credit_ = 0; // time accumulated toward the next recovery step
+  SimTime last_reaction_ = kMinReaction;
+  std::uint64_t reactions_ = 0;
+  std::uint64_t cnps_seen_ = 0;
+
+  static constexpr SimTime kMinReaction = -(1LL << 62);
+};
+
+}  // namespace peel

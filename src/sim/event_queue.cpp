@@ -1,0 +1,38 @@
+#include "src/sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace peel {
+
+void EventQueue::at(SimTime t, Action fn) {
+  if (t < now_) {
+    throw std::logic_error("EventQueue: scheduling into the past");
+  }
+  heap_.push(Entry{t, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; the action is moved out via const_cast,
+  // which is safe because the entry is popped before the action runs.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  now_ = top.t;
+  Action fn = std::move(top.fn);
+  heap_.pop();
+  ++processed_;
+  fn();
+  return true;
+}
+
+void EventQueue::run() {
+  while (step()) {
+  }
+}
+
+void EventQueue::run_until(SimTime t) {
+  while (!heap_.empty() && heap_.top().t <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace peel

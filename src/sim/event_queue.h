@@ -1,0 +1,59 @@
+// Discrete-event engine: a time-ordered queue of callbacks.
+//
+// Events at equal timestamps run in scheduling order (a monotonically
+// increasing sequence number breaks ties), which makes every simulation run
+// deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace peel {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `t` (must be >= now()).
+  void at(SimTime t, Action fn);
+
+  /// Schedules `fn` `delay` nanoseconds from now.
+  void after(SimTime delay, Action fn) { at(now_ + delay, std::move(fn)); }
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+
+  /// Runs the earliest event; returns false if the queue was empty.
+  bool step();
+
+  /// Runs events until the queue drains.
+  void run();
+
+  /// Runs events with timestamps <= `t`, then advances the clock to `t`.
+  void run_until(SimTime t);
+
+ private:
+  struct Entry {
+    SimTime t;
+    std::uint64_t seq;
+    Action fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace peel

@@ -1,0 +1,330 @@
+#include "src/sim/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace peel {
+
+Network::Network(const Topology& topo, const SimConfig& config, EventQueue& queue)
+    : topo_(&topo),
+      config_(config),
+      queue_(&queue),
+      rng_(config.seed ^ 0x5eedf00dULL),
+      links_(topo.link_count()),
+      nodes_(topo.node_count()) {
+  pause_threshold_ = static_cast<Bytes>(
+      static_cast<double>(config_.switch_buffer_bytes) *
+      (1.0 - config_.pfc_pause_free_fraction));
+}
+
+double Network::source_line_rate(const StreamSpec& spec) const {
+  // The rate limiter physically sits at the NIC: walk through any leading
+  // NVLink hop(s) and pace against the first fabric-facing link.  Pacing
+  // against NVLink itself (900 B/ns) would let a GPU-sourced stream dump the
+  // whole message into local buffers before congestion control can act.
+  auto it = spec.forward.find(spec.source);
+  if (it == spec.forward.end() || it->second.empty()) {
+    throw std::invalid_argument("stream source has no out-links");
+  }
+  NodeId cursor = spec.source;
+  for (int depth = 0; depth < 4; ++depth) {
+    const auto hop = spec.forward.find(cursor);
+    if (hop == spec.forward.end() || hop->second.empty()) break;
+    double rate = topo_->link(hop->second.front()).rate.bytes_per_ns();
+    bool all_nvlink = true;
+    for (LinkId l : hop->second) {
+      rate = std::min(rate, topo_->link(l).rate.bytes_per_ns());
+      all_nvlink &= topo_->link(l).kind == LinkKind::NvLink;
+    }
+    if (!all_nvlink || hop->second.size() > 1) return rate;
+    cursor = topo_->link(hop->second.front()).dst;
+  }
+  // Pure-NVLink stream (intra-host delivery): no NIC on the path.
+  double rate = topo_->link(it->second.front()).rate.bytes_per_ns();
+  for (LinkId l : it->second) {
+    rate = std::min(rate, topo_->link(l).rate.bytes_per_ns());
+  }
+  return rate;
+}
+
+Bytes Network::max_queue_peak() const {
+  Bytes peak = 0;
+  for (const LinkState& l : links_) peak = std::max(peak, l.queue_peak);
+  return peak;
+}
+
+StreamId Network::open_stream(StreamSpec spec) {
+  const auto id = static_cast<StreamId>(streams_.size());
+  StreamState st;
+  st.receiver_set.insert(spec.receivers.begin(), spec.receivers.end());
+  const double line = source_line_rate(spec);
+  st.cc = Dcqcn(config_.dcqcn, line, spec.cnp_mode, config_.sender_guard_interval);
+  st.spec = std::move(spec);
+  streams_.push_back(std::move(st));
+  return id;
+}
+
+void Network::send_chunk(StreamId stream, int chunk_index, Bytes bytes) {
+  auto& st = streams_[static_cast<std::size_t>(stream)];
+  if (st.closed) throw std::logic_error("send_chunk on closed stream");
+  if (bytes <= 0) throw std::invalid_argument("chunk bytes must be positive");
+  st.chunk_bytes[chunk_index] = bytes;
+  st.pending.push_back(PendingChunk{chunk_index, bytes, 0});
+  if (!st.pump_scheduled) {
+    st.pump_scheduled = true;
+    queue_->after(0, [this, stream] { pump(stream); });
+  }
+}
+
+std::vector<int> Network::cancel_unsent_chunks(StreamId stream) {
+  auto& st = streams_[static_cast<std::size_t>(stream)];
+  std::vector<int> cancelled;
+  // Keep the chunk currently mid-injection (if any); drop the rest.
+  std::size_t keep = st.pending_head;
+  if (keep < st.pending.size() && st.pending[keep].injected > 0) ++keep;
+  for (std::size_t i = keep; i < st.pending.size(); ++i) {
+    cancelled.push_back(st.pending[i].chunk);
+    st.chunk_bytes.erase(st.pending[i].chunk);
+  }
+  st.pending.resize(keep);
+  return cancelled;
+}
+
+void Network::close_stream(StreamId stream) {
+  auto& st = streams_[static_cast<std::size_t>(stream)];
+  st.closed = true;
+  st.spec.forward.clear();
+  st.spec.receivers.clear();
+  st.receiver_set.clear();
+  st.progress.clear();
+  st.last_cnp.clear();
+  st.chunk_bytes.clear();
+  st.pending.clear();
+  st.pending_head = 0;
+}
+
+void Network::on_duplex_failed(LinkId l) {
+  for (LinkId dir : {l, topo_->reverse_of(l)}) {
+    auto& L = links_[static_cast<std::size_t>(dir)];
+    // The segment mid-serialization (if any) is lost on the wire; its
+    // arrival event will see the failed link and drop it. Everything still
+    // queued behind it is lost here.
+    std::size_t first_dropped = L.head + (L.busy ? 1 : 0);
+    for (std::size_t i = first_dropped; i < L.q.size(); ++i) {
+      const Segment& seg = L.q[i];
+      L.queued -= seg.bytes;
+      release_buffer(topo_->link(dir).src, seg.ingress, seg.bytes);
+      ++lost_segments_;
+    }
+    L.q.resize(first_dropped);
+    if (!L.busy) {
+      L.q.clear();
+      L.head = 0;
+    }
+    L.blocked = false;
+    L.pfc_paused = false;
+  }
+}
+
+void Network::pump(StreamId stream) {
+  auto& st = streams_[static_cast<std::size_t>(stream)];
+  st.pump_scheduled = false;
+  if (st.closed) return;
+
+  while (st.pending_head < st.pending.size()) {
+    const SimTime now = queue_->now();
+    // Backpressure: a paused source (its own egress buffers full, e.g. under
+    // PFC from downstream) stops injecting; maybe_resume() re-arms the pump.
+    if (nodes_[static_cast<std::size_t>(st.spec.source)].buffered >
+        pause_threshold_) {
+      st.pump_blocked = true;
+      blocked_pumps_[st.spec.source].push_back(stream);
+      return;
+    }
+    if (st.pace_next > now) {
+      st.pump_scheduled = true;
+      queue_->at(st.pace_next, [this, stream] { pump(stream); });
+      return;
+    }
+    const double rate = config_.congestion_control
+                            ? st.cc.rate(now)
+                            : st.cc.line_rate();
+    auto& pc = st.pending[st.pending_head];
+    const Bytes seg_bytes =
+        std::min<Bytes>(config_.segment_bytes, pc.bytes - pc.injected);
+    const Segment seg{stream, pc.chunk, static_cast<std::int32_t>(seg_bytes),
+                      kInvalidLink, false};
+    const auto& outs = st.spec.forward.at(st.spec.source);
+    for (LinkId l : outs) enqueue_segment(l, seg);
+    pc.injected += seg_bytes;
+    if (pc.injected == pc.bytes) {
+      ++st.pending_head;
+      if (st.pending_head == st.pending.size()) {
+        st.pending.clear();
+        st.pending_head = 0;
+      }
+    }
+    const double tx_ns = static_cast<double>(seg_bytes) / rate;
+    st.pace_next =
+        std::max(st.pace_next, now) + static_cast<SimTime>(std::ceil(tx_ns));
+  }
+}
+
+void Network::enqueue_segment(LinkId l, Segment seg) {
+  if (topo_->link(l).failed) {
+    ++lost_segments_;  // forwarding entry points at a dead port
+    return;
+  }
+  auto& L = links_[static_cast<std::size_t>(l)];
+  auto& N = nodes_[static_cast<std::size_t>(topo_->link(l).src)];
+
+  // RED/ECN marking against the pre-enqueue egress depth.
+  if (!seg.marked && config_.congestion_control) {
+    if (L.queued >= config_.ecn_kmax) {
+      seg.marked = true;
+    } else if (L.queued > config_.ecn_kmin) {
+      const double p = config_.ecn_pmax *
+                       static_cast<double>(L.queued - config_.ecn_kmin) /
+                       static_cast<double>(config_.ecn_kmax - config_.ecn_kmin);
+      if (rng_.next_double() < p) seg.marked = true;
+    }
+    if (seg.marked) ++marked_segments_;
+  }
+
+  L.q.push_back(seg);
+  L.queued += seg.bytes;
+  L.queue_peak = std::max(L.queue_peak, L.queued);
+  N.buffered += seg.bytes;
+  if (seg.ingress != kInvalidLink) {
+    N.per_ingress[seg.ingress] += seg.bytes;
+    // PFC: when the shared buffer crosses the stop threshold, pause the
+    // ingress port that keeps contributing.
+    auto& ingress_link = links_[static_cast<std::size_t>(seg.ingress)];
+    if (N.buffered > pause_threshold_ && !ingress_link.pfc_paused) {
+      ingress_link.pfc_paused = true;
+      ++pfc_pauses_;
+    }
+  }
+  if (!L.busy) try_start(l);
+}
+
+void Network::try_start(LinkId l) {
+  auto& L = links_[static_cast<std::size_t>(l)];
+  if (L.busy || L.head >= L.q.size()) return;
+  const Link& lk = topo_->link(l);
+  if (L.pfc_paused) {
+    L.blocked = true;  // PFC: downstream asked us to hold off
+    return;
+  }
+  L.blocked = false;
+  L.busy = true;
+  const Segment& seg = L.q[L.head];
+  const SimTime end = queue_->now() + lk.rate.tx_time(seg.bytes);
+  queue_->at(end, [this, l] { finish_tx(l); });
+}
+
+void Network::finish_tx(LinkId l) {
+  auto& L = links_[static_cast<std::size_t>(l)];
+  const Link& lk = topo_->link(l);
+  const Segment seg = L.q[L.head];
+  ++L.head;
+  if (L.head == L.q.size() || L.head > 1024) {
+    L.q.erase(L.q.begin(), L.q.begin() + static_cast<std::ptrdiff_t>(L.head));
+    L.head = 0;
+  }
+  L.queued -= seg.bytes;
+  L.serialized += seg.bytes;
+  total_bytes_ += seg.bytes;
+  L.busy = false;
+
+  release_buffer(lk.src, seg.ingress, seg.bytes);
+
+  queue_->at(queue_->now() + lk.propagation, [this, l, seg] { arrive(l, seg); });
+  try_start(l);
+}
+
+void Network::unpause(LinkId l) {
+  auto& L = links_[static_cast<std::size_t>(l)];
+  if (!L.pfc_paused) return;
+  L.pfc_paused = false;
+  if (L.blocked) try_start(l);
+}
+
+void Network::release_buffer(NodeId n, LinkId ingress, Bytes bytes) {
+  auto& N = nodes_[static_cast<std::size_t>(n)];
+  N.buffered -= bytes;
+  if (ingress != kInvalidLink) {
+    const auto it = N.per_ingress.find(ingress);
+    if (it == N.per_ingress.end()) {
+      throw std::logic_error("release_buffer: untracked ingress");
+    }
+    it->second -= bytes;
+    if (it->second <= 0) {
+      // This ingress no longer holds buffer here; resuming it regardless of
+      // the total keeps independent directions from deadlocking each other.
+      N.per_ingress.erase(it);
+      unpause(ingress);
+    }
+  }
+  const bool below_resume =
+      N.buffered <= pause_threshold_ - config_.pfc_hysteresis;
+  if (!below_resume) return;
+  for (LinkId in : topo_->in_links(n)) unpause(in);
+  // Re-arm source pumps blocked on this node's buffer.
+  if (auto it = blocked_pumps_.find(n); it != blocked_pumps_.end()) {
+    std::vector<StreamId> waiting = std::move(it->second);
+    blocked_pumps_.erase(it);
+    for (StreamId s : waiting) {
+      auto& st = streams_[static_cast<std::size_t>(s)];
+      st.pump_blocked = false;
+      if (!st.pump_scheduled && !st.closed) {
+        st.pump_scheduled = true;
+        queue_->after(0, [this, s] { pump(s); });
+      }
+    }
+  }
+}
+
+void Network::arrive(LinkId l, Segment seg) {
+  if (topo_->link(l).failed) {
+    ++lost_segments_;  // was on the wire when the link died
+    return;
+  }
+  const NodeId n = topo_->link(l).dst;
+  auto& st = streams_[static_cast<std::size_t>(seg.stream)];
+  if (st.closed) return;
+
+  seg.ingress = l;  // buffer occupancy downstream is charged to this port
+  if (auto it = st.spec.forward.find(n); it != st.spec.forward.end()) {
+    for (LinkId out : it->second) enqueue_segment(out, seg);
+  }
+
+  if (st.receiver_set.contains(n)) {
+    Bytes& got = st.progress[n][seg.chunk];
+    got += seg.bytes;
+    if (seg.marked && config_.congestion_control) maybe_cnp(seg.stream, n);
+    const auto want = st.chunk_bytes.find(seg.chunk);
+    if (want != st.chunk_bytes.end() && got >= want->second) {
+      if (on_delivery_) {
+        on_delivery_(DeliveryEvent{seg.stream, st.spec.tag, n, seg.chunk});
+      }
+    }
+  }
+}
+
+void Network::maybe_cnp(StreamId s, NodeId receiver) {
+  auto& st = streams_[static_cast<std::size_t>(s)];
+  const SimTime now = queue_->now();
+  if (st.spec.cnp_mode == CnpMode::ReceiverTimer) {
+    auto [it, fresh] = st.last_cnp.try_emplace(receiver, kMinCnp);
+    if (!fresh && now - it->second < config_.receiver_cnp_interval) return;
+    it->second = now;
+  }
+  queue_->after(config_.cnp_delay, [this, s] {
+    auto& stream = streams_[static_cast<std::size_t>(s)];
+    if (!stream.closed) stream.cc.on_cnp(queue_->now());
+  });
+}
+
+}  // namespace peel

@@ -1,0 +1,186 @@
+// Packet-level network data plane.
+//
+// The Network turns a Topology into a running fabric: every link is a FIFO
+// serializer with an egress queue, every switch has a shared-buffer occupancy
+// driving ECN marking and PFC pause/resume, and every transfer is a Stream —
+// a source plus a forwarding map (a multicast tree; unicast is the
+// degenerate linear tree).  Switches replicate segments onto all of a
+// stream's out-links, which is exactly the replication PEEL's prefix rules,
+// Orca's controller rules, or classic IP multicast entries would perform.
+//
+// Collectives drive the network by opening streams and feeding them chunks;
+// the network calls back on every completed (receiver, chunk) delivery so
+// schemes like Ring can pipeline (forward a chunk as soon as it landed).
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/config.h"
+#include "src/sim/dcqcn.h"
+#include "src/sim/event_queue.h"
+#include "src/topology/topology.h"
+
+namespace peel {
+
+using StreamId = std::int32_t;
+
+/// A transfer program: where data enters, how nodes forward it, who consumes.
+struct StreamSpec {
+  NodeId source = kInvalidNode;
+  /// node -> out-links to replicate onto (oriented away from the source).
+  std::unordered_map<NodeId, std::vector<LinkId>> forward;
+  /// Endpoints whose deliveries count (over-covered hosts are *not* listed:
+  /// they receive bytes but discard silently).
+  std::vector<NodeId> receivers;
+  CnpMode cnp_mode = CnpMode::ReceiverTimer;
+  /// Collective id (or any caller cookie) echoed in delivery events.
+  std::uint64_t tag = 0;
+};
+
+struct DeliveryEvent {
+  StreamId stream = -1;
+  std::uint64_t tag = 0;
+  NodeId receiver = kInvalidNode;
+  int chunk = -1;
+};
+
+class Network {
+ public:
+  Network(const Topology& topo, const SimConfig& config, EventQueue& queue);
+
+  /// Invoked whenever a member receiver finishes a chunk.
+  void set_delivery_handler(std::function<void(const DeliveryEvent&)> handler) {
+    on_delivery_ = std::move(handler);
+  }
+
+  StreamId open_stream(StreamSpec spec);
+
+  /// Queues `bytes` of chunk `chunk_index` for paced injection at the source.
+  void send_chunk(StreamId stream, int chunk_index, Bytes bytes);
+
+  /// Removes chunks whose injection has not begun; returns their indices
+  /// (used by PEEL+programmable cores to migrate traffic mid-collective).
+  std::vector<int> cancel_unsent_chunks(StreamId stream);
+
+  /// Frees a finished stream's bookkeeping (forwarding map, progress).
+  void close_stream(StreamId stream);
+
+  /// Reacts to a mid-run failure of the duplex pair containing `l` (mark the
+  /// Topology failed first): queued segments on both directions are lost, as
+  /// are segments still in flight on the dead wire. Streams routed through
+  /// the link silently stop delivering past it — recovery is the collective
+  /// layer's job (CollectiveRunner::recover_broadcast).
+  void on_duplex_failed(LinkId l);
+
+  /// Segments dropped by mid-run failures.
+  [[nodiscard]] std::uint64_t segments_lost() const noexcept { return lost_segments_; }
+
+  // --- telemetry ----------------------------------------------------------
+  [[nodiscard]] Bytes total_bytes_serialized() const noexcept { return total_bytes_; }
+  [[nodiscard]] Bytes link_bytes(LinkId l) const {
+    return links_[static_cast<std::size_t>(l)].serialized;
+  }
+  [[nodiscard]] std::uint64_t segments_marked() const noexcept { return marked_segments_; }
+  [[nodiscard]] std::uint64_t pfc_pauses() const noexcept { return pfc_pauses_; }
+  /// High-water mark of one link's egress queue.
+  [[nodiscard]] Bytes link_queue_peak(LinkId l) const {
+    return links_[static_cast<std::size_t>(l)].queue_peak;
+  }
+  /// Deepest egress queue observed anywhere in the fabric.
+  [[nodiscard]] Bytes max_queue_peak() const;
+  [[nodiscard]] const Dcqcn& stream_cc(StreamId s) const {
+    return streams_[static_cast<std::size_t>(s)].cc;
+  }
+  [[nodiscard]] EventQueue& queue() noexcept { return *queue_; }
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Segment {
+    StreamId stream;
+    std::int32_t chunk;
+    std::int32_t bytes;
+    LinkId ingress;  // link that delivered it to the current node (or invalid)
+    bool marked;
+  };
+
+  struct LinkState {
+    std::vector<Segment> q;  // FIFO via head index
+    std::size_t head = 0;
+    Bytes queued = 0;
+    bool busy = false;
+    bool blocked = false;     // wants to serialize but is PFC-paused
+    bool pfc_paused = false;  // downstream asked this link's sender to stop
+    Bytes serialized = 0;
+    Bytes queue_peak = 0;     // high-water mark of the egress queue
+  };
+
+  struct NodeState {
+    Bytes buffered = 0;
+    /// Buffered bytes attributed to the ingress link that delivered them —
+    /// PFC pauses per ingress port, which is what keeps bidirectional
+    /// traffic through a node from deadlocking.
+    std::unordered_map<LinkId, Bytes> per_ingress;
+  };
+
+  struct PendingChunk {
+    int chunk;
+    Bytes bytes;
+    Bytes injected = 0;
+  };
+
+  struct StreamState {
+    StreamSpec spec;
+    std::unordered_set<NodeId> receiver_set;
+    Dcqcn cc;
+    std::vector<PendingChunk> pending;  // FIFO via pending_head
+    std::size_t pending_head = 0;
+    bool pump_scheduled = false;
+    bool pump_blocked = false;  // waiting for the source's buffer to drain
+    bool closed = false;
+    SimTime pace_next = 0;
+    std::unordered_map<int, Bytes> chunk_bytes;
+    /// receiver -> chunk -> bytes received so far.
+    std::unordered_map<NodeId, std::unordered_map<int, Bytes>> progress;
+    /// receiver -> last CNP emission (CnpMode::ReceiverTimer).
+    std::unordered_map<NodeId, SimTime> last_cnp;
+  };
+
+  void pump(StreamId s);
+  void enqueue_segment(LinkId l, Segment seg);
+  void try_start(LinkId l);
+  void finish_tx(LinkId l);
+  void arrive(LinkId l, Segment seg);
+  /// Buffer released at node `n` for a segment that arrived over `ingress`;
+  /// lifts PFC pauses and re-arms blocked source pumps as thresholds allow.
+  void release_buffer(NodeId n, LinkId ingress, Bytes bytes);
+  void unpause(LinkId l);
+  void maybe_cnp(StreamId s, NodeId receiver);
+  [[nodiscard]] double source_line_rate(const StreamSpec& spec) const;
+
+  const Topology* topo_;
+  SimConfig config_;
+  EventQueue* queue_;
+  Rng rng_;
+
+  std::vector<LinkState> links_;
+  std::vector<NodeState> nodes_;
+  std::vector<StreamState> streams_;
+  /// Streams whose pacing is blocked on a full source buffer, per node.
+  std::unordered_map<NodeId, std::vector<StreamId>> blocked_pumps_;
+
+  std::function<void(const DeliveryEvent&)> on_delivery_;
+
+  Bytes total_bytes_ = 0;
+  std::uint64_t marked_segments_ = 0;
+  std::uint64_t pfc_pauses_ = 0;
+  std::uint64_t lost_segments_ = 0;
+  Bytes pause_threshold_ = 0;
+
+  static constexpr SimTime kMinCnp = -(1LL << 62);
+};
+
+}  // namespace peel

@@ -1,0 +1,32 @@
+// Exact minimum Steiner tree via the Dreyfus–Wagner dynamic program.
+//
+// Exponential in the terminal count (O(3^t·n + 2^t·n^2)) and therefore only
+// used to validate the layer-peeling heuristic's quality on small instances
+// (tests and the tree-quality bench), mirroring the paper's "within 1.4% of
+// the Steiner optimum" claim.  Edges are the live duplex pairs, unit cost.
+#pragma once
+
+#include <span>
+
+#include "src/steiner/multicast_tree.h"
+#include "src/topology/topology.h"
+
+namespace peel {
+
+/// Minimum number of edges of any tree spanning {source} ∪ destinations over
+/// live links (treated as undirected, unit cost).  Throws
+/// std::invalid_argument if there are more than `max_terminals` distinct
+/// terminals, and std::runtime_error if a terminal is unreachable.
+[[nodiscard]] int exact_steiner_cost(const Topology& topo, NodeId source,
+                                     std::span<const NodeId> destinations,
+                                     int max_terminals = 14);
+
+/// Reconstructs an optimal tree (link_count() == exact_steiner_cost), rooted
+/// at `source` with links oriented in the data-flow direction.  Same
+/// complexity and limits as the cost query; use layer_peel_tree in anything
+/// latency-sensitive.
+[[nodiscard]] MulticastTree exact_steiner_tree(const Topology& topo, NodeId source,
+                                               std::span<const NodeId> destinations,
+                                               int max_terminals = 14);
+
+}  // namespace peel

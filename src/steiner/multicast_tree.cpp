@@ -1,0 +1,93 @@
+#include "src/steiner/multicast_tree.h"
+
+#include <deque>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace peel {
+
+void MulticastTree::add_link(const Topology& topo, LinkId l) {
+  if (l == kInvalidLink) throw std::logic_error("MulticastTree: invalid link");
+  const Link& lk = topo.link(l);
+  if (lk.failed) {
+    throw std::logic_error("MulticastTree: adding failed link " + topo.name(lk.src) +
+                           " -> " + topo.name(lk.dst));
+  }
+  if (!contains(lk.src)) {
+    throw std::logic_error("MulticastTree: parent not in tree: " + topo.name(lk.src));
+  }
+  if (in_link_.contains(lk.dst) || lk.dst == source_) {
+    throw std::logic_error("MulticastTree: node already attached: " + topo.name(lk.dst));
+  }
+  links_.push_back(l);
+  children_[lk.src].push_back(l);
+  in_link_.emplace(lk.dst, l);
+}
+
+std::span<const LinkId> MulticastTree::out_links_of(NodeId n) const {
+  auto it = children_.find(n);
+  if (it == children_.end()) return {};
+  return it->second;
+}
+
+LinkId MulticastTree::in_link_of(NodeId n) const {
+  auto it = in_link_.find(n);
+  return it == in_link_.end() ? kInvalidLink : it->second;
+}
+
+std::size_t MulticastTree::switch_count(const Topology& topo) const {
+  std::unordered_set<NodeId> switches;
+  for (LinkId l : links_) {
+    const Link& lk = topo.link(l);
+    if (is_switch(topo.kind(lk.src))) switches.insert(lk.src);
+    if (is_switch(topo.kind(lk.dst))) switches.insert(lk.dst);
+  }
+  return switches.size();
+}
+
+std::vector<NodeId> MulticastTree::nodes() const {
+  std::vector<NodeId> out;
+  out.push_back(source_);
+  out.reserve(in_link_.size() + 1);
+  for (const auto& [node, link] : in_link_) out.push_back(node);
+  return out;
+}
+
+MulticastTree::Validation MulticastTree::validate(const Topology& topo) const {
+  Validation v;
+  auto fail = [&](std::string msg) {
+    v.ok = false;
+    v.error = std::move(msg);
+    return v;
+  };
+  if (source_ == kInvalidNode) return fail("no source");
+
+  for (LinkId l : links_) {
+    if (topo.link(l).failed) return fail("tree uses failed link");
+  }
+  // in_link_ construction already guarantees unique in-links; check
+  // reachability (and thereby acyclicity: |links| == reachable - 1).
+  std::unordered_set<NodeId> reached{source_};
+  std::deque<NodeId> queue{source_};
+  std::size_t traversed = 0;
+  while (!queue.empty()) {
+    const NodeId cur = queue.front();
+    queue.pop_front();
+    for (LinkId l : out_links_of(cur)) {
+      ++traversed;
+      const NodeId next = topo.link(l).dst;
+      if (!reached.insert(next).second) return fail("cycle or duplicate attach");
+      queue.push_back(next);
+    }
+  }
+  if (traversed != links_.size()) return fail("unreachable links in tree");
+  if (reached.size() != links_.size() + 1) return fail("tree is not connected");
+  for (NodeId d : destinations_) {
+    if (!reached.contains(d)) {
+      return fail("destination not covered: " + topo.name(d));
+    }
+  }
+  return v;
+}
+
+}  // namespace peel

@@ -1,0 +1,72 @@
+// Multicast (Steiner) tree representation shared by all tree-construction
+// algorithms and the simulator's replicating data plane.
+//
+// Links are stored oriented in the direction data flows (away from the
+// source).  Every non-source tree node has exactly one in-link; switches
+// replicate a packet onto all of their out-links.
+#pragma once
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/topology/topology.h"
+
+namespace peel {
+
+class MulticastTree {
+ public:
+  MulticastTree() = default;
+  MulticastTree(NodeId source, std::vector<NodeId> destinations)
+      : source_(source), destinations_(std::move(destinations)) {}
+
+  /// Adds a directed tree link (data direction). The link's src must already
+  /// be in the tree (or be the source); its dst must not have an in-link yet.
+  /// Throws std::logic_error on violations, so construction bugs fail fast.
+  void add_link(const Topology& topo, LinkId l);
+
+  [[nodiscard]] NodeId source() const noexcept { return source_; }
+  [[nodiscard]] const std::vector<NodeId>& destinations() const noexcept {
+    return destinations_;
+  }
+  [[nodiscard]] const std::vector<LinkId>& links() const noexcept { return links_; }
+  [[nodiscard]] std::size_t link_count() const noexcept { return links_.size(); }
+
+  [[nodiscard]] bool contains(NodeId n) const {
+    return n == source_ || in_link_.contains(n);
+  }
+
+  /// Out-links (children) of a tree node; empty for leaves.
+  [[nodiscard]] std::span<const LinkId> out_links_of(NodeId n) const;
+
+  /// In-link of a non-source tree node, kInvalidLink for the source or
+  /// non-members.
+  [[nodiscard]] LinkId in_link_of(NodeId n) const;
+
+  /// Number of distinct switch nodes in the tree (the |T| the paper's
+  /// Lemma 2.3 bounds).
+  [[nodiscard]] std::size_t switch_count(const Topology& topo) const;
+
+  /// All nodes in the tree (source, switches, destinations).
+  [[nodiscard]] std::vector<NodeId> nodes() const;
+
+  struct Validation {
+    bool ok = true;
+    std::string error;
+  };
+
+  /// Checks the tree is loop-free, every link is live, every non-source node
+  /// has exactly one in-link whose src is in the tree, and every destination
+  /// is reachable from the source along tree links.
+  [[nodiscard]] Validation validate(const Topology& topo) const;
+
+ private:
+  NodeId source_ = kInvalidNode;
+  std::vector<NodeId> destinations_;
+  std::vector<LinkId> links_;
+  std::unordered_map<NodeId, std::vector<LinkId>> children_;
+  std::unordered_map<NodeId, LinkId> in_link_;
+};
+
+}  // namespace peel

@@ -1,0 +1,223 @@
+#include "src/steiner/symmetric.h"
+
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace peel {
+namespace {
+
+/// Groups destination endpoints by host, ToR, and pod.
+struct DestIndex {
+  // host -> destination GPUs on it (empty vector if the host itself is the
+  // destination endpoint).
+  std::map<NodeId, std::vector<NodeId>> by_host;
+  // tor -> destination hosts under it.
+  std::map<NodeId, std::vector<NodeId>> by_tor;
+  // pod -> destination tors in it.
+  std::map<std::int32_t, std::vector<NodeId>> by_pod;
+};
+
+DestIndex index_destinations(const Topology& topo, std::span<const NodeId> dests) {
+  DestIndex idx;
+  for (NodeId d : dests) {
+    NodeId host = d;
+    if (topo.kind(d) == NodeKind::Gpu) {
+      host = topo.host_of(d);
+      idx.by_host[host].push_back(d);
+    } else if (topo.kind(d) == NodeKind::Host) {
+      idx.by_host.try_emplace(host);
+    } else {
+      throw std::invalid_argument("destination must be a GPU or host: " + topo.name(d));
+    }
+  }
+  for (const auto& [host, gpus] : idx.by_host) {
+    const NodeId tor = topo.tor_of(host);
+    auto& hosts = idx.by_tor[tor];
+    hosts.push_back(host);
+  }
+  for (const auto& [tor, hosts] : idx.by_tor) {
+    idx.by_pod[topo.node(tor).pod].push_back(tor);
+  }
+  return idx;
+}
+
+LinkId live_link_or_throw(const Topology& topo, NodeId a, NodeId b) {
+  const LinkId l = topo.find_link(a, b);
+  if (l == kInvalidLink) {
+    throw std::runtime_error("symmetric tree: link unavailable (" + topo.name(a) +
+                             " -> " + topo.name(b) + "); fabric is asymmetric");
+  }
+  return l;
+}
+
+/// Resolves the source to (endpoint, host); endpoint==host when there is no
+/// GPU tier.
+std::pair<NodeId, NodeId> source_host(const Topology& topo, NodeId source) {
+  if (topo.kind(source) == NodeKind::Gpu) return {source, topo.host_of(source)};
+  if (topo.kind(source) == NodeKind::Host) return {source, source};
+  throw std::invalid_argument("source must be a GPU or host: " + topo.name(source));
+}
+
+/// Adds tor->host->gpu fan-out links for a destination host.  The source's
+/// own host is skipped entirely: it and its destination GPUs are attached
+/// from the source side before the fabric fan-out is built.
+void attach_host(const Topology& topo, MulticastTree& tree, const DestIndex& idx,
+                 NodeId tor, NodeId host, NodeId src_host) {
+  if (host == src_host) return;
+  tree.add_link(topo, live_link_or_throw(topo, tor, host));
+  auto it = idx.by_host.find(host);
+  for (NodeId gpu : it->second) {
+    tree.add_link(topo, live_link_or_throw(topo, host, gpu));
+  }
+}
+
+}  // namespace
+
+MulticastTree optimal_fat_tree_tree(const FatTree& ft, NodeId source,
+                                    std::span<const NodeId> destinations,
+                                    std::uint64_t selector) {
+  const Topology& topo = ft.topo;
+  const auto [src_endpoint, src_host] = source_host(topo, source);
+  const NodeId src_tor = topo.tor_of(src_host);
+  const std::int32_t src_pod = topo.node(src_tor).pod;
+  const int half = ft.config.k / 2;
+  const int agg_index = static_cast<int>(selector % static_cast<std::uint64_t>(half));
+  const int core_index =
+      static_cast<int>((selector / static_cast<std::uint64_t>(half)) %
+                       static_cast<std::uint64_t>(half));
+
+  DestIndex idx = index_destinations(topo, destinations);
+  MulticastTree tree(source, {destinations.begin(), destinations.end()});
+
+  const bool beyond_host =
+      idx.by_host.size() > 1 || (idx.by_host.size() == 1 && !idx.by_host.contains(src_host));
+  const bool beyond_tor =
+      idx.by_tor.size() > 1 || (idx.by_tor.size() == 1 && !idx.by_tor.contains(src_tor));
+  const bool beyond_pod =
+      idx.by_pod.size() > 1 || (idx.by_pod.size() == 1 && !idx.by_pod.contains(src_pod));
+
+  if (src_endpoint != src_host) {
+    tree.add_link(topo, live_link_or_throw(topo, src_endpoint, src_host));
+  }
+  // Destination GPUs sharing the source host.
+  if (auto it = idx.by_host.find(src_host); it != idx.by_host.end()) {
+    for (NodeId gpu : it->second) {
+      tree.add_link(topo, live_link_or_throw(topo, src_host, gpu));
+    }
+  }
+  if (!beyond_host) return tree;
+
+  tree.add_link(topo, live_link_or_throw(topo, src_host, src_tor));
+  if (auto it = idx.by_tor.find(src_tor); it != idx.by_tor.end()) {
+    for (NodeId host : it->second) {
+      attach_host(topo, tree, idx, src_tor, host, src_host);
+    }
+  }
+  if (!beyond_tor) return tree;
+
+  const NodeId src_agg = ft.agg_at(src_pod, agg_index);
+  tree.add_link(topo, live_link_or_throw(topo, src_tor, src_agg));
+
+  auto attach_pod_tors = [&](NodeId agg, std::int32_t pod) {
+    auto it = idx.by_pod.find(pod);
+    if (it == idx.by_pod.end()) return;
+    for (NodeId tor : it->second) {
+      if (tor == src_tor) continue;  // its hosts were attached on the way up
+      tree.add_link(topo, live_link_or_throw(topo, agg, tor));
+      for (NodeId host : idx.by_tor.at(tor)) {
+        attach_host(topo, tree, idx, tor, host, src_host);
+      }
+    }
+  };
+  attach_pod_tors(src_agg, src_pod);
+  if (!beyond_pod) return tree;
+
+  const NodeId core = ft.core_at(agg_index, core_index);
+  tree.add_link(topo, live_link_or_throw(topo, src_agg, core));
+  for (const auto& [pod, tors] : idx.by_pod) {
+    if (pod == src_pod) continue;
+    const NodeId agg = ft.agg_at(pod, agg_index);
+    tree.add_link(topo, live_link_or_throw(topo, core, agg));
+    attach_pod_tors(agg, pod);
+  }
+  return tree;
+}
+
+MulticastTree optimal_leaf_spine_tree(const LeafSpine& ls, NodeId source,
+                                      std::span<const NodeId> destinations,
+                                      std::uint64_t selector) {
+  const Topology& topo = ls.topo;
+  const auto [src_endpoint, src_host] = source_host(topo, source);
+  const NodeId src_leaf = topo.tor_of(src_host);
+
+  DestIndex idx = index_destinations(topo, destinations);
+  MulticastTree tree(source, {destinations.begin(), destinations.end()});
+
+  const bool beyond_host =
+      idx.by_host.size() > 1 || (idx.by_host.size() == 1 && !idx.by_host.contains(src_host));
+  const bool beyond_leaf =
+      idx.by_tor.size() > 1 || (idx.by_tor.size() == 1 && !idx.by_tor.contains(src_leaf));
+
+  if (src_endpoint != src_host) {
+    tree.add_link(topo, live_link_or_throw(topo, src_endpoint, src_host));
+  }
+  if (auto it = idx.by_host.find(src_host); it != idx.by_host.end()) {
+    for (NodeId gpu : it->second) {
+      tree.add_link(topo, live_link_or_throw(topo, src_host, gpu));
+    }
+  }
+  if (!beyond_host) return tree;
+
+  tree.add_link(topo, live_link_or_throw(topo, src_host, src_leaf));
+  if (auto it = idx.by_tor.find(src_leaf); it != idx.by_tor.end()) {
+    for (NodeId host : it->second) {
+      attach_host(topo, tree, idx, src_leaf, host, src_host);
+    }
+  }
+  if (!beyond_leaf) return tree;
+
+  const NodeId spine =
+      ls.spines[static_cast<std::size_t>(selector % ls.spines.size())];
+  tree.add_link(topo, live_link_or_throw(topo, src_leaf, spine));
+  for (const auto& [leaf, hosts] : idx.by_tor) {
+    if (leaf == src_leaf) continue;
+    tree.add_link(topo, live_link_or_throw(topo, spine, leaf));
+    for (NodeId host : hosts) {
+      attach_host(topo, tree, idx, leaf, host, src_host);
+    }
+  }
+  return tree;
+}
+
+std::size_t symmetric_optimal_link_count(const FatTree& ft, NodeId source,
+                                         std::span<const NodeId> destinations) {
+  const Topology& topo = ft.topo;
+  const auto [src_endpoint, src_host] = source_host(topo, source);
+  const NodeId src_tor = topo.tor_of(src_host);
+  const std::int32_t src_pod = topo.node(src_tor).pod;
+
+  const DestIndex idx = index_destinations(topo, destinations);
+  std::size_t dest_gpus = 0;
+  for (const auto& [host, gpus] : idx.by_host) dest_gpus += gpus.size();
+  const std::size_t dest_hosts_excl_src =
+      idx.by_host.size() - (idx.by_host.contains(src_host) ? 1 : 0);
+  const std::size_t dest_tors_excl_src =
+      idx.by_tor.size() - (idx.by_tor.contains(src_tor) ? 1 : 0);
+  const std::size_t dest_pods_excl_src =
+      idx.by_pod.size() - (idx.by_pod.contains(src_pod) ? 1 : 0);
+
+  const bool beyond_host = dest_hosts_excl_src > 0;
+  const bool beyond_tor = dest_tors_excl_src > 0;
+  const bool beyond_pod = dest_pods_excl_src > 0;
+
+  std::size_t links = dest_gpus + dest_hosts_excl_src + dest_tors_excl_src +
+                      dest_pods_excl_src;
+  if (src_endpoint != src_host) ++links;  // source GPU -> host
+  if (beyond_host) ++links;               // host -> ToR
+  if (beyond_tor) ++links;                // ToR -> agg
+  if (beyond_pod) ++links;                // agg -> core
+  return links;
+}
+
+}  // namespace peel

@@ -1,0 +1,44 @@
+// Optimal multicast trees for failure-free (symmetric) Clos fabrics
+// (Lemma 2.1 and its fat-tree extension).
+//
+// In a symmetric fabric every ToR reaches every other ToR through any core,
+// so the core tier collapses into a logical super-node and the bandwidth-
+// optimal broadcast tree is unique up to which physical core/aggregation
+// switch realizes that super-node: one copy climbs from the source to the
+// (lowest sufficient) common ancestor tier, then fans out — once per
+// destination pod, once per destination ToR, once per destination host, once
+// per destination GPU.  No tree link is traversed twice, which is what the
+// "Optimal" baseline in Figures 1 and 5–6 measures.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/steiner/multicast_tree.h"
+#include "src/topology/fat_tree.h"
+#include "src/topology/leaf_spine.h"
+
+namespace peel {
+
+/// Optimal broadcast tree on a failure-free fat-tree. `selector` picks which
+/// aggregation/core index realizes the super-node (vary it per collective to
+/// spread load, e.g. from an ECMP hash). Endpoints may be GPUs or hosts.
+/// Throws std::runtime_error if a required link is failed (the fabric is not
+/// symmetric); use layer_peel_tree for asymmetric fabrics.
+[[nodiscard]] MulticastTree optimal_fat_tree_tree(const FatTree& ft, NodeId source,
+                                                  std::span<const NodeId> destinations,
+                                                  std::uint64_t selector = 0);
+
+/// Optimal broadcast tree on a failure-free leaf–spine (Lemma 2.1).
+[[nodiscard]] MulticastTree optimal_leaf_spine_tree(const LeafSpine& ls, NodeId source,
+                                                    std::span<const NodeId> destinations,
+                                                    std::uint64_t selector = 0);
+
+/// Lower bound on any broadcast tree's link count in a symmetric fabric:
+/// every distinct destination GPU, host, ToR, and pod must receive exactly
+/// one copy over its unique attaching link, plus the source's climb to the
+/// lowest tier that covers all destinations.
+[[nodiscard]] std::size_t symmetric_optimal_link_count(const FatTree& ft, NodeId source,
+                                                       std::span<const NodeId> destinations);
+
+}  // namespace peel

@@ -1,0 +1,64 @@
+#include "src/topology/failures.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace peel {
+
+std::vector<LinkId> duplex_fabric_links(const Topology& topo) {
+  std::vector<LinkId> out;
+  for (LinkId l = 0; static_cast<std::size_t>(l) < topo.link_count(); l += 2) {
+    const Link& lk = topo.link(l);
+    if (lk.kind == LinkKind::Fabric && is_switch(topo.kind(lk.src)) &&
+        is_switch(topo.kind(lk.dst))) {
+      out.push_back(l);
+    }
+  }
+  return out;
+}
+
+std::vector<LinkId> duplex_spine_leaf_links(const Topology& topo) {
+  std::vector<LinkId> out;
+  for (LinkId l = 0; static_cast<std::size_t>(l) < topo.link_count(); l += 2) {
+    const Link& lk = topo.link(l);
+    const NodeKind a = topo.kind(lk.src);
+    const NodeKind b = topo.kind(lk.dst);
+    const bool spine_leaf = (a == NodeKind::Core && b == NodeKind::Tor) ||
+                            (a == NodeKind::Tor && b == NodeKind::Core);
+    if (lk.kind == LinkKind::Fabric && spine_leaf) out.push_back(l);
+  }
+  return out;
+}
+
+std::size_t fail_random_fraction(Topology& topo, std::span<const LinkId> candidates,
+                                 double fraction, Rng& rng) {
+  if (candidates.empty() || fraction <= 0.0) return 0;
+  auto count = static_cast<std::size_t>(
+      std::lround(fraction * static_cast<double>(candidates.size())));
+  count = std::clamp<std::size_t>(count, 1, candidates.size());
+  std::vector<LinkId> pool(candidates.begin(), candidates.end());
+  rng.shuffle(pool);
+  for (std::size_t i = 0; i < count; ++i) topo.fail_duplex(pool[i]);
+  return count;
+}
+
+bool all_reachable(const Topology& topo, NodeId src, std::span<const NodeId> targets) {
+  std::vector<char> seen(topo.node_count(), 0);
+  std::deque<NodeId> queue{src};
+  seen[static_cast<std::size_t>(src)] = 1;
+  while (!queue.empty()) {
+    const NodeId cur = queue.front();
+    queue.pop_front();
+    for (LinkId l : topo.out_links(cur)) {
+      const Link& lk = topo.link(l);
+      if (lk.failed || seen[static_cast<std::size_t>(lk.dst)]) continue;
+      seen[static_cast<std::size_t>(lk.dst)] = 1;
+      queue.push_back(lk.dst);
+    }
+  }
+  return std::all_of(targets.begin(), targets.end(),
+                     [&](NodeId n) { return seen[static_cast<std::size_t>(n)] != 0; });
+}
+
+}  // namespace peel

@@ -1,0 +1,31 @@
+// Link-failure injection for asymmetric-Clos experiments (§2.2, Figure 7).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/topology/topology.h"
+
+namespace peel {
+
+/// Representative (even) link ids of every duplex fabric pair whose endpoints
+/// are both switches. Host-NIC and NVLink links are never failure candidates.
+[[nodiscard]] std::vector<LinkId> duplex_fabric_links(const Topology& topo);
+
+/// Representative link ids of duplex pairs between a Core/spine and a Tor/leaf
+/// (the links the paper fails in Figure 7).
+[[nodiscard]] std::vector<LinkId> duplex_spine_leaf_links(const Topology& topo);
+
+/// Fails `fraction` (rounded to nearest, at least one if fraction > 0) of the
+/// given duplex pairs, chosen uniformly at random. Returns how many pairs
+/// were failed.
+std::size_t fail_random_fraction(Topology& topo, std::span<const LinkId> candidates,
+                                 double fraction, Rng& rng);
+
+/// BFS over live links: true iff every node in `targets` is reachable from
+/// `src`.
+[[nodiscard]] bool all_reachable(const Topology& topo, NodeId src,
+                                 std::span<const NodeId> targets);
+
+}  // namespace peel

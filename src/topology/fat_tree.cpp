@@ -1,0 +1,85 @@
+#include "src/topology/fat_tree.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace peel {
+
+FatTree build_fat_tree(const FatTreeConfig& config) {
+  if (config.k < 2 || config.k % 2 != 0) {
+    throw std::invalid_argument("fat-tree degree k must be even and >= 2");
+  }
+  FatTree ft;
+  ft.config = config;
+  Topology& t = ft.topo;
+
+  const int k = config.k;
+  const int half = k / 2;
+  const int hosts_per_tor = ft.hosts_per_tor();
+  const int gpus_per_host = config.gpus_per_host;
+
+  // Core tier: (k/2)^2 switches, group-major.
+  for (int g = 0; g < half; ++g) {
+    for (int j = 0; j < half; ++j) {
+      ft.cores.push_back(t.add_node(Node{NodeKind::Core, -1, g * half + j}));
+    }
+  }
+
+  for (int p = 0; p < k; ++p) {
+    for (int a = 0; a < half; ++a) {
+      ft.aggs.push_back(t.add_node(Node{NodeKind::Agg, p, a}));
+    }
+    for (int tor = 0; tor < half; ++tor) {
+      ft.tors.push_back(t.add_node(Node{NodeKind::Tor, p, tor}));
+    }
+  }
+
+  // Agg <-> core: agg `a` of pod `p` connects to the k/2 cores of group `a`.
+  for (int p = 0; p < k; ++p) {
+    for (int a = 0; a < half; ++a) {
+      for (int j = 0; j < half; ++j) {
+        t.add_duplex_link(ft.agg_at(p, a), ft.core_at(a, j), config.fabric_rate,
+                          config.link_propagation, LinkKind::Fabric);
+      }
+    }
+  }
+
+  // ToR <-> agg: full bipartite within each pod.
+  for (int p = 0; p < k; ++p) {
+    for (int tor = 0; tor < half; ++tor) {
+      for (int a = 0; a < half; ++a) {
+        t.add_duplex_link(ft.tor_at(p, tor), ft.agg_at(p, a), config.fabric_rate,
+                          config.link_propagation, LinkKind::Fabric);
+      }
+    }
+  }
+
+  // Hosts and GPUs.
+  for (int p = 0; p < k; ++p) {
+    for (int tor = 0; tor < half; ++tor) {
+      const NodeId tor_id = ft.tor_at(p, tor);
+      for (int h = 0; h < hosts_per_tor; ++h) {
+        const NodeId host = t.add_node(
+            Node{NodeKind::Host, p, static_cast<std::int32_t>(ft.hosts.size())});
+        ft.hosts.push_back(host);
+        t.add_duplex_link(host, tor_id, config.fabric_rate,
+                          config.link_propagation, LinkKind::HostNic);
+        t.set_parent(host, tor_id);
+        for (int g = 0; g < gpus_per_host; ++g) {
+          const NodeId gpu = t.add_node(
+              Node{NodeKind::Gpu, p, static_cast<std::int32_t>(ft.gpus.size())});
+          ft.gpus.push_back(gpu);
+          t.add_duplex_link(gpu, host, config.nvlink_rate,
+                            config.link_propagation / 5 + 1, LinkKind::NvLink);
+          t.set_parent(gpu, host);
+        }
+      }
+    }
+  }
+
+  assert(ft.cores.size() == static_cast<std::size_t>(half * half));
+  assert(ft.tors.size() == static_cast<std::size_t>(k * half));
+  return ft;
+}
+
+}  // namespace peel

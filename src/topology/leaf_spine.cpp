@@ -1,0 +1,51 @@
+#include "src/topology/leaf_spine.h"
+
+#include <stdexcept>
+
+namespace peel {
+
+LeafSpine build_leaf_spine(const LeafSpineConfig& config) {
+  if (config.spines < 1 || config.leaves < 1) {
+    throw std::invalid_argument("leaf-spine needs at least one spine and one leaf");
+  }
+  LeafSpine ls;
+  ls.config = config;
+  Topology& t = ls.topo;
+
+  for (int s = 0; s < config.spines; ++s) {
+    ls.spines.push_back(t.add_node(Node{NodeKind::Core, -1, s}));
+  }
+  // All leaves share pod 0 so prefix addressing covers the whole leaf tier.
+  for (int l = 0; l < config.leaves; ++l) {
+    ls.leaves.push_back(t.add_node(Node{NodeKind::Tor, 0, l}));
+  }
+  for (int l = 0; l < config.leaves; ++l) {
+    for (int s = 0; s < config.spines; ++s) {
+      t.add_duplex_link(ls.leaves[static_cast<std::size_t>(l)],
+                        ls.spines[static_cast<std::size_t>(s)], config.fabric_rate,
+                        config.link_propagation, LinkKind::Fabric);
+    }
+  }
+  for (int l = 0; l < config.leaves; ++l) {
+    const NodeId leaf = ls.leaves[static_cast<std::size_t>(l)];
+    for (int h = 0; h < config.hosts_per_leaf; ++h) {
+      const NodeId host =
+          t.add_node(Node{NodeKind::Host, 0, static_cast<std::int32_t>(ls.hosts.size())});
+      ls.hosts.push_back(host);
+      t.add_duplex_link(host, leaf, config.fabric_rate, config.link_propagation,
+                        LinkKind::HostNic);
+      t.set_parent(host, leaf);
+      for (int g = 0; g < config.gpus_per_host; ++g) {
+        const NodeId gpu =
+            t.add_node(Node{NodeKind::Gpu, 0, static_cast<std::int32_t>(ls.gpus.size())});
+        ls.gpus.push_back(gpu);
+        t.add_duplex_link(gpu, host, config.nvlink_rate,
+                          config.link_propagation / 5 + 1, LinkKind::NvLink);
+        t.set_parent(gpu, host);
+      }
+    }
+  }
+  return ls;
+}
+
+}  // namespace peel

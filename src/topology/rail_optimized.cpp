@@ -1,0 +1,58 @@
+#include "src/topology/rail_optimized.h"
+
+#include <stdexcept>
+
+namespace peel {
+
+RailFabric build_rail_fabric(const RailConfig& config) {
+  if (config.rails < 1 || config.hosts_per_segment < 1 || config.segments < 1) {
+    throw std::invalid_argument("rail fabric needs rails/hosts/segments >= 1");
+  }
+  RailFabric rf;
+  rf.config = config;
+  Topology& t = rf.topo;
+
+  // Rail switches, pod = segment so prefix logic can scope to a segment.
+  for (int s = 0; s < config.segments; ++s) {
+    for (int r = 0; r < config.rails; ++r) {
+      rf.rail_switches.push_back(t.add_node(Node{NodeKind::Tor, s, r}));
+    }
+  }
+  // Rail-aligned spine (segments > 1): spine group r serves rail r only.
+  if (config.segments > 1) {
+    for (int r = 0; r < config.rails; ++r) {
+      for (int j = 0; j < config.spines_per_rail; ++j) {
+        const NodeId spine =
+            t.add_node(Node{NodeKind::Core, -1, r * config.spines_per_rail + j});
+        rf.spines.push_back(spine);
+        for (int s = 0; s < config.segments; ++s) {
+          t.add_duplex_link(rf.rail_switch_at(s, r), spine, config.fabric_rate,
+                            config.link_propagation, LinkKind::Fabric);
+        }
+      }
+    }
+  }
+
+  // Servers: an NVSwitch (Host node) plus `rails` GPUs, each GPU with an
+  // NVLink to the NVSwitch and a NIC to its rail switch.
+  const int total_hosts = config.segments * config.hosts_per_segment;
+  for (int h = 0; h < total_hosts; ++h) {
+    const int segment = h / config.hosts_per_segment;
+    const NodeId host = t.add_node(Node{NodeKind::Host, segment, h});
+    rf.hosts.push_back(host);
+    for (int r = 0; r < config.rails; ++r) {
+      const NodeId gpu = t.add_node(
+          Node{NodeKind::Gpu, segment, static_cast<std::int32_t>(rf.gpus.size())});
+      rf.gpus.push_back(gpu);
+      t.add_duplex_link(gpu, host, config.nvlink_rate,
+                        config.link_propagation / 5 + 1, LinkKind::NvLink);
+      t.set_parent(gpu, host);
+      t.add_duplex_link(gpu, rf.rail_switch_at(segment, r), config.fabric_rate,
+                        config.link_propagation, LinkKind::HostNic);
+    }
+    // The NVSwitch resolves to no ToR; GPUs reach the fabric directly.
+  }
+  return rf;
+}
+
+}  // namespace peel

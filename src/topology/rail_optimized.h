@@ -1,0 +1,61 @@
+// Rail-optimized GPU fabric (Alibaba-HPN style [28]) — the paper's §2.1
+// future-work topology.
+//
+// Every server has `rails` GPUs, each with its own NIC; GPU r of every
+// server connects to rail switch r.  GPUs inside a server interconnect over
+// NVLink/NVSwitch (modeled as the Host node).  With multiple segments, rail
+// switch r of every segment connects to the spine group r (rail-aligned
+// spine), so traffic never changes rails inside the fabric — cross-rail
+// movement happens over NVLink inside servers, which is exactly what makes
+// collectives on rails cheap.
+#pragma once
+
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/topology/topology.h"
+
+namespace peel {
+
+struct RailConfig {
+  int rails = 8;             ///< GPUs (and NICs) per server
+  int hosts_per_segment = 16;
+  int segments = 1;
+  int spines_per_rail = 2;   ///< only used when segments > 1
+  GbpsRate fabric_rate = 100_gbps;
+  GbpsRate nvlink_rate = 7200_gbps;
+  SimTime link_propagation = 500;
+};
+
+struct RailFabric {
+  RailConfig config;
+  Topology topo;
+  /// rail_switches[segment * rails + rail]
+  std::vector<NodeId> rail_switches;
+  /// spines[rail * spines_per_rail + j]; empty when segments == 1
+  std::vector<NodeId> spines;
+  std::vector<NodeId> hosts;  ///< NVSwitch node per server
+  std::vector<NodeId> gpus;   ///< gpus[host_index * rails + rail]
+
+  [[nodiscard]] NodeId rail_switch_at(int segment, int rail) const {
+    return rail_switches[static_cast<std::size_t>(segment * config.rails + rail)];
+  }
+  [[nodiscard]] NodeId gpu_at(int host_index, int rail) const {
+    return gpus[static_cast<std::size_t>(host_index * config.rails + rail)];
+  }
+  /// The rail a GPU's NIC belongs to.
+  [[nodiscard]] int rail_of(NodeId gpu) const {
+    return static_cast<int>(topo.node(gpu).tier_index) % config.rails;
+  }
+  /// The server index of a GPU.
+  [[nodiscard]] int host_index_of(NodeId gpu) const {
+    return static_cast<int>(topo.node(gpu).tier_index) / config.rails;
+  }
+  [[nodiscard]] int segment_of_host(int host_index) const {
+    return host_index / config.hosts_per_segment;
+  }
+};
+
+[[nodiscard]] RailFabric build_rail_fabric(const RailConfig& config);
+
+}  // namespace peel

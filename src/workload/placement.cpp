@@ -1,0 +1,100 @@
+#include "src/workload/placement.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace peel {
+
+GroupSelection select_local_group(const Fabric& fabric,
+                                  const PlacementOptions& options, Rng& rng) {
+  const auto& endpoints = fabric.endpoints();
+  const int n = static_cast<int>(endpoints.size());
+  const int g = options.group_size;
+  if (g < 2 || g > n) {
+    throw std::invalid_argument("group size must be in [2, endpoint count]");
+  }
+
+  // Endpoints per host (windows start on host boundaries when aligned).
+  const int per_host = std::max<int>(
+      1, n / std::max<int>(1, static_cast<int>(fabric.hosts().size())));
+  int align = 1;
+  if (options.host_aligned && per_host > 1) align = per_host;
+  if (options.buddy_aligned) {
+    int buddy = 1;
+    while (buddy * 2 <= g) buddy *= 2;
+    align = std::max(align, std::min(buddy, n));
+  }
+  int start = 0;
+  if (n > g) {
+    const int max_start = n - g;
+    const int slots = max_start / align + 1;
+    start = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(slots))) *
+            align;
+  }
+
+  std::vector<NodeId> members(endpoints.begin() + start,
+                              endpoints.begin() + start + g);
+
+  // Fragmentation: displace a fraction of members to random endpoints
+  // outside the window (modeling scheduler holes, §3.4).
+  const int displaced = static_cast<int>(options.fragmentation * g);
+  if (displaced > 0) {
+    std::unordered_set<NodeId> in_group(members.begin(), members.end());
+    for (int i = 0; i < displaced; ++i) {
+      // Evict the member at a random position...
+      const auto victim = static_cast<std::size_t>(
+          rng.next_below(static_cast<std::uint64_t>(members.size())));
+      // ...and pull in a random outside endpoint.
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const NodeId candidate = endpoints[static_cast<std::size_t>(
+            rng.next_below(static_cast<std::uint64_t>(n)))];
+        if (!in_group.contains(candidate)) {
+          in_group.erase(members[victim]);
+          members[victim] = candidate;
+          in_group.insert(candidate);
+          break;
+        }
+      }
+    }
+  }
+
+  GroupSelection sel;
+  const auto src_pos = static_cast<std::size_t>(
+      rng.next_below(static_cast<std::uint64_t>(members.size())));
+  sel.source = members[src_pos];
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (i != src_pos) sel.destinations.push_back(members[i]);
+  }
+  return sel;
+}
+
+double arrival_rate_for_load(const Fabric& fabric, double offered_load,
+                             Bytes message_bytes, int group_size) {
+  if (offered_load <= 0.0 || message_bytes <= 0 || group_size < 2) {
+    throw std::invalid_argument("arrival_rate_for_load: bad arguments");
+  }
+  const auto& endpoints = fabric.endpoints();
+  const int per_host = std::max<int>(
+      1, static_cast<int>(endpoints.size()) /
+             std::max<int>(1, static_cast<int>(fabric.hosts().size())));
+  // Hosts a group touches; every one receives the full message once over its
+  // access link under optimal multicast.
+  const int group_hosts = (group_size + per_host - 1) / per_host;
+
+  // Total access-link delivery capacity in bytes/second.
+  const Topology& topo = fabric.topo();
+  double capacity = 0.0;
+  for (NodeId host : fabric.hosts()) {
+    for (LinkId l : topo.in_links(host)) {
+      if (topo.link(l).kind == LinkKind::HostNic) {
+        capacity += topo.link(l).rate.bytes_per_ns() * 1e9;
+      }
+    }
+  }
+  const double bytes_per_collective =
+      static_cast<double>(message_bytes) * group_hosts;
+  return offered_load * capacity / bytes_per_collective;
+}
+
+}  // namespace peel

@@ -1,0 +1,56 @@
+// Workload generation: locality-aware group placement and Poisson collective
+// arrivals (§4 "Experimental setup").
+//
+// GPU schedulers bin-pack jobs into contiguous racks/pods [3], which is the
+// very property PEEL's prefix aggregation exploits.  select_local_group picks
+// a contiguous, host-aligned window of endpoints; the fragmentation knob
+// punches random holes in the window (for the §3.4 resource-fragmentation
+// experiments) while keeping the group size fixed.
+#pragma once
+
+#include <vector>
+
+#include "src/collectives/fabric.h"
+#include "src/common/rng.h"
+
+namespace peel {
+
+struct GroupSelection {
+  NodeId source = kInvalidNode;
+  std::vector<NodeId> destinations;  ///< members except the source
+};
+
+struct PlacementOptions {
+  int group_size = 8;  ///< member endpoints including the source
+  /// Fraction of the group displaced out of the contiguous window to random
+  /// endpoints elsewhere (0 = perfectly bin-packed).
+  double fragmentation = 0.0;
+  /// Align window starts to host boundaries (schedulers allocate whole
+  /// servers).
+  bool host_aligned = true;
+  /// Buddy allocation: align the window to the largest power-of-two block
+  /// not exceeding the group size (whole racks/pods).  Under buddy alignment
+  /// PEEL's exact cover is a single packet and PEEL collapses onto the
+  /// optimal tree; the default (contiguous but host-aligned) windows model
+  /// schedulers that bin-pack without pod-aligned offsets, leaving PEEL the
+  /// small prefix-count overhead the paper reports.
+  bool buddy_aligned = false;
+};
+
+/// Chooses a job placement honoring locality; the source is a uniformly
+/// random member. Throws std::invalid_argument if the fabric has fewer
+/// endpoints than the group needs.
+[[nodiscard]] GroupSelection select_local_group(const Fabric& fabric,
+                                                const PlacementOptions& options,
+                                                Rng& rng);
+
+/// Poisson arrival rate (collectives/second) that drives the fabric at
+/// `offered_load` of its delivery capacity when each collective moves
+/// `message_bytes` to `group_size` endpoints under bandwidth-optimal
+/// multicast.  Capacity is accounted on host access links — the resource
+/// every scheme must cross — so the same load setting is comparable across
+/// schemes (paper §4 fixes it at 30%).
+[[nodiscard]] double arrival_rate_for_load(const Fabric& fabric, double offered_load,
+                                           Bytes message_bytes, int group_size);
+
+}  // namespace peel

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+
+namespace peel {
+namespace {
+
+struct AllGatherFixture : ::testing::Test {
+  FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 4});  // 64 GPUs
+  Fabric fabric = Fabric::of(ft);
+
+  /// Runs one AllGather among the first `n` GPUs and returns the record +
+  /// byte telemetry.
+  struct Outcome {
+    CollectiveRecord record;
+    Bytes fabric_bytes = 0;
+  };
+  Outcome run_one(Scheme scheme, std::size_t n, Bytes total,
+                  RunnerOptions opts = {}) {
+    EventQueue queue;
+    SimConfig sim;
+    Network net(ft.topo, sim, queue);
+    CollectiveRunner runner(fabric, net, queue, Rng(3), opts);
+    AllGatherRequest req;
+    req.id = 1;
+    req.members.assign(ft.gpus.begin(), ft.gpus.begin() + static_cast<long>(n));
+    req.total_bytes = total;
+    runner.submit_allgather(scheme, std::move(req));
+    queue.run();
+    Outcome out;
+    out.record = runner.records().front();
+    out.fabric_bytes = bytes_on_links(net, ft.topo, true, true, false);
+    return out;
+  }
+};
+
+TEST_F(AllGatherFixture, RingCompletes) {
+  const Outcome o = run_one(Scheme::Ring, 16, 16 * kMiB);
+  EXPECT_TRUE(o.record.finished);
+  EXPECT_GT(o.record.cct_seconds(), 0.0);
+}
+
+TEST_F(AllGatherFixture, MulticastSchemesComplete) {
+  for (Scheme scheme : {Scheme::Optimal, Scheme::Peel, Scheme::Orca}) {
+    const Outcome o = run_one(scheme, 16, 16 * kMiB);
+    EXPECT_TRUE(o.record.finished) << to_string(scheme);
+  }
+}
+
+TEST_F(AllGatherFixture, RingByteOptimalityHolds) {
+  // Ring allgather is bandwidth-optimal among unicast schedules: every GPU's
+  // NIC receives (n-1)/n of the buffer exactly once. Multicast can't beat
+  // the receive side, only the redundant sends — totals must be comparable.
+  const Bytes total = 16 * kMiB;
+  const Outcome ring = run_one(Scheme::Ring, 16, total);
+  const Outcome optimal = run_one(Scheme::Optimal, 16, total);
+  EXPECT_LE(optimal.fabric_bytes, ring.fabric_bytes);
+}
+
+TEST_F(AllGatherFixture, MulticastBeatsRingLatencyAtScale) {
+  // 32 ranks over 8 hosts: the ring pays (n-1) serial steps, the per-shard
+  // multicasts run concurrently.
+  const Outcome ring = run_one(Scheme::Ring, 32, 32 * kMiB);
+  const Outcome optimal = run_one(Scheme::Optimal, 32, 32 * kMiB);
+  EXPECT_LT(optimal.record.cct_seconds(), ring.record.cct_seconds());
+}
+
+TEST_F(AllGatherFixture, OrcaPaysSetupOnce) {
+  RunnerOptions with;
+  RunnerOptions without;
+  without.controller_delay_enabled = false;
+  const double delayed = run_one(Scheme::Orca, 8, 8 * kMiB, with).record.cct_seconds();
+  const double immediate =
+      run_one(Scheme::Orca, 8, 8 * kMiB, without).record.cct_seconds();
+  EXPECT_GT(delayed, immediate);
+}
+
+TEST_F(AllGatherFixture, RejectsBadRequests) {
+  EventQueue queue;
+  SimConfig sim;
+  Network net(ft.topo, sim, queue);
+  CollectiveRunner runner(fabric, net, queue, Rng(3), RunnerOptions{});
+  AllGatherRequest tiny;
+  tiny.id = 1;
+  tiny.members = {ft.gpus[0]};
+  tiny.total_bytes = kMiB;
+  EXPECT_THROW(runner.submit_allgather(Scheme::Ring, tiny), std::invalid_argument);
+
+  AllGatherRequest tree;
+  tree.id = 2;
+  tree.members = {ft.gpus[0], ft.gpus[1]};
+  tree.total_bytes = kMiB;
+  EXPECT_THROW(runner.submit_allgather(Scheme::BinaryTree, tree),
+               std::invalid_argument);
+
+  AllGatherRequest starved;
+  starved.id = 3;
+  starved.members = {ft.gpus[0], ft.gpus[1], ft.gpus[2]};
+  starved.total_bytes = 2;  // fewer bytes than members
+  EXPECT_THROW(runner.submit_allgather(Scheme::Ring, starved),
+               std::invalid_argument);
+}
+
+TEST_F(AllGatherFixture, ScenarioDriverRuns) {
+  ScenarioConfig c;
+  c.scheme = Scheme::Peel;
+  c.group_size = 16;
+  c.message_bytes = 8 * kMiB;
+  c.collectives = 4;
+  c.seed = 11;
+  const ScenarioResult r = run_allgather_scenario(fabric, c);
+  EXPECT_EQ(r.unfinished, 0u);
+  EXPECT_EQ(r.cct_seconds.count(), 4u);
+}
+
+TEST_F(AllGatherFixture, DeterministicAcrossRuns) {
+  const Outcome a = run_one(Scheme::Peel, 16, 16 * kMiB);
+  const Outcome b = run_one(Scheme::Peel, 16, 16 * kMiB);
+  EXPECT_EQ(a.record.finish_time, b.record.finish_time);
+  EXPECT_EQ(a.fabric_bytes, b.fabric_bytes);
+}
+
+}  // namespace
+}  // namespace peel

@@ -1,0 +1,111 @@
+// Analytic anchors: on an idle fabric the simulator's CCTs must match
+// closed-form store-and-forward pipeline formulas. These tests pin the
+// simulator's arithmetic to theory, so regressions in serialization, pacing,
+// or chunking can't hide behind "it's a simulation".
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+
+namespace peel {
+namespace {
+
+constexpr double kBytesPerNs = 12.5;  // 100 Gbps
+
+struct AnalyticFixture : ::testing::Test {
+  // Hosts as endpoints (no GPU tier): every hop in a route is a 100 Gbps
+  // fabric link, which keeps the closed forms exact.
+  FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 0});
+  Fabric fabric = Fabric::of(ft);
+  SimConfig sim;
+
+  AnalyticFixture() { sim.congestion_control = false; }
+
+  double run(Scheme scheme, std::size_t n, Bytes message) {
+    GroupSelection g;
+    g.source = ft.hosts[0];
+    for (std::size_t i = 1; i < n; ++i) g.destinations.push_back(ft.hosts[i]);
+    return run_single_broadcast(fabric, scheme, g, message, sim, RunnerOptions{})
+        .cct_seconds;
+  }
+};
+
+TEST_F(AnalyticFixture, OptimalBroadcastIsOneTransmissionDeep) {
+  // Multicast: the message crosses each tree tier once, pipelined at segment
+  // granularity. CCT ~ message/BW + (depth-1) * segment/BW + propagation.
+  const Bytes message = 16 * kMiB;
+  const double measured = run(Scheme::Optimal, 16, message);
+  const double serialization = static_cast<double>(message) / kBytesPerNs * 1e-9;
+  const double segment = static_cast<double>(sim.segment_bytes) / kBytesPerNs * 1e-9;
+  // Deepest path host->tor->agg->core->agg->tor->host: depth 6.
+  const double expected = serialization + 5 * segment;
+  EXPECT_NEAR(measured, expected, expected * 0.05);
+  EXPECT_GT(measured, serialization);  // can't beat one full serialization
+}
+
+TEST_F(AnalyticFixture, RingPipelineFormula) {
+  // Pipelined ring broadcast with C chunks over H sequential endpoint hops:
+  // CCT ~ (C + H - 1)/C * message/BW plus per-hop store-and-forward costs.
+  const Bytes message = 16 * kMiB;
+  const int chunks = 8;
+  const std::size_t n = 8;  // 7 forwarding hops
+  const double measured = run(Scheme::Ring, n, message);
+  const double serialization = static_cast<double>(message) / kBytesPerNs * 1e-9;
+  const double hops = static_cast<double>(n - 1);
+  const double lower = (chunks + hops - 1) / chunks * serialization;
+  EXPECT_GT(measured, lower * 0.98);
+  // Upper bound: add the intermediate fabric hops' segment latencies (each
+  // endpoint hop is a multi-link route) — generous 25% envelope.
+  EXPECT_LT(measured, lower * 1.25);
+}
+
+TEST_F(AnalyticFixture, BroadcastScalesLinearlyWithMessage) {
+  // 8x bytes -> ~8x time on an idle fabric, minus the constant pipeline
+  // fill (depth * segment), which the closed form predicts exactly.
+  const double small = run(Scheme::Optimal, 12, 4 * kMiB);
+  const double large = run(Scheme::Optimal, 12, 32 * kMiB);
+  const double fill = 5.0 * static_cast<double>(sim.segment_bytes);
+  const double expected =
+      (32.0 * kMiB + fill) / (4.0 * kMiB + fill);  // ~7.46
+  EXPECT_NEAR(large / small, expected, 0.15);
+}
+
+TEST_F(AnalyticFixture, PipeliningBeatsStoreAndForwardOfWholeMessage) {
+  // With one chunk the ring serializes the full message at every hop; with 8
+  // chunks the pipeline overlaps them. Ratio ~ H / ((C+H-1)/C).
+  const Bytes message = 8 * kMiB;
+  GroupSelection g;
+  g.source = ft.hosts[0];
+  for (std::size_t i = 1; i < 8; ++i) g.destinations.push_back(ft.hosts[i]);
+
+  RunnerOptions one_chunk;
+  one_chunk.chunks = 1;
+  const double unpipelined =
+      run_single_broadcast(fabric, Scheme::Ring, g, message, sim, one_chunk)
+          .cct_seconds;
+  RunnerOptions eight;
+  eight.chunks = 8;
+  const double pipelined =
+      run_single_broadcast(fabric, Scheme::Ring, g, message, sim, eight)
+          .cct_seconds;
+  const double expected_ratio = 7.0 / ((8.0 + 6.0) / 8.0);  // = 4.0
+  EXPECT_NEAR(unpipelined / pipelined, expected_ratio, expected_ratio * 0.15);
+}
+
+TEST_F(AnalyticFixture, PropagationIsAdditiveForTinyMessages) {
+  // For a message of a single segment, CCT ~ hops * (segment/BW + prop).
+  const Bytes message = 64 * kKiB;
+  GroupSelection g;
+  g.source = ft.hosts[0];
+  g.destinations = {ft.hosts.back()};  // different pod: 6 links
+  RunnerOptions one_chunk;
+  one_chunk.chunks = 1;
+  const double measured =
+      run_single_broadcast(fabric, Scheme::Optimal, g, message, sim, one_chunk)
+          .cct_seconds;
+  const double per_hop = static_cast<double>(message) / kBytesPerNs * 1e-9 +
+                         500e-9;  // serialization + propagation
+  EXPECT_NEAR(measured, 6 * per_hop, per_hop);
+}
+
+}  // namespace
+}  // namespace peel

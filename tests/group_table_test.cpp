@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "src/baselines/group_table.h"
+#include "src/steiner/symmetric.h"
+#include "src/topology/fat_tree.h"
+
+namespace peel {
+namespace {
+
+struct GroupTableFixture : ::testing::Test {
+  FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 0});
+
+  MulticastTree tree_for(std::size_t first, std::size_t count,
+                         std::uint64_t selector) const {
+    std::vector<NodeId> dests(ft.hosts.begin() + static_cast<long>(first) + 1,
+                              ft.hosts.begin() + static_cast<long>(first + count));
+    return optimal_fat_tree_tree(ft, ft.hosts[first], dests, selector);
+  }
+};
+
+TEST_F(GroupTableFixture, InstallsAndCounts) {
+  MulticastGroupTable tcam(ft.topo, 16);
+  const MulticastTree tree = tree_for(0, 8, 0);
+  EXPECT_TRUE(tcam.install(1, tree));
+  EXPECT_EQ(tcam.groups_installed(), 1u);
+  EXPECT_GE(tcam.total_entries(), tree.switch_count(ft.topo));
+  EXPECT_EQ(tcam.max_occupancy(), 1u);
+}
+
+TEST_F(GroupTableFixture, RejectsDuplicateGroup) {
+  MulticastGroupTable tcam(ft.topo, 16);
+  const MulticastTree tree = tree_for(0, 8, 0);
+  EXPECT_TRUE(tcam.install(1, tree));
+  EXPECT_FALSE(tcam.install(1, tree));
+  EXPECT_EQ(tcam.groups_installed(), 1u);
+}
+
+TEST_F(GroupTableFixture, CapacityIsPerSwitch) {
+  MulticastGroupTable tcam(ft.topo, 2);
+  // Same rack over and over: the shared ToR fills after 2 groups.
+  EXPECT_TRUE(tcam.install(1, tree_for(0, 4, 1)));
+  EXPECT_TRUE(tcam.install(2, tree_for(0, 4, 2)));
+  EXPECT_FALSE(tcam.install(3, tree_for(0, 4, 3)));
+  EXPECT_EQ(tcam.groups_installed(), 2u);
+}
+
+TEST_F(GroupTableFixture, RejectionInstallsNothing) {
+  MulticastGroupTable tcam(ft.topo, 1);
+  EXPECT_TRUE(tcam.install(1, tree_for(0, 16, 0)));  // spans the fabric
+  const std::size_t before = tcam.total_entries();
+  EXPECT_FALSE(tcam.install(2, tree_for(0, 16, 1)));
+  EXPECT_EQ(tcam.total_entries(), before);  // atomic admission
+}
+
+TEST_F(GroupTableFixture, RemoveFreesEntries) {
+  MulticastGroupTable tcam(ft.topo, 1);
+  EXPECT_TRUE(tcam.install(1, tree_for(0, 4, 0)));
+  EXPECT_FALSE(tcam.install(2, tree_for(0, 4, 1)));
+  tcam.remove(1);
+  EXPECT_EQ(tcam.groups_installed(), 0u);
+  EXPECT_TRUE(tcam.install(2, tree_for(0, 4, 1)));
+  tcam.remove(99);  // unknown group: no-op
+}
+
+TEST_F(GroupTableFixture, DisjointGroupsDoNotContend) {
+  MulticastGroupTable tcam(ft.topo, 1);
+  // Rack 0 and rack 2 live in different pods and use different selectors —
+  // with capacity 1 both fit only if their trees share no switch.
+  EXPECT_TRUE(tcam.install(1, tree_for(0, 2, 0)));
+  EXPECT_TRUE(tcam.install(2, tree_for(8, 2, 0)));
+}
+
+}  // namespace
+}  // namespace peel

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/harness/experiment.h"
+#include "src/harness/table.h"
+#include "src/topology/failures.h"
+
+namespace peel {
+namespace {
+
+ScenarioConfig quick_config(Scheme scheme) {
+  ScenarioConfig c;
+  c.scheme = scheme;
+  c.group_size = 16;
+  c.message_bytes = 2 * kMiB;
+  c.collectives = 6;
+  c.offered_load = 0.3;
+  c.seed = 42;
+  return c;
+}
+
+TEST(Scenario, AllSchemesFinishUnderLoad) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 4});
+  const Fabric fabric = Fabric::of(ft);
+  for (Scheme scheme : {Scheme::Ring, Scheme::BinaryTree, Scheme::Optimal,
+                        Scheme::Orca, Scheme::Peel, Scheme::PeelProgCores}) {
+    const ScenarioResult r = run_broadcast_scenario(fabric, quick_config(scheme));
+    EXPECT_EQ(r.unfinished, 0u) << to_string(scheme);
+    EXPECT_EQ(r.cct_seconds.count(), 6u) << to_string(scheme);
+    EXPECT_GT(r.cct_seconds.mean(), 0.0) << to_string(scheme);
+    EXPECT_GT(r.fabric_bytes, 0) << to_string(scheme);
+  }
+}
+
+TEST(Scenario, DeterministicForFixedSeed) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 4});
+  const Fabric fabric = Fabric::of(ft);
+  const ScenarioResult a = run_broadcast_scenario(fabric, quick_config(Scheme::Peel));
+  const ScenarioResult b = run_broadcast_scenario(fabric, quick_config(Scheme::Peel));
+  ASSERT_EQ(a.cct_seconds.count(), b.cct_seconds.count());
+  EXPECT_EQ(a.cct_seconds.values(), b.cct_seconds.values());
+  EXPECT_EQ(a.fabric_bytes, b.fabric_bytes);
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(Scenario, SeedChangesOutcome) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 4});
+  const Fabric fabric = Fabric::of(ft);
+  ScenarioConfig c1 = quick_config(Scheme::Peel);
+  ScenarioConfig c2 = quick_config(Scheme::Peel);
+  c2.seed = 43;
+  const ScenarioResult a = run_broadcast_scenario(fabric, c1);
+  const ScenarioResult b = run_broadcast_scenario(fabric, c2);
+  EXPECT_NE(a.cct_seconds.values(), b.cct_seconds.values());
+}
+
+TEST(Scenario, SchemeOrderingOnFatTree) {
+  // The paper's headline ordering at moderate message sizes:
+  // Optimal <= PEEL < Ring and Tree.  Uses the paper's 8-ary fabric so a
+  // 64-GPU bin-packed group needs few prefix packets (PEEL's home turf).
+  const FatTree ft = build_fat_tree(FatTreeConfig{8, 4, 8});
+  const Fabric fabric = Fabric::of(ft);
+  auto mean_cct = [&](Scheme s) {
+    ScenarioConfig c = quick_config(s);
+    c.message_bytes = 8 * kMiB;
+    c.group_size = 64;
+    return run_broadcast_scenario(fabric, c).cct_seconds.mean();
+  };
+  const double optimal = mean_cct(Scheme::Optimal);
+  const double peel = mean_cct(Scheme::Peel);
+  const double ring = mean_cct(Scheme::Ring);
+  const double tree = mean_cct(Scheme::BinaryTree);
+  EXPECT_LT(optimal, ring);
+  EXPECT_LT(optimal, tree);
+  EXPECT_LT(peel, ring);
+  EXPECT_LT(peel, tree);
+  EXPECT_LE(optimal, peel * 1.05);  // optimal is not (meaningfully) worse
+}
+
+TEST(Scenario, AsymmetricLeafSpineSweepRuns) {
+  // Figure-7 shape at toy scale: failures + greedy PEEL trees.
+  LeafSpine ls = build_leaf_spine(LeafSpineConfig{4, 8, 2, 2});
+  Rng rng(9);
+  fail_random_fraction(ls.topo, duplex_spine_leaf_links(ls.topo), 0.05, rng);
+  const Fabric fabric = Fabric::of(ls);
+
+  ScenarioConfig c = quick_config(Scheme::Peel);
+  c.runner.peel_asymmetric = true;
+  c.collectives = 4;
+  const ScenarioResult r = run_broadcast_scenario(fabric, c);
+  EXPECT_EQ(r.unfinished, 0u);
+}
+
+TEST(Scenario, HigherLoadIncreasesTail) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 4});
+  const Fabric fabric = Fabric::of(ft);
+  ScenarioConfig light = quick_config(Scheme::Ring);
+  light.collectives = 12;
+  light.offered_load = 0.05;
+  ScenarioConfig heavy = light;
+  heavy.offered_load = 0.9;
+  const double light_p99 = run_broadcast_scenario(fabric, light).cct_seconds.p99();
+  const double heavy_p99 = run_broadcast_scenario(fabric, heavy).cct_seconds.p99();
+  EXPECT_GE(heavy_p99, light_p99);
+}
+
+TEST(TableOutput, PrintsAligned) {
+  Table t({"scheme", "mean"});
+  t.add_row({"Ring", "1.0"});
+  t.add_row({"PEEL+ProgCores", "0.5"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("scheme"), std::string::npos);
+  EXPECT_NE(s.find("PEEL+ProgCores"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableOutput, CellFormats) {
+  EXPECT_EQ(cell("%d MiB", 8), "8 MiB");
+  EXPECT_EQ(cell("%.2f", 1.2345), "1.23");
+}
+
+}  // namespace
+}  // namespace peel

@@ -1,0 +1,395 @@
+// Property-based sweeps (parameterized gtest) over the paper's invariants:
+// Lemma 2.3's size bound, Theorem 2.5's approximation factor, cover-set
+// exactness, plan partitioning, and simulator byte conservation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "src/harness/experiment.h"
+#include "src/prefix/cover.h"
+#include "src/prefix/plan.h"
+#include "src/steiner/exact.h"
+#include "src/steiner/layer_peel.h"
+#include "src/baselines/bandwidth.h"
+#include "src/prefix/prefix.h"
+#include "src/routing/router.h"
+#include "src/sim/dcqcn.h"
+#include "src/steiner/symmetric.h"
+#include "src/topology/failures.h"
+
+namespace peel {
+namespace {
+
+// --- Layer peeling under random failures ------------------------------------
+
+struct PeelParams {
+  std::uint64_t seed;
+  double failure_fraction;
+  int group;
+};
+
+class LayerPeelProperty : public ::testing::TestWithParam<PeelParams> {};
+
+TEST_P(LayerPeelProperty, TreeValidAndWithinBounds) {
+  const auto [seed, failure_fraction, group] = GetParam();
+  LeafSpine ls = build_leaf_spine(LeafSpineConfig{8, 16, 2, 0});
+  Rng rng(seed);
+  if (failure_fraction > 0) {
+    fail_random_fraction(ls.topo, duplex_spine_leaf_links(ls.topo),
+                         failure_fraction, rng);
+  }
+  std::vector<NodeId> pool = ls.hosts;
+  rng.shuffle(pool);
+  const NodeId source = pool[0];
+  std::vector<NodeId> dests(pool.begin() + 1, pool.begin() + 1 + group);
+  if (!all_reachable(ls.topo, source, dests)) GTEST_SKIP();
+
+  const MulticastTree tree = layer_peel_tree(ls.topo, source, dests);
+  ASSERT_TRUE(tree.validate(ls.topo).ok) << tree.validate(ls.topo).error;
+
+  // Lemma 2.3: |T| (tree switches) <= |D| * F.
+  const int f = farthest_destination_distance(ls.topo, source, dests);
+  EXPECT_LE(tree.switch_count(ls.topo),
+            dests.size() * static_cast<std::size_t>(f));
+
+  // Any tree must at least touch each destination and each distinct leaf.
+  std::set<NodeId> leaves;
+  for (NodeId d : dests) leaves.insert(ls.topo.tor_of(d));
+  EXPECT_GE(tree.link_count(), dests.size() + leaves.size() - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FailureSweep, LayerPeelProperty,
+    ::testing::Values(PeelParams{1, 0.0, 8}, PeelParams{2, 0.01, 8},
+                      PeelParams{3, 0.02, 12}, PeelParams{4, 0.04, 12},
+                      PeelParams{5, 0.08, 16}, PeelParams{6, 0.10, 16},
+                      PeelParams{7, 0.10, 24}, PeelParams{8, 0.15, 8},
+                      PeelParams{9, 0.20, 8}, PeelParams{10, 0.25, 12}));
+
+// --- Theorem 2.5: greedy within min(F, |D|) of the exact optimum ------------
+
+class ApproximationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ApproximationProperty, GreedyWithinFactor) {
+  const std::uint64_t seed = GetParam();
+  LeafSpine ls = build_leaf_spine(LeafSpineConfig{4, 8, 1, 0});
+  Rng rng(seed);
+  fail_random_fraction(ls.topo, duplex_spine_leaf_links(ls.topo), 0.2, rng);
+  std::vector<NodeId> pool = ls.hosts;
+  rng.shuffle(pool);
+  const NodeId source = pool[0];
+  std::vector<NodeId> dests(pool.begin() + 1, pool.begin() + 6);
+  if (!all_reachable(ls.topo, source, dests)) GTEST_SKIP();
+
+  const MulticastTree greedy = layer_peel_tree(ls.topo, source, dests);
+  ASSERT_TRUE(greedy.validate(ls.topo).ok);
+  const int exact = exact_steiner_cost(ls.topo, source, dests);
+  const int f = farthest_destination_distance(ls.topo, source, dests);
+  const int factor = std::min<int>(f, static_cast<int>(dests.size()));
+  EXPECT_GE(static_cast<int>(greedy.link_count()), exact);
+  EXPECT_LE(static_cast<int>(greedy.link_count()), exact * factor);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApproximationProperty,
+                         ::testing::Range<std::uint64_t>(100, 130));
+
+// --- Greedy equals the optimum on symmetric fabrics --------------------------
+
+class SymmetricGreedyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SymmetricGreedyProperty, GreedyMatchesClosedFormOptimum) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 2});
+  Rng rng(GetParam());
+  std::vector<NodeId> pool = ft.gpus;
+  rng.shuffle(pool);
+  const std::size_t n = 2 + rng.next_below(14);
+  const NodeId source = pool[0];
+  std::vector<NodeId> dests(pool.begin() + 1, pool.begin() + 1 + n);
+
+  const MulticastTree greedy = layer_peel_tree(ft.topo, source, dests);
+  ASSERT_TRUE(greedy.validate(ft.topo).ok);
+  EXPECT_EQ(greedy.link_count(), symmetric_optimal_link_count(ft, source, dests));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SymmetricGreedyProperty,
+                         ::testing::Range<std::uint64_t>(200, 220));
+
+// --- Cover sets ---------------------------------------------------------------
+
+class CoverProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoverProperty, ExactCoverExactAndAligned) {
+  const int m = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m) * 31 + 7);
+  const auto size = std::size_t{1} << m;
+  for (int trial = 0; trial < 50; ++trial) {
+    MemberSet members(size, 0);
+    for (auto& b : members) b = rng.next_below(3) == 0;
+    const auto cover = exact_cover(members, m);
+    MemberSet covered(size, 0);
+    for (const auto& p : cover) {
+      // Power-of-two alignment.
+      EXPECT_EQ(p.block_start(m) % p.block_size(m), 0u);
+      for (std::uint32_t id = p.block_start(m);
+           id < p.block_start(m) + p.block_size(m); ++id) {
+        EXPECT_FALSE(covered[id]);
+        covered[id] = 1;
+      }
+    }
+    EXPECT_EQ(covered, members);
+  }
+}
+
+TEST_P(CoverProperty, BoundedCoverMonotoneInBudget) {
+  const int m = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m) * 17 + 3);
+  const auto size = std::size_t{1} << m;
+  for (int trial = 0; trial < 20; ++trial) {
+    MemberSet members(size, 0);
+    for (auto& b : members) b = rng.next_below(2) == 0;
+    if (member_count(members) == 0) continue;
+    int prev_waste = std::numeric_limits<int>::max();
+    for (int budget = 1; budget <= 5; ++budget) {
+      const auto bc = bounded_cover(members, m, budget);
+      EXPECT_LE(static_cast<int>(bc.prefixes.size()), budget);
+      EXPECT_LE(bc.redundant, prev_waste);
+      prev_waste = bc.redundant;
+      // All members covered.
+      for (std::size_t id = 0; id < size; ++id) {
+        if (!members[id]) continue;
+        const bool covered = std::any_of(
+            bc.prefixes.begin(), bc.prefixes.end(), [&](const Prefix& p) {
+              return p.matches(static_cast<std::uint32_t>(id), m);
+            });
+        EXPECT_TRUE(covered);
+      }
+      // Redundancy accounting is consistent.
+      int over = 0;
+      for (std::size_t id = 0; id < size; ++id) {
+        if (members[id]) continue;
+        for (const auto& p : bc.prefixes) {
+          if (p.matches(static_cast<std::uint32_t>(id), m)) {
+            ++over;
+            break;
+          }
+        }
+      }
+      EXPECT_EQ(over, bc.redundant);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(IdBits, CoverProperty, ::testing::Values(2, 3, 4, 5, 6));
+
+// --- PEEL plans partition the group ------------------------------------------
+
+class PlanProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlanProperty, PacketsPartitionAndStateIsBounded) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{8, 4, 2});
+  Rng rng(GetParam());
+  std::vector<NodeId> pool = ft.gpus;
+  rng.shuffle(pool);
+  const std::size_t n = 4 + rng.next_below(60);
+  const NodeId source = pool[0];
+  std::vector<NodeId> dests(pool.begin() + 1, pool.begin() + 1 + n);
+
+  const PeelPlan plan = build_peel_plan(ft, source, dests);
+  // Exact covers over-cover nothing — except the source's own rack, which is
+  // a free don't-care (it sits on the packet's up-path).
+  const NodeId src_tor = ft.topo.tor_of(ft.topo.host_of(source));
+  for (const auto& packet : plan.packets) {
+    for (NodeId tor : packet.redundant_tors) EXPECT_EQ(tor, src_tor);
+  }
+  EXPECT_LE(plan.header_bits(), 64);
+
+  // Realize the plan as streams and confirm the receivers partition dests.
+  const Fabric fabric = Fabric::of(ft);
+  const auto streams = peel_static_trees(fabric, plan, GetParam());
+  std::multiset<NodeId> covered;
+  for (const auto& s : streams) {
+    EXPECT_TRUE(s.tree.validate(ft.topo).ok);
+    covered.insert(s.receivers.begin(), s.receivers.end());
+  }
+  EXPECT_EQ(covered, std::multiset<NodeId>(dests.begin(), dests.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanProperty,
+                         ::testing::Range<std::uint64_t>(300, 325));
+
+// --- Fat-tree shape across degrees ---------------------------------------------
+
+class FatTreeShapeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FatTreeShapeProperty, CanonicalInvariants) {
+  const int k = GetParam();
+  const FatTree ft = build_fat_tree(FatTreeConfig{k, -1, 0});
+  const int half = k / 2;
+  EXPECT_EQ(ft.cores.size(), static_cast<std::size_t>(half * half));
+  EXPECT_EQ(ft.aggs.size(), static_cast<std::size_t>(k * half));
+  EXPECT_EQ(ft.tors.size(), static_cast<std::size_t>(k * half));
+  EXPECT_EQ(ft.hosts.size(), static_cast<std::size_t>(k * half * half));
+  // Degree checks: every core has k live neighbors (one agg per pod), every
+  // agg k (half cores + half tors), every ToR k (half aggs + half hosts).
+  for (NodeId core : ft.cores) {
+    EXPECT_EQ(ft.topo.live_neighbors(core).size(), static_cast<std::size_t>(k));
+  }
+  for (NodeId agg : ft.aggs) {
+    EXPECT_EQ(ft.topo.live_neighbors(agg).size(), static_cast<std::size_t>(k));
+  }
+  for (NodeId tor : ft.tors) {
+    EXPECT_EQ(ft.topo.live_neighbors(tor).size(), static_cast<std::size_t>(k));
+  }
+  // Any two hosts in different pods are exactly 6 hops apart.
+  Router router(ft.topo);
+  const Route r = router.path(ft.hosts.front(), ft.hosts.back(), 1);
+  EXPECT_EQ(r.hops(), 6u);
+}
+
+TEST_P(FatTreeShapeProperty, PrefixStateMatchesHeadlineFormula) {
+  const int k = GetParam();
+  const int m = id_bits(k / 2);
+  EXPECT_EQ(rule_count(m), static_cast<std::size_t>(k - 1));
+  const PrefixRuleTable table(m, k / 2);
+  EXPECT_EQ(table.size(), static_cast<std::size_t>(k - 1));
+  // Every live port is selected by exactly m+1 rules (one per prefix length).
+  std::vector<int> selected(static_cast<std::size_t>(k / 2), 0);
+  for (int len = 0; len <= m; ++len) {
+    for (std::uint32_t v = 0; v < (1u << len); ++v) {
+      for (int port : table.match(Prefix{v, len})) {
+        ++selected[static_cast<std::size_t>(port)];
+      }
+    }
+  }
+  for (int count : selected) EXPECT_EQ(count, m + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, FatTreeShapeProperty,
+                         ::testing::Values(4, 8, 16, 32));
+
+// --- DCQCN parameter sweeps -----------------------------------------------------
+
+struct DcqcnSweep {
+  double g;
+  int fast_recovery_stages;
+  double additive;
+};
+
+class DcqcnProperty : public ::testing::TestWithParam<DcqcnSweep> {};
+
+TEST_P(DcqcnProperty, RateStaysInBoundsAndRecovers) {
+  const auto [g, stages, additive] = GetParam();
+  DcqcnParams p;
+  p.g = g;
+  p.fast_recovery_stages = stages;
+  p.additive_increase_fraction = additive;
+  const double line = 12.5;
+  Dcqcn cc(p, line, CnpMode::Unthrottled, 0);
+
+  Rng rng(99);
+  SimTime now = 0;
+  for (int i = 0; i < 2000; ++i) {
+    now += static_cast<SimTime>(rng.next_below(200'000));  // 0..200 us gaps
+    if (rng.next_below(3) == 0) cc.on_cnp(now);
+    const double rate = cc.rate(now);
+    ASSERT_GE(rate, p.min_rate_fraction * line - 1e-9);
+    ASSERT_LE(rate, line + 1e-9);
+  }
+  // A long quiet period always brings the rate back to (near) line rate.
+  const double recovered = cc.rate(now + 3000 * p.increase_timer);
+  EXPECT_NEAR(recovered, line, line * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, DcqcnProperty,
+                         ::testing::Values(DcqcnSweep{1.0 / 16, 5, 0.005},
+                                           DcqcnSweep{1.0 / 256, 5, 0.005},
+                                           DcqcnSweep{1.0 / 16, 1, 0.001},
+                                           DcqcnSweep{1.0 / 64, 10, 0.0005}));
+
+// --- Figure-1 inequality generalizes across fabric sizes ------------------------
+
+class BandwidthGapProperty
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(BandwidthGapProperty, UnicastSchedulesNeverBeatOptimal) {
+  const auto [spines, leaves] = GetParam();
+  const LeafSpine ls = build_leaf_spine(LeafSpineConfig{spines, leaves, 4, 0});
+  const NodeId source = ls.hosts[0];
+  const std::vector<NodeId> dests(ls.hosts.begin() + 1, ls.hosts.end());
+
+  Router router(ls.topo);
+  const LinkLoad ring = unicast_load(ls.topo, router, ring_pairs(source, dests));
+  const LinkLoad tree =
+      unicast_load(ls.topo, router, binary_tree_pairs(source, dests));
+  const MulticastTree opt = optimal_leaf_spine_tree(ls, source, dests, 0);
+  const LinkLoad optimal = tree_load(ls.topo, opt);
+
+  EXPECT_GE(ring.total(), optimal.total());
+  EXPECT_GE(tree.total(), optimal.total());
+  EXPECT_GE(ring.core_total(ls.topo), optimal.core_total(ls.topo));
+  EXPECT_GE(tree.core_total(ls.topo), optimal.core_total(ls.topo));
+  EXPECT_EQ(optimal.max_on_any_link(), 1);  // multicast never repeats a link
+}
+
+INSTANTIATE_TEST_SUITE_P(Fabrics, BandwidthGapProperty,
+                         ::testing::Values(std::pair{2, 2}, std::pair{2, 4},
+                                           std::pair{4, 8}, std::pair{8, 16}));
+
+// --- Leaf-spine optimal construction equals the exact Steiner optimum -----------
+
+class LeafSpineOptimalProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LeafSpineOptimalProperty, ConstructionMatchesExact) {
+  const LeafSpine ls = build_leaf_spine(LeafSpineConfig{3, 6, 2, 0});
+  Rng rng(GetParam());
+  std::vector<NodeId> pool = ls.hosts;
+  rng.shuffle(pool);
+  const std::size_t n = 2 + rng.next_below(6);
+  const NodeId source = pool[0];
+  std::vector<NodeId> dests(pool.begin() + 1, pool.begin() + 1 + n);
+
+  const MulticastTree opt = optimal_leaf_spine_tree(ls, source, dests, GetParam());
+  ASSERT_TRUE(opt.validate(ls.topo).ok);
+  EXPECT_EQ(static_cast<int>(opt.link_count()),
+            exact_steiner_cost(ls.topo, source, dests));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LeafSpineOptimalProperty,
+                         ::testing::Range<std::uint64_t>(500, 515));
+
+// --- Simulator byte conservation ----------------------------------------------
+
+class ConservationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConservationProperty, OptimalBroadcastBytesMatchTreeExactly) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 2});
+  const Fabric fabric = Fabric::of(ft);
+  Rng rng(GetParam());
+  std::vector<NodeId> pool = ft.gpus;
+  rng.shuffle(pool);
+  const std::size_t n = 3 + rng.next_below(12);
+  GroupSelection g;
+  g.source = pool[0];
+  g.destinations.assign(pool.begin() + 1, pool.begin() + 1 + n);
+
+  const Bytes msg = 3 * kMiB + 137;  // deliberately unaligned
+  const MulticastTree tree = optimal_tree(fabric, g.source, g.destinations, 1);
+  std::size_t fabric_links = 0;
+  for (LinkId l : tree.links()) {
+    if (ft.topo.link(l).kind != LinkKind::NvLink) ++fabric_links;
+  }
+
+  SimConfig sim;
+  const SingleResult r =
+      run_single_broadcast(fabric, Scheme::Optimal, g, msg, sim, RunnerOptions{});
+  // Every fabric tree link carries the message exactly once — no loss, no
+  // duplication, independent of chunking/segmentation boundaries.
+  EXPECT_EQ(r.fabric_bytes, static_cast<Bytes>(fabric_links) * msg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConservationProperty,
+                         ::testing::Range<std::uint64_t>(400, 415));
+
+}  // namespace
+}  // namespace peel

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/routing/router.h"
+#include "src/topology/failures.h"
+#include "src/topology/fat_tree.h"
+#include "src/topology/leaf_spine.h"
+
+namespace peel {
+namespace {
+
+bool route_is_consistent(const Topology& topo, const Route& r, NodeId src, NodeId dst) {
+  if (r.nodes.front() != src || r.nodes.back() != dst) return false;
+  if (r.links.size() + 1 != r.nodes.size()) return false;
+  for (std::size_t i = 0; i < r.links.size(); ++i) {
+    const Link& l = topo.link(r.links[i]);
+    if (l.src != r.nodes[i] || l.dst != r.nodes[i + 1] || l.failed) return false;
+  }
+  return true;
+}
+
+TEST(Router, SelfPathIsEmpty) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 1, 0});
+  Router router(ft.topo);
+  const Route r = router.path(ft.hosts[0], ft.hosts[0], 1);
+  EXPECT_TRUE(r.links.empty());
+  ASSERT_EQ(r.nodes.size(), 1u);
+  EXPECT_EQ(r.nodes[0], ft.hosts[0]);
+}
+
+TEST(Router, IntraPodPathLength) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 0});
+  Router router(ft.topo);
+  // Hosts under different ToRs of the same pod: host-tor-agg-tor-host = 4 hops.
+  const Route r = router.path(ft.hosts[0], ft.hosts[2], 7);
+  EXPECT_TRUE(route_is_consistent(ft.topo, r, ft.hosts[0], ft.hosts[2]));
+  EXPECT_EQ(r.hops(), 4u);
+}
+
+TEST(Router, InterPodPathLength) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 0});
+  Router router(ft.topo);
+  // Different pods: host-tor-agg-core-agg-tor-host = 6 hops.
+  const Route r = router.path(ft.hosts[0], ft.hosts.back(), 3);
+  EXPECT_TRUE(route_is_consistent(ft.topo, r, ft.hosts[0], ft.hosts.back()));
+  EXPECT_EQ(r.hops(), 6u);
+}
+
+TEST(Router, SameHostGpuPath) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 1, 4});
+  Router router(ft.topo);
+  const Route r = router.path(ft.gpus[0], ft.gpus[1], 5);
+  EXPECT_EQ(r.hops(), 2u);  // gpu -> host -> gpu over NVLink
+}
+
+TEST(Router, EcmpSpreadsAcrossCores) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{8, 1, 0});
+  Router router(ft.topo);
+  std::set<NodeId> cores_used;
+  for (std::uint64_t flow = 0; flow < 64; ++flow) {
+    const Route r = router.path(ft.hosts[0], ft.hosts.back(), ecmp_hash(flow, 1));
+    for (NodeId n : r.nodes) {
+      if (ft.topo.kind(n) == NodeKind::Core) cores_used.insert(n);
+    }
+  }
+  EXPECT_GT(cores_used.size(), 4u);  // 16 cores exist; hashing should hit many
+}
+
+TEST(Router, SameFlowHashSamePath) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{8, 1, 0});
+  Router router(ft.topo);
+  const Route a = router.path(ft.hosts[0], ft.hosts.back(), 99);
+  const Route b = router.path(ft.hosts[0], ft.hosts.back(), 99);
+  EXPECT_EQ(a.links, b.links);
+}
+
+TEST(Router, AvoidsFailedLinks) {
+  LeafSpine ls = build_leaf_spine(LeafSpineConfig{2, 2, 1, 0});
+  // Kill leaf0-spine0 so every path from host0 must use spine 1.
+  ls.topo.fail_duplex(ls.topo.find_link(ls.leaves[0], ls.spines[0]));
+  Router router(ls.topo);
+  for (std::uint64_t flow = 0; flow < 16; ++flow) {
+    const Route r = router.path(ls.hosts[0], ls.hosts[1], flow);
+    EXPECT_TRUE(route_is_consistent(ls.topo, r, ls.hosts[0], ls.hosts[1]));
+    for (NodeId n : r.nodes) EXPECT_NE(n, ls.spines[0]);
+  }
+}
+
+TEST(Router, DetourWhenShortestBroken) {
+  // Fail ALL spine links of leaf 0 except via spine 1, and spine 1's link to
+  // leaf 1: the path must become leaf0 -> spine1 -> leaf2? No such path in a
+  // two-tier fabric (leaves don't interconnect): verify unreachability
+  // handling instead.
+  LeafSpine ls = build_leaf_spine(LeafSpineConfig{2, 2, 1, 0});
+  ls.topo.fail_duplex(ls.topo.find_link(ls.leaves[1], ls.spines[0]));
+  ls.topo.fail_duplex(ls.topo.find_link(ls.leaves[1], ls.spines[1]));
+  Router router(ls.topo);
+  const Route r = router.path(ls.hosts[0], ls.hosts[1], 0);
+  EXPECT_TRUE(r.links.empty());
+  EXPECT_TRUE(r.nodes.empty() || r.nodes.size() == 1);
+}
+
+TEST(Router, InvalidateRefreshesDistances) {
+  LeafSpine ls = build_leaf_spine(LeafSpineConfig{2, 2, 1, 0});
+  Router router(ls.topo);
+  const Route before = router.path(ls.hosts[0], ls.hosts[1], 0);
+  EXPECT_EQ(before.hops(), 4u);
+  // Fail the spine the cached path used; without invalidate the router would
+  // try to walk a stale distance field.
+  for (std::size_t i = 0; i < before.nodes.size(); ++i) {
+    if (ls.topo.kind(before.nodes[i]) == NodeKind::Core) {
+      ls.topo.fail_duplex(before.links[i - 1]);
+    }
+  }
+  router.invalidate();
+  const Route after = router.path(ls.hosts[0], ls.hosts[1], 0);
+  EXPECT_TRUE(route_is_consistent(ls.topo, after, ls.hosts[0], ls.hosts[1]));
+}
+
+TEST(Router, DistancesFromMatchesTo) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 2});
+  Router router(ft.topo);
+  const auto from = router.distances_from(ft.gpus[0]);
+  // Duplex symmetric graph: dist(a->b) == dist(b->a).
+  const auto& to = router.distances_to(ft.gpus[0]);
+  EXPECT_EQ(from, to);
+}
+
+TEST(EcmpHash, Deterministic) {
+  EXPECT_EQ(ecmp_hash(1, 2, 3), ecmp_hash(1, 2, 3));
+  EXPECT_NE(ecmp_hash(1, 2, 3), ecmp_hash(1, 2, 4));
+  EXPECT_NE(ecmp_hash(1, 2), ecmp_hash(2, 1));
+}
+
+}  // namespace
+}  // namespace peel

@@ -1,0 +1,450 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/dcqcn.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/network.h"
+#include "src/topology/topology.h"
+
+namespace peel {
+namespace {
+
+TEST(EventQueue, OrdersByTimeThenFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  q.at(20, [&] { order.push_back(2); });
+  q.at(10, [&] { order.push_back(1); });
+  q.at(20, [&] { order.push_back(3); });  // same time: scheduling order
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 20);
+  EXPECT_EQ(q.processed(), 3u);
+}
+
+TEST(EventQueue, RejectsPast) {
+  EventQueue q;
+  q.at(10, [] {});
+  q.step();
+  EXPECT_THROW(q.at(5, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, RunUntilAdvancesClock) {
+  EventQueue q;
+  int fired = 0;
+  q.at(10, [&] { ++fired; });
+  q.at(30, [&] { ++fired; });
+  q.run_until(20);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 20);
+  q.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventsCanSchedule) {
+  EventQueue q;
+  int hits = 0;
+  q.at(1, [&] {
+    ++hits;
+    q.after(5, [&] { ++hits; });
+  });
+  q.run();
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(q.now(), 6);
+}
+
+// --- Fixtures ---------------------------------------------------------------
+
+struct ChainFixture {
+  Topology topo;
+  NodeId a, sw, b;
+  LinkId l0, l1;
+
+  ChainFixture() {
+    a = topo.add_node(Node{NodeKind::Host, 0, 0});
+    sw = topo.add_node(Node{NodeKind::Tor, 0, 0});
+    b = topo.add_node(Node{NodeKind::Host, 0, 1});
+    l0 = topo.add_duplex_link(a, sw, 100_gbps, 100);
+    l1 = topo.add_duplex_link(sw, b, 100_gbps, 100);
+  }
+
+  StreamSpec spec() const {
+    StreamSpec s;
+    s.source = a;
+    s.forward[a] = {l0};
+    s.forward[sw] = {l1};
+    s.receivers = {b};
+    return s;
+  }
+};
+
+TEST(Network, SingleTransferTiming) {
+  ChainFixture f;
+  EventQueue q;
+  SimConfig cfg;
+  cfg.congestion_control = false;
+  Network net(f.topo, cfg, q);
+
+  SimTime done = -1;
+  net.set_delivery_handler([&](const DeliveryEvent& ev) {
+    EXPECT_EQ(ev.receiver, f.b);
+    EXPECT_EQ(ev.chunk, 0);
+    done = q.now();
+  });
+  const StreamId s = net.open_stream(f.spec());
+  const Bytes msg = 1 * kMiB;
+  net.send_chunk(s, 0, msg);
+  q.run();
+
+  ASSERT_GE(done, 0);
+  // Lower bound: pure serialization of the message at 12.5 B/ns.
+  const auto serialization = static_cast<SimTime>(msg / 12.5);
+  EXPECT_GT(done, serialization);
+  // Upper bound: pipelined store-and-forward adds ~1 segment per extra hop
+  // plus propagation and rounding.
+  const SimTime segment_time = (100_gbps).tx_time(cfg.segment_bytes);
+  EXPECT_LT(done, serialization + 2 * (segment_time + 100) + 64);
+}
+
+TEST(Network, BytesAccounting) {
+  ChainFixture f;
+  EventQueue q;
+  SimConfig cfg;
+  cfg.congestion_control = false;
+  Network net(f.topo, cfg, q);
+  const StreamId s = net.open_stream(f.spec());
+  net.send_chunk(s, 0, 256 * kKiB);
+  q.run();
+  EXPECT_EQ(net.link_bytes(f.l0), 256 * kKiB);
+  EXPECT_EQ(net.link_bytes(f.l1), 256 * kKiB);
+  EXPECT_EQ(net.total_bytes_serialized(), 512 * kKiB);
+}
+
+TEST(Network, MulticastReplicatesOncePerLink) {
+  // Star: src host -> tor -> 3 hosts.
+  Topology topo;
+  const NodeId src = topo.add_node(Node{NodeKind::Host, 0, 0});
+  const NodeId sw = topo.add_node(Node{NodeKind::Tor, 0, 0});
+  const LinkId up = topo.add_duplex_link(src, sw, 100_gbps, 100);
+  std::vector<NodeId> sinks;
+  std::vector<LinkId> down;
+  for (int i = 0; i < 3; ++i) {
+    sinks.push_back(topo.add_node(Node{NodeKind::Host, 0, i + 1}));
+    down.push_back(topo.add_duplex_link(sw, sinks.back(), 100_gbps, 100));
+  }
+  EventQueue q;
+  SimConfig cfg;
+  Network net(topo, cfg, q);
+  int deliveries = 0;
+  net.set_delivery_handler([&](const DeliveryEvent&) { ++deliveries; });
+
+  StreamSpec spec;
+  spec.source = src;
+  spec.forward[src] = {up};
+  spec.forward[sw] = down;
+  spec.receivers = sinks;
+  const StreamId s = net.open_stream(spec);
+  net.send_chunk(s, 0, 128 * kKiB);
+  q.run();
+
+  EXPECT_EQ(deliveries, 3);
+  EXPECT_EQ(net.link_bytes(up), 128 * kKiB);  // single copy on the shared link
+  for (LinkId l : down) EXPECT_EQ(net.link_bytes(l), 128 * kKiB);
+}
+
+TEST(Network, NonReceiverGetsBytesButNoDelivery) {
+  ChainFixture f;
+  // Add a redundant host hanging off the switch.
+  const NodeId extra = f.topo.add_node(Node{NodeKind::Host, 0, 2});
+  const LinkId lx = f.topo.add_duplex_link(f.sw, extra, 100_gbps, 100);
+  EventQueue q;
+  Network net(f.topo, SimConfig{}, q);
+  std::vector<NodeId> delivered_to;
+  net.set_delivery_handler(
+      [&](const DeliveryEvent& ev) { delivered_to.push_back(ev.receiver); });
+  StreamSpec spec = f.spec();
+  spec.forward[f.sw].push_back(lx);  // over-covered copy
+  const StreamId s = net.open_stream(spec);
+  net.send_chunk(s, 0, 64 * kKiB);
+  q.run();
+  EXPECT_EQ(delivered_to, (std::vector<NodeId>{f.b}));
+  EXPECT_EQ(net.link_bytes(lx), 64 * kKiB);  // wasted bandwidth is charged
+}
+
+TEST(Network, IncastBuildsQueueAndMarks) {
+  // Two senders converge on one sink: the sink-facing link saturates.
+  Topology topo;
+  const NodeId s1 = topo.add_node(Node{NodeKind::Host, 0, 0});
+  const NodeId s2 = topo.add_node(Node{NodeKind::Host, 0, 1});
+  const NodeId sw = topo.add_node(Node{NodeKind::Tor, 0, 0});
+  const NodeId sink = topo.add_node(Node{NodeKind::Host, 0, 2});
+  const LinkId u1 = topo.add_duplex_link(s1, sw, 100_gbps, 100);
+  const LinkId u2 = topo.add_duplex_link(s2, sw, 100_gbps, 100);
+  const LinkId d = topo.add_duplex_link(sw, sink, 100_gbps, 100);
+
+  EventQueue q;
+  SimConfig cfg;
+  Network net(topo, cfg, q);
+  int deliveries = 0;
+  net.set_delivery_handler([&](const DeliveryEvent&) { ++deliveries; });
+
+  auto make = [&](NodeId src, LinkId up) {
+    StreamSpec spec;
+    spec.source = src;
+    spec.forward[src] = {up};
+    spec.forward[sw] = {d};
+    spec.receivers = {sink};
+    return net.open_stream(spec);
+  };
+  const StreamId a = make(s1, u1);
+  const StreamId b = make(s2, u2);
+  net.send_chunk(a, 0, 4 * kMiB);
+  net.send_chunk(b, 0, 4 * kMiB);
+  q.run();
+
+  EXPECT_EQ(deliveries, 2);
+  EXPECT_GT(net.segments_marked(), 0u);
+  // DCQCN reacted on at least one flow.
+  EXPECT_GT(net.stream_cc(a).cnps_seen() + net.stream_cc(b).cnps_seen(), 0u);
+}
+
+TEST(Network, PfcPausesAndStaysLossless) {
+  // Tiny switch buffer forces PFC while a fast link feeds a slow one.
+  Topology topo;
+  const NodeId src = topo.add_node(Node{NodeKind::Host, 0, 0});
+  const NodeId sw = topo.add_node(Node{NodeKind::Tor, 0, 0});
+  const NodeId sink = topo.add_node(Node{NodeKind::Host, 0, 1});
+  const LinkId fast = topo.add_duplex_link(src, sw, 400_gbps, 100);
+  topo.add_duplex_link(sw, sink, 100_gbps, 100);
+
+  EventQueue q;
+  SimConfig cfg;
+  cfg.switch_buffer_bytes = 256 * kKiB;
+  cfg.congestion_control = false;  // isolate PFC from rate control
+  Network net(topo, cfg, q);
+  int deliveries = 0;
+  net.set_delivery_handler([&](const DeliveryEvent&) { ++deliveries; });
+  StreamSpec spec;
+  spec.source = src;
+  spec.forward[src] = {fast};
+  spec.forward[sw] = {topo.find_link(sw, sink)};
+  spec.receivers = {sink};
+  const StreamId s = net.open_stream(spec);
+  for (int c = 0; c < 4; ++c) net.send_chunk(s, c, 2 * kMiB);
+  q.run();
+
+  EXPECT_EQ(deliveries, 4);
+  EXPECT_GT(net.pfc_pauses(), 0u);
+  EXPECT_EQ(net.total_bytes_serialized(),
+            2 * (4 * 2 * kMiB));  // nothing lost, both hops carried it all
+}
+
+TEST(Network, CancelUnsentChunks) {
+  ChainFixture f;
+  EventQueue q;
+  SimConfig cfg;
+  Network net(f.topo, cfg, q);
+  int deliveries = 0;
+  net.set_delivery_handler([&](const DeliveryEvent&) { ++deliveries; });
+  const StreamId s = net.open_stream(f.spec());
+  for (int c = 0; c < 8; ++c) net.send_chunk(s, c, 1 * kMiB);
+  // Let roughly two chunks through, then cancel the rest.
+  q.run_until(200 * kMicrosecond);
+  const auto cancelled = net.cancel_unsent_chunks(s);
+  q.run();
+  EXPECT_FALSE(cancelled.empty());
+  EXPECT_LT(cancelled.size(), 8u);
+  EXPECT_EQ(deliveries, 8 - static_cast<int>(cancelled.size()));
+  // Cancelled chunks can be re-sent later (fresh stream).
+  const StreamId s2 = net.open_stream(f.spec());
+  for (int c : cancelled) net.send_chunk(s2, c, 1 * kMiB);
+  q.run();
+  EXPECT_EQ(deliveries, 8);
+}
+
+TEST(Network, CloseStreamSilencesDeliveries) {
+  ChainFixture f;
+  EventQueue q;
+  Network net(f.topo, SimConfig{}, q);
+  int deliveries = 0;
+  net.set_delivery_handler([&](const DeliveryEvent&) { ++deliveries; });
+  const StreamId s = net.open_stream(f.spec());
+  net.send_chunk(s, 0, 64 * kKiB);
+  net.close_stream(s);
+  q.run();
+  EXPECT_EQ(deliveries, 0);
+  EXPECT_THROW(net.send_chunk(s, 1, 64), std::logic_error);
+}
+
+/// Fast first hop feeding a slow second hop: a standing queue forms at the
+/// switch, so ECN marking has something to mark.
+struct BottleneckFixture {
+  Topology topo;
+  NodeId a, sw, b;
+  LinkId l0, l1;
+
+  BottleneckFixture() {
+    a = topo.add_node(Node{NodeKind::Host, 0, 0});
+    sw = topo.add_node(Node{NodeKind::Tor, 0, 0});
+    b = topo.add_node(Node{NodeKind::Host, 0, 1});
+    l0 = topo.add_duplex_link(a, sw, 400_gbps, 100);
+    l1 = topo.add_duplex_link(sw, b, 100_gbps, 100);
+  }
+
+  StreamSpec spec(CnpMode mode) const {
+    StreamSpec s;
+    s.source = a;
+    s.forward[a] = {l0};
+    s.forward[sw] = {l1};
+    s.receivers = {b};
+    s.cnp_mode = mode;
+    return s;
+  }
+};
+
+TEST(Network, MarkedSegmentsReachReceiverAndTriggerCnps) {
+  // The CE bit set at the bottleneck queue must survive forwarding: the
+  // receiver's CNPs show up at the sender's congestion state.
+  BottleneckFixture f;
+  EventQueue q;
+  SimConfig cfg;
+  Network net(f.topo, cfg, q);
+  const StreamId s = net.open_stream(f.spec(CnpMode::Unthrottled));
+  net.send_chunk(s, 0, 8 * kMiB);
+  q.run();
+  EXPECT_GT(net.segments_marked(), 0u);
+  EXPECT_GT(net.stream_cc(s).cnps_seen(), 0u);
+  EXPECT_GT(net.stream_cc(s).reactions(), 0u);
+}
+
+TEST(Network, ReceiverTimerSuppressesCnps) {
+  // Same marking pressure, two CNP policies: the receiver-side 50 us timer
+  // must deliver fewer CNPs to the sender than unthrottled signaling.
+  auto cnps_with = [&](CnpMode mode) {
+    BottleneckFixture f;
+    EventQueue q;
+    SimConfig cfg;
+    cfg.ecn_kmin = 0;
+    cfg.ecn_kmax = 1;  // mark aggressively so the policies separate clearly
+    Network net(f.topo, cfg, q);
+    const StreamId s = net.open_stream(f.spec(mode));
+    net.send_chunk(s, 0, 8 * kMiB);
+    q.run();
+    return net.stream_cc(s).cnps_seen();
+  };
+  const auto timered = cnps_with(CnpMode::ReceiverTimer);
+  const auto unthrottled = cnps_with(CnpMode::Unthrottled);
+  EXPECT_GT(unthrottled, 0u);
+  EXPECT_LT(timered, unthrottled);
+}
+
+TEST(Network, ChunksDeliverInOrder) {
+  // A stream's segments follow one FIFO path, so chunk completions arrive in
+  // send order at every receiver.
+  ChainFixture f;
+  EventQueue q;
+  Network net(f.topo, SimConfig{}, q);
+  std::vector<int> completion_order;
+  net.set_delivery_handler(
+      [&](const DeliveryEvent& ev) { completion_order.push_back(ev.chunk); });
+  const StreamId s = net.open_stream(f.spec());
+  for (int c = 0; c < 6; ++c) net.send_chunk(s, c, 512 * kKiB);
+  q.run();
+  EXPECT_EQ(completion_order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(Network, QueuePeakTelemetry) {
+  // Incast drives the shared link's queue far deeper than a lone stream's.
+  Topology topo;
+  const NodeId s1 = topo.add_node(Node{NodeKind::Host, 0, 0});
+  const NodeId s2 = topo.add_node(Node{NodeKind::Host, 0, 1});
+  const NodeId sw = topo.add_node(Node{NodeKind::Tor, 0, 0});
+  const NodeId sink = topo.add_node(Node{NodeKind::Host, 0, 2});
+  const LinkId u1 = topo.add_duplex_link(s1, sw, 100_gbps, 100);
+  const LinkId u2 = topo.add_duplex_link(s2, sw, 100_gbps, 100);
+  const LinkId d = topo.add_duplex_link(sw, sink, 100_gbps, 100);
+
+  auto run_with = [&](bool both) {
+    EventQueue q;
+    SimConfig cfg;
+    cfg.congestion_control = false;
+    Network net(topo, cfg, q);
+    auto make = [&](NodeId src, LinkId up) {
+      StreamSpec spec;
+      spec.source = src;
+      spec.forward[src] = {up};
+      spec.forward[sw] = {d};
+      spec.receivers = {sink};
+      return net.open_stream(spec);
+    };
+    net.send_chunk(make(s1, u1), 0, 4 * kMiB);
+    if (both) net.send_chunk(make(s2, u2), 0, 4 * kMiB);
+    q.run();
+    return net.link_queue_peak(d);
+  };
+
+  const Bytes solo = run_with(false);
+  const Bytes incast = run_with(true);
+  EXPECT_GT(incast, solo);
+  EXPECT_GE(incast, 2 * kMiB);  // half the second message piles up
+}
+
+// --- DCQCN unit behaviour ----------------------------------------------------
+
+TEST(Dcqcn, CnpCutsRate) {
+  DcqcnParams p;
+  Dcqcn cc(p, 12.5, CnpMode::ReceiverTimer, 50 * kMicrosecond);
+  EXPECT_DOUBLE_EQ(cc.rate(0), 12.5);
+  cc.on_cnp(1000);
+  EXPECT_LT(cc.rate(1000), 12.5);
+  EXPECT_EQ(cc.reactions(), 1u);
+}
+
+TEST(Dcqcn, GuardTimerCoalesces) {
+  DcqcnParams p;
+  Dcqcn cc(p, 12.5, CnpMode::SenderGuard, 50 * kMicrosecond);
+  EXPECT_TRUE(cc.on_cnp(1000));
+  for (SimTime t = 2000; t < 50000; t += 1000) {
+    EXPECT_FALSE(cc.on_cnp(t));  // inside the guard window
+  }
+  EXPECT_TRUE(cc.on_cnp(1000 + 50 * kMicrosecond));
+  EXPECT_EQ(cc.reactions(), 2u);
+  EXPECT_GT(cc.cnps_seen(), 2u);
+}
+
+TEST(Dcqcn, UnthrottledReactsToEveryCnp) {
+  DcqcnParams p;
+  Dcqcn cc(p, 12.5, CnpMode::Unthrottled, 50 * kMicrosecond);
+  for (SimTime t = 1000; t <= 16000; t += 1000) cc.on_cnp(t);
+  EXPECT_EQ(cc.reactions(), 16u);
+  // Repeated cuts drive the rate to the floor.
+  EXPECT_NEAR(cc.rate(16000), 0.125, 0.2);
+}
+
+TEST(Dcqcn, RecoversTowardLineRate) {
+  DcqcnParams p;
+  Dcqcn cc(p, 12.5, CnpMode::ReceiverTimer, 50 * kMicrosecond);
+  cc.on_cnp(1000);
+  const double cut = cc.rate(1000);
+  const double later = cc.rate(1000 + 50 * p.increase_timer);
+  EXPECT_GT(later, cut);
+  const double much_later = cc.rate(1000 + 3000 * p.increase_timer);
+  EXPECT_NEAR(much_later, 12.5, 0.5);
+}
+
+TEST(Dcqcn, AlphaDecayWeakensLaterCuts) {
+  DcqcnParams p;
+  Dcqcn fresh(p, 12.5, CnpMode::ReceiverTimer, 0);
+  fresh.on_cnp(1000);
+  const double aggressive = fresh.rate(1000) / 12.5;  // alpha ~ 1: cut ~ half
+
+  Dcqcn decayed(p, 12.5, CnpMode::ReceiverTimer, 0);
+  // Long quiet period decays alpha, so the eventual cut is gentler.
+  (void)decayed.rate(500 * p.alpha_timer);
+  decayed.on_cnp(500 * p.alpha_timer + 1);
+  const double gentle = decayed.rate(500 * p.alpha_timer + 1) / 12.5;
+  EXPECT_GT(gentle, aggressive);
+}
+
+}  // namespace
+}  // namespace peel

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/workload/placement.h"
+
+namespace peel {
+namespace {
+
+TEST(Placement, GroupHasNoDuplicates) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{8, 4, 8});
+  const Fabric fabric = Fabric::of(ft);
+  Rng rng(1);
+  PlacementOptions opts;
+  opts.group_size = 64;
+  for (int trial = 0; trial < 20; ++trial) {
+    const GroupSelection g = select_local_group(fabric, opts, rng);
+    std::set<NodeId> all(g.destinations.begin(), g.destinations.end());
+    all.insert(g.source);
+    EXPECT_EQ(all.size(), 64u);
+  }
+}
+
+TEST(Placement, WindowIsContiguousInEndpointOrder) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{8, 4, 8});
+  const Fabric fabric = Fabric::of(ft);
+  Rng rng(2);
+  PlacementOptions opts;
+  opts.group_size = 32;
+  for (int trial = 0; trial < 20; ++trial) {
+    const GroupSelection g = select_local_group(fabric, opts, rng);
+    std::set<NodeId> members(g.destinations.begin(), g.destinations.end());
+    members.insert(g.source);
+    // Map members back to endpoint indices; they must form a contiguous run.
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < ft.gpus.size(); ++i) {
+      if (members.contains(ft.gpus[i])) idx.push_back(i);
+    }
+    ASSERT_EQ(idx.size(), 32u);
+    EXPECT_EQ(idx.back() - idx.front(), 31u);
+    // Host alignment: the window starts on an 8-GPU boundary.
+    EXPECT_EQ(idx.front() % 8, 0u);
+  }
+}
+
+TEST(Placement, SourceIsAMember) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 4});
+  const Fabric fabric = Fabric::of(ft);
+  Rng rng(3);
+  PlacementOptions opts;
+  opts.group_size = 8;
+  const GroupSelection g = select_local_group(fabric, opts, rng);
+  EXPECT_EQ(g.destinations.size(), 7u);
+  for (NodeId d : g.destinations) EXPECT_NE(d, g.source);
+}
+
+TEST(Placement, FragmentationDisplacesMembers) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{8, 4, 8});
+  const Fabric fabric = Fabric::of(ft);
+  Rng rng(4);
+  PlacementOptions opts;
+  opts.group_size = 32;
+  opts.fragmentation = 0.25;
+  int displaced_total = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const GroupSelection g = select_local_group(fabric, opts, rng);
+    std::set<NodeId> members(g.destinations.begin(), g.destinations.end());
+    members.insert(g.source);
+    EXPECT_EQ(members.size(), 32u);  // size preserved, no duplicates
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < ft.gpus.size(); ++i) {
+      if (members.contains(ft.gpus[i])) idx.push_back(i);
+    }
+    displaced_total += static_cast<int>(idx.back() - idx.front()) > 31 ? 1 : 0;
+  }
+  EXPECT_GT(displaced_total, 5);  // fragmentation usually widens the span
+}
+
+TEST(Placement, GroupOfWholeFabric) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 1, 2});
+  const Fabric fabric = Fabric::of(ft);
+  Rng rng(5);
+  PlacementOptions opts;
+  opts.group_size = static_cast<int>(ft.gpus.size());
+  const GroupSelection g = select_local_group(fabric, opts, rng);
+  EXPECT_EQ(g.destinations.size(), ft.gpus.size() - 1);
+}
+
+TEST(Placement, RejectsBadSizes) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 1, 1});
+  const Fabric fabric = Fabric::of(ft);
+  Rng rng(6);
+  PlacementOptions opts;
+  opts.group_size = 1;
+  EXPECT_THROW(select_local_group(fabric, opts, rng), std::invalid_argument);
+  opts.group_size = static_cast<int>(ft.gpus.size()) + 1;
+  EXPECT_THROW(select_local_group(fabric, opts, rng), std::invalid_argument);
+}
+
+TEST(OfferedLoad, ScalesWithLoadAndMessage) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{8, 4, 8});
+  const Fabric fabric = Fabric::of(ft);
+  const double r1 = arrival_rate_for_load(fabric, 0.30, 8 * kMiB, 64);
+  const double r2 = arrival_rate_for_load(fabric, 0.60, 8 * kMiB, 64);
+  const double r3 = arrival_rate_for_load(fabric, 0.30, 16 * kMiB, 64);
+  EXPECT_NEAR(r2 / r1, 2.0, 1e-9);
+  EXPECT_NEAR(r1 / r3, 2.0, 1e-9);
+}
+
+TEST(OfferedLoad, MatchesHandComputation) {
+  // 128 hosts x 100 Gbps = 1.6e12 B/s capacity. A 64-GPU group = 8 hosts;
+  // 8 MiB x 8 = 67.1 MB per collective. At load 0.3:
+  // rate = 0.3 * 1.6e12 / 6.71e7 = 7152.6/s.
+  const FatTree ft = build_fat_tree(FatTreeConfig{8, 4, 8});
+  const Fabric fabric = Fabric::of(ft);
+  const double rate = arrival_rate_for_load(fabric, 0.30, 8 * kMiB, 64);
+  EXPECT_NEAR(rate, 0.3 * (128 * 12.5e9) / (8.0 * 8 * kMiB), 1e-6);
+}
+
+TEST(OfferedLoad, RejectsBadArguments) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 1, 1});
+  const Fabric fabric = Fabric::of(ft);
+  EXPECT_THROW(arrival_rate_for_load(fabric, 0.0, kMiB, 4), std::invalid_argument);
+  EXPECT_THROW(arrival_rate_for_load(fabric, 0.3, 0, 4), std::invalid_argument);
+  EXPECT_THROW(arrival_rate_for_load(fabric, 0.3, kMiB, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace peel
