@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cover_modes"
+  "../bench/ablation_cover_modes.pdb"
+  "CMakeFiles/ablation_cover_modes.dir/ablation_cover_modes.cpp.o"
+  "CMakeFiles/ablation_cover_modes.dir/ablation_cover_modes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cover_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

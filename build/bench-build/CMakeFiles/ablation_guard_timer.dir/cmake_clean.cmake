@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_guard_timer"
+  "../bench/ablation_guard_timer.pdb"
+  "CMakeFiles/ablation_guard_timer.dir/ablation_guard_timer.cpp.o"
+  "CMakeFiles/ablation_guard_timer.dir/ablation_guard_timer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_guard_timer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_striping"
+  "../bench/ablation_striping.pdb"
+  "CMakeFiles/ablation_striping.dir/ablation_striping.cpp.o"
+  "CMakeFiles/ablation_striping.dir/ablation_striping.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

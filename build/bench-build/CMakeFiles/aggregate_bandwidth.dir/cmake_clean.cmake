@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/aggregate_bandwidth"
+  "../bench/aggregate_bandwidth.pdb"
+  "CMakeFiles/aggregate_bandwidth.dir/aggregate_bandwidth.cpp.o"
+  "CMakeFiles/aggregate_bandwidth.dir/aggregate_bandwidth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregate_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/allgather_comparison"
+  "../bench/allgather_comparison.pdb"
+  "CMakeFiles/allgather_comparison.dir/allgather_comparison.cpp.o"
+  "CMakeFiles/allgather_comparison.dir/allgather_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allgather_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/allreduce_comparison"
+  "../bench/allreduce_comparison.pdb"
+  "CMakeFiles/allreduce_comparison.dir/allreduce_comparison.cpp.o"
+  "CMakeFiles/allreduce_comparison.dir/allreduce_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allreduce_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

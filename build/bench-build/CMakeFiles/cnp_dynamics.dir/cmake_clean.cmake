@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cnp_dynamics"
+  "../bench/cnp_dynamics.pdb"
+  "CMakeFiles/cnp_dynamics.dir/cnp_dynamics.cpp.o"
+  "CMakeFiles/cnp_dynamics.dir/cnp_dynamics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnp_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/deployment_ladder"
+  "../bench/deployment_ladder.pdb"
+  "CMakeFiles/deployment_ladder.dir/deployment_ladder.cpp.o"
+  "CMakeFiles/deployment_ladder.dir/deployment_ladder.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

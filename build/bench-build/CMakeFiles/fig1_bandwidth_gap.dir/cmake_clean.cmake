@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_bandwidth_gap"
+  "../bench/fig1_bandwidth_gap.pdb"
+  "CMakeFiles/fig1_bandwidth_gap.dir/fig1_bandwidth_gap.cpp.o"
+  "CMakeFiles/fig1_bandwidth_gap.dir/fig1_bandwidth_gap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_bandwidth_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

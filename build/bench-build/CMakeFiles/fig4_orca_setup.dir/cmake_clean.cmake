@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_orca_setup"
+  "../bench/fig4_orca_setup.pdb"
+  "CMakeFiles/fig4_orca_setup.dir/fig4_orca_setup.cpp.o"
+  "CMakeFiles/fig4_orca_setup.dir/fig4_orca_setup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_orca_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

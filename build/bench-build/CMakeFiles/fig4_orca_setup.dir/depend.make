@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_orca_setup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_cct_vs_msgsize"
+  "../bench/fig5_cct_vs_msgsize.pdb"
+  "CMakeFiles/fig5_cct_vs_msgsize.dir/fig5_cct_vs_msgsize.cpp.o"
+  "CMakeFiles/fig5_cct_vs_msgsize.dir/fig5_cct_vs_msgsize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cct_vs_msgsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

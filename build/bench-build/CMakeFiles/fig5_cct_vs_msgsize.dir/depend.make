@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_cct_vs_msgsize.
+# This may be replaced when dependencies are built.

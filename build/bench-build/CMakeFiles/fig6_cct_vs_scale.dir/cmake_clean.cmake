@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_cct_vs_scale"
+  "../bench/fig6_cct_vs_scale.pdb"
+  "CMakeFiles/fig6_cct_vs_scale.dir/fig6_cct_vs_scale.cpp.o"
+  "CMakeFiles/fig6_cct_vs_scale.dir/fig6_cct_vs_scale.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cct_vs_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_failure_sweep.cpp" "bench-build/CMakeFiles/fig7_failure_sweep.dir/fig7_failure_sweep.cpp.o" "gcc" "bench-build/CMakeFiles/fig7_failure_sweep.dir/fig7_failure_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/peel_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/peel_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/peel_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/peel_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/peel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefix/CMakeFiles/peel_prefix.dir/DependInfo.cmake"
+  "/root/repo/build/src/steiner/CMakeFiles/peel_steiner.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/peel_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/peel_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/peel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/small_message_latency"
+  "../bench/small_message_latency.pdb"
+  "CMakeFiles/small_message_latency.dir/small_message_latency.cpp.o"
+  "CMakeFiles/small_message_latency.dir/small_message_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/small_message_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/state_header_table"
+  "../bench/state_header_table.pdb"
+  "CMakeFiles/state_header_table.dir/state_header_table.cpp.o"
+  "CMakeFiles/state_header_table.dir/state_header_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_header_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

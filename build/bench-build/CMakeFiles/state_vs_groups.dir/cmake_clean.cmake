@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/state_vs_groups"
+  "../bench/state_vs_groups.pdb"
+  "CMakeFiles/state_vs_groups.dir/state_vs_groups.cpp.o"
+  "CMakeFiles/state_vs_groups.dir/state_vs_groups.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_vs_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

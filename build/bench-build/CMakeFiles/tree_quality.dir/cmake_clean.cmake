@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tree_quality"
+  "../bench/tree_quality.pdb"
+  "CMakeFiles/tree_quality.dir/tree_quality.cpp.o"
+  "CMakeFiles/tree_quality.dir/tree_quality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

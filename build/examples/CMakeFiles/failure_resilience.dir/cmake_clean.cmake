@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_resilience.dir/failure_resilience.cpp.o"
+  "CMakeFiles/failure_resilience.dir/failure_resilience.cpp.o.d"
+  "failure_resilience"
+  "failure_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

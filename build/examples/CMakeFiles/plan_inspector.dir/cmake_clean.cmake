@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_inspector.dir/plan_inspector.cpp.o"
+  "CMakeFiles/plan_inspector.dir/plan_inspector.cpp.o.d"
+  "plan_inspector"
+  "plan_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rail_optimized.dir/rail_optimized.cpp.o"
+  "CMakeFiles/rail_optimized.dir/rail_optimized.cpp.o.d"
+  "rail_optimized"
+  "rail_optimized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rail_optimized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bandwidth.cpp" "src/baselines/CMakeFiles/peel_baselines.dir/bandwidth.cpp.o" "gcc" "src/baselines/CMakeFiles/peel_baselines.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/baselines/group_table.cpp" "src/baselines/CMakeFiles/peel_baselines.dir/group_table.cpp.o" "gcc" "src/baselines/CMakeFiles/peel_baselines.dir/group_table.cpp.o.d"
+  "/root/repo/src/baselines/rsbf.cpp" "src/baselines/CMakeFiles/peel_baselines.dir/rsbf.cpp.o" "gcc" "src/baselines/CMakeFiles/peel_baselines.dir/rsbf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/steiner/CMakeFiles/peel_steiner.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/peel_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/peel_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/peel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

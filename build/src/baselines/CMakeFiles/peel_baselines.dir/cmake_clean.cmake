@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peel_baselines.dir/bandwidth.cpp.o"
+  "CMakeFiles/peel_baselines.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/peel_baselines.dir/group_table.cpp.o"
+  "CMakeFiles/peel_baselines.dir/group_table.cpp.o.d"
+  "CMakeFiles/peel_baselines.dir/rsbf.cpp.o"
+  "CMakeFiles/peel_baselines.dir/rsbf.cpp.o.d"
+  "libpeel_baselines.a"
+  "libpeel_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peel_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

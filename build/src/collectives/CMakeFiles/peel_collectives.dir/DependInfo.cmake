@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collectives/rail_trees.cpp" "src/collectives/CMakeFiles/peel_collectives.dir/rail_trees.cpp.o" "gcc" "src/collectives/CMakeFiles/peel_collectives.dir/rail_trees.cpp.o.d"
+  "/root/repo/src/collectives/runner.cpp" "src/collectives/CMakeFiles/peel_collectives.dir/runner.cpp.o" "gcc" "src/collectives/CMakeFiles/peel_collectives.dir/runner.cpp.o.d"
+  "/root/repo/src/collectives/trees.cpp" "src/collectives/CMakeFiles/peel_collectives.dir/trees.cpp.o" "gcc" "src/collectives/CMakeFiles/peel_collectives.dir/trees.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/peel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/steiner/CMakeFiles/peel_steiner.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefix/CMakeFiles/peel_prefix.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/peel_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/peel_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/peel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

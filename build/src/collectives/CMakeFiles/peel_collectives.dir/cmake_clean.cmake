@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peel_collectives.dir/rail_trees.cpp.o"
+  "CMakeFiles/peel_collectives.dir/rail_trees.cpp.o.d"
+  "CMakeFiles/peel_collectives.dir/runner.cpp.o"
+  "CMakeFiles/peel_collectives.dir/runner.cpp.o.d"
+  "CMakeFiles/peel_collectives.dir/trees.cpp.o"
+  "CMakeFiles/peel_collectives.dir/trees.cpp.o.d"
+  "libpeel_collectives.a"
+  "libpeel_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peel_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

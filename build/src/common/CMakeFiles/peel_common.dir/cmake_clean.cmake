@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peel_common.dir/csv.cpp.o"
+  "CMakeFiles/peel_common.dir/csv.cpp.o.d"
+  "CMakeFiles/peel_common.dir/rng.cpp.o"
+  "CMakeFiles/peel_common.dir/rng.cpp.o.d"
+  "CMakeFiles/peel_common.dir/stats.cpp.o"
+  "CMakeFiles/peel_common.dir/stats.cpp.o.d"
+  "libpeel_common.a"
+  "libpeel_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peel_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

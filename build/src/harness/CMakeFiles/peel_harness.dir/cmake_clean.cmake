@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peel_harness.dir/experiment.cpp.o"
+  "CMakeFiles/peel_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/peel_harness.dir/table.cpp.o"
+  "CMakeFiles/peel_harness.dir/table.cpp.o.d"
+  "libpeel_harness.a"
+  "libpeel_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peel_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

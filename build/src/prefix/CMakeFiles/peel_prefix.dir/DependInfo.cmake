@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prefix/cover.cpp" "src/prefix/CMakeFiles/peel_prefix.dir/cover.cpp.o" "gcc" "src/prefix/CMakeFiles/peel_prefix.dir/cover.cpp.o.d"
+  "/root/repo/src/prefix/plan.cpp" "src/prefix/CMakeFiles/peel_prefix.dir/plan.cpp.o" "gcc" "src/prefix/CMakeFiles/peel_prefix.dir/plan.cpp.o.d"
+  "/root/repo/src/prefix/prefix.cpp" "src/prefix/CMakeFiles/peel_prefix.dir/prefix.cpp.o" "gcc" "src/prefix/CMakeFiles/peel_prefix.dir/prefix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/peel_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/peel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peel_prefix.dir/cover.cpp.o"
+  "CMakeFiles/peel_prefix.dir/cover.cpp.o.d"
+  "CMakeFiles/peel_prefix.dir/plan.cpp.o"
+  "CMakeFiles/peel_prefix.dir/plan.cpp.o.d"
+  "CMakeFiles/peel_prefix.dir/prefix.cpp.o"
+  "CMakeFiles/peel_prefix.dir/prefix.cpp.o.d"
+  "libpeel_prefix.a"
+  "libpeel_prefix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peel_prefix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peel_routing.dir/router.cpp.o"
+  "CMakeFiles/peel_routing.dir/router.cpp.o.d"
+  "libpeel_routing.a"
+  "libpeel_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peel_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peel_sim.dir/dcqcn.cpp.o"
+  "CMakeFiles/peel_sim.dir/dcqcn.cpp.o.d"
+  "CMakeFiles/peel_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/peel_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/peel_sim.dir/network.cpp.o"
+  "CMakeFiles/peel_sim.dir/network.cpp.o.d"
+  "libpeel_sim.a"
+  "libpeel_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peel_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

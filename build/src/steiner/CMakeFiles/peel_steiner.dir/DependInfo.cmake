@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/steiner/exact.cpp" "src/steiner/CMakeFiles/peel_steiner.dir/exact.cpp.o" "gcc" "src/steiner/CMakeFiles/peel_steiner.dir/exact.cpp.o.d"
+  "/root/repo/src/steiner/layer_peel.cpp" "src/steiner/CMakeFiles/peel_steiner.dir/layer_peel.cpp.o" "gcc" "src/steiner/CMakeFiles/peel_steiner.dir/layer_peel.cpp.o.d"
+  "/root/repo/src/steiner/multicast_tree.cpp" "src/steiner/CMakeFiles/peel_steiner.dir/multicast_tree.cpp.o" "gcc" "src/steiner/CMakeFiles/peel_steiner.dir/multicast_tree.cpp.o.d"
+  "/root/repo/src/steiner/symmetric.cpp" "src/steiner/CMakeFiles/peel_steiner.dir/symmetric.cpp.o" "gcc" "src/steiner/CMakeFiles/peel_steiner.dir/symmetric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/peel_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/peel_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/peel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peel_steiner.dir/exact.cpp.o"
+  "CMakeFiles/peel_steiner.dir/exact.cpp.o.d"
+  "CMakeFiles/peel_steiner.dir/layer_peel.cpp.o"
+  "CMakeFiles/peel_steiner.dir/layer_peel.cpp.o.d"
+  "CMakeFiles/peel_steiner.dir/multicast_tree.cpp.o"
+  "CMakeFiles/peel_steiner.dir/multicast_tree.cpp.o.d"
+  "CMakeFiles/peel_steiner.dir/symmetric.cpp.o"
+  "CMakeFiles/peel_steiner.dir/symmetric.cpp.o.d"
+  "libpeel_steiner.a"
+  "libpeel_steiner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peel_steiner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

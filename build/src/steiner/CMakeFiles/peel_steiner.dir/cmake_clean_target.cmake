@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpeel_steiner.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/failures.cpp" "src/topology/CMakeFiles/peel_topology.dir/failures.cpp.o" "gcc" "src/topology/CMakeFiles/peel_topology.dir/failures.cpp.o.d"
+  "/root/repo/src/topology/fat_tree.cpp" "src/topology/CMakeFiles/peel_topology.dir/fat_tree.cpp.o" "gcc" "src/topology/CMakeFiles/peel_topology.dir/fat_tree.cpp.o.d"
+  "/root/repo/src/topology/leaf_spine.cpp" "src/topology/CMakeFiles/peel_topology.dir/leaf_spine.cpp.o" "gcc" "src/topology/CMakeFiles/peel_topology.dir/leaf_spine.cpp.o.d"
+  "/root/repo/src/topology/rail_optimized.cpp" "src/topology/CMakeFiles/peel_topology.dir/rail_optimized.cpp.o" "gcc" "src/topology/CMakeFiles/peel_topology.dir/rail_optimized.cpp.o.d"
+  "/root/repo/src/topology/topology.cpp" "src/topology/CMakeFiles/peel_topology.dir/topology.cpp.o" "gcc" "src/topology/CMakeFiles/peel_topology.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/peel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peel_topology.dir/failures.cpp.o"
+  "CMakeFiles/peel_topology.dir/failures.cpp.o.d"
+  "CMakeFiles/peel_topology.dir/fat_tree.cpp.o"
+  "CMakeFiles/peel_topology.dir/fat_tree.cpp.o.d"
+  "CMakeFiles/peel_topology.dir/leaf_spine.cpp.o"
+  "CMakeFiles/peel_topology.dir/leaf_spine.cpp.o.d"
+  "CMakeFiles/peel_topology.dir/rail_optimized.cpp.o"
+  "CMakeFiles/peel_topology.dir/rail_optimized.cpp.o.d"
+  "CMakeFiles/peel_topology.dir/topology.cpp.o"
+  "CMakeFiles/peel_topology.dir/topology.cpp.o.d"
+  "libpeel_topology.a"
+  "libpeel_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peel_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

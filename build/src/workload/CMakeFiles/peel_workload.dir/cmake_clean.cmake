@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peel_workload.dir/placement.cpp.o"
+  "CMakeFiles/peel_workload.dir/placement.cpp.o.d"
+  "libpeel_workload.a"
+  "libpeel_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peel_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_table_test.dir/group_table_test.cpp.o"
+  "CMakeFiles/group_table_test.dir/group_table_test.cpp.o.d"
+  "group_table_test"
+  "group_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rail_test.dir/rail_test.cpp.o"
+  "CMakeFiles/rail_test.dir/rail_test.cpp.o.d"
+  "rail_test"
+  "rail_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
