@@ -8,7 +8,8 @@
 #include <cstdio>
 #include <iostream>
 
-#include "bench/bench_util.h"
+#include "src/common/csv.h"
+#include "src/harness/bench_env.h"
 #include "src/harness/experiment.h"
 #include "src/harness/table.h"
 #include "src/prefix/plan.h"
@@ -55,11 +56,13 @@ int main() {
             build_peel_plan(ft, sel.source, sel.destinations, mode.cover);
         packets += static_cast<double>(plan.packets.size());
         redundant += static_cast<double>(plan.redundant_rack_copies());
-        SimConfig sim = bench::scaled_sim(message, 11);
-        RunnerOptions opts;
-        opts.peel_cover = mode.cover;
-        const SingleResult r =
-            run_single_broadcast(fabric, Scheme::Peel, sel, message, sim, opts);
+        SingleRunOptions run;
+        run.scheme = Scheme::Peel;
+        run.group = sel;
+        run.message_bytes = message;
+        run.sim = bench::scaled_sim(message, 11);
+        run.runner.peel_cover = mode.cover;
+        const SingleResult r = run_single_broadcast(fabric, run);
         cct += r.cct_seconds;
         bytes += static_cast<double>(r.fabric_bytes);
       }

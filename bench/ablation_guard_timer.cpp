@@ -6,7 +6,8 @@
 #include <cstdio>
 #include <iostream>
 
-#include "bench/bench_util.h"
+#include "src/common/csv.h"
+#include "src/harness/bench_env.h"
 #include "src/harness/experiment.h"
 #include "src/harness/table.h"
 
@@ -41,7 +42,7 @@ int main() {
     sc.sim = bench::scaled_sim(message, 8);
     sc.runner.multicast_cnp_mode = m.mode;
     sc.seed = 888;
-    const ScenarioResult r = run_broadcast_scenario(fabric, sc);
+    const ScenarioResult r = run_scenario(fabric, sc);
     if (m.mode == CnpMode::SenderGuard) p99_guard = r.cct_seconds.p99();
     if (m.mode == CnpMode::Unthrottled) p99_raw = r.cct_seconds.p99();
     table.add_row({m.name, format_seconds(r.cct_seconds.mean()),

@@ -6,7 +6,8 @@
 #include <cstdio>
 #include <iostream>
 
-#include "bench/bench_util.h"
+#include "src/common/csv.h"
+#include "src/harness/bench_env.h"
 #include "src/harness/experiment.h"
 #include "src/harness/table.h"
 
@@ -35,7 +36,7 @@ int main() {
       sc.sim = bench::scaled_sim(message, 10);
       sc.runner.stripe_trees = stripes;
       sc.seed = 1010;
-      const ScenarioResult r = run_broadcast_scenario(fabric, sc);
+      const ScenarioResult r = run_scenario(fabric, sc);
       table.add_row({to_string(scheme), cell("%d", stripes),
                      format_seconds(r.cct_seconds.mean()),
                      format_seconds(r.cct_seconds.p99()),

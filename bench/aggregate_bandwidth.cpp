@@ -4,7 +4,8 @@
 #include <cstdio>
 #include <iostream>
 
-#include "bench/bench_util.h"
+#include "src/common/csv.h"
+#include "src/harness/bench_env.h"
 #include "src/harness/experiment.h"
 #include "src/harness/table.h"
 
@@ -32,9 +33,12 @@ int main() {
     Bytes ring_bytes = 0;
     for (Scheme scheme : {Scheme::Ring, Scheme::BinaryTree, Scheme::Optimal,
                           Scheme::Peel}) {
-      SimConfig sim = bench::scaled_sim(message, 9);
-      const SingleResult r =
-          run_single_broadcast(fabric, scheme, sel, message, sim, RunnerOptions{});
+      SingleRunOptions run;
+      run.scheme = scheme;
+      run.group = sel;
+      run.message_bytes = message;
+      run.sim = bench::scaled_sim(message, 9);
+      const SingleResult r = run_single_broadcast(fabric, run);
       if (scheme == Scheme::Ring) ring_bytes = r.fabric_bytes;
       const double saving =
           100.0 * (1.0 - static_cast<double>(r.fabric_bytes) /

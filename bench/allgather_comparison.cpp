@@ -3,11 +3,15 @@
 // is bandwidth-optimal among unicast schedules, so this is the hardest
 // baseline for multicast to beat — the win comes from latency (concurrent
 // per-shard multicasts vs n-1 serial ring steps), not raw bytes.
+//
+// One scheme x scale grid on the parallel sweep engine; the sim segment is
+// scaled to the per-shard size (total / group) via the customize hook.
 #include <cstdio>
 #include <iostream>
 
-#include "bench/bench_util.h"
-#include "src/harness/experiment.h"
+#include "src/common/csv.h"
+#include "src/harness/bench_env.h"
+#include "src/harness/sweep.h"
 #include "src/harness/table.h"
 
 using namespace peel;
@@ -20,34 +24,37 @@ int main() {
   const Fabric fabric = Fabric::of(ft);
   const Bytes total = 64 * kMiB;
 
-  const std::vector<int> scales =
+  SweepSpec spec;
+  spec.schemes = {Scheme::Ring, Scheme::Optimal, Scheme::Orca, Scheme::Peel};
+  spec.group_sizes =
       bench::quick_mode() ? std::vector<int>{16} : std::vector<int>{16, 64, 256};
+  spec.base.collective = CollectiveKind::AllGather;
+  spec.base.message_bytes = total;
+  spec.base.collectives = bench::samples_override(12, 4);
+  spec.base.seed = 1212;
+  spec.customize = [total](const SweepPoint& p, ScenarioConfig& c) {
+    c.sim = bench::scaled_sim(total / p.group_size, 12);
+  };
+  const SweepResults results = run_sweep(fabric, spec);
 
   CsvWriter csv("allgather_comparison.csv",
                 {"gpus", "scheme", "mean_cct_s", "p99_cct_s"});
 
-  for (int scale : scales) {
+  for (std::size_t g = 0; g < spec.group_sizes.size(); ++g) {
     Table table({"scheme", "mean CCT", "p99 CCT"});
     std::printf("--- AllGather, %d GPUs, %lld MiB gathered, 30%% load ---\n",
-                scale, static_cast<long long>(total / kMiB));
-    for (Scheme scheme : {Scheme::Ring, Scheme::Optimal, Scheme::Orca,
-                          Scheme::Peel}) {
-      ScenarioConfig sc;
-      sc.scheme = scheme;
-      sc.group_size = scale;
-      sc.message_bytes = total;
-      sc.collectives = bench::samples_override(12, 4);
-      sc.sim = bench::scaled_sim(total / scale, 12);
-      sc.seed = 1212;
-      const ScenarioResult r = run_allgather_scenario(fabric, sc);
-      table.add_row({to_string(scheme), format_seconds(r.cct_seconds.mean()),
+                spec.group_sizes[g], static_cast<long long>(total / kMiB));
+    for (std::size_t s = 0; s < spec.schemes.size(); ++s) {
+      const ScenarioResult& r = results.at(s, g).result;
+      table.add_row({to_string(spec.schemes[s]),
+                     format_seconds(r.cct_seconds.mean()),
                      format_seconds(r.cct_seconds.p99())});
-      csv.row({std::to_string(scale), to_string(scheme),
+      csv.row({std::to_string(spec.group_sizes[g]), to_string(spec.schemes[s]),
                cell("%.6f", r.cct_seconds.mean()),
                cell("%.6f", r.cct_seconds.p99())});
       if (r.unfinished) {
         std::printf("WARNING: %zu unfinished under %s\n", r.unfinished,
-                    to_string(scheme));
+                    to_string(spec.schemes[s]));
       }
     }
     table.print(std::cout);

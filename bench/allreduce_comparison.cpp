@@ -7,11 +7,14 @@
 // large buffers — which is exactly why NCCL rings them. The useful question
 // this table answers: where multicast DOES pay off (vs binary-tree
 // allreduce, and at small buffers where latency dominates).
+//
+// One scheme x buffer-size grid on the parallel sweep engine.
 #include <cstdio>
 #include <iostream>
 
-#include "bench/bench_util.h"
-#include "src/harness/experiment.h"
+#include "src/common/csv.h"
+#include "src/harness/bench_env.h"
+#include "src/harness/sweep.h"
 #include "src/harness/table.h"
 
 using namespace peel;
@@ -23,35 +26,40 @@ int main() {
   const FatTree ft = build_fat_tree(FatTreeConfig{8, 4, 8});
   const Fabric fabric = Fabric::of(ft);
 
-  const std::vector<Bytes> buffers =
-      bench::quick_mode() ? std::vector<Bytes>{4 * kMiB}
-                          : std::vector<Bytes>{1 * kMiB, 16 * kMiB, 128 * kMiB};
+  SweepSpec spec;
+  spec.schemes = {Scheme::Ring, Scheme::BinaryTree, Scheme::Optimal,
+                  Scheme::Peel};
+  spec.message_sizes = bench::quick_mode()
+                           ? std::vector<Bytes>{4 * kMiB}
+                           : std::vector<Bytes>{1 * kMiB, 16 * kMiB, 128 * kMiB};
+  spec.base.collective = CollectiveKind::AllReduce;
+  spec.base.group_size = 64;
+  spec.base.collectives = bench::samples_override(12, 4);
+  spec.base.seed = 1414;
+  spec.customize = [](const SweepPoint& p, ScenarioConfig& c) {
+    c.sim = bench::scaled_sim(p.message_bytes, 14);
+  };
+  const SweepResults results = run_sweep(fabric, spec);
 
   CsvWriter csv("allreduce_comparison.csv",
                 {"buffer_mib", "scheme", "mean_cct_s", "p99_cct_s"});
 
-  for (Bytes buffer : buffers) {
+  for (std::size_t m = 0; m < spec.message_sizes.size(); ++m) {
+    const Bytes buffer = spec.message_sizes[m];
     Table table({"scheme", "mean CCT", "p99 CCT"});
     std::printf("--- AllReduce, 64 GPUs, %lld MiB per-rank buffers, 30%% load ---\n",
                 static_cast<long long>(buffer / kMiB));
-    for (Scheme scheme :
-         {Scheme::Ring, Scheme::BinaryTree, Scheme::Optimal, Scheme::Peel}) {
-      ScenarioConfig sc;
-      sc.scheme = scheme;
-      sc.group_size = 64;
-      sc.message_bytes = buffer;
-      sc.collectives = bench::samples_override(12, 4);
-      sc.sim = bench::scaled_sim(buffer, 14);
-      sc.seed = 1414;
-      const ScenarioResult r = run_allreduce_scenario(fabric, sc);
-      table.add_row({to_string(scheme), format_seconds(r.cct_seconds.mean()),
+    for (std::size_t s = 0; s < spec.schemes.size(); ++s) {
+      const ScenarioResult& r = results.at(s, 0, m).result;
+      table.add_row({to_string(spec.schemes[s]),
+                     format_seconds(r.cct_seconds.mean()),
                      format_seconds(r.cct_seconds.p99())});
-      csv.row({std::to_string(buffer / kMiB), to_string(scheme),
+      csv.row({std::to_string(buffer / kMiB), to_string(spec.schemes[s]),
                cell("%.6f", r.cct_seconds.mean()),
                cell("%.6f", r.cct_seconds.p99())});
       if (r.unfinished) {
         std::printf("WARNING: %zu unfinished under %s\n", r.unfinished,
-                    to_string(scheme));
+                    to_string(spec.schemes[s]));
       }
     }
     table.print(std::cout);

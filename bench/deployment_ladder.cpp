@@ -11,11 +11,14 @@
 //   4. Orca            — per-group SDN rules on demand (full programmability,
 //                        pays flow-setup latency)
 //   5. Optimal         — oracle: per-group state, no setup latency
+//
+// The five rungs run concurrently as a one-axis sweep (scheme axis).
 #include <cstdio>
 #include <iostream>
 
-#include "bench/bench_util.h"
-#include "src/harness/experiment.h"
+#include "src/common/csv.h"
+#include "src/harness/bench_env.h"
+#include "src/harness/sweep.h"
 #include "src/harness/table.h"
 
 using namespace peel;
@@ -28,36 +31,32 @@ int main() {
   const Fabric fabric = Fabric::of(ft);
   const Bytes message = 64 * kMiB;
 
-  struct Step {
-    const char* label;
-    Scheme scheme;
-  };
-  const Step ladder[] = {
-      {"1. no multicast (Ring)", Scheme::Ring},
-      {"2. static prefixes (PEEL)", Scheme::Peel},
-      {"3. + programmable cores", Scheme::PeelProgCores},
-      {"4. per-group SDN (Orca)", Scheme::Orca},
-      {"5. oracle (Optimal)", Scheme::Optimal},
-  };
+  const std::vector<const char*> labels = {
+      "1. no multicast (Ring)", "2. static prefixes (PEEL)",
+      "3. + programmable cores", "4. per-group SDN (Orca)",
+      "5. oracle (Optimal)"};
+
+  SweepSpec spec;
+  spec.schemes = {Scheme::Ring, Scheme::Peel, Scheme::PeelProgCores,
+                  Scheme::Orca, Scheme::Optimal};
+  spec.base.group_size = 256;
+  spec.base.message_bytes = message;
+  spec.base.collectives = bench::samples_override(16, 4);
+  spec.base.fragmentation = 0.02;  // realistic: slightly imperfect placement
+  spec.base.sim = bench::scaled_sim(message, 13);
+  spec.base.seed = 1313;
+  const SweepResults results = run_sweep(fabric, spec);
 
   Table table({"deployment state", "mean CCT", "p99 CCT", "fabric traffic"});
   CsvWriter csv("deployment_ladder.csv",
                 {"step", "scheme", "mean_cct_s", "p99_cct_s", "fabric_bytes"});
 
-  for (const Step& step : ladder) {
-    ScenarioConfig sc;
-    sc.scheme = step.scheme;
-    sc.group_size = 256;
-    sc.message_bytes = message;
-    sc.collectives = bench::samples_override(16, 4);
-    sc.fragmentation = 0.02;  // realistic: slightly imperfect placement
-    sc.sim = bench::scaled_sim(message, 13);
-    sc.seed = 1313;
-    const ScenarioResult r = run_broadcast_scenario(fabric, sc);
-    table.add_row({step.label, format_seconds(r.cct_seconds.mean()),
+  for (std::size_t s = 0; s < spec.schemes.size(); ++s) {
+    const ScenarioResult& r = results.at(s).result;
+    table.add_row({labels[s], format_seconds(r.cct_seconds.mean()),
                    format_seconds(r.cct_seconds.p99()),
                    format_bytes(static_cast<double>(r.fabric_bytes))});
-    csv.row({step.label, to_string(step.scheme),
+    csv.row({labels[s], to_string(spec.schemes[s]),
              cell("%.6f", r.cct_seconds.mean()), cell("%.6f", r.cct_seconds.p99()),
              std::to_string(r.fabric_bytes)});
   }

@@ -3,7 +3,8 @@
 #include <cstdio>
 #include <iostream>
 
-#include "bench/bench_util.h"
+#include "src/common/csv.h"
+#include "src/harness/bench_env.h"
 #include "src/baselines/rsbf.h"
 #include "src/harness/table.h"
 #include "src/prefix/prefix.h"

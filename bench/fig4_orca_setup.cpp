@@ -3,12 +3,14 @@
 //
 // Setup: 8-ary fat-tree, 1024 GPUs (128 hosts x 8 GPUs), Poisson broadcast
 // arrivals, controller latency ~ N(10 ms, 5 ms). We run Orca with and
-// without the controller overhead across message sizes.
+// without the controller overhead across message sizes — one message-size
+// sweep per variant on the parallel sweep engine.
 #include <cstdio>
 #include <iostream>
 
-#include "bench/bench_util.h"
-#include "src/harness/experiment.h"
+#include "src/common/csv.h"
+#include "src/harness/bench_env.h"
+#include "src/harness/sweep.h"
 #include "src/harness/table.h"
 
 using namespace peel;
@@ -19,35 +21,41 @@ int main() {
   const FatTree ft = build_fat_tree(FatTreeConfig{8, 4, 8});
   const Fabric fabric = Fabric::of(ft);
 
-  const std::vector<Bytes> sizes =
+  SweepSpec spec;
+  spec.message_sizes =
       bench::quick_mode()
           ? std::vector<Bytes>{2 * kMiB, 32 * kMiB, 128 * kMiB}
           : std::vector<Bytes>{2 * kMiB,  4 * kMiB,   8 * kMiB,  16 * kMiB,
                                32 * kMiB, 64 * kMiB, 128 * kMiB, 256 * kMiB,
                                512 * kMiB};
+  spec.base.scheme = Scheme::Orca;
+  spec.base.group_size = 64;
+  spec.base.seed = 4242;
+  spec.customize = [](const SweepPoint& p, ScenarioConfig& c) {
+    c.collectives = bench::samples_for(p.message_bytes);
+    c.sim = bench::scaled_sim(p.message_bytes, 4);
+  };
+
+  spec.base.runner.controller_delay_enabled = true;
+  const SweepResults with_ctrl = run_sweep(fabric, spec);
+  spec.base.runner.controller_delay_enabled = false;
+  const SweepResults without_ctrl = run_sweep(fabric, spec);
 
   Table table({"message", "mean CCT (with ctrl)", "mean CCT (no ctrl)",
                "p99 CCT (with ctrl)", "p99 CCT (no ctrl)", "p99 inflation"});
   CsvWriter csv("fig4_orca_setup.csv",
                 {"message_mib", "variant", "mean_cct_s", "p99_cct_s"});
 
-  for (Bytes size : sizes) {
-    ScenarioResult with, without;
-    for (bool delay_enabled : {true, false}) {
-      ScenarioConfig sc;
-      sc.scheme = Scheme::Orca;
-      sc.group_size = 64;
-      sc.message_bytes = size;
-      sc.collectives = bench::samples_for(size);
-      sc.sim = bench::scaled_sim(size, 4);
-      sc.runner.controller_delay_enabled = delay_enabled;
-      sc.seed = 4242;
-      (delay_enabled ? with : without) = run_broadcast_scenario(fabric, sc);
-      csv.row({std::to_string(size / kMiB),
-               delay_enabled ? "with_controller" : "without_controller",
-               cell("%.6f", (delay_enabled ? with : without).cct_seconds.mean()),
-               cell("%.6f", (delay_enabled ? with : without).cct_seconds.p99())});
-    }
+  for (std::size_t m = 0; m < spec.message_sizes.size(); ++m) {
+    const Bytes size = spec.message_sizes[m];
+    const ScenarioResult& with = with_ctrl.at(0, 0, m).result;
+    const ScenarioResult& without = without_ctrl.at(0, 0, m).result;
+    csv.row({std::to_string(size / kMiB), "with_controller",
+             cell("%.6f", with.cct_seconds.mean()),
+             cell("%.6f", with.cct_seconds.p99())});
+    csv.row({std::to_string(size / kMiB), "without_controller",
+             cell("%.6f", without.cct_seconds.mean()),
+             cell("%.6f", without.cct_seconds.p99())});
     const double inflation = with.cct_seconds.p99() /
                              std::max(1e-12, without.cct_seconds.p99());
     table.add_row({cell("%lld MiB", static_cast<long long>(size / kMiB)),

@@ -3,11 +3,15 @@
 // 512-GPU Broadcast collectives on an 8-ary fat-tree (1024 GPUs) at 30%
 // offered load, message sizes 2..512 MB, mean and p99 CCT for Ring, Tree,
 // Optimal, Orca, PEEL, and PEEL+Programmable Cores.
+//
+// Runs as one scheme x message-size grid on the parallel sweep engine; the
+// per-cell sim is scaled to the cell's message size via the customize hook.
 #include <cstdio>
 #include <iostream>
 
-#include "bench/bench_util.h"
-#include "src/harness/experiment.h"
+#include "src/common/csv.h"
+#include "src/harness/bench_env.h"
+#include "src/harness/sweep.h"
 #include "src/harness/table.h"
 
 using namespace peel;
@@ -18,33 +22,34 @@ int main() {
   const FatTree ft = build_fat_tree(FatTreeConfig{8, 4, 8});
   const Fabric fabric = Fabric::of(ft);
 
-  const std::vector<Bytes> sizes =
-      bench::quick_mode()
-          ? std::vector<Bytes>{2 * kMiB, 32 * kMiB}
-          : std::vector<Bytes>{2 * kMiB,  8 * kMiB,  32 * kMiB,
-                               128 * kMiB, 512 * kMiB};
-  const Scheme schemes[] = {Scheme::Ring, Scheme::BinaryTree, Scheme::Optimal,
-                            Scheme::Orca, Scheme::Peel, Scheme::PeelProgCores};
-  const int group = bench::quick_mode() ? 128 : 512;
+  SweepSpec spec;
+  spec.schemes = {Scheme::Ring, Scheme::BinaryTree, Scheme::Optimal,
+                  Scheme::Orca, Scheme::Peel, Scheme::PeelProgCores};
+  spec.message_sizes = bench::quick_mode()
+                           ? std::vector<Bytes>{2 * kMiB, 32 * kMiB}
+                           : std::vector<Bytes>{2 * kMiB,  8 * kMiB, 32 * kMiB,
+                                                128 * kMiB, 512 * kMiB};
+  spec.base.group_size = bench::quick_mode() ? 128 : 512;
+  spec.base.fragmentation = 0.0;  // §3.4 treats fragmentation separately
+  spec.base.seed = 555;
+  spec.customize = [](const SweepPoint& p, ScenarioConfig& c) {
+    c.collectives = bench::samples_for(p.message_bytes);
+    c.sim = bench::scaled_sim(p.message_bytes, 5);
+  };
+  const SweepResults results = run_sweep(fabric, spec);
 
   CsvWriter csv("fig5_cct_vs_msgsize.csv",
                 {"message_mib", "scheme", "mean_cct_s", "p99_cct_s"});
 
-  for (Bytes size : sizes) {
+  for (std::size_t m = 0; m < spec.message_sizes.size(); ++m) {
+    const Bytes size = spec.message_sizes[m];
     Table table({"scheme", "mean CCT", "p99 CCT", "vs optimal (mean)"});
     double optimal_mean = 0.0;
     std::printf("--- message %lld MiB, %d-GPU groups, 30%% load ---\n",
-                static_cast<long long>(size / kMiB), group);
-    for (Scheme scheme : schemes) {
-      ScenarioConfig sc;
-      sc.scheme = scheme;
-      sc.group_size = group;
-      sc.message_bytes = size;
-      sc.collectives = bench::samples_for(size);
-      sc.fragmentation = 0.0;  // §3.4 treats fragmentation separately
-      sc.sim = bench::scaled_sim(size, 5);
-      sc.seed = 555;
-      const ScenarioResult r = run_broadcast_scenario(fabric, sc);
+                static_cast<long long>(size / kMiB), spec.base.group_size);
+    for (std::size_t s = 0; s < spec.schemes.size(); ++s) {
+      const Scheme scheme = spec.schemes[s];
+      const ScenarioResult& r = results.at(s, 0, m).result;
       if (scheme == Scheme::Optimal) optimal_mean = r.cct_seconds.mean();
       const double vs = optimal_mean > 0
                             ? 100.0 * (r.cct_seconds.mean() / optimal_mean - 1.0)

@@ -5,11 +5,15 @@
 // failed.  PEEL uses the §2.3 layer-peeling greedy trees; Ring and Tree
 // reroute their unicasts around the failures.  The paper reports PEEL's p99
 // 3x below Ring and 30x below Tree at 10% failures.
+//
+// Each failure level damages its own fabric, then runs the three schemes as
+// a one-axis parallel sweep over that (now immutable) fabric.
 #include <cstdio>
 #include <iostream>
 
-#include "bench/bench_util.h"
-#include "src/harness/experiment.h"
+#include "src/common/csv.h"
+#include "src/harness/bench_env.h"
+#include "src/harness/sweep.h"
 #include "src/harness/table.h"
 #include "src/topology/failures.h"
 
@@ -34,26 +38,31 @@ int main() {
                          frng);
     const Fabric fabric = Fabric::of(ls);
 
+    SweepSpec spec;
+    spec.schemes = {Scheme::BinaryTree, Scheme::Ring, Scheme::Peel};
+    spec.base.group_size = 64;
+    spec.base.message_bytes = message;
+    spec.base.collectives = bench::samples_for(message);
+    spec.base.sim = bench::scaled_sim(message, 7);
+    spec.base.seed = 777 + static_cast<std::uint64_t>(pct);
+    spec.customize = [](const SweepPoint& p, ScenarioConfig& c) {
+      c.runner.peel_asymmetric = (p.scheme == Scheme::Peel);
+    };
+    const SweepResults results = run_sweep(fabric, spec);
+
     Table table({"scheme", "mean CCT", "p99 CCT"});
     std::printf("--- %.0f%% spine-leaf links failed ---\n", pct);
-    for (Scheme scheme : {Scheme::BinaryTree, Scheme::Ring, Scheme::Peel}) {
-      ScenarioConfig sc;
-      sc.scheme = scheme;
-      sc.group_size = 64;
-      sc.message_bytes = message;
-      sc.collectives = bench::samples_for(message);
-      sc.sim = bench::scaled_sim(message, 7);
-      sc.runner.peel_asymmetric = (scheme == Scheme::Peel);
-      sc.seed = 777 + static_cast<std::uint64_t>(pct);
-      const ScenarioResult r = run_broadcast_scenario(fabric, sc);
-      table.add_row({to_string(scheme), format_seconds(r.cct_seconds.mean()),
+    for (std::size_t s = 0; s < spec.schemes.size(); ++s) {
+      const ScenarioResult& r = results.at(s).result;
+      table.add_row({to_string(spec.schemes[s]),
+                     format_seconds(r.cct_seconds.mean()),
                      format_seconds(r.cct_seconds.p99())});
-      csv.row({cell("%.0f", pct), to_string(scheme),
+      csv.row({cell("%.0f", pct), to_string(spec.schemes[s]),
                cell("%.6f", r.cct_seconds.mean()),
                cell("%.6f", r.cct_seconds.p99())});
       if (r.unfinished) {
         std::printf("WARNING: %zu unfinished under %s\n", r.unfinished,
-                    to_string(scheme));
+                    to_string(spec.schemes[s]));
       }
     }
     table.print(std::cout);

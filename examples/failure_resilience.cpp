@@ -66,10 +66,13 @@ int main(int argc, char** argv) {
   SimConfig sim;
   std::printf("\n8 MiB broadcast to 64 GPUs on the damaged fabric:\n");
   for (Scheme scheme : {Scheme::BinaryTree, Scheme::Ring, Scheme::Peel}) {
-    RunnerOptions opts;
-    opts.peel_asymmetric = (scheme == Scheme::Peel);
-    const SingleResult r =
-        run_single_broadcast(fabric, scheme, group, 8 * kMiB, sim, opts);
+    SingleRunOptions run;
+    run.scheme = scheme;
+    run.group = group;
+    run.message_bytes = 8 * kMiB;
+    run.sim = sim;
+    run.runner.peel_asymmetric = (scheme == Scheme::Peel);
+    const SingleResult r = run_single_broadcast(fabric, run);
     std::printf("  %-6s  CCT %-12s  fabric bytes %s\n", to_string(scheme),
                 format_seconds(r.cct_seconds).c_str(),
                 format_bytes(static_cast<double>(r.fabric_bytes)).c_str());

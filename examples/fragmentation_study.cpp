@@ -51,10 +51,11 @@ int main(int argc, char** argv) {
       exact_packets += static_cast<double>(exact.packets.size());
       bounded_packets += static_cast<double>(bounded.packets.size());
       redundant += static_cast<double>(bounded.redundant_rack_copies());
-      SimConfig sim;
-      RunnerOptions opts;
-      cct += run_single_broadcast(fabric, Scheme::Peel, sel, 8 * kMiB, sim, opts)
-                 .cct_seconds;
+      SingleRunOptions run;
+      run.scheme = Scheme::Peel;
+      run.group = sel;
+      run.message_bytes = 8 * kMiB;
+      cct += run_single_broadcast(fabric, run).cct_seconds;
     }
     table.add_row({cell("%.0f%%", frag * 100),
                    cell("%.1f", exact_packets / trials),

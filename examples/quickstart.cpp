@@ -55,12 +55,13 @@ int main() {
               rule_count(plan.tor_id_bits), naive_multicast_entries(config.k));
 
   // 4. Simulate: PEEL vs unicast Ring vs the bandwidth-optimal tree.
-  SimConfig sim;
-  RunnerOptions opts;
+  SingleRunOptions run;
+  run.group = group;
+  run.message_bytes = 8 * kMiB;
   std::printf("\nbroadcasting 8 MiB to the group:\n");
   for (Scheme scheme : {Scheme::Ring, Scheme::Optimal, Scheme::Peel}) {
-    const SingleResult r =
-        run_single_broadcast(fabric, scheme, group, 8 * kMiB, sim, opts);
+    run.scheme = scheme;
+    const SingleResult r = run_single_broadcast(fabric, run);
     std::printf("  %-8s  CCT %-12s  fabric bytes %s\n", to_string(scheme),
                 format_seconds(r.cct_seconds).c_str(),
                 format_bytes(static_cast<double>(r.fabric_bytes)).c_str());

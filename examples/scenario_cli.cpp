@@ -4,14 +4,18 @@
 //
 // Usage:
 //   scenario_cli [scheme] [collective] [group_gpus] [message_MiB] [load%] [n]
+//                [replicas]
 //     scheme:      ring | tree | optimal | orca | peel | peelcores
 //     collective:  broadcast | allgather | allreduce
-//   e.g. scenario_cli peel broadcast 256 64 30 20
+//     replicas:    independent repetitions with derived per-replica seeds,
+//                  run in parallel by the sweep engine (PEEL_BENCH_THREADS
+//                  overrides the worker count)
+//   e.g. scenario_cli peel broadcast 256 64 30 20 4
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
-#include "src/harness/experiment.h"
+#include "src/harness/sweep.h"
 
 using namespace peel;
 
@@ -28,50 +32,71 @@ Scheme parse_scheme(const char* s) {
   std::exit(1);
 }
 
+CollectiveKind parse_collective(const char* s) {
+  if (!std::strcmp(s, "broadcast")) return CollectiveKind::Broadcast;
+  if (!std::strcmp(s, "allgather")) return CollectiveKind::AllGather;
+  if (!std::strcmp(s, "allreduce")) return CollectiveKind::AllReduce;
+  std::fprintf(stderr, "unknown collective '%s'\n", s);
+  std::exit(1);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  ScenarioConfig sc;
+  SweepSpec spec;
+  ScenarioConfig& sc = spec.base;
   sc.scheme = argc > 1 ? parse_scheme(argv[1]) : Scheme::Peel;
-  const char* collective = argc > 2 ? argv[2] : "broadcast";
+  sc.collective =
+      argc > 2 ? parse_collective(argv[2]) : CollectiveKind::Broadcast;
   sc.group_size = argc > 3 ? std::atoi(argv[3]) : 64;
   sc.message_bytes = (argc > 4 ? std::atoll(argv[4]) : 8) * kMiB;
   sc.offered_load = (argc > 5 ? std::atof(argv[5]) : 30.0) / 100.0;
   sc.collectives = argc > 6 ? std::atoi(argv[6]) : 20;
   sc.seed = 20260705;
+  spec.replicas = argc > 7 ? std::atoi(argv[7]) : 1;
+  if (spec.replicas > 1) spec.master_seed = sc.seed;
 
   const FatTree ft = build_fat_tree(FatTreeConfig{8, 4, 8});
   const Fabric fabric = Fabric::of(ft);
 
-  std::printf("%s %s: %d GPUs, %lld MiB, %.0f%% load, %d collectives on a "
-              "1024-GPU 8-ary fat-tree\n",
-              to_string(sc.scheme), collective, sc.group_size,
+  std::printf("%s %s: %d GPUs, %lld MiB, %.0f%% load, %d collectives x %d "
+              "replica(s) on a 1024-GPU 8-ary fat-tree (%d worker thread(s))\n",
+              to_string(sc.scheme), to_string(sc.collective), sc.group_size,
               static_cast<long long>(sc.message_bytes / kMiB),
-              sc.offered_load * 100, sc.collectives);
+              sc.offered_load * 100, sc.collectives, spec.replicas,
+              resolve_sweep_threads(0, spec.cell_count()));
 
-  ScenarioResult r;
-  if (!std::strcmp(collective, "allgather")) {
-    r = run_allgather_scenario(fabric, sc);
-  } else if (!std::strcmp(collective, "allreduce")) {
-    r = run_allreduce_scenario(fabric, sc);
-  } else {
-    r = run_broadcast_scenario(fabric, sc);
+  const SweepResults results = run_sweep(fabric, spec);
+
+  // Merge the replicas: pool CCT samples, sum counters.
+  Samples cct;
+  Bytes fabric_bytes = 0, core_bytes = 0;
+  std::uint64_t ecn = 0, pfc = 0, events = 0;
+  std::size_t unfinished = 0;
+  for (const SweepCell& c : results.cells()) {
+    for (double v : c.result.cct_seconds.values()) cct.add(v);
+    fabric_bytes += c.result.fabric_bytes;
+    core_bytes += c.result.core_bytes;
+    ecn += c.result.ecn_marks;
+    pfc += c.result.pfc_pauses;
+    events += c.result.events;
+    unfinished += c.result.unfinished;
   }
 
-  std::printf("\n  mean CCT    %s\n", format_seconds(r.cct_seconds.mean()).c_str());
-  std::printf("  p50  CCT    %s\n", format_seconds(r.cct_seconds.p50()).c_str());
-  std::printf("  p99  CCT    %s\n", format_seconds(r.cct_seconds.p99()).c_str());
-  std::printf("  max  CCT    %s\n", format_seconds(r.cct_seconds.max()).c_str());
+  std::printf("\n  mean CCT    %s\n", format_seconds(cct.mean()).c_str());
+  std::printf("  p50  CCT    %s\n", format_seconds(cct.p50()).c_str());
+  std::printf("  p99  CCT    %s\n", format_seconds(cct.p99()).c_str());
+  std::printf("  max  CCT    %s\n", format_seconds(cct.max()).c_str());
   std::printf("  fabric      %s\n",
-              format_bytes(static_cast<double>(r.fabric_bytes)).c_str());
+              format_bytes(static_cast<double>(fabric_bytes)).c_str());
   std::printf("  core links  %s\n",
-              format_bytes(static_cast<double>(r.core_bytes)).c_str());
+              format_bytes(static_cast<double>(core_bytes)).c_str());
   std::printf("  ECN marks   %llu, PFC pauses %llu, events %llu\n",
-              static_cast<unsigned long long>(r.ecn_marks),
-              static_cast<unsigned long long>(r.pfc_pauses),
-              static_cast<unsigned long long>(r.events));
-  if (r.unfinished) {
-    std::printf("  WARNING: %zu collectives did not finish\n", r.unfinished);
+              static_cast<unsigned long long>(ecn),
+              static_cast<unsigned long long>(pfc),
+              static_cast<unsigned long long>(events));
+  if (unfinished) {
+    std::printf("  WARNING: %zu collectives did not finish\n", unfinished);
     return 1;
   }
   return 0;

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
     sc.message_bytes = message;
     sc.collectives = collectives;
     sc.seed = 1234;
-    const ScenarioResult r = run_broadcast_scenario(fabric, sc);
+    const ScenarioResult r = run_scenario(fabric, sc);
     table.add_row({to_string(scheme), format_seconds(r.cct_seconds.mean()),
                    format_seconds(r.cct_seconds.p99()),
                    format_bytes(static_cast<double>(r.fabric_bytes)),

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI entry point: build the plain and sanitized (ASan+UBSan) configurations
+# and run the full test suite under each.
+#
+# Usage: scripts/check.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc 2>/dev/null || echo 2)}"
+
+run_config() {
+  local dir="$1"
+  shift
+  echo "== configure ${dir} ($*) =="
+  cmake -B "${dir}" -S . "$@"
+  echo "== build ${dir} =="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "== ctest ${dir} =="
+  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+}
+
+run_config build
+run_config build-asan -DPEEL_SANITIZE=ON
+
+echo "== all checks passed =="

@@ -4,6 +4,15 @@
 
 namespace peel {
 
+const char* to_string(CollectiveKind kind) noexcept {
+  switch (kind) {
+    case CollectiveKind::Broadcast: return "Broadcast";
+    case CollectiveKind::AllGather: return "AllGather";
+    case CollectiveKind::AllReduce: return "AllReduce";
+  }
+  return "?";
+}
+
 Bytes bytes_on_links(const Network& net, const Topology& topo, bool fabric,
                      bool host_nic, bool nvlink) {
   Bytes total = 0;
@@ -17,12 +26,7 @@ Bytes bytes_on_links(const Network& net, const Topology& topo, bool fabric,
   return total;
 }
 
-namespace {
-
-enum class CollectiveKind { Broadcast, AllGather, AllReduce };
-
-ScenarioResult run_scenario_impl(const Fabric& fabric, const ScenarioConfig& config,
-                                 CollectiveKind kind) {
+ScenarioResult run_scenario(const Fabric& fabric, const ScenarioConfig& config) {
   EventQueue queue;
   Network net(fabric.topo(), config.sim, queue);
   Rng rng(config.seed);
@@ -45,7 +49,7 @@ ScenarioResult run_scenario_impl(const Fabric& fabric, const ScenarioConfig& con
     t += static_cast<SimTime>(arrivals.exponential(mean_gap_ns));
     GroupSelection group = select_local_group(fabric, placement, placer);
     const auto id = static_cast<std::uint64_t>(i) + 1;
-    if (kind == CollectiveKind::AllGather) {
+    if (config.collective == CollectiveKind::AllGather) {
       AllGatherRequest req;
       req.id = id;
       req.members = std::move(group.destinations);
@@ -54,7 +58,7 @@ ScenarioResult run_scenario_impl(const Fabric& fabric, const ScenarioConfig& con
       queue.at(t, [&runner, req, scheme = config.scheme]() mutable {
         runner.submit_allgather(scheme, std::move(req));
       });
-    } else if (kind == CollectiveKind::AllReduce) {
+    } else if (config.collective == CollectiveKind::AllReduce) {
       AllReduceRequest req;
       req.id = id;
       req.members = std::move(group.destinations);
@@ -94,36 +98,19 @@ ScenarioResult run_scenario_impl(const Fabric& fabric, const ScenarioConfig& con
   return result;
 }
 
-}  // namespace
-
-ScenarioResult run_broadcast_scenario(const Fabric& fabric,
-                                      const ScenarioConfig& config) {
-  return run_scenario_impl(fabric, config, CollectiveKind::Broadcast);
-}
-
-ScenarioResult run_allgather_scenario(const Fabric& fabric,
-                                      const ScenarioConfig& config) {
-  return run_scenario_impl(fabric, config, CollectiveKind::AllGather);
-}
-
-ScenarioResult run_allreduce_scenario(const Fabric& fabric,
-                                      const ScenarioConfig& config) {
-  return run_scenario_impl(fabric, config, CollectiveKind::AllReduce);
-}
-
-SingleResult run_single_broadcast(const Fabric& fabric, Scheme scheme,
-                                  const GroupSelection& group, Bytes message_bytes,
-                                  const SimConfig& sim, const RunnerOptions& runner_opts) {
+SingleResult run_single_broadcast(const Fabric& fabric,
+                                  const SingleRunOptions& options) {
   EventQueue queue;
-  Network net(fabric.topo(), sim, queue);
-  CollectiveRunner runner(fabric, net, queue, Rng(sim.seed), runner_opts);
+  Network net(fabric.topo(), options.sim, queue);
+  CollectiveRunner runner(fabric, net, queue, Rng(options.sim.seed),
+                          options.runner);
 
   BroadcastRequest req;
   req.id = 1;
-  req.source = group.source;
-  req.destinations = group.destinations;
-  req.message_bytes = message_bytes;
-  runner.submit(scheme, std::move(req));
+  req.source = options.group.source;
+  req.destinations = options.group.destinations;
+  req.message_bytes = options.message_bytes;
+  runner.submit(options.scheme, std::move(req));
   queue.run();
 
   if (runner.records().empty() || !runner.records().front().finished) {

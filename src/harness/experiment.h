@@ -1,6 +1,16 @@
-// Experiment driver: runs a stream of Poisson-arriving broadcast collectives
-// through a fresh simulator instance and reports CCT statistics plus byte
-// telemetry — the machinery behind every CCT figure (Figures 4–7).
+// Experiment driver: runs a stream of Poisson-arriving collectives through a
+// fresh simulator instance and reports CCT statistics plus byte telemetry —
+// the machinery behind every CCT figure (Figures 4–7).
+//
+// Entry points:
+//   run_scenario(fabric, config)       — one scenario cell; the collective
+//                                        flavor is config.collective
+//   run_single_broadcast(fabric, opts) — exactly one broadcast on an idle
+//                                        fabric (bandwidth accounting)
+//
+// Scenario cells are pure functions of (fabric, config): each call builds its
+// own EventQueue/Network/Rng, so concurrent calls on the same const Fabric
+// are safe — the property the sweep engine (src/harness/sweep.h) exploits.
 #pragma once
 
 #include <cstdint>
@@ -11,8 +21,19 @@
 
 namespace peel {
 
+/// Which collective a scenario drives (§4 evaluates Broadcast; AllGather and
+/// AllReduce are the extensions beyond the paper).
+enum class CollectiveKind {
+  Broadcast,
+  AllGather,  ///< every member contributes message_bytes/group_size
+  AllReduce,  ///< message_bytes is the per-rank gradient buffer
+};
+
+[[nodiscard]] const char* to_string(CollectiveKind kind) noexcept;
+
 struct ScenarioConfig {
   Scheme scheme = Scheme::Peel;
+  CollectiveKind collective = CollectiveKind::Broadcast;
   /// Member endpoints per collective (including the source).
   int group_size = 64;
   Bytes message_bytes = 8 * kMiB;
@@ -43,19 +64,36 @@ struct ScenarioResult {
   std::size_t unfinished = 0;     ///< collectives that never completed (bug if > 0)
 };
 
-/// Runs `collectives` Poisson-arriving broadcasts of one scheme and size.
-[[nodiscard]] ScenarioResult run_broadcast_scenario(const Fabric& fabric,
-                                                    const ScenarioConfig& config);
+/// Runs `config.collectives` Poisson-arriving collectives of one scheme,
+/// kind, and size on an otherwise idle fabric.
+[[nodiscard]] ScenarioResult run_scenario(const Fabric& fabric,
+                                          const ScenarioConfig& config);
 
-/// Same driver for AllGather collectives: every group member contributes a
-/// shard of message_bytes/group_size (BinaryTree unsupported).
-[[nodiscard]] ScenarioResult run_allgather_scenario(const Fabric& fabric,
-                                                    const ScenarioConfig& config);
+// Deprecated per-collective entry points, kept for one release. They
+// override config.collective with their own kind.
+[[deprecated("use run_scenario with config.collective = CollectiveKind::Broadcast")]]
+[[nodiscard]] inline ScenarioResult run_broadcast_scenario(
+    const Fabric& fabric, const ScenarioConfig& config) {
+  ScenarioConfig c = config;
+  c.collective = CollectiveKind::Broadcast;
+  return run_scenario(fabric, c);
+}
 
-/// Same driver for AllReduce collectives: message_bytes is the per-rank
-/// gradient buffer (Orca unsupported).
-[[nodiscard]] ScenarioResult run_allreduce_scenario(const Fabric& fabric,
-                                                    const ScenarioConfig& config);
+[[deprecated("use run_scenario with config.collective = CollectiveKind::AllGather")]]
+[[nodiscard]] inline ScenarioResult run_allgather_scenario(
+    const Fabric& fabric, const ScenarioConfig& config) {
+  ScenarioConfig c = config;
+  c.collective = CollectiveKind::AllGather;
+  return run_scenario(fabric, c);
+}
+
+[[deprecated("use run_scenario with config.collective = CollectiveKind::AllReduce")]]
+[[nodiscard]] inline ScenarioResult run_allreduce_scenario(
+    const Fabric& fabric, const ScenarioConfig& config) {
+  ScenarioConfig c = config;
+  c.collective = CollectiveKind::AllReduce;
+  return run_scenario(fabric, c);
+}
 
 struct SingleResult {
   double cct_seconds = 0.0;
@@ -64,13 +102,34 @@ struct SingleResult {
   Bytes nvlink_bytes = 0;
 };
 
+/// Options for run_single_broadcast. A struct rather than positional
+/// parameters so call sites name what they set and stay valid as knobs grow.
+struct SingleRunOptions {
+  Scheme scheme = Scheme::Peel;
+  GroupSelection group;
+  Bytes message_bytes = 8 * kMiB;
+  SimConfig sim;
+  RunnerOptions runner;
+};
+
 /// Runs exactly one broadcast on an otherwise idle fabric (bandwidth
-/// accounting and micro-validation).
-[[nodiscard]] SingleResult run_single_broadcast(const Fabric& fabric, Scheme scheme,
-                                                const GroupSelection& group,
-                                                Bytes message_bytes,
-                                                const SimConfig& sim,
-                                                const RunnerOptions& runner);
+/// accounting and micro-validation). Throws std::runtime_error if the
+/// broadcast never completes.
+[[nodiscard]] SingleResult run_single_broadcast(const Fabric& fabric,
+                                                const SingleRunOptions& options);
+
+[[deprecated("use the SingleRunOptions overload")]]
+[[nodiscard]] inline SingleResult run_single_broadcast(
+    const Fabric& fabric, Scheme scheme, const GroupSelection& group,
+    Bytes message_bytes, const SimConfig& sim, const RunnerOptions& runner) {
+  SingleRunOptions options;
+  options.scheme = scheme;
+  options.group = group;
+  options.message_bytes = message_bytes;
+  options.sim = sim;
+  options.runner = runner;
+  return run_single_broadcast(fabric, options);
+}
 
 /// Sums serialized bytes over links of the given kinds.
 [[nodiscard]] Bytes bytes_on_links(const Network& net, const Topology& topo,

@@ -108,7 +108,8 @@ TEST_F(AllGatherFixture, ScenarioDriverRuns) {
   c.message_bytes = 8 * kMiB;
   c.collectives = 4;
   c.seed = 11;
-  const ScenarioResult r = run_allgather_scenario(fabric, c);
+  c.collective = CollectiveKind::AllGather;
+  const ScenarioResult r = run_scenario(fabric, c);
   EXPECT_EQ(r.unfinished, 0u);
   EXPECT_EQ(r.cct_seconds.count(), 4u);
 }

@@ -103,7 +103,8 @@ TEST_F(AllReduceFixture, ScenarioDriverRuns) {
   c.message_bytes = 4 * kMiB;
   c.collectives = 4;
   c.seed = 21;
-  const ScenarioResult r = run_allreduce_scenario(fabric, c);
+  c.collective = CollectiveKind::AllReduce;
+  const ScenarioResult r = run_scenario(fabric, c);
   EXPECT_EQ(r.unfinished, 0u);
   EXPECT_EQ(r.cct_seconds.count(), 4u);
 }

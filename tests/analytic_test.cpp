@@ -21,11 +21,15 @@ struct AnalyticFixture : ::testing::Test {
   AnalyticFixture() { sim.congestion_control = false; }
 
   double run(Scheme scheme, std::size_t n, Bytes message) {
-    GroupSelection g;
-    g.source = ft.hosts[0];
-    for (std::size_t i = 1; i < n; ++i) g.destinations.push_back(ft.hosts[i]);
-    return run_single_broadcast(fabric, scheme, g, message, sim, RunnerOptions{})
-        .cct_seconds;
+    SingleRunOptions options;
+    options.scheme = scheme;
+    options.group.source = ft.hosts[0];
+    for (std::size_t i = 1; i < n; ++i) {
+      options.group.destinations.push_back(ft.hosts[i]);
+    }
+    options.message_bytes = message;
+    options.sim = sim;
+    return run_single_broadcast(fabric, options).cct_seconds;
   }
 };
 
@@ -77,16 +81,15 @@ TEST_F(AnalyticFixture, PipeliningBeatsStoreAndForwardOfWholeMessage) {
   g.source = ft.hosts[0];
   for (std::size_t i = 1; i < 8; ++i) g.destinations.push_back(ft.hosts[i]);
 
-  RunnerOptions one_chunk;
-  one_chunk.chunks = 1;
-  const double unpipelined =
-      run_single_broadcast(fabric, Scheme::Ring, g, message, sim, one_chunk)
-          .cct_seconds;
-  RunnerOptions eight;
-  eight.chunks = 8;
-  const double pipelined =
-      run_single_broadcast(fabric, Scheme::Ring, g, message, sim, eight)
-          .cct_seconds;
+  SingleRunOptions run;
+  run.scheme = Scheme::Ring;
+  run.group = g;
+  run.message_bytes = message;
+  run.sim = sim;
+  run.runner.chunks = 1;
+  const double unpipelined = run_single_broadcast(fabric, run).cct_seconds;
+  run.runner.chunks = 8;
+  const double pipelined = run_single_broadcast(fabric, run).cct_seconds;
   const double expected_ratio = 7.0 / ((8.0 + 6.0) / 8.0);  // = 4.0
   EXPECT_NEAR(unpipelined / pipelined, expected_ratio, expected_ratio * 0.15);
 }
@@ -97,11 +100,13 @@ TEST_F(AnalyticFixture, PropagationIsAdditiveForTinyMessages) {
   GroupSelection g;
   g.source = ft.hosts[0];
   g.destinations = {ft.hosts.back()};  // different pod: 6 links
-  RunnerOptions one_chunk;
-  one_chunk.chunks = 1;
-  const double measured =
-      run_single_broadcast(fabric, Scheme::Optimal, g, message, sim, one_chunk)
-          .cct_seconds;
+  SingleRunOptions run;
+  run.scheme = Scheme::Optimal;
+  run.group = g;
+  run.message_bytes = message;
+  run.sim = sim;
+  run.runner.chunks = 1;
+  const double measured = run_single_broadcast(fabric, run).cct_seconds;
   const double per_hop = static_cast<double>(message) / kBytesPerNs * 1e-9 +
                          500e-9;  // serialization + propagation
   EXPECT_NEAR(measured, 6 * per_hop, per_hop);

@@ -26,8 +26,12 @@ struct SmallFatTree : ::testing::Test {
 
 SingleResult run(const Fabric& fabric, Scheme scheme, const GroupSelection& g,
                  Bytes bytes, RunnerOptions opts = {}) {
-  SimConfig sim;
-  return run_single_broadcast(fabric, scheme, g, bytes, sim, opts);
+  SingleRunOptions options;
+  options.scheme = scheme;
+  options.group = g;
+  options.message_bytes = bytes;
+  options.runner = opts;
+  return run_single_broadcast(fabric, options);
 }
 
 TEST_F(SmallFatTree, EverySchemeCompletes) {
@@ -177,18 +181,12 @@ TEST(LeafSpineCollectives, PeelAsymmetricCompletesUnderFailures) {
 
   RunnerOptions opts;
   opts.peel_asymmetric = true;
-  SimConfig sim;
-  const auto r = run_single_broadcast(fabric, Scheme::Peel, g, 4 * kMiB, sim, opts);
+  const auto r = run(fabric, Scheme::Peel, g, 4 * kMiB, opts);
   EXPECT_GT(r.cct_seconds, 0.0);
 
   // Ring and Tree also complete on the damaged fabric.
-  RunnerOptions plain;
-  EXPECT_GT(run_single_broadcast(fabric, Scheme::Ring, g, 4 * kMiB, sim, plain)
-                .cct_seconds,
-            0.0);
-  EXPECT_GT(run_single_broadcast(fabric, Scheme::BinaryTree, g, 4 * kMiB, sim, plain)
-                .cct_seconds,
-            0.0);
+  EXPECT_GT(run(fabric, Scheme::Ring, g, 4 * kMiB).cct_seconds, 0.0);
+  EXPECT_GT(run(fabric, Scheme::BinaryTree, g, 4 * kMiB).cct_seconds, 0.0);
 }
 
 TEST(LeafSpineCollectives, AsymmetricPeelBeatsUnicastUnderFailures) {
@@ -201,13 +199,10 @@ TEST(LeafSpineCollectives, AsymmetricPeelBeatsUnicastUnderFailures) {
   for (std::size_t i = 1; i < 64; ++i) g.destinations.push_back(ls.gpus[i]);
   if (!all_reachable(ls.topo, g.source, g.destinations)) GTEST_SKIP();
 
-  SimConfig sim;
   RunnerOptions peel_opts;
   peel_opts.peel_asymmetric = true;
-  const auto peel =
-      run_single_broadcast(fabric, Scheme::Peel, g, 8 * kMiB, sim, peel_opts);
-  const auto ring =
-      run_single_broadcast(fabric, Scheme::Ring, g, 8 * kMiB, sim, RunnerOptions{});
+  const auto peel = run(fabric, Scheme::Peel, g, 8 * kMiB, peel_opts);
+  const auto ring = run(fabric, Scheme::Ring, g, 8 * kMiB);
   EXPECT_LT(peel.cct_seconds, ring.cct_seconds);
   EXPECT_LT(peel.fabric_bytes, ring.fabric_bytes);
 }

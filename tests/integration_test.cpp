@@ -25,7 +25,7 @@ TEST(Scenario, AllSchemesFinishUnderLoad) {
   const Fabric fabric = Fabric::of(ft);
   for (Scheme scheme : {Scheme::Ring, Scheme::BinaryTree, Scheme::Optimal,
                         Scheme::Orca, Scheme::Peel, Scheme::PeelProgCores}) {
-    const ScenarioResult r = run_broadcast_scenario(fabric, quick_config(scheme));
+    const ScenarioResult r = run_scenario(fabric, quick_config(scheme));
     EXPECT_EQ(r.unfinished, 0u) << to_string(scheme);
     EXPECT_EQ(r.cct_seconds.count(), 6u) << to_string(scheme);
     EXPECT_GT(r.cct_seconds.mean(), 0.0) << to_string(scheme);
@@ -36,8 +36,8 @@ TEST(Scenario, AllSchemesFinishUnderLoad) {
 TEST(Scenario, DeterministicForFixedSeed) {
   const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 4});
   const Fabric fabric = Fabric::of(ft);
-  const ScenarioResult a = run_broadcast_scenario(fabric, quick_config(Scheme::Peel));
-  const ScenarioResult b = run_broadcast_scenario(fabric, quick_config(Scheme::Peel));
+  const ScenarioResult a = run_scenario(fabric, quick_config(Scheme::Peel));
+  const ScenarioResult b = run_scenario(fabric, quick_config(Scheme::Peel));
   ASSERT_EQ(a.cct_seconds.count(), b.cct_seconds.count());
   EXPECT_EQ(a.cct_seconds.values(), b.cct_seconds.values());
   EXPECT_EQ(a.fabric_bytes, b.fabric_bytes);
@@ -50,8 +50,8 @@ TEST(Scenario, SeedChangesOutcome) {
   ScenarioConfig c1 = quick_config(Scheme::Peel);
   ScenarioConfig c2 = quick_config(Scheme::Peel);
   c2.seed = 43;
-  const ScenarioResult a = run_broadcast_scenario(fabric, c1);
-  const ScenarioResult b = run_broadcast_scenario(fabric, c2);
+  const ScenarioResult a = run_scenario(fabric, c1);
+  const ScenarioResult b = run_scenario(fabric, c2);
   EXPECT_NE(a.cct_seconds.values(), b.cct_seconds.values());
 }
 
@@ -65,7 +65,7 @@ TEST(Scenario, SchemeOrderingOnFatTree) {
     ScenarioConfig c = quick_config(s);
     c.message_bytes = 8 * kMiB;
     c.group_size = 64;
-    return run_broadcast_scenario(fabric, c).cct_seconds.mean();
+    return run_scenario(fabric, c).cct_seconds.mean();
   };
   const double optimal = mean_cct(Scheme::Optimal);
   const double peel = mean_cct(Scheme::Peel);
@@ -88,7 +88,7 @@ TEST(Scenario, AsymmetricLeafSpineSweepRuns) {
   ScenarioConfig c = quick_config(Scheme::Peel);
   c.runner.peel_asymmetric = true;
   c.collectives = 4;
-  const ScenarioResult r = run_broadcast_scenario(fabric, c);
+  const ScenarioResult r = run_scenario(fabric, c);
   EXPECT_EQ(r.unfinished, 0u);
 }
 
@@ -100,8 +100,8 @@ TEST(Scenario, HigherLoadIncreasesTail) {
   light.offered_load = 0.05;
   ScenarioConfig heavy = light;
   heavy.offered_load = 0.9;
-  const double light_p99 = run_broadcast_scenario(fabric, light).cct_seconds.p99();
-  const double heavy_p99 = run_broadcast_scenario(fabric, heavy).cct_seconds.p99();
+  const double light_p99 = run_scenario(fabric, light).cct_seconds.p99();
+  const double heavy_p99 = run_scenario(fabric, heavy).cct_seconds.p99();
   EXPECT_GE(heavy_p99, light_p99);
 }
 

@@ -380,9 +380,11 @@ TEST_P(ConservationProperty, OptimalBroadcastBytesMatchTreeExactly) {
     if (ft.topo.link(l).kind != LinkKind::NvLink) ++fabric_links;
   }
 
-  SimConfig sim;
-  const SingleResult r =
-      run_single_broadcast(fabric, Scheme::Optimal, g, msg, sim, RunnerOptions{});
+  SingleRunOptions run;
+  run.scheme = Scheme::Optimal;
+  run.group = g;
+  run.message_bytes = msg;
+  const SingleResult r = run_single_broadcast(fabric, run);
   // Every fabric tree link carries the message exactly once — no loss, no
   // duplication, independent of chunking/segmentation boundaries.
   EXPECT_EQ(r.fabric_bytes, static_cast<Bytes>(fabric_links) * msg);
