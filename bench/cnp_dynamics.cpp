@@ -5,12 +5,14 @@
 // rate stays pinned; the guard bounds reactions to one per 50 us.
 #include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "src/common/csv.h"
 #include "src/harness/bench_env.h"
 #include "src/collectives/runner.h"
 #include "src/common/stats.h"
 #include "src/harness/table.h"
+#include "src/sim/trace.h"
 
 using namespace peel;
 
@@ -35,6 +37,10 @@ int main() {
         Mode{"unthrottled", CnpMode::Unthrottled}}) {
     EventQueue queue;
     SimConfig sim;
+    // PEEL_BENCH_TELEMETRY=1 additionally records per-link counters and a
+    // per-mode Chrome trace; the hooks are passive, so the rate series (and
+    // the CSV) are identical either way.
+    bench::apply_env_telemetry(sim);
     Network net(ft.topo, sim, queue);
     RunnerOptions opts;
     opts.multicast_cnp_mode = m.mode;
@@ -78,6 +84,27 @@ int main() {
                    cell("%.0f%%", 100.0 * below_half / std::max(1, samples)),
                    cell("%llu", static_cast<unsigned long long>(cc.cnps_seen())),
                    cell("%llu", static_cast<unsigned long long>(cc.reactions()))});
+
+    if (const Telemetry* telem = net.telemetry()) {
+      const TelemetrySummary summary = telem->summary(queue.now());
+      std::string slug = m.name;
+      for (char& ch : slug) {
+        if (ch == ' ') ch = '_';
+      }
+      const std::string path = "cnp_dynamics_" + slug + ".trace.json";
+      write_chrome_trace(path, summary);
+      std::uint64_t pauses = 0;
+      SimTime paused = 0;
+      for (const LinkTelemetry& t : summary.links) {
+        pauses += t.pfc_pauses;
+        paused += t.pfc_pause_time;
+      }
+      std::printf("  [telemetry] %s: %zu CNP events, %llu PFC pauses (%s "
+                  "paused) -> %s\n",
+                  m.name, summary.cnps.size(),
+                  static_cast<unsigned long long>(pauses),
+                  format_seconds(sim_to_seconds(paused)).c_str(), path.c_str());
+    }
   }
   table.print(std::cout);
   std::printf("\ntime series -> cnp_dynamics.csv (one rate sample per 50 us "

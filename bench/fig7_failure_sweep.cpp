@@ -10,6 +10,7 @@
 // a one-axis parallel sweep over that (now immutable) fabric.
 #include <cstdio>
 #include <iostream>
+#include <optional>
 
 #include "src/common/csv.h"
 #include "src/harness/bench_env.h"
@@ -30,6 +31,17 @@ int main() {
   CsvWriter csv("fig7_failure_sweep.csv",
                 {"failure_pct", "scheme", "mean_cct_s", "p99_cct_s"});
 
+  // PEEL_BENCH_TELEMETRY=1: per-cell telemetry, rolled up per failure level
+  // into a side CSV. The main CSV above is identical either way.
+  std::optional<CsvWriter> telemetry_csv;
+  if (bench::telemetry_enabled()) {
+    telemetry_csv.emplace(
+        "fig7_failure_telemetry.csv",
+        std::vector<std::string>{"failure_pct", "cells", "bytes", "segments",
+                                 "ecn_marks", "pfc_pauses", "pfc_pause_ns",
+                                 "max_queue_peak_bytes"});
+  }
+
   for (double pct : failure_pcts) {
     // Fresh fabric per failure level (deterministic failure draw).
     LeafSpine ls = build_leaf_spine(LeafSpineConfig{16, 48, 2, 8});
@@ -44,6 +56,7 @@ int main() {
     spec.base.message_bytes = message;
     spec.base.collectives = bench::samples_for(message);
     spec.base.sim = bench::scaled_sim(message, 7);
+    bench::apply_env_telemetry(spec.base.sim);
     spec.base.seed = 777 + static_cast<std::uint64_t>(pct);
     spec.customize = [](const SweepPoint& p, ScenarioConfig& c) {
       c.runner.peel_asymmetric = (p.scheme == Scheme::Peel);
@@ -65,8 +78,27 @@ int main() {
                     to_string(spec.schemes[s]));
       }
     }
+    if (telemetry_csv) {
+      const TelemetryAggregate agg = aggregate_telemetry(results);
+      telemetry_csv->row(
+          {cell("%.0f", pct), cell("%zu", agg.cells),
+           cell("%lld", static_cast<long long>(agg.bytes)),
+           cell("%llu", static_cast<unsigned long long>(agg.segments)),
+           cell("%llu", static_cast<unsigned long long>(agg.ecn_marks)),
+           cell("%llu", static_cast<unsigned long long>(agg.pfc_pauses)),
+           cell("%lld", static_cast<long long>(agg.pfc_pause_time)),
+           cell("%lld", static_cast<long long>(agg.max_queue_peak))});
+      std::printf("telemetry: %s serialized over %zu cell(s), deepest queue "
+                  "%s\n",
+                  format_bytes(static_cast<double>(agg.bytes)).c_str(),
+                  agg.cells,
+                  format_bytes(static_cast<double>(agg.max_queue_peak)).c_str());
+    }
     table.print(std::cout);
     std::printf("\n");
+  }
+  if (telemetry_csv) {
+    std::printf("telemetry roll-up -> fig7_failure_telemetry.csv\n");
   }
   std::printf("paper: PEEL beats Ring and Tree at every failure level; the "
               "greedy trees stay near-optimal even at 10%%.\n"

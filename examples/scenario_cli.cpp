@@ -4,18 +4,33 @@
 //
 // Usage:
 //   scenario_cli [scheme] [collective] [group_gpus] [message_MiB] [load%] [n]
-//                [replicas]
+//                [replicas] [flags...]
 //     scheme:      ring | tree | optimal | orca | peel | peelcores
 //     collective:  broadcast | allgather | allreduce
 //     replicas:    independent repetitions with derived per-replica seeds,
 //                  run in parallel by the sweep engine (PEEL_BENCH_THREADS
 //                  overrides the worker count)
-//   e.g. scenario_cli peel broadcast 256 64 30 20 4
+//   flags (anywhere on the command line):
+//     --trace=FILE          write a Chrome-trace JSON (chrome://tracing /
+//                           ui.perfetto.dev) of replica 0's flow lifetimes,
+//                           PFC pauses, and CNP events
+//     --telemetry-csv=FILE  write replica 0's per-link counters as CSV
+//     --samples-csv=FILE    write replica 0's queue-depth time series as CSV
+//     --sample-us=N         telemetry sampling interval in µs (default 50
+//                           when --samples-csv is given)
+//     --audit               byte-conservation audit (same as PEEL_BYTE_AUDIT=1)
+//     --watchdog            fail loudly with per-flow diagnostics if any
+//                           collective is unfinished at drain/deadline
+//     --deadline=S          stop the simulation at S simulated seconds
+//   e.g. scenario_cli peel broadcast 256 64 30 20 4 --audit --trace=run.json
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "src/harness/sweep.h"
+#include "src/sim/trace.h"
 
 using namespace peel;
 
@@ -40,21 +55,90 @@ CollectiveKind parse_collective(const char* s) {
   std::exit(1);
 }
 
+struct Flags {
+  std::string trace_path;
+  std::string telemetry_csv;
+  std::string samples_csv;
+  long sample_us = 0;
+  bool audit = false;
+  bool watchdog = false;
+  double deadline_seconds = 0.0;
+};
+
+bool flag_value(const char* arg, const char* name, const char** value) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *value = arg + n + 1;
+  return true;
+}
+
+/// Splits argv into positionals and --flags; exits on an unknown flag.
+std::vector<const char*> parse_flags(int argc, char** argv, Flags& flags) {
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) {
+      positional.push_back(arg);
+      continue;
+    }
+    const char* value = nullptr;
+    if (flag_value(arg, "--trace", &value)) {
+      flags.trace_path = value;
+    } else if (flag_value(arg, "--telemetry-csv", &value)) {
+      flags.telemetry_csv = value;
+    } else if (flag_value(arg, "--samples-csv", &value)) {
+      flags.samples_csv = value;
+    } else if (flag_value(arg, "--sample-us", &value)) {
+      flags.sample_us = std::atol(value);
+    } else if (!std::strcmp(arg, "--audit")) {
+      flags.audit = true;
+    } else if (!std::strcmp(arg, "--watchdog")) {
+      flags.watchdog = true;
+    } else if (flag_value(arg, "--deadline", &value)) {
+      flags.deadline_seconds = std::atof(value);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg);
+      std::exit(1);
+    }
+  }
+  return positional;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  Flags flags;
+  const std::vector<const char*> args = parse_flags(argc, argv, flags);
+  const auto arg = [&args](std::size_t i) -> const char* {
+    return i < args.size() ? args[i] : nullptr;
+  };
+
   SweepSpec spec;
   ScenarioConfig& sc = spec.base;
-  sc.scheme = argc > 1 ? parse_scheme(argv[1]) : Scheme::Peel;
-  sc.collective =
-      argc > 2 ? parse_collective(argv[2]) : CollectiveKind::Broadcast;
-  sc.group_size = argc > 3 ? std::atoi(argv[3]) : 64;
-  sc.message_bytes = (argc > 4 ? std::atoll(argv[4]) : 8) * kMiB;
-  sc.offered_load = (argc > 5 ? std::atof(argv[5]) : 30.0) / 100.0;
-  sc.collectives = argc > 6 ? std::atoi(argv[6]) : 20;
+  sc.scheme = arg(0) ? parse_scheme(arg(0)) : Scheme::Peel;
+  sc.collective = arg(1) ? parse_collective(arg(1)) : CollectiveKind::Broadcast;
+  sc.group_size = arg(2) ? std::atoi(arg(2)) : 64;
+  sc.message_bytes = (arg(3) ? std::atoll(arg(3)) : 8) * kMiB;
+  sc.offered_load = (arg(4) ? std::atof(arg(4)) : 30.0) / 100.0;
+  sc.collectives = arg(5) ? std::atoi(arg(5)) : 20;
   sc.seed = 20260705;
-  spec.replicas = argc > 7 ? std::atoi(argv[7]) : 1;
+  spec.replicas = arg(6) ? std::atoi(arg(6)) : 1;
   if (spec.replicas > 1) spec.master_seed = sc.seed;
+
+  const bool wants_telemetry = !flags.trace_path.empty() ||
+                               !flags.telemetry_csv.empty() ||
+                               !flags.samples_csv.empty();
+  if (wants_telemetry) {
+    sc.sim.telemetry.enabled = true;
+    sc.sim.telemetry.record_trace = !flags.trace_path.empty();
+    if (flags.sample_us <= 0 && !flags.samples_csv.empty()) {
+      flags.sample_us = 50;  // a useful default when a series was asked for
+    }
+    sc.sim.telemetry.sample_interval = flags.sample_us * kMicrosecond;
+  }
+  if (flags.audit) sc.byte_audit = true;
+  sc.watchdog = flags.watchdog;
+  sc.deadline_seconds = flags.deadline_seconds;
 
   const FatTree ft = build_fat_tree(FatTreeConfig{8, 4, 8});
   const Fabric fabric = Fabric::of(ft);
@@ -95,6 +179,38 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(ecn),
               static_cast<unsigned long long>(pfc),
               static_cast<unsigned long long>(events));
+
+  if (wants_telemetry || sc.byte_audit) {
+    const TelemetryAggregate agg = aggregate_telemetry(results);
+    std::printf("  telemetry   %zu cell(s): %s serialized, %llu segments, "
+                "PFC paused %s total, deepest queue %s\n",
+                agg.cells,
+                format_bytes(static_cast<double>(agg.bytes)).c_str(),
+                static_cast<unsigned long long>(agg.segments),
+                format_seconds(sim_to_seconds(agg.pfc_pause_time)).c_str(),
+                format_bytes(static_cast<double>(agg.max_queue_peak)).c_str());
+  }
+
+  // Exporters read replica 0 (grid cell 0): one cell's fabric is what a
+  // trace viewer can sensibly show.
+  if (wants_telemetry) {
+    const auto& summary = results.cells().front().result.telemetry;
+    if (summary) {
+      if (!flags.trace_path.empty()) {
+        write_chrome_trace(flags.trace_path, *summary);
+        std::printf("  trace       %s\n", flags.trace_path.c_str());
+      }
+      if (!flags.telemetry_csv.empty()) {
+        write_link_telemetry_csv(flags.telemetry_csv, *summary);
+        std::printf("  link CSV    %s\n", flags.telemetry_csv.c_str());
+      }
+      if (!flags.samples_csv.empty()) {
+        write_queue_samples_csv(flags.samples_csv, *summary);
+        std::printf("  series CSV  %s\n", flags.samples_csv.c_str());
+      }
+    }
+  }
+
   if (unfinished) {
     std::printf("  WARNING: %zu collectives did not finish\n", unfinished);
     return 1;

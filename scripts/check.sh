@@ -3,6 +3,10 @@
 # and run the full test suite under each.
 #
 # Usage: scripts/check.sh [jobs]
+#
+# Set PEEL_CHECK_TSAN=1 to additionally build a ThreadSanitizer
+# configuration and run the concurrency-sensitive tests under it
+# (the parallel sweep engine and the Samples::quantile lazy-sort guard).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,5 +25,14 @@ run_config() {
 
 run_config build
 run_config build-asan -DPEEL_SANITIZE=ON
+
+if [[ "${PEEL_CHECK_TSAN:-0}" != "0" ]]; then
+  echo "== configure build-tsan (-DPEEL_TSAN=ON) =="
+  cmake -B build-tsan -S . -DPEEL_TSAN=ON
+  echo "== build build-tsan =="
+  cmake --build build-tsan -j "${JOBS}" --target sweep_test stats_race_test
+  echo "== ctest build-tsan (concurrency tests) =="
+  (cd build-tsan && ctest --output-on-failure -R '^(sweep_test|stats_race_test)$')
+fi
 
 echo "== all checks passed =="

@@ -1,6 +1,7 @@
 #include "src/collectives/runner.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -1001,6 +1002,68 @@ void CollectiveRunner::finish_exec(std::uint64_t id) {
   record.finish_time = queue_->now();
   for (StreamId s : it->second->streams) net_->close_stream(s);
   execs_.erase(it);
+}
+
+std::vector<StuckFlowInfo> CollectiveRunner::stuck_flows() const {
+  std::vector<StuckFlowInfo> out;
+  out.reserve(execs_.size());
+  for (const auto& [id, exec] : execs_) {
+    const CollectiveRecord& record = records_[record_index_.at(id)];
+    StuckFlowInfo info;
+    info.id = id;
+    info.scheme = record.scheme;
+    info.submit_time = record.submit_time;
+    info.delivered = exec->delivered.size();
+    info.expected = exec->expected;
+    info.streams.reserve(exec->streams.size());
+    for (StreamId s : exec->streams) {
+      info.streams.push_back(net_->stream_diagnostic(s));
+    }
+    out.push_back(std::move(info));
+  }
+  // execs_ iteration order is unspecified; sort for deterministic reports.
+  std::sort(out.begin(), out.end(),
+            [](const StuckFlowInfo& a, const StuckFlowInfo& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+std::string format_stuck_flows(const std::vector<StuckFlowInfo>& flows) {
+  std::string out;
+  char buf[256];
+  for (const StuckFlowInfo& f : flows) {
+    std::snprintf(buf, sizeof buf,
+                  "  collective %llu (%s, submitted t=%lld ns): %zu/%zu "
+                  "deliveries done\n",
+                  static_cast<unsigned long long>(f.id), to_string(f.scheme),
+                  static_cast<long long>(f.submit_time), f.delivered,
+                  f.expected);
+    out += buf;
+    for (const StreamDiagnostic& d : f.streams) {
+      if (d.closed) continue;  // finished streams carry no signal
+      std::snprintf(
+          buf, sizeof buf,
+          "    stream %d: %zu incomplete deliveries, %zu chunks (%lld bytes) "
+          "not yet injected%s%s\n",
+          d.stream, d.incomplete_deliveries, d.pending_chunks,
+          static_cast<long long>(d.bytes_pending_injection),
+          d.pump_blocked ? ", pump BLOCKED on full source buffer" : "",
+          d.pump_scheduled ? ", pump scheduled" : "");
+      out += buf;
+    }
+  }
+  return out;
+}
+
+void enforce_all_finished(const CollectiveRunner& runner,
+                          const std::string& context) {
+  std::vector<StuckFlowInfo> flows = runner.stuck_flows();
+  if (flows.empty()) return;
+  std::string what = "stuck-flow watchdog: " + context + " with " +
+                     std::to_string(flows.size()) +
+                     " unfinished collective(s)\n" + format_stuck_flows(flows);
+  throw StuckFlowError(std::move(what), std::move(flows));
 }
 
 }  // namespace peel

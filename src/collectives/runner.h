@@ -15,6 +15,8 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -79,6 +81,32 @@ struct CollectiveRecord {
   [[nodiscard]] double cct_seconds() const {
     return sim_to_seconds(finish_time - submit_time);
   }
+};
+
+/// Diagnostic snapshot of one unfinished collective — why it is stuck, per
+/// stream (see the stuck-flow watchdog in src/harness/experiment.h).
+struct StuckFlowInfo {
+  std::uint64_t id = 0;
+  Scheme scheme = Scheme::Ring;
+  SimTime submit_time = 0;
+  std::size_t delivered = 0;  ///< (receiver, chunk) pairs completed
+  std::size_t expected = 0;
+  std::vector<StreamDiagnostic> streams;
+};
+
+/// Thrown by the watchdog when the simulation drained (or hit its deadline)
+/// with collectives still unfinished. what() carries a per-flow report.
+class StuckFlowError : public std::runtime_error {
+ public:
+  StuckFlowError(std::string what, std::vector<StuckFlowInfo> flows)
+      : std::runtime_error(std::move(what)), flows_(std::move(flows)) {}
+
+  [[nodiscard]] const std::vector<StuckFlowInfo>& flows() const noexcept {
+    return flows_;
+  }
+
+ private:
+  std::vector<StuckFlowInfo> flows_;
 };
 
 struct RunnerOptions {
@@ -146,6 +174,10 @@ class CollectiveRunner {
   [[nodiscard]] std::size_t active_count() const noexcept { return execs_.size(); }
   [[nodiscard]] Router& router() noexcept { return router_; }
 
+  /// Diagnostics for every still-active (unfinished) collective, with each
+  /// of its streams' progress. Empty when everything completed.
+  [[nodiscard]] std::vector<StuckFlowInfo> stuck_flows() const;
+
  private:
   friend struct ExecBase;
   struct ExecBase;
@@ -177,5 +209,15 @@ class CollectiveRunner {
   std::unordered_map<std::uint64_t, std::size_t> record_index_;
   std::vector<CollectiveRecord> records_;
 };
+
+/// Formats `flows` as a human-readable multi-line stuck-flow report.
+[[nodiscard]] std::string format_stuck_flows(
+    const std::vector<StuckFlowInfo>& flows);
+
+/// Watchdog: throws StuckFlowError with a per-flow diagnostic report if any
+/// submitted collective is unfinished. `context` prefixes the message (e.g.
+/// "event queue drained" or "deadline 2s exceeded").
+void enforce_all_finished(const CollectiveRunner& runner,
+                          const std::string& context);
 
 }  // namespace peel

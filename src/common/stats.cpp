@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <utility>
 
 namespace peel {
 
@@ -25,14 +26,48 @@ double RunningStats::variance() const noexcept {
 
 double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 
+Samples::Samples(const Samples& other)
+    : values_(other.values_), stats_(other.stats_) {
+  // Deliberately not copying the sorted cache: the copy rebuilds it on first
+  // quantile() call. Keeps the copy cheap and avoids locking `other`.
+}
+
+Samples::Samples(Samples&& other) noexcept
+    : values_(std::move(other.values_)), stats_(other.stats_) {}
+
+Samples& Samples::operator=(const Samples& other) {
+  if (this == &other) return *this;
+  values_ = other.values_;
+  stats_ = other.stats_;
+  std::lock_guard<std::mutex> lock(sorted_mutex_);
+  sorted_.clear();
+  sorted_valid_ = false;
+  return *this;
+}
+
+Samples& Samples::operator=(Samples&& other) noexcept {
+  if (this == &other) return *this;
+  values_ = std::move(other.values_);
+  stats_ = other.stats_;
+  std::lock_guard<std::mutex> lock(sorted_mutex_);
+  sorted_.clear();
+  sorted_valid_ = false;
+  return *this;
+}
+
 void Samples::add(double x) {
   values_.push_back(x);
   stats_.add(x);
+  std::lock_guard<std::mutex> lock(sorted_mutex_);
   sorted_valid_ = false;
 }
 
 double Samples::quantile(double q) const {
   if (values_.empty()) return 0.0;
+  // The lazily sorted cache is shared mutable state behind a const method;
+  // hold the lock across both the rebuild and the reads so concurrent
+  // readers (sweep-pool aggregation) are race-free.
+  std::lock_guard<std::mutex> lock(sorted_mutex_);
   if (!sorted_valid_) {
     sorted_ = values_;
     std::sort(sorted_.begin(), sorted_.end());

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -32,8 +33,20 @@ class RunningStats {
 /// Stores every sample; exact percentiles. Collective counts in our
 /// experiments are small enough (hundreds to tens of thousands) that exact
 /// quantiles are cheaper than the bias a sketch would add to p99 reporting.
+///
+/// quantile()/p50()/p99() are safe to call concurrently from multiple
+/// readers (the sweep pool aggregates finished cells from several threads):
+/// the lazily sorted cache behind them is mutex-guarded. Mixing add() with
+/// concurrent readers still requires external synchronization, as does any
+/// use of values().
 class Samples {
  public:
+  Samples() = default;
+  Samples(const Samples& other);
+  Samples(Samples&& other) noexcept;
+  Samples& operator=(const Samples& other);
+  Samples& operator=(Samples&& other) noexcept;
+
   void add(double x);
   void reserve(std::size_t n) { values_.reserve(n); }
 
@@ -54,7 +67,12 @@ class Samples {
  private:
   std::vector<double> values_;
   RunningStats stats_;
-  mutable std::vector<double> sorted_;  // lazily rebuilt by quantile()
+  // Lazily rebuilt by quantile(); the mutex makes the rebuild race-free for
+  // concurrent const readers. It also makes Samples non-copyable by default,
+  // hence the manual copy/move members above (they copy the data, not the
+  // lock state).
+  mutable std::mutex sorted_mutex_;
+  mutable std::vector<double> sorted_;
   mutable bool sorted_valid_ = false;
 };
 

@@ -8,6 +8,10 @@
 //   PEEL_BENCH_SAMPLES=<n> override the per-cell collective count
 //   PEEL_BENCH_THREADS=<n> worker threads for sweep-engine benches
 //                          (consumed by resolve_sweep_threads)
+//   PEEL_BENCH_TELEMETRY=1 record per-link telemetry + trace events in
+//                          instrumented benches (see docs/telemetry.md)
+//   PEEL_BYTE_AUDIT=1      byte-conservation audit on every scenario run
+//                          (consumed by byte_audit_env_default)
 #pragma once
 
 #include <algorithm>
@@ -21,6 +25,19 @@ namespace peel::bench {
 inline bool quick_mode() {
   const char* v = std::getenv("PEEL_BENCH_QUICK");
   return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+inline bool telemetry_enabled() {
+  const char* v = std::getenv("PEEL_BENCH_TELEMETRY");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/// Turns on telemetry counters + trace recording when PEEL_BENCH_TELEMETRY
+/// is set. The hooks are passive, so bench results are unchanged either way.
+inline void apply_env_telemetry(SimConfig& sim) {
+  if (!telemetry_enabled()) return;
+  sim.telemetry.enabled = true;
+  sim.telemetry.record_trace = true;
 }
 
 inline int samples_override(int full_default, int quick_default) {

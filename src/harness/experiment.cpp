@@ -1,8 +1,52 @@
 #include "src/harness/experiment.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
+#include <string>
 
 namespace peel {
+
+namespace {
+
+/// Joins audit violation lines into one exception message.
+std::string audit_message(const char* context,
+                          const std::vector<std::string>& violations) {
+  std::string msg = "byte-conservation audit failed (";
+  msg += context;
+  msg += "):";
+  for (const std::string& v : violations) {
+    msg += "\n  ";
+    msg += v;
+  }
+  return msg;
+}
+
+/// Builds the summary for ScenarioResult/SingleResult consumers, attaching
+/// flow lifetimes from collective records (the Network cannot know them).
+std::shared_ptr<const TelemetrySummary> make_summary(
+    const Telemetry& telem, const CollectiveRunner& runner, SimTime now) {
+  auto summary = std::make_shared<TelemetrySummary>(telem.summary(now));
+  summary->flows.reserve(runner.records().size());
+  for (const CollectiveRecord& record : runner.records()) {
+    FlowSpan f;
+    f.id = record.id;
+    f.name =
+        std::string(to_string(record.scheme)) + " #" + std::to_string(record.id);
+    f.begin = record.submit_time;
+    f.end = record.finished ? record.finish_time : now;
+    f.finished = record.finished;
+    summary->flows.push_back(std::move(f));
+  }
+  return summary;
+}
+
+}  // namespace
+
+bool byte_audit_env_default() {
+  const char* v = std::getenv("PEEL_BYTE_AUDIT");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
 
 const char* to_string(CollectiveKind kind) noexcept {
   switch (kind) {
@@ -27,8 +71,11 @@ Bytes bytes_on_links(const Network& net, const Topology& topo, bool fabric,
 }
 
 ScenarioResult run_scenario(const Fabric& fabric, const ScenarioConfig& config) {
+  SimConfig sim = config.sim;
+  if (config.byte_audit) sim.telemetry.enabled = true;  // audit needs accounting
+
   EventQueue queue;
-  Network net(fabric.topo(), config.sim, queue);
+  Network net(fabric.topo(), sim, queue);
   Rng rng(config.seed);
   CollectiveRunner runner(fabric, net, queue, rng.fork(0xc0'11ec), config.runner);
 
@@ -79,7 +126,20 @@ ScenarioResult run_scenario(const Fabric& fabric, const ScenarioConfig& config) 
     }
   }
 
-  queue.run();
+  if (config.deadline_seconds > 0.0) {
+    queue.run_until(seconds_to_sim(config.deadline_seconds));
+  } else {
+    queue.run();
+  }
+
+  if (config.watchdog) {
+    enforce_all_finished(runner, queue.empty()
+                                     ? "event queue drained"
+                                     : "deadline " +
+                                           std::to_string(
+                                               config.deadline_seconds) +
+                                           " s exceeded");
+  }
 
   ScenarioResult result;
   for (const auto& record : runner.records()) {
@@ -89,6 +149,25 @@ ScenarioResult run_scenario(const Fabric& fabric, const ScenarioConfig& config) 
     }
     result.cct_seconds.add(record.cct_seconds());
   }
+
+  if (const Telemetry* telem = net.telemetry()) {
+    if (config.byte_audit) {
+      // The full conservation check only holds once everything drained and
+      // finished; a deadline-truncated or unfinished run still must never
+      // over-deliver (a byte credited twice is a bug at any point).
+      const bool clean = result.unfinished == 0 && queue.empty();
+      const std::vector<std::string> violations =
+          clean ? telem->conservation_violations()
+                : telem->over_delivery_violations();
+      if (!violations.empty()) {
+        throw std::runtime_error(audit_message(
+            clean ? "at drain" : "partial run, over-delivery check only",
+            violations));
+      }
+    }
+    result.telemetry = make_summary(*telem, runner, queue.now());
+  }
+
   result.fabric_bytes = bytes_on_links(net, fabric.topo(), true, true, false);
   result.core_bytes = bytes_on_links(net, fabric.topo(), true, false, false);
   result.sim_seconds = sim_to_seconds(queue.now());
@@ -100,8 +179,11 @@ ScenarioResult run_scenario(const Fabric& fabric, const ScenarioConfig& config) 
 
 SingleResult run_single_broadcast(const Fabric& fabric,
                                   const SingleRunOptions& options) {
+  SimConfig sim = options.sim;
+  if (options.byte_audit) sim.telemetry.enabled = true;
+
   EventQueue queue;
-  Network net(fabric.topo(), options.sim, queue);
+  Network net(fabric.topo(), sim, queue);
   CollectiveRunner runner(fabric, net, queue, Rng(options.sim.seed),
                           options.runner);
 
@@ -115,6 +197,13 @@ SingleResult run_single_broadcast(const Fabric& fabric,
 
   if (runner.records().empty() || !runner.records().front().finished) {
     throw std::runtime_error("single broadcast did not complete");
+  }
+  if (const Telemetry* telem = net.telemetry(); telem && options.byte_audit) {
+    const std::vector<std::string> violations = telem->conservation_violations();
+    if (!violations.empty()) {
+      throw std::runtime_error(
+          audit_message("single broadcast", violations));
+    }
   }
   SingleResult result;
   result.cct_seconds = runner.records().front().cct_seconds();

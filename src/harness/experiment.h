@@ -14,9 +14,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "src/collectives/runner.h"
 #include "src/common/stats.h"
+#include "src/sim/telemetry.h"
 #include "src/workload/placement.h"
 
 namespace peel {
@@ -30,6 +32,11 @@ enum class CollectiveKind {
 };
 
 [[nodiscard]] const char* to_string(CollectiveKind kind) noexcept;
+
+/// Default for ScenarioConfig::byte_audit / SingleRunOptions::byte_audit:
+/// true iff the PEEL_BYTE_AUDIT environment variable is set to a non-empty,
+/// non-"0" value. Lets CI audit every bench without touching call sites.
+[[nodiscard]] bool byte_audit_env_default();
 
 struct ScenarioConfig {
   Scheme scheme = Scheme::Peel;
@@ -49,6 +56,19 @@ struct ScenarioConfig {
   SimConfig sim;
   RunnerOptions runner;
   std::uint64_t seed = 1;
+
+  /// Byte-conservation audit (src/sim/telemetry.h): forces telemetry on and
+  /// throws std::runtime_error at drain if any stream over-delivered, or —
+  /// when the run drained cleanly with every collective finished — if any
+  /// byte went unaccounted hop-by-hop or a receiver came up short.
+  bool byte_audit = byte_audit_env_default();
+  /// Stuck-flow watchdog: throw StuckFlowError (with per-flow diagnostics)
+  /// instead of silently reporting `unfinished > 0` when the queue drains or
+  /// the deadline passes with incomplete collectives.
+  bool watchdog = false;
+  /// Simulated-time budget; 0 = run to drain. With a deadline the run stops
+  /// at that simulated instant even if collectives are still in flight.
+  double deadline_seconds = 0.0;
 };
 
 struct ScenarioResult {
@@ -62,6 +82,9 @@ struct ScenarioResult {
   std::uint64_t pfc_pauses = 0;
   std::uint64_t ecn_marks = 0;
   std::size_t unfinished = 0;     ///< collectives that never completed (bug if > 0)
+  /// Non-null iff telemetry ran (config.sim.telemetry.enabled or
+  /// config.byte_audit); flow lifetimes are filled from collective records.
+  std::shared_ptr<const TelemetrySummary> telemetry;
 };
 
 /// Runs `config.collectives` Poisson-arriving collectives of one scheme,
@@ -110,6 +133,9 @@ struct SingleRunOptions {
   Bytes message_bytes = 8 * kMiB;
   SimConfig sim;
   RunnerOptions runner;
+  /// Same audit as ScenarioConfig::byte_audit (always a full conservation
+  /// check — the single broadcast must complete).
+  bool byte_audit = byte_audit_env_default();
 };
 
 /// Runs exactly one broadcast on an otherwise idle fabric (bandwidth

@@ -159,4 +159,21 @@ SweepResults run_sweep(const Fabric& fabric, const SweepSpec& spec,
   return SweepResults(spec, std::move(cells));
 }
 
+TelemetryAggregate aggregate_telemetry(const SweepResults& results) {
+  TelemetryAggregate agg;
+  for (const SweepCell& cell : results.cells()) {
+    if (!cell.result.telemetry) continue;
+    ++agg.cells;
+    for (const LinkTelemetry& t : cell.result.telemetry->links) {
+      agg.bytes += t.bytes;
+      agg.segments += t.segments;
+      agg.ecn_marks += t.ecn_marks;
+      agg.pfc_pauses += t.pfc_pauses;
+      agg.pfc_pause_time += t.pfc_pause_time;
+      agg.max_queue_peak = std::max(agg.max_queue_peak, t.queue_peak);
+    }
+  }
+  return agg;
+}
+
 }  // namespace peel

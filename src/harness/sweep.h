@@ -150,4 +150,19 @@ struct SweepOptions {
 [[nodiscard]] SweepResults run_sweep(const Fabric& fabric, const SweepSpec& spec,
                                      const SweepOptions& options = {});
 
+/// Sweep-wide roll-up of per-cell telemetry summaries (cells that ran with
+/// telemetry disabled contribute nothing and are not counted).
+struct TelemetryAggregate {
+  std::size_t cells = 0;  ///< cells that carried a telemetry summary
+  Bytes bytes = 0;
+  std::uint64_t segments = 0;
+  std::uint64_t ecn_marks = 0;
+  std::uint64_t pfc_pauses = 0;
+  SimTime pfc_pause_time = 0;
+  Bytes max_queue_peak = 0;  ///< deepest egress queue across all cells
+};
+
+/// Aggregates link counters over every cell that recorded telemetry.
+[[nodiscard]] TelemetryAggregate aggregate_telemetry(const SweepResults& results);
+
 }  // namespace peel

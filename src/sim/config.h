@@ -10,6 +10,21 @@
 
 namespace peel {
 
+/// Opt-in observability for the data plane (src/sim/telemetry.h). Disabled
+/// by default: the hooks are passive (never draw randomness or schedule
+/// behavior-changing events), so enabling them does not perturb results,
+/// but the per-link accounting costs memory and a little time.
+struct TelemetryConfig {
+  bool enabled = false;
+  /// Fixed-interval time-series sampling of fabric queue state (0 = off).
+  /// The sampler stops once the event queue has no other work, so it never
+  /// keeps a finished simulation alive.
+  SimTime sample_interval = 0;
+  /// Record PFC pause spans and CNP emissions for the Chrome-trace exporter
+  /// (src/sim/trace.h). Off by default: traces grow with congestion events.
+  bool record_trace = false;
+};
+
 struct DcqcnParams {
   /// Alpha EWMA gain. The canonical 1/256 assumes per-MTU CNPs; our
   /// serialization unit is a (much larger) segment, so the gain is scaled up
@@ -65,6 +80,8 @@ struct SimConfig {
 
   /// Disables rate control entirely (links still serialize FIFO).
   bool congestion_control = true;
+
+  TelemetryConfig telemetry;
 
   std::uint64_t seed = 1;
 };

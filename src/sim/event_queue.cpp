@@ -1,13 +1,16 @@
 #include "src/sim/event_queue.h"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace peel {
 
 void EventQueue::at(SimTime t, Action fn) {
   if (t < now_) {
-    throw std::logic_error("EventQueue: scheduling into the past");
+    throw std::logic_error("EventQueue: scheduling into the past (t=" +
+                           std::to_string(t) + " ns < now=" +
+                           std::to_string(now_) + " ns)");
   }
   heap_.push(Entry{t, next_seq_++, std::move(fn)});
 }

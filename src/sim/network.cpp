@@ -16,6 +16,48 @@ Network::Network(const Topology& topo, const SimConfig& config, EventQueue& queu
   pause_threshold_ = static_cast<Bytes>(
       static_cast<double>(config_.switch_buffer_bytes) *
       (1.0 - config_.pfc_pause_free_fraction));
+  if (config_.telemetry.enabled) {
+    telem_ = std::make_unique<Telemetry>(config_.telemetry, topo);
+    if (config_.telemetry.sample_interval > 0) {
+      queue_->after(config_.telemetry.sample_interval,
+                    [this] { sample_tick(); });
+    }
+  }
+}
+
+void Network::sample_tick() {
+  telem_->sample(queue_->now());
+  // Only stay alive while the simulation itself has work left; the sampler
+  // must never be the event that keeps the queue from draining.
+  if (queue_->pending() > 0) {
+    queue_->after(config_.telemetry.sample_interval, [this] { sample_tick(); });
+  }
+}
+
+StreamDiagnostic Network::stream_diagnostic(StreamId s) const {
+  const auto& st = streams_[static_cast<std::size_t>(s)];
+  StreamDiagnostic d;
+  d.stream = s;
+  d.tag = st.spec.tag;
+  d.closed = st.closed;
+  d.pump_blocked = st.pump_blocked;
+  d.pump_scheduled = st.pump_scheduled;
+  for (std::size_t i = st.pending_head; i < st.pending.size(); ++i) {
+    ++d.pending_chunks;
+    d.bytes_pending_injection += st.pending[i].bytes - st.pending[i].injected;
+  }
+  for (NodeId r : st.receiver_set) {
+    const auto prog = st.progress.find(r);
+    for (const auto& [chunk, want] : st.chunk_bytes) {
+      Bytes got = 0;
+      if (prog != st.progress.end()) {
+        const auto c = prog->second.find(chunk);
+        if (c != prog->second.end()) got = c->second;
+      }
+      if (got < want) ++d.incomplete_deliveries;
+    }
+  }
+  return d;
 }
 
 double Network::source_line_rate(const StreamSpec& spec) const {
@@ -62,6 +104,10 @@ StreamId Network::open_stream(StreamSpec spec) {
   st.cc = Dcqcn(config_.dcqcn, line, spec.cnp_mode, config_.sender_guard_interval);
   st.spec = std::move(spec);
   streams_.push_back(std::move(st));
+  if (telem_) {
+    const StreamSpec& sp = streams_.back().spec;
+    telem_->on_stream_open(id, sp.tag, sp.receivers);
+  }
   return id;
 }
 
@@ -93,6 +139,11 @@ std::vector<int> Network::cancel_unsent_chunks(StreamId stream) {
 
 void Network::close_stream(StreamId stream) {
   auto& st = streams_[static_cast<std::size_t>(stream)];
+  if (telem_ && !st.closed) {
+    // Computed before the spec/progress are cleared below.
+    telem_->on_stream_close(stream,
+                            stream_diagnostic(stream).incomplete_deliveries == 0);
+  }
   st.closed = true;
   st.spec.forward.clear();
   st.spec.receivers.clear();
@@ -116,6 +167,10 @@ void Network::on_duplex_failed(LinkId l) {
       L.queued -= seg.bytes;
       release_buffer(topo_->link(dir).src, seg.ingress, seg.bytes);
       ++lost_segments_;
+      if (telem_) {
+        telem_->on_queue_drop(dir, seg.stream, seg.bytes, L.queued,
+                              queue_->now());
+      }
     }
     L.q.resize(first_dropped);
     if (!L.busy) {
@@ -155,6 +210,7 @@ void Network::pump(StreamId stream) {
         std::min<Bytes>(config_.segment_bytes, pc.bytes - pc.injected);
     const Segment seg{stream, pc.chunk, static_cast<std::int32_t>(seg_bytes),
                       kInvalidLink, false};
+    if (telem_) telem_->on_inject(stream, pc.chunk, seg_bytes);
     const auto& outs = st.spec.forward.at(st.spec.source);
     for (LinkId l : outs) enqueue_segment(l, seg);
     pc.injected += seg_bytes;
@@ -174,6 +230,7 @@ void Network::pump(StreamId stream) {
 void Network::enqueue_segment(LinkId l, Segment seg) {
   if (topo_->link(l).failed) {
     ++lost_segments_;  // forwarding entry points at a dead port
+    if (telem_) telem_->on_ingress_drop(seg.stream, seg.bytes);
     return;
   }
   auto& L = links_[static_cast<std::size_t>(l)];
@@ -189,13 +246,20 @@ void Network::enqueue_segment(LinkId l, Segment seg) {
                        static_cast<double>(config_.ecn_kmax - config_.ecn_kmin);
       if (rng_.next_double() < p) seg.marked = true;
     }
-    if (seg.marked) ++marked_segments_;
+    if (seg.marked) {
+      ++marked_segments_;
+      if (telem_) telem_->on_ecn_mark(l);
+    }
   }
 
   L.q.push_back(seg);
   L.queued += seg.bytes;
   L.queue_peak = std::max(L.queue_peak, L.queued);
   N.buffered += seg.bytes;
+  if (telem_) {
+    telem_->on_enqueue(l, seg.stream, seg.bytes, L.queued, queue_->now());
+    telem_->on_node_buffer(topo_->link(l).src, N.buffered);
+  }
   if (seg.ingress != kInvalidLink) {
     N.per_ingress[seg.ingress] += seg.bytes;
     // PFC: when the shared buffer crosses the stop threshold, pause the
@@ -204,6 +268,7 @@ void Network::enqueue_segment(LinkId l, Segment seg) {
     if (N.buffered > pause_threshold_ && !ingress_link.pfc_paused) {
       ingress_link.pfc_paused = true;
       ++pfc_pauses_;
+      if (telem_) telem_->on_pause(seg.ingress, queue_->now());
     }
   }
   if (!L.busy) try_start(l);
@@ -237,6 +302,9 @@ void Network::finish_tx(LinkId l) {
   L.serialized += seg.bytes;
   total_bytes_ += seg.bytes;
   L.busy = false;
+  if (telem_) {
+    telem_->on_serialized(l, seg.stream, seg.bytes, L.queued, queue_->now());
+  }
 
   release_buffer(lk.src, seg.ingress, seg.bytes);
 
@@ -248,6 +316,7 @@ void Network::unpause(LinkId l) {
   auto& L = links_[static_cast<std::size_t>(l)];
   if (!L.pfc_paused) return;
   L.pfc_paused = false;
+  if (telem_) telem_->on_unpause(l, queue_->now());
   if (L.blocked) try_start(l);
 }
 
@@ -289,6 +358,7 @@ void Network::release_buffer(NodeId n, LinkId ingress, Bytes bytes) {
 void Network::arrive(LinkId l, Segment seg) {
   if (topo_->link(l).failed) {
     ++lost_segments_;  // was on the wire when the link died
+    if (telem_) telem_->on_wire_drop(seg.stream, seg.bytes);
     return;
   }
   const NodeId n = topo_->link(l).dst;
@@ -303,6 +373,7 @@ void Network::arrive(LinkId l, Segment seg) {
   if (st.receiver_set.contains(n)) {
     Bytes& got = st.progress[n][seg.chunk];
     got += seg.bytes;
+    if (telem_) telem_->on_deliver(seg.stream, n, seg.chunk, seg.bytes);
     if (seg.marked && config_.congestion_control) maybe_cnp(seg.stream, n);
     const auto want = st.chunk_bytes.find(seg.chunk);
     if (want != st.chunk_bytes.end() && got >= want->second) {
@@ -321,6 +392,7 @@ void Network::maybe_cnp(StreamId s, NodeId receiver) {
     if (!fresh && now - it->second < config_.receiver_cnp_interval) return;
     it->second = now;
   }
+  if (telem_) telem_->on_cnp(s, receiver, now);
   queue_->after(config_.cnp_delay, [this, s] {
     auto& stream = streams_[static_cast<std::size_t>(s)];
     if (!stream.closed) stream.cc.on_cnp(queue_->now());

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "src/sim/config.h"
 #include "src/sim/dcqcn.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/telemetry.h"
 #include "src/topology/topology.h"
 
 namespace peel {
@@ -46,6 +48,19 @@ struct DeliveryEvent {
   std::uint64_t tag = 0;
   NodeId receiver = kInvalidNode;
   int chunk = -1;
+};
+
+/// Snapshot of one stream's progress, for stuck-flow diagnostics. Available
+/// whether or not telemetry is enabled — it reads the Network's own state.
+struct StreamDiagnostic {
+  StreamId stream = -1;
+  std::uint64_t tag = 0;
+  bool closed = false;
+  bool pump_blocked = false;    ///< injection stalled on a full source buffer
+  bool pump_scheduled = false;  ///< a pump event is in flight
+  std::size_t pending_chunks = 0;           ///< chunks not fully injected yet
+  Bytes bytes_pending_injection = 0;        ///< of those chunks
+  std::size_t incomplete_deliveries = 0;    ///< (receiver, chunk) short of target
 };
 
 class Network {
@@ -97,6 +112,16 @@ class Network {
   }
   [[nodiscard]] EventQueue& queue() noexcept { return *queue_; }
   [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+
+  /// Non-null iff SimConfig::telemetry.enabled (src/sim/telemetry.h).
+  [[nodiscard]] const Telemetry* telemetry() const noexcept {
+    return telem_.get();
+  }
+  [[nodiscard]] std::size_t stream_count() const noexcept {
+    return streams_.size();
+  }
+  /// Progress snapshot for stuck-flow reports (works without telemetry).
+  [[nodiscard]] StreamDiagnostic stream_diagnostic(StreamId s) const;
 
  private:
   struct Segment {
@@ -159,6 +184,10 @@ class Network {
   void release_buffer(NodeId n, LinkId ingress, Bytes bytes);
   void unpause(LinkId l);
   void maybe_cnp(StreamId s, NodeId receiver);
+  /// Telemetry time-series sampler: records one sample, then reschedules
+  /// itself only while other events remain, so it never keeps an otherwise
+  /// drained simulation alive.
+  void sample_tick();
   [[nodiscard]] double source_line_rate(const StreamSpec& spec) const;
 
   const Topology* topo_;
@@ -173,6 +202,7 @@ class Network {
   std::unordered_map<NodeId, std::vector<StreamId>> blocked_pumps_;
 
   std::function<void(const DeliveryEvent&)> on_delivery_;
+  std::unique_ptr<Telemetry> telem_;
 
   Bytes total_bytes_ = 0;
   std::uint64_t marked_segments_ = 0;

@@ -1,0 +1,261 @@
+#include "src/sim/telemetry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace peel {
+
+namespace {
+
+std::string describe_stream(std::int32_t s, std::uint64_t tag) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "stream %d (collective %llu)", s,
+                static_cast<unsigned long long>(tag));
+  return buf;
+}
+
+}  // namespace
+
+Telemetry::Telemetry(const TelemetryConfig& config, const Topology& topo)
+    : config_(config),
+      topo_(&topo),
+      links_(topo.link_count()),
+      nodes_(topo.node_count()) {}
+
+Telemetry::StreamAccum& Telemetry::stream(std::int32_t s) {
+  const auto idx = static_cast<std::size_t>(s);
+  if (idx >= streams_.size()) streams_.resize(idx + 1);
+  return streams_[idx];
+}
+
+void Telemetry::advance_depth(LinkAccum& a, Bytes new_depth, SimTime now) {
+  a.depth_integral +=
+      static_cast<double>(a.depth) * static_cast<double>(now - a.last_change);
+  a.last_change = now;
+  a.depth = new_depth;
+  a.peak = std::max(a.peak, new_depth);
+}
+
+void Telemetry::on_stream_open(std::int32_t s, std::uint64_t tag,
+                               const std::vector<NodeId>& receivers) {
+  StreamAccum& st = stream(s);
+  st.tag = tag;
+  st.receivers = receivers;
+}
+
+void Telemetry::on_inject(std::int32_t s, int chunk, Bytes bytes) {
+  stream(s).injected[chunk] += bytes;
+}
+
+void Telemetry::on_enqueue(LinkId l, std::int32_t s, Bytes bytes,
+                           Bytes new_depth, SimTime now) {
+  advance_depth(links_[static_cast<std::size_t>(l)], new_depth, now);
+  stream(s).enqueued += bytes;
+}
+
+void Telemetry::on_ecn_mark(LinkId l) {
+  ++links_[static_cast<std::size_t>(l)].ecn_marks;
+}
+
+void Telemetry::on_serialized(LinkId l, std::int32_t s, Bytes bytes,
+                              Bytes new_depth, SimTime now) {
+  LinkAccum& a = links_[static_cast<std::size_t>(l)];
+  advance_depth(a, new_depth, now);
+  a.bytes += bytes;
+  ++a.segments;
+  stream(s).serialized += bytes;
+}
+
+void Telemetry::on_queue_drop(LinkId l, std::int32_t s, Bytes bytes,
+                              Bytes new_depth, SimTime now) {
+  advance_depth(links_[static_cast<std::size_t>(l)], new_depth, now);
+  stream(s).lost_queued += bytes;
+}
+
+void Telemetry::on_wire_drop(std::int32_t s, Bytes bytes) {
+  stream(s).lost_wire += bytes;
+}
+
+void Telemetry::on_ingress_drop(std::int32_t s, Bytes bytes) {
+  stream(s).lost_ingress += bytes;
+}
+
+void Telemetry::on_pause(LinkId l, SimTime now) {
+  LinkAccum& a = links_[static_cast<std::size_t>(l)];
+  ++a.pfc_pauses;
+  if (a.pause_begin < 0) a.pause_begin = now;
+}
+
+void Telemetry::on_unpause(LinkId l, SimTime now) {
+  LinkAccum& a = links_[static_cast<std::size_t>(l)];
+  if (a.pause_begin < 0) return;
+  a.pause_time += now - a.pause_begin;
+  if (config_.record_trace) pauses_.push_back(PauseSpan{l, a.pause_begin, now});
+  a.pause_begin = -1;
+}
+
+void Telemetry::on_node_buffer(NodeId n, Bytes depth) {
+  NodeAccum& a = nodes_[static_cast<std::size_t>(n)];
+  a.buffer_peak = std::max(a.buffer_peak, depth);
+}
+
+void Telemetry::on_cnp(std::int32_t s, NodeId receiver, SimTime now) {
+  if (config_.record_trace) cnps_.push_back(CnpEvent{s, receiver, now});
+}
+
+void Telemetry::on_deliver(std::int32_t s, NodeId receiver, int chunk,
+                           Bytes bytes) {
+  stream(s).delivered[receiver][chunk] += bytes;
+}
+
+void Telemetry::on_stream_close(std::int32_t s, bool complete) {
+  if (!complete) stream(s).closed_incomplete = true;
+}
+
+void Telemetry::sample(SimTime now) {
+  QueueSample q;
+  q.t = now;
+  for (const LinkAccum& a : links_) {
+    q.total_queued += a.depth;
+    q.max_link_queued = std::max(q.max_link_queued, a.depth);
+    if (a.depth > 0) ++q.queued_links;
+    if (a.pause_begin >= 0) ++q.paused_links;
+  }
+  samples_.push_back(q);
+}
+
+std::vector<std::string> Telemetry::over_delivery_violations() const {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    const StreamAccum& st = streams_[i];
+    for (const auto& [receiver, chunks] : st.delivered) {
+      for (const auto& [chunk, got] : chunks) {
+        const auto want = st.injected.find(chunk);
+        const Bytes injected = want == st.injected.end() ? 0 : want->second;
+        if (got > injected) {
+          char buf[160];
+          std::snprintf(buf, sizeof buf,
+                        "%s: receiver %d got %lld bytes of chunk %d but only "
+                        "%lld were injected (duplicate replication)",
+                        describe_stream(static_cast<std::int32_t>(i), st.tag)
+                            .c_str(),
+                        receiver, static_cast<long long>(got), chunk,
+                        static_cast<long long>(injected));
+          out.emplace_back(buf);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Telemetry::conservation_violations() const {
+  std::vector<std::string> out = over_delivery_violations();
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    const StreamAccum& st = streams_[i];
+    const auto id = static_cast<std::int32_t>(i);
+    // Hop-by-hop replication: everything put on a link either crossed it or
+    // was dropped from its queue by a failure. Anything else is a byte stuck
+    // in (or vanished from) an egress queue.
+    if (st.enqueued != st.serialized + st.lost_queued) {
+      char buf[200];
+      std::snprintf(buf, sizeof buf,
+                    "%s: %lld bytes enqueued on links but %lld serialized + "
+                    "%lld dropped — %lld bytes unaccounted in egress queues",
+                    describe_stream(id, st.tag).c_str(),
+                    static_cast<long long>(st.enqueued),
+                    static_cast<long long>(st.serialized),
+                    static_cast<long long>(st.lost_queued),
+                    static_cast<long long>(st.enqueued - st.serialized -
+                                           st.lost_queued));
+      out.emplace_back(buf);
+    }
+    // Exact delivery to the destination set. Two legitimate exemptions:
+    // streams that lost segments to failures (recovery runs on new streams)
+    // and streams their owner closed before completion (superseded — the
+    // collective finished through another stream). Everything else must hit
+    // the target exactly.
+    const bool lossy =
+        st.lost_queued > 0 || st.lost_wire > 0 || st.lost_ingress > 0;
+    if (lossy || st.closed_incomplete) continue;
+    for (NodeId receiver : st.receivers) {
+      const auto got_it = st.delivered.find(receiver);
+      for (const auto& [chunk, injected] : st.injected) {
+        Bytes got = 0;
+        if (got_it != st.delivered.end()) {
+          const auto c = got_it->second.find(chunk);
+          if (c != got_it->second.end()) got = c->second;
+        }
+        if (got < injected) {
+          char buf[180];
+          std::snprintf(buf, sizeof buf,
+                        "%s: receiver %d got %lld of %lld injected bytes of "
+                        "chunk %d with no segment losses",
+                        describe_stream(id, st.tag).c_str(), receiver,
+                        static_cast<long long>(got),
+                        static_cast<long long>(injected), chunk);
+          out.emplace_back(buf);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TelemetrySummary Telemetry::summary(SimTime now) const {
+  TelemetrySummary s;
+  s.duration = now;
+  s.links.reserve(links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const LinkAccum& a = links_[i];
+    const Link& lk = topo_->link(static_cast<LinkId>(i));
+    LinkTelemetry t;
+    t.link = static_cast<LinkId>(i);
+    t.src = lk.src;
+    t.dst = lk.dst;
+    t.kind = lk.kind;
+    t.bytes = a.bytes;
+    t.segments = a.segments;
+    t.ecn_marks = a.ecn_marks;
+    t.pfc_pauses = a.pfc_pauses;
+    t.pfc_pause_time =
+        a.pause_time + (a.pause_begin >= 0 ? now - a.pause_begin : 0);
+    t.queue_peak = a.peak;
+    const double closing =
+        static_cast<double>(a.depth) * static_cast<double>(now - a.last_change);
+    t.mean_queue_bytes =
+        now > 0 ? (a.depth_integral + closing) / static_cast<double>(now) : 0.0;
+    s.links.push_back(t);
+  }
+
+  for (NodeId n = 0; static_cast<std::size_t>(n) < topo_->node_count(); ++n) {
+    if (!is_switch(topo_->kind(n))) continue;
+    SwitchTelemetry t;
+    t.node = n;
+    t.kind = topo_->kind(n);
+    t.buffer_peak = nodes_[static_cast<std::size_t>(n)].buffer_peak;
+    for (LinkId l : topo_->out_links(n)) {
+      const LinkTelemetry& lt = s.links[static_cast<std::size_t>(l)];
+      t.forwarded_bytes += lt.bytes;
+      t.forwarded_segments += lt.segments;
+      t.ecn_marks += lt.ecn_marks;
+      t.pfc_pauses += lt.pfc_pauses;
+      t.pfc_pause_time += lt.pfc_pause_time;
+    }
+    s.switches.push_back(t);
+  }
+
+  s.samples = samples_;
+  s.pauses = pauses_;
+  // Close out still-open pause intervals so the trace shows them.
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (links_[i].pause_begin >= 0 && config_.record_trace) {
+      s.pauses.push_back(
+          PauseSpan{static_cast<LinkId>(i), links_[i].pause_begin, now});
+    }
+  }
+  s.cnps = cnps_;
+  return s;
+}
+
+}  // namespace peel

@@ -1,0 +1,150 @@
+#include "src/sim/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "src/common/csv.h"
+
+namespace peel {
+
+namespace {
+
+constexpr const char* link_kind_name(LinkKind k) noexcept {
+  switch (k) {
+    case LinkKind::Fabric: return "fabric";
+    case LinkKind::HostNic: return "hostnic";
+    case LinkKind::NvLink: return "nvlink";
+  }
+  return "?";
+}
+
+double to_us(SimTime t) { return static_cast<double>(t) / 1e3; }
+
+/// Minimal JSON string escape — names we emit contain no exotic characters,
+/// but quotes/backslashes/control bytes must never produce invalid JSON.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostream& out) : out_(out) {
+    out_ << "{\"traceEvents\":[";
+  }
+
+  void meta_process(int pid, const char* name) {
+    begin();
+    out_ << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+         << ",\"tid\":0,\"args\":{\"name\":\"" << name << "\"}}";
+  }
+
+  void duration(int pid, long long tid, const std::string& name, double ts_us,
+                double dur_us, const std::string& args_json) {
+    begin();
+    out_ << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid
+         << ",\"name\":\"" << json_escape(name) << "\",\"ts\":" << ts_us
+         << ",\"dur\":" << dur_us;
+    if (!args_json.empty()) out_ << ",\"args\":" << args_json;
+    out_ << "}";
+  }
+
+  void instant(int pid, long long tid, const std::string& name, double ts_us) {
+    begin();
+    out_ << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid << ",\"tid\":" << tid
+         << ",\"name\":\"" << json_escape(name) << "\",\"ts\":" << ts_us
+         << "}";
+  }
+
+  void finish() { out_ << "]}\n"; }
+
+ private:
+  void begin() {
+    if (!first_) out_ << ",";
+    first_ = false;
+  }
+
+  std::ostream& out_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const TelemetrySummary& summary) {
+  EventWriter w(out);
+  w.meta_process(1, "collectives");
+  w.meta_process(2, "pfc");
+  w.meta_process(3, "cnp");
+
+  for (const FlowSpan& f : summary.flows) {
+    char args[96];
+    std::snprintf(args, sizeof args, "{\"finished\":%s}",
+                  f.finished ? "true" : "false");
+    w.duration(1, static_cast<long long>(f.id), f.name, to_us(f.begin),
+               to_us(f.end - f.begin), args);
+  }
+  for (const PauseSpan& p : summary.pauses) {
+    w.duration(2, p.link, "pause", to_us(p.begin), to_us(p.end - p.begin), "");
+  }
+  for (const CnpEvent& c : summary.cnps) {
+    char name[48];
+    std::snprintf(name, sizeof name, "cnp rx=%d", c.receiver);
+    w.instant(3, c.stream, name, to_us(c.t));
+  }
+  w.finish();
+}
+
+void write_chrome_trace(const std::string& path,
+                        const TelemetrySummary& summary) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot create trace file: " + path);
+  write_chrome_trace(out, summary);
+}
+
+void write_link_telemetry_csv(const std::string& path,
+                              const TelemetrySummary& summary) {
+  CsvWriter csv(path, {"link", "src", "dst", "kind", "bytes", "segments",
+                       "ecn_marks", "pfc_pauses", "pfc_pause_ns",
+                       "queue_peak_bytes", "mean_queue_bytes"});
+  for (const LinkTelemetry& t : summary.links) {
+    char mean[32];
+    std::snprintf(mean, sizeof mean, "%.9g", t.mean_queue_bytes);
+    csv.row({std::to_string(t.link), std::to_string(t.src),
+             std::to_string(t.dst), link_kind_name(t.kind),
+             std::to_string(t.bytes), std::to_string(t.segments),
+             std::to_string(t.ecn_marks), std::to_string(t.pfc_pauses),
+             std::to_string(t.pfc_pause_time), std::to_string(t.queue_peak),
+             mean});
+  }
+}
+
+void write_queue_samples_csv(const std::string& path,
+                             const TelemetrySummary& summary) {
+  CsvWriter csv(path, {"time_ns", "total_queued_bytes", "max_link_queued_bytes",
+                       "queued_links", "paused_links"});
+  for (const QueueSample& q : summary.samples) {
+    csv.row({std::to_string(q.t), std::to_string(q.total_queued),
+             std::to_string(q.max_link_queued), std::to_string(q.queued_links),
+             std::to_string(q.paused_links)});
+  }
+}
+
+}  // namespace peel

@@ -1,0 +1,36 @@
+// Exporters for TelemetrySummary: Chrome-trace JSON (load in
+// chrome://tracing or https://ui.perfetto.dev) and CSV counter tables.
+//
+// Trace layout: process 1 ("collectives") carries one duration event per
+// flow (submit -> finish), process 2 ("pfc") one duration event per PFC
+// pause span (thread = link id), process 3 ("cnp") one instant event per
+// CNP emission (thread = stream id). Timestamps are microseconds, as the
+// trace-event format expects.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "src/sim/telemetry.h"
+
+namespace peel {
+
+/// Writes `summary` as Chrome-trace JSON ({"traceEvents": [...]}).
+void write_chrome_trace(std::ostream& out, const TelemetrySummary& summary);
+
+/// File convenience; throws std::runtime_error if the file cannot be created.
+void write_chrome_trace(const std::string& path,
+                        const TelemetrySummary& summary);
+
+/// Per-link counter table: link, src, dst, kind, bytes, segments, ecn_marks,
+/// pfc_pauses, pfc_pause_ns, queue_peak_bytes, mean_queue_bytes.
+void write_link_telemetry_csv(const std::string& path,
+                              const TelemetrySummary& summary);
+
+/// Time-series table (requires TelemetryConfig::sample_interval > 0):
+/// time_ns, total_queued_bytes, max_link_queued_bytes, queued_links,
+/// paused_links.
+void write_queue_samples_csv(const std::string& path,
+                             const TelemetrySummary& summary);
+
+}  // namespace peel

@@ -1,0 +1,115 @@
+// Contract tests for the PR-1 deprecated wrappers: each must forward every
+// field of the modern config — a wrapper that drops or re-defaults a field
+// produces a different simulation, which these equivalence checks catch.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "src/harness/experiment.h"
+#include "src/topology/fat_tree.h"
+
+// The whole point of this file is to call the deprecated entry points.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace peel {
+namespace {
+
+const Fabric& test_fabric() {
+  static const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 2});
+  static const Fabric fabric = Fabric::of(ft);
+  return fabric;
+}
+
+/// A config that strays from every default the wrappers could silently
+/// reintroduce — if a field were dropped, results would differ.
+ScenarioConfig nondefault_config() {
+  ScenarioConfig c;
+  c.scheme = Scheme::Optimal;
+  c.group_size = 12;
+  c.message_bytes = 3 * kMiB;
+  c.offered_load = 0.42;
+  c.collectives = 5;
+  c.fragmentation = 0.25;
+  c.buddy_aligned = false;
+  c.seed = 987654321;
+  c.sim.segment_bytes = 128 * kKiB;
+  c.sim.ecn_kmin = 10 * 1000;
+  c.sim.seed = 24;
+  c.runner.chunks = 5;
+  c.runner.controller_delay_enabled = false;
+  c.runner.multicast_cnp_mode = CnpMode::Unthrottled;
+  c.runner.stripe_trees = 2;
+  c.byte_audit = false;
+  return c;
+}
+
+void expect_equal(const ScenarioResult& a, const ScenarioResult& b) {
+  ASSERT_EQ(a.cct_seconds.count(), b.cct_seconds.count());
+  for (std::size_t i = 0; i < a.cct_seconds.values().size(); ++i) {
+    EXPECT_EQ(a.cct_seconds.values()[i], b.cct_seconds.values()[i]) << i;
+  }
+  EXPECT_EQ(a.fabric_bytes, b.fabric_bytes);
+  EXPECT_EQ(a.core_bytes, b.core_bytes);
+  EXPECT_EQ(a.sim_seconds, b.sim_seconds);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.pfc_pauses, b.pfc_pauses);
+  EXPECT_EQ(a.ecn_marks, b.ecn_marks);
+  EXPECT_EQ(a.unfinished, b.unfinished);
+}
+
+TEST(DeprecatedWrappers, BroadcastScenarioMatchesDirectCall) {
+  ScenarioConfig config = nondefault_config();
+  config.collective = CollectiveKind::Broadcast;
+  const ScenarioResult direct = run_scenario(test_fabric(), config);
+  // The wrapper must produce the identical run even when handed a config
+  // whose collective field disagrees (it documents overriding it).
+  ScenarioConfig wrong_kind = config;
+  wrong_kind.collective = CollectiveKind::AllGather;
+  const ScenarioResult wrapped =
+      run_broadcast_scenario(test_fabric(), wrong_kind);
+  expect_equal(direct, wrapped);
+}
+
+TEST(DeprecatedWrappers, AllGatherScenarioMatchesDirectCall) {
+  ScenarioConfig config = nondefault_config();
+  config.collective = CollectiveKind::AllGather;
+  const ScenarioResult direct = run_scenario(test_fabric(), config);
+  const ScenarioResult wrapped = run_allgather_scenario(test_fabric(), config);
+  expect_equal(direct, wrapped);
+}
+
+TEST(DeprecatedWrappers, AllReduceScenarioMatchesDirectCall) {
+  ScenarioConfig config = nondefault_config();
+  config.collective = CollectiveKind::AllReduce;
+  const ScenarioResult direct = run_scenario(test_fabric(), config);
+  const ScenarioResult wrapped = run_allreduce_scenario(test_fabric(), config);
+  expect_equal(direct, wrapped);
+}
+
+TEST(DeprecatedWrappers, PositionalSingleBroadcastMatchesOptionsCall) {
+  SingleRunOptions options;
+  options.scheme = Scheme::Peel;
+  options.group.source = test_fabric().endpoints().front();
+  for (int i = 1; i <= 9; ++i) {
+    options.group.destinations.push_back(
+        test_fabric().endpoints()[static_cast<std::size_t>(i)]);
+  }
+  options.message_bytes = 6 * kMiB;
+  options.sim.segment_bytes = 128 * kKiB;
+  options.sim.seed = 77;
+  options.runner.chunks = 3;
+  options.runner.multicast_cnp_mode = CnpMode::ReceiverTimer;
+
+  const SingleResult modern = run_single_broadcast(test_fabric(), options);
+  const SingleResult legacy = run_single_broadcast(
+      test_fabric(), options.scheme, options.group, options.message_bytes,
+      options.sim, options.runner);
+
+  EXPECT_EQ(modern.cct_seconds, legacy.cct_seconds);
+  EXPECT_EQ(modern.fabric_bytes, legacy.fabric_bytes);
+  EXPECT_EQ(modern.core_bytes, legacy.core_bytes);
+  EXPECT_EQ(modern.nvlink_bytes, legacy.nvlink_bytes);
+}
+
+}  // namespace
+}  // namespace peel

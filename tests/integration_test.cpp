@@ -17,6 +17,11 @@ ScenarioConfig quick_config(Scheme scheme) {
   c.collectives = 6;
   c.offered_load = 0.3;
   c.seed = 42;
+  // Every scenario in this suite runs with the byte-conservation audit and
+  // the stuck-flow watchdog armed: run_scenario throws if any stream
+  // over-delivers, leaves bytes unaccounted, or any collective hangs.
+  c.byte_audit = true;
+  c.watchdog = true;
   return c;
 }
 

@@ -26,6 +26,7 @@ struct RecoveryFixture : ::testing::Test {
 TEST_F(RecoveryFixture, BroadcastSurvivesMidRunLinkFailure) {
   EventQueue queue;
   SimConfig sim;
+  sim.telemetry.enabled = true;  // byte-conservation audit below
   Network net(ls.topo, sim, queue);
   CollectiveRunner runner(fabric, net, queue, Rng(1), RunnerOptions{});
 
@@ -58,6 +59,16 @@ TEST_F(RecoveryFixture, BroadcastSurvivesMidRunLinkFailure) {
   EXPECT_GT(net.segments_lost(), 0u);
   EXPECT_GT(rescheduled, 0u);
   ASSERT_TRUE(runner.records().front().finished);
+
+  // Byte conservation across failure + recovery: the dead tree's stream is
+  // lossy (under-delivery is its expected symptom), the recovery unicasts
+  // are loss-free and must deliver exactly once per destination — and no
+  // receiver anywhere may be credited a byte twice.
+  ASSERT_NE(net.telemetry(), nullptr);
+  EXPECT_TRUE(net.telemetry()->over_delivery_violations().empty());
+  for (const std::string& v : net.telemetry()->conservation_violations()) {
+    ADD_FAILURE() << v;
+  }
   // Recovery costs time: slower than an undisturbed run on a fresh fabric.
   EventQueue q2;
   LeafSpine pristine = build_leaf_spine(LeafSpineConfig{4, 8, 2, 2});
@@ -112,6 +123,43 @@ TEST_F(RecoveryFixture, LostSegmentsAreCounted) {
   EXPECT_GT(net.segments_lost(), 0u);
   EXPECT_FALSE(runner.records().front().finished);
   EXPECT_EQ(runner.active_count(), 1u);
+}
+
+TEST_F(RecoveryFixture, WatchdogTurnsFailedLinkHangIntoDiagnosticFailure) {
+  // Same failure as LostSegmentsAreCounted but with the stuck-flow watchdog
+  // armed: instead of silently draining with an unfinished collective, the
+  // run fails loudly with per-flow diagnostics naming the stuck broadcast.
+  EventQueue queue;
+  SimConfig sim;
+  Network net(ls.topo, sim, queue);
+  CollectiveRunner runner(fabric, net, queue, Rng(3), RunnerOptions{});
+  BroadcastRequest req;
+  req.id = 7;
+  req.source = ls.gpus[0];
+  for (std::size_t i = 4; i < 20; ++i) req.destinations.push_back(ls.gpus[i]);
+  req.message_bytes = 32 * kMiB;
+  const MulticastTree tree =
+      optimal_leaf_spine_tree(ls, req.source, req.destinations,
+                              req.id * 1000003ULL);  // the runner stripe-0 selector
+  const LinkId doomed = tree_spine_link(tree);
+  runner.submit(Scheme::Optimal, req);
+  queue.at(200 * kMicrosecond, [&] {
+    ls.topo.fail_duplex(doomed);
+    net.on_duplex_failed(doomed);
+  });
+  queue.run();
+
+  try {
+    enforce_all_finished(runner, "event queue drained");
+    FAIL() << "expected StuckFlowError";
+  } catch (const StuckFlowError& e) {
+    ASSERT_EQ(e.flows().size(), 1u);
+    EXPECT_EQ(e.flows()[0].id, 7u);
+    EXPECT_LT(e.flows()[0].delivered, e.flows()[0].expected);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("stuck-flow watchdog"), std::string::npos);
+    EXPECT_NE(what.find("collective 7"), std::string::npos);
+  }
 }
 
 TEST_F(RecoveryFixture, RingRecoversWithoutForwardingConfusion) {

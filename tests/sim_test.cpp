@@ -29,6 +29,71 @@ TEST(EventQueue, RejectsPast) {
   EXPECT_THROW(q.at(5, [] {}), std::logic_error);
 }
 
+TEST(EventQueue, RejectsPastWithDiagnosticMessage) {
+  EventQueue q;
+  q.at(10, [] {});
+  q.step();
+  try {
+    q.at(5, [] {});
+    FAIL() << "expected std::logic_error";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("t=5"), std::string::npos) << what;
+    EXPECT_NE(what.find("now=10"), std::string::npos) << what;
+  }
+}
+
+TEST(EventQueue, SchedulingExactlyAtNowIsLegal) {
+  EventQueue q;
+  int fired = 0;
+  q.at(10, [&] {
+    // t == now() is the documented boundary: events "must be >= now()".
+    q.at(q.now(), [&] { ++fired; });
+  });
+  q.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 10);
+}
+
+TEST(EventQueue, RunUntilRunsEventsExactlyAtBoundary) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.at(10, [&] { fired.push_back(1); });
+  q.at(20, [&] { fired.push_back(2); });  // exactly at the boundary: runs
+  q.at(21, [&] { fired.push_back(3); });  // past the boundary: does not
+  q.run_until(20);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.now(), 20);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, RunUntilBoundaryEventCanScheduleAtBoundary) {
+  // An event at exactly t that schedules another event at t: both run —
+  // run_until(t) is inclusive of everything stamped <= t.
+  EventQueue q;
+  int fired = 0;
+  q.at(20, [&] {
+    ++fired;
+    q.at(20, [&] { ++fired; });
+  });
+  q.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 20);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RunUntilThenSchedulingBeforeClockThrows) {
+  // run_until advances the clock to t even with no events; the past is then
+  // rejected relative to the advanced clock.
+  EventQueue q;
+  q.run_until(100);
+  EXPECT_EQ(q.now(), 100);
+  EXPECT_THROW(q.at(99, [] {}), std::logic_error);
+  q.at(100, [] {});  // boundary stays legal
+}
+
 TEST(EventQueue, RunUntilAdvancesClock) {
   EventQueue q;
   int fired = 0;
