@@ -22,10 +22,25 @@
 //     --watchdog            fail loudly with per-flow diagnostics if any
 //                           collective is unfinished at drain/deadline
 //     --deadline=S          stop the simulation at S simulated seconds
+//     --fault-schedule=FILE replay timed link/switch down/up events from FILE
+//                           (`down|up <time_us> link|switch <id>` per line;
+//                           see docs/faults.md) with automatic recovery
+//     --flap-mtbf=US        random link flapping: mean up-time (µs) before a
+//                           failure; requires --flap-mttr
+//     --flap-mttr=US        mean down-time (µs) before repair
+//     --flap-links=N        how many random links flap (default 1)
+//     --flap-horizon=US     no new failures start past this time (default:
+//                           the deadline if set, else 50000 µs)
+//     --detect-us=US        fault detection delay before each recovery pass
+//                           (default 100 µs)
+//     --no-recover          inject faults but never run recovery passes
 //   e.g. scenario_cli peel broadcast 256 64 30 20 4 --audit --trace=run.json
+//   e.g. scenario_cli ring broadcast 64 8 30 10 --audit --watchdog \
+//            --flap-mtbf=2000 --flap-mttr=500 --flap-links=2
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -59,10 +74,17 @@ struct Flags {
   std::string trace_path;
   std::string telemetry_csv;
   std::string samples_csv;
+  std::string fault_schedule;
   long sample_us = 0;
   bool audit = false;
   bool watchdog = false;
+  bool no_recover = false;
   double deadline_seconds = 0.0;
+  double flap_mtbf_us = 0.0;
+  double flap_mttr_us = 0.0;
+  double flap_horizon_us = 0.0;
+  double detect_us = 100.0;
+  int flap_links = 1;
 };
 
 bool flag_value(const char* arg, const char* name, const char** value) {
@@ -96,6 +118,20 @@ std::vector<const char*> parse_flags(int argc, char** argv, Flags& flags) {
       flags.watchdog = true;
     } else if (flag_value(arg, "--deadline", &value)) {
       flags.deadline_seconds = std::atof(value);
+    } else if (flag_value(arg, "--fault-schedule", &value)) {
+      flags.fault_schedule = value;
+    } else if (flag_value(arg, "--flap-mtbf", &value)) {
+      flags.flap_mtbf_us = std::atof(value);
+    } else if (flag_value(arg, "--flap-mttr", &value)) {
+      flags.flap_mttr_us = std::atof(value);
+    } else if (flag_value(arg, "--flap-links", &value)) {
+      flags.flap_links = std::atoi(value);
+    } else if (flag_value(arg, "--flap-horizon", &value)) {
+      flags.flap_horizon_us = std::atof(value);
+    } else if (flag_value(arg, "--detect-us", &value)) {
+      flags.detect_us = std::atof(value);
+    } else if (!std::strcmp(arg, "--no-recover")) {
+      flags.no_recover = true;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg);
       std::exit(1);
@@ -140,6 +176,33 @@ int main(int argc, char** argv) {
   sc.watchdog = flags.watchdog;
   sc.deadline_seconds = flags.deadline_seconds;
 
+  if (!flags.fault_schedule.empty()) {
+    try {
+      sc.faults.schedule = load_fault_schedule(flags.fault_schedule);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  }
+  if (flags.flap_mtbf_us > 0.0 || flags.flap_mttr_us > 0.0) {
+    if (flags.flap_mtbf_us <= 0.0 || flags.flap_mttr_us <= 0.0) {
+      std::fprintf(stderr,
+                   "--flap-mtbf and --flap-mttr must both be positive\n");
+      return 1;
+    }
+    sc.faults.flap.mtbf_seconds = flags.flap_mtbf_us * 1e-6;
+    sc.faults.flap.mttr_seconds = flags.flap_mttr_us * 1e-6;
+    sc.faults.flap.links = flags.flap_links;
+    // Flapping needs an explicit horizon; borrow the deadline when the user
+    // gave one, otherwise default to 50 ms of simulated time.
+    sc.faults.flap.horizon_seconds =
+        flags.flap_horizon_us > 0.0 ? flags.flap_horizon_us * 1e-6
+        : flags.deadline_seconds > 0.0 ? flags.deadline_seconds
+                                       : 50e-3;
+  }
+  sc.faults.detection_delay_seconds = flags.detect_us * 1e-6;
+  sc.faults.auto_recover = !flags.no_recover;
+
   const FatTree ft = build_fat_tree(FatTreeConfig{8, 4, 8});
   const Fabric fabric = Fabric::of(ft);
 
@@ -157,6 +220,7 @@ int main(int argc, char** argv) {
   Bytes fabric_bytes = 0, core_bytes = 0;
   std::uint64_t ecn = 0, pfc = 0, events = 0;
   std::size_t unfinished = 0;
+  std::size_t downs = 0, ups = 0, recovered = 0;
   for (const SweepCell& c : results.cells()) {
     for (double v : c.result.cct_seconds.values()) cct.add(v);
     fabric_bytes += c.result.fabric_bytes;
@@ -165,6 +229,9 @@ int main(int argc, char** argv) {
     pfc += c.result.pfc_pauses;
     events += c.result.events;
     unfinished += c.result.unfinished;
+    downs += c.result.fault_downs;
+    ups += c.result.fault_ups;
+    recovered += c.result.recovered_deliveries;
   }
 
   std::printf("\n  mean CCT    %s\n", format_seconds(cct.mean()).c_str());
@@ -179,6 +246,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(ecn),
               static_cast<unsigned long long>(pfc),
               static_cast<unsigned long long>(events));
+  if (sc.faults.any()) {
+    std::printf("  faults      %zu pair-down, %zu pair-up, %zu recovered "
+                "deliveries\n",
+                downs, ups, recovered);
+  }
 
   if (wants_telemetry || sc.byte_audit) {
     const TelemetryAggregate agg = aggregate_telemetry(results);

@@ -6,7 +6,9 @@
 #
 # Set PEEL_CHECK_TSAN=1 to additionally build a ThreadSanitizer
 # configuration and run the concurrency-sensitive tests under it
-# (the parallel sweep engine and the Samples::quantile lazy-sort guard).
+# (the parallel sweep engine, the Samples::quantile lazy-sort guard, and the
+# fault-injection sweep determinism tests, which exercise concurrent cells
+# mutating private topology copies).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,9 +32,9 @@ if [[ "${PEEL_CHECK_TSAN:-0}" != "0" ]]; then
   echo "== configure build-tsan (-DPEEL_TSAN=ON) =="
   cmake -B build-tsan -S . -DPEEL_TSAN=ON
   echo "== build build-tsan =="
-  cmake --build build-tsan -j "${JOBS}" --target sweep_test stats_race_test
+  cmake --build build-tsan -j "${JOBS}" --target sweep_test stats_race_test fault_schedule_test
   echo "== ctest build-tsan (concurrency tests) =="
-  (cd build-tsan && ctest --output-on-failure -R '^(sweep_test|stats_race_test)$')
+  (cd build-tsan && ctest --output-on-failure -R '^(sweep_test|stats_race_test|fault_schedule_test)$')
 fi
 
 echo "== all checks passed =="

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "src/steiner/layer_peel.h"
+
 namespace peel {
 
 const char* to_string(Scheme s) noexcept {
@@ -38,15 +40,33 @@ struct CollectiveRunner::ExecBase {
   std::vector<Bytes> chunk_sizes;
   std::vector<StreamId> streams;
   std::unordered_set<std::uint64_t> delivered;
-  /// Streams opened by recover_broadcast; their deliveries bypass the
-  /// scheme's forwarding hooks (the recovery path covers successors itself).
+  /// Streams opened by recovery passes; their deliveries bypass the scheme's
+  /// forwarding hooks (the recovery path covers successors itself).
   std::unordered_set<StreamId> recovery_streams;
+  /// Recovery streams from the latest pass, superseded (closed) by the next
+  /// one so repeated passes under flapping never stack duplicate senders.
+  std::vector<StreamId> open_recovery;
   std::size_t expected = 0;
 
   virtual ~ExecBase() = default;
   virtual void start() = 0;
   /// Scheme-specific reaction to a completed (receiver, chunk).
   virtual void on_delivery(const DeliveryEvent& ev) { (void)ev; }
+
+  /// Every (receiver, chunk) this collective must complete, with the
+  /// endpoint holding the bytes. The default is the broadcast shape; multi-
+  /// source collectives (allgather / allreduce) override it. Must enumerate
+  /// exactly `expected` entries — recovery correctness rests on that.
+  [[nodiscard]] virtual std::vector<ExpectedDelivery> expected_deliveries() const {
+    std::vector<ExpectedDelivery> out;
+    out.reserve(expected);
+    for (NodeId receiver : req.destinations) {
+      for (std::size_t c = 0; c < chunk_sizes.size(); ++c) {
+        out.push_back({receiver, static_cast<int>(c), req.source, chunk_sizes[c]});
+      }
+    }
+    return out;
+  }
 
   [[nodiscard]] Network& net() const { return *runner->net_; }
   [[nodiscard]] EventQueue& queue() const { return *runner->queue_; }
@@ -94,6 +114,11 @@ struct CollectiveRunner::ExecBase {
 
 struct CollectiveRunner::RingExec : ExecBase {
   std::vector<NodeId> order;
+  /// The ring's own edges, in hop order. Never index the shared `streams`
+  /// list positionally: recovery passes append their streams to it, which
+  /// would silently turn "last hop, no successor" into "forward onto a
+  /// recovery stream".
+  std::vector<StreamId> edge_streams;
   std::unordered_map<StreamId, std::size_t> hop_of_stream;
 
   void start() override {
@@ -111,15 +136,17 @@ struct CollectiveRunner::RingExec : ExecBase {
       }
       StreamSpec spec = spec_from_route(route);
       spec.cnp_mode = CnpMode::ReceiverTimer;
-      hop_of_stream[open(std::move(spec))] = i;
+      const StreamId s = open(std::move(spec));
+      edge_streams.push_back(s);
+      hop_of_stream[s] = i;
     }
-    send_all_chunks(streams.front());
+    send_all_chunks(edge_streams.front());
   }
 
   void on_delivery(const DeliveryEvent& ev) override {
     const std::size_t hop = hop_of_stream.at(ev.stream);
-    if (hop + 1 < streams.size()) {
-      net().send_chunk(streams[hop + 1], ev.chunk,
+    if (hop + 1 < edge_streams.size()) {
+      net().send_chunk(edge_streams[hop + 1], ev.chunk,
                        chunk_sizes[static_cast<std::size_t>(ev.chunk)]);
     }
   }
@@ -420,6 +447,20 @@ struct CollectiveRunner::RingAllGatherExec : ExecBase {
       net().send_chunk(edge[receiver_rank], ev.chunk, chunk_sizes[shard]);
     }
   }
+
+  [[nodiscard]] std::vector<ExpectedDelivery> expected_deliveries() const override {
+    // Shard s originates at rank s and must reach every other rank.
+    std::vector<ExpectedDelivery> out;
+    out.reserve(expected);
+    const std::size_t n = order.size();
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t r = 0; r < n; ++r) {
+        if (r == s) continue;
+        out.push_back({order[r], static_cast<int>(s), order[s], chunk_sizes[s]});
+      }
+    }
+    return out;
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -547,6 +588,19 @@ struct CollectiveRunner::MulticastAllGatherExec : ExecBase {
       net().send_chunk(relay_streams[i], ev.chunk, chunk_sizes[shard]);
     }
   }
+
+  [[nodiscard]] std::vector<ExpectedDelivery> expected_deliveries() const override {
+    std::vector<ExpectedDelivery> out;
+    out.reserve(expected);
+    const std::size_t n = members.size();
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t r = 0; r < n; ++r) {
+        if (r == s) continue;
+        out.push_back({members[r], static_cast<int>(s), members[s], chunk_sizes[s]});
+      }
+    }
+    return out;
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -602,6 +656,30 @@ struct CollectiveRunner::RingAllReduceExec : ExecBase {
         net().send_chunk(edge[rank], ev.chunk, chunk_sizes[shard]);
       }
     }
+  }
+
+  [[nodiscard]] std::vector<ExpectedDelivery> expected_deliveries() const override {
+    // Reduce chunk s visits every rank but s (its owner re-sends on
+    // recovery); gather chunk s+n carries the reduced shard, first held by
+    // the last combiner (s+n-1)%n, and visits everyone else. A recovery
+    // delivery skips the forwarding hook, but any deliveries the broken
+    // chain therefore never produced are in the missing set themselves.
+    std::vector<ExpectedDelivery> out;
+    out.reserve(expected);
+    const std::size_t n = order.size();
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t r = 0; r < n; ++r) {
+        if (r != s) {
+          out.push_back({order[r], static_cast<int>(s), order[s], chunk_sizes[s]});
+        }
+        const std::size_t combiner = (s + n - 1) % n;
+        if (r != combiner) {
+          out.push_back({order[r], static_cast<int>(s + n), order[combiner],
+                         chunk_sizes[s]});
+        }
+      }
+    }
+    return out;
   }
 };
 
@@ -774,6 +852,26 @@ struct CollectiveRunner::TreeReduceBroadcastExec : ExecBase {
                        piece_bytes[piece]);
     }
   }
+
+  [[nodiscard]] std::vector<ExpectedDelivery> expected_deliveries() const override {
+    // Reduce edge: child rank r owes its parent one contribution per piece.
+    // Broadcast: the root owes every other rank each reduced piece (modeled
+    // as re-sendable by the root — byte-accurate, as everywhere else the
+    // simulation carries sizes, not values).
+    std::vector<ExpectedDelivery> out;
+    out.reserve(expected);
+    const std::size_t count = n();
+    for (int c = 0; c < pieces(); ++c) {
+      const Bytes bytes = piece_bytes[static_cast<std::size_t>(c)];
+      for (std::size_t r = 1; r < count; ++r) {
+        out.push_back({order[(r - 1) / 2], reduce_cid(c, r), order[r], bytes});
+      }
+      for (std::size_t r = 1; r < count; ++r) {
+        out.push_back({order[r], broadcast_cid(c), order[0], bytes});
+      }
+    }
+    return out;
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -941,34 +1039,98 @@ void CollectiveRunner::submit_allreduce(Scheme scheme, AllReduceRequest request)
 
 std::size_t CollectiveRunner::recover_broadcast(std::uint64_t id) {
   const auto it = execs_.find(id);
+  if (it == execs_.end() || it->second->req.destinations.empty()) return 0;
+  return recover_collective(id);
+}
+
+bool CollectiveRunner::recover_group_multicast(
+    ExecBase& exec, NodeId origin,
+    const std::map<NodeId, std::vector<const ExpectedDelivery*>>& by_receiver) {
+  std::vector<NodeId> receivers;
+  receivers.reserve(by_receiver.size());
+  for (const auto& [receiver, chunks] : by_receiver) receivers.push_back(receiver);
+  MulticastTree tree;
+  try {
+    tree = layer_peel_tree(fabric_.topo(), origin, receivers);
+  } catch (const std::exception&) {
+    return false;  // some receiver unreachable over live links right now
+  }
+  StreamSpec spec = spec_from_tree(fabric_.topo(), tree, receivers);
+  spec.cnp_mode = options_.multicast_cnp_mode;
+  const StreamId s = exec.open(std::move(spec));
+  exec.recovery_streams.insert(s);
+  exec.open_recovery.push_back(s);
+  // One copy of each missing chunk serves the whole group; receivers that
+  // already hold a chunk get a duplicate the delivery ledger ignores.
+  std::map<int, Bytes> chunks;
+  for (const auto& [receiver, missing] : by_receiver) {
+    for (const ExpectedDelivery* d : missing) chunks[d->chunk] = d->bytes;
+  }
+  for (const auto& [chunk, bytes] : chunks) net_->send_chunk(s, chunk, bytes);
+  return true;
+}
+
+std::size_t CollectiveRunner::recover_collective(std::uint64_t id) {
+  const auto it = execs_.find(id);
   if (it == execs_.end()) return 0;
   ExecBase& exec = *it->second;
-  if (exec.req.destinations.empty()) return 0;  // not a broadcast
 
-  std::unordered_map<NodeId, std::vector<int>> missing;
-  for (NodeId receiver : exec.req.destinations) {
-    for (std::size_t c = 0; c < exec.chunk_sizes.size(); ++c) {
-      if (!exec.delivered.contains(delivery_key(receiver, static_cast<int>(c)))) {
-        missing[receiver].push_back(static_cast<int>(c));
-      }
+  std::vector<ExpectedDelivery> missing;
+  for (const ExpectedDelivery& d : exec.expected_deliveries()) {
+    if (!exec.delivered.contains(delivery_key(d.receiver, d.chunk))) {
+      missing.push_back(d);
     }
+  }
+  if (missing.empty()) return 0;
+
+  // Supersede the previous pass: whatever it still had in flight is
+  // re-enumerated above, and closing keeps repeated passes (one per flap)
+  // from stacking duplicate senders. In-flight segments of a closed stream
+  // drop silently; the byte audit treats such streams as superseded.
+  for (StreamId s : exec.open_recovery) net_->close_stream(s);
+  exec.open_recovery.clear();
+
+  // Deterministic grouping: origins and receivers in ascending id order.
+  std::map<NodeId, std::map<NodeId, std::vector<const ExpectedDelivery*>>> groups;
+  for (const ExpectedDelivery& d : missing) {
+    groups[d.origin][d.receiver].push_back(&d);
   }
 
   std::size_t rescheduled = 0;
-  for (const auto& [receiver, chunks] : missing) {
-    const Route route = router_.path(
-        exec.req.source, receiver,
-        ecmp_hash(id, static_cast<std::uint64_t>(receiver), 0x2eC0'7e2ULL));
-    if (route.links.empty()) continue;  // receiver unreachable: unrecoverable
-    StreamSpec spec = spec_from_route(route);
-    spec.cnp_mode = CnpMode::ReceiverTimer;
-    const StreamId s = exec.open(std::move(spec));
-    exec.recovery_streams.insert(s);
-    for (int c : chunks) {
-      net_->send_chunk(s, c, exec.chunk_sizes[static_cast<std::size_t>(c)]);
-      ++rescheduled;
+  for (const auto& [origin, by_receiver] : groups) {
+    if (options_.recovery_trees && by_receiver.size() >= 2 &&
+        recover_group_multicast(exec, origin, by_receiver)) {
+      for (const auto& [receiver, chunks] : by_receiver) {
+        rescheduled += chunks.size();
+      }
+      continue;
+    }
+    for (const auto& [receiver, chunks] : by_receiver) {
+      const Route route = router_.path(
+          origin, receiver,
+          ecmp_hash(id, static_cast<std::uint64_t>(receiver), 0x2eC0'7e2ULL));
+      if (route.links.empty()) continue;  // unreachable: a later pass retries
+      StreamSpec spec = spec_from_route(route);
+      spec.cnp_mode = CnpMode::ReceiverTimer;
+      const StreamId s = exec.open(std::move(spec));
+      exec.recovery_streams.insert(s);
+      exec.open_recovery.push_back(s);
+      for (const ExpectedDelivery* d : chunks) {
+        net_->send_chunk(s, d->chunk, d->bytes);
+        ++rescheduled;
+      }
     }
   }
+  return rescheduled;
+}
+
+std::size_t CollectiveRunner::recover_all() {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(execs_.size());
+  for (const auto& [id, exec] : execs_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  std::size_t rescheduled = 0;
+  for (std::uint64_t id : ids) rescheduled += recover_collective(id);
   return rescheduled;
 }
 

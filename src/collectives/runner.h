@@ -14,6 +14,7 @@
 //                   remaining chunks onto the exact tree (§3.3)
 #pragma once
 
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -132,6 +133,21 @@ struct RunnerOptions {
   /// and stripe chunks across them round-robin. 1 = the paper's single tree.
   /// Applies to Optimal and symmetric PEEL.
   int stripe_trees = 1;
+  /// Recovery passes re-send to >= 2 missing receivers of one origin over a
+  /// fresh §2.3 layer-peel multicast tree (falling back to per-receiver
+  /// unicasts when some receiver is currently unreachable). false = always
+  /// unicast, the original recover_broadcast behavior.
+  bool recovery_trees = true;
+};
+
+/// One (receiver, chunk) delivery a collective still owes, with the endpoint
+/// that can re-send the payload and the chunk's size — the unit of the
+/// runner's recovery accounting (see CollectiveRunner::recover_collective).
+struct ExpectedDelivery {
+  NodeId receiver = kInvalidNode;
+  int chunk = -1;
+  NodeId origin = kInvalidNode;  ///< endpoint that holds the bytes
+  Bytes bytes = 0;
 };
 
 class CollectiveRunner {
@@ -158,14 +174,27 @@ class CollectiveRunner {
   /// broadcast of the reduced buffer.
   void submit_allreduce(Scheme scheme, AllReduceRequest request);
 
-  /// Repairs a still-active broadcast after a mid-run link failure. The
-  /// caller sequence is: Topology::fail_duplex, Network::on_duplex_failed,
+  /// Repairs one still-active collective (any kind) after mid-run link
+  /// failures. The caller sequence is: Topology::fail_duplex /
+  /// restore_duplex, Network::on_duplex_failed / on_duplex_restored,
   /// router().invalidate(), then this. Every missing (receiver, chunk) pair
-  /// is re-sent over a freshly routed unicast stream — the paper defers
-  /// reliability engineering (§1 footnote), so this models the simplest
-  /// RDMA-style retransmission a deployment would inherit. Returns the
-  /// number of chunk deliveries rescheduled (0 if finished, unknown, or not
-  /// a broadcast).
+  /// is re-sent from the endpoint that holds it — over one layer-peel
+  /// multicast tree per origin when RunnerOptions::recovery_trees is set and
+  /// several receivers are missing, else per-receiver unicasts. Earlier
+  /// recovery streams of the collective are superseded (closed) first, so
+  /// repeated passes under flapping never stack. Receivers unreachable over
+  /// live links are skipped — a later pass (after repair) picks them up.
+  /// The paper defers reliability engineering (§1 footnote); this models the
+  /// simplest RDMA-style retransmission a deployment would inherit. Returns
+  /// the number of chunk deliveries rescheduled (0 if finished or unknown).
+  std::size_t recover_collective(std::uint64_t id);
+
+  /// recover_collective over every active collective, in id order. Returns
+  /// the total deliveries rescheduled.
+  std::size_t recover_all();
+
+  /// Backward-compatible alias: recover_collective restricted to broadcasts
+  /// (returns 0 for other collective kinds, as it always did).
   std::size_t recover_broadcast(std::uint64_t id);
 
   [[nodiscard]] const std::vector<CollectiveRecord>& records() const noexcept {
@@ -197,6 +226,13 @@ class CollectiveRunner {
 
   void handle_delivery(const DeliveryEvent& ev);
   void finish_exec(std::uint64_t id);
+
+  /// Opens one multicast recovery stream from `origin` to all its missing
+  /// receivers; false when no tree exists over live links (the caller then
+  /// falls back to per-receiver unicasts).
+  bool recover_group_multicast(
+      ExecBase& exec, NodeId origin,
+      const std::map<NodeId, std::vector<const ExpectedDelivery*>>& by_receiver);
 
   Fabric fabric_;
   Network* net_;

@@ -1,0 +1,73 @@
+#include "src/faults/injector.h"
+
+#include <stdexcept>
+
+namespace peel {
+
+FaultInjector::FaultInjector(Topology& topo, Network& net, EventQueue& queue)
+    : topo_(&topo), net_(&net), queue_(&queue) {}
+
+void FaultInjector::arm(const FaultSchedule& schedule) {
+  if (armed_) throw std::logic_error("FaultInjector::arm called twice");
+  const std::vector<std::string> violations = schedule.validate(*topo_);
+  if (!violations.empty()) {
+    std::string what = "invalid fault schedule:";
+    for (const std::string& v : violations) what += "\n  " + v;
+    throw std::invalid_argument(what);
+  }
+  armed_ = true;
+  for (const FaultEvent& ev : schedule.events) {
+    queue_->at(ev.t, [this, ev] { apply(ev); });
+  }
+}
+
+std::vector<LinkId> FaultInjector::duplex_targets(const FaultEvent& ev) const {
+  std::vector<LinkId> pairs;
+  if (ev.target == FaultTargetKind::Link) {
+    pairs.push_back(ev.id - (ev.id % 2));
+    return pairs;
+  }
+  // Switch failure: every incident pair dies — fabric links to other
+  // switches and the host-NIC links below a ToR alike. NVLink never touches
+  // a switch, so no filtering is needed beyond what validate() enforced.
+  for (LinkId l : topo_->out_links(ev.id)) {
+    pairs.push_back(l - (l % 2));
+  }
+  return pairs;
+}
+
+void FaultInjector::apply(const FaultEvent& ev) {
+  AppliedFault applied;
+  applied.event = ev;
+  for (LinkId pair : duplex_targets(ev)) {
+    int& count = down_count_[pair];
+    if (ev.action == FaultAction::Down) {
+      if (++count == 1) {
+        topo_->fail_duplex(pair);
+        net_->on_duplex_failed(pair);
+        ++pairs_failed_;
+        applied.changed_pairs.push_back(pair);
+      }
+    } else {
+      if (count <= 0) {
+        // validate() rejects unmatched Ups per target; an overlap of link
+        // and switch events can still only reach 0 by matched pairs.
+        throw std::logic_error("fault injector: up without matching down");
+      }
+      if (--count == 0) {
+        topo_->restore_duplex(pair);
+        net_->on_duplex_restored(pair);
+        ++pairs_restored_;
+        applied.changed_pairs.push_back(pair);
+      }
+    }
+  }
+  if (ev.action == FaultAction::Down) {
+    ++downs_;
+  } else {
+    ++ups_;
+  }
+  if (handler_) handler_(applied);
+}
+
+}  // namespace peel

@@ -1,0 +1,73 @@
+// Executes a FaultSchedule inside a running simulation.
+//
+// The injector owns the mapping from declarative events to simulator state
+// changes: a Down marks the duplex pair(s) failed in the Topology and tells
+// the Network to drop queued/in-flight traffic; an Up restores them. Switch
+// events expand to every non-NVLink duplex pair incident to the switch, and
+// overlapping outages are reference-counted per pair so a link shared by a
+// switch failure and its own link failure only comes back when *both* are
+// repaired.
+//
+// Reaction (route invalidation, recovery passes) is the caller's policy: the
+// change handler fires after each applied event, at that event's simulated
+// time.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/faults/schedule.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/network.h"
+
+namespace peel {
+
+/// One applied schedule event plus the duplex pairs whose live/failed state
+/// actually changed (empty when reference counts absorbed the event).
+struct AppliedFault {
+  FaultEvent event;
+  std::vector<LinkId> changed_pairs;  ///< representative (even) link ids
+};
+
+class FaultInjector {
+ public:
+  /// The topology must be the same object the network simulates.
+  FaultInjector(Topology& topo, Network& net, EventQueue& queue);
+
+  /// Registers every event with the event queue (validate() must pass —
+  /// throws std::invalid_argument otherwise). May be called at most once.
+  void arm(const FaultSchedule& schedule);
+
+  /// Invoked after each event is applied, at its simulated time.
+  void set_handler(std::function<void(const AppliedFault&)> handler) {
+    handler_ = std::move(handler);
+  }
+
+  [[nodiscard]] std::uint64_t downs_applied() const noexcept { return downs_; }
+  [[nodiscard]] std::uint64_t ups_applied() const noexcept { return ups_; }
+  /// Duplex pairs that transitioned live->failed / failed->live.
+  [[nodiscard]] std::uint64_t pairs_failed() const noexcept { return pairs_failed_; }
+  [[nodiscard]] std::uint64_t pairs_restored() const noexcept {
+    return pairs_restored_;
+  }
+
+ private:
+  void apply(const FaultEvent& ev);
+  /// Duplex-pair representatives (even ids) an event addresses.
+  [[nodiscard]] std::vector<LinkId> duplex_targets(const FaultEvent& ev) const;
+
+  Topology* topo_;
+  Network* net_;
+  EventQueue* queue_;
+  bool armed_ = false;
+  std::function<void(const AppliedFault&)> handler_;
+  /// Outstanding Down events per duplex pair; the pair is live iff 0.
+  std::unordered_map<LinkId, int> down_count_;
+  std::uint64_t downs_ = 0;
+  std::uint64_t ups_ = 0;
+  std::uint64_t pairs_failed_ = 0;
+  std::uint64_t pairs_restored_ = 0;
+};
+
+}  // namespace peel

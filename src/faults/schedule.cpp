@@ -1,0 +1,194 @@
+#include "src/faults/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace peel {
+
+void FaultSchedule::link_down(SimTime t, LinkId l) {
+  events.push_back({t, FaultAction::Down, FaultTargetKind::Link, l});
+}
+
+void FaultSchedule::link_up(SimTime t, LinkId l) {
+  events.push_back({t, FaultAction::Up, FaultTargetKind::Link, l});
+}
+
+void FaultSchedule::switch_down(SimTime t, NodeId n) {
+  events.push_back({t, FaultAction::Down, FaultTargetKind::Switch, n});
+}
+
+void FaultSchedule::switch_up(SimTime t, NodeId n) {
+  events.push_back({t, FaultAction::Up, FaultTargetKind::Switch, n});
+}
+
+void FaultSchedule::flap_link(SimTime down, SimTime up, LinkId l) {
+  link_down(down, l);
+  link_up(up, l);
+}
+
+void FaultSchedule::merge(const FaultSchedule& other) {
+  events.insert(events.end(), other.events.begin(), other.events.end());
+}
+
+void FaultSchedule::normalize() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.t < b.t; });
+}
+
+SimTime FaultSchedule::last_event_time() const noexcept {
+  SimTime last = 0;
+  for (const FaultEvent& ev : events) last = std::max(last, ev.t);
+  return last;
+}
+
+std::vector<std::string> FaultSchedule::validate(const Topology& topo) const {
+  std::vector<std::string> out;
+  auto complain = [&out](std::size_t i, const std::string& what) {
+    out.push_back("event " + std::to_string(i) + ": " + what);
+  };
+  // Net down-count per normalized target ("L<even link id>" / "S<node id>"),
+  // to catch an Up with no matching earlier Down.
+  std::unordered_map<std::int64_t, int> depth;
+  SimTime prev = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& ev = events[i];
+    if (ev.t < 0) complain(i, "negative time");
+    if (ev.t < prev) complain(i, "events not in chronological order (run normalize())");
+    prev = std::max(prev, ev.t);
+    std::int64_t key = 0;
+    if (ev.target == FaultTargetKind::Link) {
+      if (ev.id < 0 || static_cast<std::size_t>(ev.id) >= topo.link_count()) {
+        complain(i, "link id " + std::to_string(ev.id) + " out of range");
+        continue;
+      }
+      if (topo.link(ev.id).kind == LinkKind::NvLink) {
+        complain(i, "NVLink pairs are not failure targets");
+        continue;
+      }
+      key = ev.id - (ev.id % 2);  // duplex-pair representative
+    } else {
+      if (ev.id < 0 || static_cast<std::size_t>(ev.id) >= topo.node_count()) {
+        complain(i, "switch id " + std::to_string(ev.id) + " out of range");
+        continue;
+      }
+      if (!is_switch(topo.kind(ev.id))) {
+        complain(i, "node " + std::to_string(ev.id) + " is not a switch");
+        continue;
+      }
+      key = -static_cast<std::int64_t>(ev.id) - 1;
+    }
+    int& d = depth[key];
+    if (ev.action == FaultAction::Down) {
+      ++d;
+    } else if (--d < 0) {
+      complain(i, "up without a matching earlier down");
+      d = 0;
+    }
+  }
+  return out;
+}
+
+FaultSchedule generate_flap_schedule(std::span<const LinkId> candidates,
+                                     const FlapProcess& flap, Rng& rng) {
+  FaultSchedule out;
+  if (!flap.enabled() || candidates.empty()) return out;
+
+  std::vector<LinkId> pool(candidates.begin(), candidates.end());
+  rng.shuffle(pool);
+  const std::size_t n =
+      std::min<std::size_t>(static_cast<std::size_t>(flap.links), pool.size());
+  const SimTime horizon = seconds_to_sim(flap.horizon_seconds);
+  const double mtbf_ns = flap.mtbf_seconds * 1e9;
+  const double mttr_ns = flap.mttr_seconds * 1e9;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Independent stream per flapping pair: the schedule is a function of
+    // which pairs were drawn, not of how their events interleave in time.
+    Rng lr = rng.fork(0xf1a9'0000ULL + i);
+    SimTime t = 0;
+    for (;;) {
+      t += std::max<SimTime>(1, static_cast<SimTime>(lr.exponential(mtbf_ns)));
+      if (t >= horizon) break;  // no new outages past the horizon
+      const SimTime repair =
+          t + std::max<SimTime>(1, static_cast<SimTime>(lr.exponential(mttr_ns)));
+      out.flap_link(t, repair, pool[i]);  // the repair may land past the horizon
+      t = repair;
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+FaultSchedule parse_fault_schedule(std::istream& in) {
+  FaultSchedule out;
+  std::string line;
+  std::size_t lineno = 0;
+  auto fail = [&lineno](const std::string& what) {
+    throw std::runtime_error("fault schedule line " + std::to_string(lineno) +
+                             ": " + what);
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream fields(line);
+    std::string action, target;
+    double time_us = 0.0;
+    std::int64_t id = 0;
+    if (!(fields >> action)) continue;  // blank / comment-only line
+    if (!(fields >> time_us >> target >> id)) {
+      fail("expected `down|up <time_us> link|switch <id>`");
+    }
+    std::string rest;
+    if (fields >> rest) fail("trailing token '" + rest + "'");
+    if (time_us < 0.0 || !std::isfinite(time_us)) fail("bad time");
+
+    FaultEvent ev;
+    ev.t = static_cast<SimTime>(std::llround(time_us * 1e3));  // us -> ns
+    if (action == "down") {
+      ev.action = FaultAction::Down;
+    } else if (action == "up") {
+      ev.action = FaultAction::Up;
+    } else {
+      fail("unknown action '" + action + "'");
+    }
+    if (target == "link") {
+      ev.target = FaultTargetKind::Link;
+    } else if (target == "switch") {
+      ev.target = FaultTargetKind::Switch;
+    } else {
+      fail("unknown target '" + target + "'");
+    }
+    ev.id = static_cast<std::int32_t>(id);
+    out.events.push_back(ev);
+  }
+  out.normalize();
+  return out;
+}
+
+FaultSchedule load_fault_schedule(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read fault schedule: " + path);
+  return parse_fault_schedule(in);
+}
+
+std::string format_fault_schedule(const FaultSchedule& schedule) {
+  std::string out;
+  char buf[96];
+  for (const FaultEvent& ev : schedule.events) {
+    std::snprintf(buf, sizeof buf, "%s %.3f %s %d\n",
+                  ev.action == FaultAction::Down ? "down" : "up",
+                  static_cast<double>(ev.t) / 1e3,
+                  ev.target == FaultTargetKind::Link ? "link" : "switch", ev.id);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace peel

@@ -1,0 +1,105 @@
+// Declarative fault schedules: timed link/switch down/up events (§2.2–§2.3,
+// Figure 7's failure regime made dynamic).
+//
+// A FaultSchedule is pure data — a list of events against a Topology — so it
+// can be parsed from a file, generated from a seeded flap process, validated,
+// diffed, and replayed byte-for-byte.  Execution belongs to FaultInjector
+// (src/faults/injector.h), which turns events into simulator callbacks.
+//
+// Determinism contract: generate_flap_schedule is a pure function of
+// (candidates, params, rng-seed); parse/format round-trip losslessly; and
+// normalize() is a stable sort, so equal inputs produce identical schedules
+// on every platform.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/topology/topology.h"
+
+namespace peel {
+
+enum class FaultAction : std::uint8_t { Down, Up };
+enum class FaultTargetKind : std::uint8_t { Link, Switch };
+
+/// One timed event. A Link target names either direction of a duplex pair
+/// (the whole pair fails/repairs, as Topology::fail_duplex does); a Switch
+/// target takes down every duplex pair incident to that switch.
+struct FaultEvent {
+  SimTime t = 0;
+  FaultAction action = FaultAction::Down;
+  FaultTargetKind target = FaultTargetKind::Link;
+  std::int32_t id = kInvalidLink;  ///< LinkId or switch NodeId
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  void link_down(SimTime t, LinkId l);
+  void link_up(SimTime t, LinkId l);
+  void switch_down(SimTime t, NodeId n);
+  void switch_up(SimTime t, NodeId n);
+  /// Convenience: one down/up cycle of a duplex pair.
+  void flap_link(SimTime down, SimTime up, LinkId l);
+
+  void merge(const FaultSchedule& other);
+
+  /// Stable chronological sort: same-time events keep insertion order, so a
+  /// schedule applies identically however it was assembled.
+  void normalize();
+
+  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+  [[nodiscard]] SimTime last_event_time() const noexcept;
+
+  /// Structural checks against a topology: ids in range, Link targets name
+  /// fabric/host links, Switch targets name switches, times non-negative,
+  /// events sorted, and every Up matched by an earlier Down of the same
+  /// target (an unmatched Up would "repair" a healthy element). Returns
+  /// human-readable violations; empty means valid.
+  [[nodiscard]] std::vector<std::string> validate(const Topology& topo) const;
+};
+
+/// Parameters of a random link-flap process (MTBF = mean up-time before a
+/// failure, MTTR = mean down-time before repair, both exponential).
+struct FlapProcess {
+  double mtbf_seconds = 0.0;
+  double mttr_seconds = 0.0;
+  /// How many candidate duplex pairs flap (chosen uniformly at random).
+  int links = 1;
+  /// No *new* failures start past the horizon; in-progress outages still get
+  /// their repair event, so the fabric always heals.
+  double horizon_seconds = 0.0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return mtbf_seconds > 0.0 && mttr_seconds > 0.0 && links > 0 &&
+           horizon_seconds > 0.0;
+  }
+};
+
+/// Generates alternating Exp(MTBF)/Exp(MTTR) down/up events for
+/// `flap.links` pairs drawn from `candidates`. Each chosen pair flaps from an
+/// independent forked stream, so the schedule does not depend on the order
+/// events happen to interleave. Deterministic in (candidates, flap, rng seed).
+[[nodiscard]] FaultSchedule generate_flap_schedule(
+    std::span<const LinkId> candidates, const FlapProcess& flap, Rng& rng);
+
+// --- text format ------------------------------------------------------------
+// One event per line: `down|up <time_us> link|switch <id>`; '#' starts a
+// comment; blank lines are ignored. Times are microseconds (fractions
+// allowed) — the native resolution of the experiments.
+
+/// Throws std::runtime_error with a line number on malformed input.
+[[nodiscard]] FaultSchedule parse_fault_schedule(std::istream& in);
+
+/// Reads and parses a schedule file; throws std::runtime_error if unreadable.
+[[nodiscard]] FaultSchedule load_fault_schedule(const std::string& path);
+
+/// Inverse of parse_fault_schedule (modulo comments).
+[[nodiscard]] std::string format_fault_schedule(const FaultSchedule& schedule);
+
+}  // namespace peel

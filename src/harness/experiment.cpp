@@ -2,12 +2,42 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 #include <string>
+
+#include "src/faults/injector.h"
+#include "src/topology/failures.h"
 
 namespace peel {
 
 namespace {
+
+/// Owning deep copy of a fabric, for scenarios that mutate the topology
+/// mid-run (dynamic faults). The caller's fabric is often shared by
+/// concurrent sweep cells and must stay untouched.
+struct FabricStore {
+  std::optional<FatTree> fat_tree;
+  std::optional<LeafSpine> leaf_spine;
+
+  explicit FabricStore(const Fabric& f) {
+    if (f.fat_tree) {
+      fat_tree.emplace(*f.fat_tree);
+    } else {
+      leaf_spine.emplace(*f.leaf_spine);
+    }
+  }
+  [[nodiscard]] Fabric view() const {
+    return fat_tree ? Fabric::of(*fat_tree) : Fabric::of(*leaf_spine);
+  }
+  [[nodiscard]] Topology& topo() {
+    return fat_tree ? fat_tree->topo : leaf_spine->topo;
+  }
+};
+
+ScenarioResult run_scenario_impl(const Fabric& fabric,
+                                 const ScenarioConfig& config,
+                                 Topology* faulty_topo);
 
 /// Joins audit violation lines into one exception message.
 std::string audit_message(const char* context,
@@ -71,6 +101,18 @@ Bytes bytes_on_links(const Network& net, const Topology& topo, bool fabric,
 }
 
 ScenarioResult run_scenario(const Fabric& fabric, const ScenarioConfig& config) {
+  if (!config.faults.any()) return run_scenario_impl(fabric, config, nullptr);
+  // Dynamic faults mutate the Topology; run against a private deep copy so
+  // the caller's (possibly sweep-shared) fabric stays pristine.
+  FabricStore store(fabric);
+  return run_scenario_impl(store.view(), config, &store.topo());
+}
+
+namespace {
+
+ScenarioResult run_scenario_impl(const Fabric& fabric,
+                                 const ScenarioConfig& config,
+                                 Topology* faulty_topo) {
   SimConfig sim = config.sim;
   if (config.byte_audit) sim.telemetry.enabled = true;  // audit needs accounting
 
@@ -78,6 +120,39 @@ ScenarioResult run_scenario(const Fabric& fabric, const ScenarioConfig& config) 
   Network net(fabric.topo(), sim, queue);
   Rng rng(config.seed);
   CollectiveRunner runner(fabric, net, queue, rng.fork(0xc0'11ec), config.runner);
+
+  std::optional<FaultInjector> injector;
+  std::size_t recovered = 0;
+  if (faulty_topo != nullptr) {
+    FaultSchedule schedule = config.faults.schedule;
+    if (config.faults.flap.enabled()) {
+      // Flap draws come from a dedicated fork of the scenario seed, so the
+      // schedule is reproducible and independent of arrivals/placement.
+      const std::vector<LinkId> candidates =
+          fabric.leaf_spine ? duplex_spine_leaf_links(*faulty_topo)
+                            : duplex_fabric_links(*faulty_topo);
+      Rng flap_rng = rng.fork(0xf417);
+      schedule.merge(
+          generate_flap_schedule(candidates, config.faults.flap, flap_rng));
+    }
+    schedule.normalize();
+    injector.emplace(*faulty_topo, net, queue);
+    const SimTime detect =
+        seconds_to_sim(config.faults.detection_delay_seconds);
+    injector->set_handler([&queue, &runner, &recovered, detect,
+                           auto_recover =
+                               config.faults.auto_recover](const AppliedFault&) {
+      // Routes through a changed pair are stale either way (down: dead;
+      // up: better paths exist). Recovery waits for the detection delay.
+      runner.router().invalidate();
+      if (!auto_recover) return;
+      queue.after(detect, [&runner, &recovered] {
+        runner.router().invalidate();
+        recovered += runner.recover_all();
+      });
+    });
+    injector->arm(schedule);
+  }
 
   const double lambda = arrival_rate_for_load(
       fabric, config.offered_load, config.message_bytes, config.group_size);
@@ -174,8 +249,15 @@ ScenarioResult run_scenario(const Fabric& fabric, const ScenarioConfig& config) 
   result.events = queue.processed();
   result.pfc_pauses = net.pfc_pauses();
   result.ecn_marks = net.segments_marked();
+  if (injector) {
+    result.fault_downs = injector->pairs_failed();
+    result.fault_ups = injector->pairs_restored();
+    result.recovered_deliveries = recovered;
+  }
   return result;
 }
+
+}  // namespace
 
 SingleResult run_single_broadcast(const Fabric& fabric,
                                   const SingleRunOptions& options) {

@@ -18,6 +18,7 @@
 
 #include "src/collectives/runner.h"
 #include "src/common/stats.h"
+#include "src/faults/schedule.h"
 #include "src/sim/telemetry.h"
 #include "src/workload/placement.h"
 
@@ -37,6 +38,31 @@ enum class CollectiveKind {
 /// true iff the PEEL_BYTE_AUDIT environment variable is set to a non-empty,
 /// non-"0" value. Lets CI audit every bench without touching call sites.
 [[nodiscard]] bool byte_audit_env_default();
+
+/// Mid-run fault injection + automatic recovery for a scenario
+/// (src/faults/). When active, run_scenario deep-copies the fabric so
+/// concurrent sweep cells never share the mutated topology — scenario cells
+/// stay pure functions of (fabric, config).
+struct FaultConfig {
+  /// Explicit timed events, validated against the fabric at run start.
+  FaultSchedule schedule;
+  /// Generated random link flapping, seeded from the scenario seed.
+  /// Candidates are the spine-leaf duplex pairs on a leaf–spine fabric and
+  /// all switch-switch fabric pairs on a fat-tree. flap.horizon_seconds must
+  /// be set explicitly (there is no implicit default).
+  FlapProcess flap;
+  /// Simulated delay between a fault event and the control plane reacting
+  /// (route invalidation is immediate; the recovery pass runs this much
+  /// later — the "100 us detection" of the recovery tests).
+  double detection_delay_seconds = 100e-6;
+  /// Run CollectiveRunner::recover_all a detection delay after every fault
+  /// event. false = inject only; the caller drives recovery itself.
+  bool auto_recover = true;
+
+  [[nodiscard]] bool any() const noexcept {
+    return !schedule.events.empty() || flap.enabled();
+  }
+};
 
 struct ScenarioConfig {
   Scheme scheme = Scheme::Peel;
@@ -69,6 +95,8 @@ struct ScenarioConfig {
   /// Simulated-time budget; 0 = run to drain. With a deadline the run stops
   /// at that simulated instant even if collectives are still in flight.
   double deadline_seconds = 0.0;
+  /// Mid-run fault schedule / link flapping + automatic recovery.
+  FaultConfig faults;
 };
 
 struct ScenarioResult {
@@ -82,6 +110,10 @@ struct ScenarioResult {
   std::uint64_t pfc_pauses = 0;
   std::uint64_t ecn_marks = 0;
   std::size_t unfinished = 0;     ///< collectives that never completed (bug if > 0)
+  std::uint64_t fault_downs = 0;  ///< duplex pairs that went down mid-run
+  std::uint64_t fault_ups = 0;    ///< duplex pairs repaired mid-run
+  /// (receiver, chunk) deliveries re-sent by automatic recovery passes.
+  std::size_t recovered_deliveries = 0;
   /// Non-null iff telemetry ran (config.sim.telemetry.enabled or
   /// config.byte_audit); flow lifetimes are filled from collective records.
   std::shared_ptr<const TelemetrySummary> telemetry;

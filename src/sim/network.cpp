@@ -158,8 +158,11 @@ void Network::close_stream(StreamId stream) {
 void Network::on_duplex_failed(LinkId l) {
   for (LinkId dir : {l, topo_->reverse_of(l)}) {
     auto& L = links_[static_cast<std::size_t>(dir)];
+    // Kill in-flight traffic even across a later repair: segments carry the
+    // epoch their serialization started under, and arrive() drops stale ones.
+    ++L.fail_epoch;
     // The segment mid-serialization (if any) is lost on the wire; its
-    // arrival event will see the failed link and drop it. Everything still
+    // arrival event will see the stale epoch and drop it. Everything still
     // queued behind it is lost here.
     std::size_t first_dropped = L.head + (L.busy ? 1 : 0);
     for (std::size_t i = first_dropped; i < L.q.size(); ++i) {
@@ -179,6 +182,17 @@ void Network::on_duplex_failed(LinkId l) {
     }
     L.blocked = false;
     L.pfc_paused = false;
+  }
+}
+
+void Network::on_duplex_restored(LinkId l) {
+  ++duplex_repairs_;
+  for (LinkId dir : {l, topo_->reverse_of(l)}) {
+    auto& L = links_[static_cast<std::size_t>(dir)];
+    // on_duplex_failed left the queue truncated and PFC state cleared; a
+    // still-busy head belongs to the outage and finish_tx will retire it.
+    // New segments start flowing the moment something enqueues.
+    if (!L.busy) try_start(dir);
   }
 }
 
@@ -286,10 +300,14 @@ void Network::try_start(LinkId l) {
   L.busy = true;
   const Segment& seg = L.q[L.head];
   const SimTime end = queue_->now() + lk.rate.tx_time(seg.bytes);
-  queue_->at(end, [this, l] { finish_tx(l); });
+  // Snapshot the fail epoch at serialization start: a failure at any point
+  // before arrival (mid-serialization or mid-propagation) must lose the
+  // segment, repair or no repair.
+  const std::uint32_t epoch = L.fail_epoch;
+  queue_->at(end, [this, l, epoch] { finish_tx(l, epoch); });
 }
 
-void Network::finish_tx(LinkId l) {
+void Network::finish_tx(LinkId l, std::uint32_t fail_epoch) {
   auto& L = links_[static_cast<std::size_t>(l)];
   const Link& lk = topo_->link(l);
   const Segment seg = L.q[L.head];
@@ -308,7 +326,8 @@ void Network::finish_tx(LinkId l) {
 
   release_buffer(lk.src, seg.ingress, seg.bytes);
 
-  queue_->at(queue_->now() + lk.propagation, [this, l, seg] { arrive(l, seg); });
+  queue_->at(queue_->now() + lk.propagation,
+             [this, l, seg, fail_epoch] { arrive(l, seg, fail_epoch); });
   try_start(l);
 }
 
@@ -355,9 +374,12 @@ void Network::release_buffer(NodeId n, LinkId ingress, Bytes bytes) {
   }
 }
 
-void Network::arrive(LinkId l, Segment seg) {
-  if (topo_->link(l).failed) {
-    ++lost_segments_;  // was on the wire when the link died
+void Network::arrive(LinkId l, Segment seg, std::uint32_t fail_epoch) {
+  if (topo_->link(l).failed ||
+      links_[static_cast<std::size_t>(l)].fail_epoch != fail_epoch) {
+    // Either the link is down right now, or it died (and was possibly
+    // repaired) after this segment started serializing — lost on the wire.
+    ++lost_segments_;
     if (telem_) telem_->on_wire_drop(seg.stream, seg.bytes);
     return;
   }

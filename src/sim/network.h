@@ -91,8 +91,17 @@ class Network {
   /// layer's job (CollectiveRunner::recover_broadcast).
   void on_duplex_failed(LinkId l);
 
+  /// Reacts to a mid-run repair of the duplex pair containing `l` (call
+  /// Topology::restore_duplex first). Segments that were on the wire or
+  /// queued when the link died stay dead — each failure advances the link's
+  /// fail epoch, and arrivals from an older epoch are dropped even if the
+  /// link is live again by then. New traffic flows immediately.
+  void on_duplex_restored(LinkId l);
+
   /// Segments dropped by mid-run failures.
   [[nodiscard]] std::uint64_t segments_lost() const noexcept { return lost_segments_; }
+  /// Duplex pairs repaired mid-run via on_duplex_restored.
+  [[nodiscard]] std::uint64_t duplex_repairs() const noexcept { return duplex_repairs_; }
 
   // --- telemetry ----------------------------------------------------------
   [[nodiscard]] Bytes total_bytes_serialized() const noexcept { return total_bytes_; }
@@ -141,6 +150,11 @@ class Network {
     bool pfc_paused = false;  // downstream asked this link's sender to stop
     Bytes serialized = 0;
     Bytes queue_peak = 0;     // high-water mark of the egress queue
+    /// Bumped on every failure of this link; a segment snapshots it when its
+    /// serialization starts and is dropped on arrival if it no longer
+    /// matches — a repair must never resurrect traffic that was on the dead
+    /// wire (or queued behind it) during the outage.
+    std::uint32_t fail_epoch = 0;
   };
 
   struct NodeState {
@@ -177,8 +191,8 @@ class Network {
   void pump(StreamId s);
   void enqueue_segment(LinkId l, Segment seg);
   void try_start(LinkId l);
-  void finish_tx(LinkId l);
-  void arrive(LinkId l, Segment seg);
+  void finish_tx(LinkId l, std::uint32_t fail_epoch);
+  void arrive(LinkId l, Segment seg, std::uint32_t fail_epoch);
   /// Buffer released at node `n` for a segment that arrived over `ingress`;
   /// lifts PFC pauses and re-arms blocked source pumps as thresholds allow.
   void release_buffer(NodeId n, LinkId ingress, Bytes bytes);
@@ -208,6 +222,7 @@ class Network {
   std::uint64_t marked_segments_ = 0;
   std::uint64_t pfc_pauses_ = 0;
   std::uint64_t lost_segments_ = 0;
+  std::uint64_t duplex_repairs_ = 0;
   Bytes pause_threshold_ = 0;
 
   static constexpr SimTime kMinCnp = -(1LL << 62);

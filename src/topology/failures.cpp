@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <stdexcept>
 
 namespace peel {
 
@@ -33,9 +34,16 @@ std::vector<LinkId> duplex_spine_leaf_links(const Topology& topo) {
 
 std::size_t fail_random_fraction(Topology& topo, std::span<const LinkId> candidates,
                                  double fraction, Rng& rng) {
+  if (!std::isfinite(fraction)) {
+    throw std::invalid_argument("fail_random_fraction: non-finite fraction");
+  }
   if (candidates.empty() || fraction <= 0.0) return 0;
-  auto count = static_cast<std::size_t>(
-      std::lround(fraction * static_cast<double>(candidates.size())));
+  // Round to nearest before clamping into [1, size]: a fraction above 1.0
+  // fails everything, and any positive fraction fails at least one pair (the
+  // documented contract — without the floor, 1% of 40 links would round to
+  // zero failures and silently turn Figure 7's low levels into no-ops).
+  const double scaled = std::min(fraction, 1.0) * static_cast<double>(candidates.size());
+  auto count = static_cast<std::size_t>(std::llround(scaled));
   count = std::clamp<std::size_t>(count, 1, candidates.size());
   std::vector<LinkId> pool(candidates.begin(), candidates.end());
   rng.shuffle(pool);

@@ -18,8 +18,10 @@ namespace peel {
 [[nodiscard]] std::vector<LinkId> duplex_spine_leaf_links(const Topology& topo);
 
 /// Fails `fraction` (rounded to nearest, at least one if fraction > 0) of the
-/// given duplex pairs, chosen uniformly at random. Returns how many pairs
-/// were failed.
+/// given duplex pairs, chosen uniformly at random. Fractions above 1.0 fail
+/// every candidate; an empty span or non-positive fraction fails none.
+/// Throws std::invalid_argument on a non-finite fraction. Returns how many
+/// pairs were failed.
 std::size_t fail_random_fraction(Topology& topo, std::span<const LinkId> candidates,
                                  double fraction, Rng& rng);
 

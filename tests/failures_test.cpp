@@ -1,0 +1,140 @@
+// Boundary behavior of the static failure-injection helpers
+// (src/topology/failures.h) — the knobs every Figure 7 experiment turns.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/topology/failures.h"
+#include "src/topology/leaf_spine.h"
+
+namespace peel {
+namespace {
+
+std::size_t failed_pairs(const Topology& topo) {
+  std::size_t n = 0;
+  for (LinkId l = 0; static_cast<std::size_t>(l) < topo.link_count(); l += 2) {
+    if (topo.link(l).failed) ++n;
+  }
+  return n;
+}
+
+TEST(FailRandomFraction, ZeroFractionFailsNothing) {
+  LeafSpine ls = build_leaf_spine(LeafSpineConfig{4, 8, 1, 0});
+  Rng rng(1);
+  EXPECT_EQ(fail_random_fraction(ls.topo, duplex_spine_leaf_links(ls.topo), 0.0,
+                                 rng),
+            0u);
+  EXPECT_EQ(failed_pairs(ls.topo), 0u);
+}
+
+TEST(FailRandomFraction, NegativeFractionFailsNothing) {
+  LeafSpine ls = build_leaf_spine(LeafSpineConfig{4, 8, 1, 0});
+  Rng rng(1);
+  EXPECT_EQ(fail_random_fraction(ls.topo, duplex_spine_leaf_links(ls.topo),
+                                 -0.5, rng),
+            0u);
+  EXPECT_EQ(failed_pairs(ls.topo), 0u);
+}
+
+TEST(FailRandomFraction, EmptySpanFailsNothingAtAnyFraction) {
+  LeafSpine ls = build_leaf_spine(LeafSpineConfig{4, 8, 1, 0});
+  Rng rng(1);
+  EXPECT_EQ(fail_random_fraction(ls.topo, {}, 1.0, rng), 0u);
+  EXPECT_EQ(failed_pairs(ls.topo), 0u);
+}
+
+TEST(FailRandomFraction, TinyFractionFailsAtLeastOne) {
+  // 1% of 32 pairs rounds to zero — the documented contract floors it at one
+  // so Figure 7's low failure levels are never silent no-ops.
+  LeafSpine ls = build_leaf_spine(LeafSpineConfig{4, 8, 1, 0});
+  Rng rng(7);
+  const auto candidates = duplex_spine_leaf_links(ls.topo);
+  ASSERT_EQ(candidates.size(), 32u);
+  EXPECT_EQ(fail_random_fraction(ls.topo, candidates, 0.01, rng), 1u);
+  EXPECT_EQ(failed_pairs(ls.topo), 1u);
+}
+
+TEST(FailRandomFraction, FullFractionFailsEveryCandidate) {
+  LeafSpine ls = build_leaf_spine(LeafSpineConfig{4, 8, 1, 0});
+  Rng rng(7);
+  const auto candidates = duplex_spine_leaf_links(ls.topo);
+  EXPECT_EQ(fail_random_fraction(ls.topo, candidates, 1.0, rng),
+            candidates.size());
+  EXPECT_EQ(failed_pairs(ls.topo), candidates.size());
+}
+
+TEST(FailRandomFraction, FractionAboveOneClampsToEverything) {
+  LeafSpine ls = build_leaf_spine(LeafSpineConfig{4, 8, 1, 0});
+  Rng rng(7);
+  const auto candidates = duplex_spine_leaf_links(ls.topo);
+  // Without the clamp, 1e18 * 32 would overflow llround into UB territory.
+  EXPECT_EQ(fail_random_fraction(ls.topo, candidates, 1e18, rng),
+            candidates.size());
+}
+
+TEST(FailRandomFraction, NonFiniteFractionThrows) {
+  LeafSpine ls = build_leaf_spine(LeafSpineConfig{4, 8, 1, 0});
+  Rng rng(7);
+  const auto candidates = duplex_spine_leaf_links(ls.topo);
+  EXPECT_THROW(fail_random_fraction(ls.topo, candidates,
+                                    std::numeric_limits<double>::quiet_NaN(),
+                                    rng),
+               std::invalid_argument);
+  EXPECT_THROW(fail_random_fraction(ls.topo, candidates,
+                                    std::numeric_limits<double>::infinity(),
+                                    rng),
+               std::invalid_argument);
+  EXPECT_EQ(failed_pairs(ls.topo), 0u);  // a throwing call changes nothing
+}
+
+TEST(FailRandomFraction, HalfFractionRoundsToNearest) {
+  LeafSpine ls = build_leaf_spine(LeafSpineConfig{4, 8, 1, 0});
+  Rng rng(7);
+  const auto candidates = duplex_spine_leaf_links(ls.topo);
+  EXPECT_EQ(fail_random_fraction(ls.topo, candidates, 0.5, rng),
+            candidates.size() / 2);
+}
+
+TEST(FailRandomFraction, DeterministicForEqualSeeds) {
+  const auto draw = [] {
+    LeafSpine ls = build_leaf_spine(LeafSpineConfig{4, 8, 1, 0});
+    Rng rng(42);
+    fail_random_fraction(ls.topo, duplex_spine_leaf_links(ls.topo), 0.25, rng);
+    std::vector<LinkId> failed;
+    for (LinkId l = 0; static_cast<std::size_t>(l) < ls.topo.link_count();
+         l += 2) {
+      if (ls.topo.link(l).failed) failed.push_back(l);
+    }
+    return failed;
+  };
+  EXPECT_EQ(draw(), draw());
+}
+
+TEST(FailureCandidates, SpineLeafSubsetOfFabric) {
+  const LeafSpine ls = build_leaf_spine(LeafSpineConfig{4, 8, 2, 4});
+  const auto spine_leaf = duplex_spine_leaf_links(ls.topo);
+  const auto fabric = duplex_fabric_links(ls.topo);
+  EXPECT_EQ(spine_leaf.size(), 32u);  // 4 spines x 8 leaves
+  for (LinkId l : spine_leaf) {
+    EXPECT_EQ(l % 2, 0) << "candidates must be duplex representatives";
+    EXPECT_NE(std::find(fabric.begin(), fabric.end(), l), fabric.end());
+  }
+}
+
+TEST(AllReachable, ReflectsFailures) {
+  LeafSpine ls = build_leaf_spine(LeafSpineConfig{2, 2, 1, 0});
+  const std::vector<NodeId> targets{ls.hosts[1]};
+  EXPECT_TRUE(all_reachable(ls.topo, ls.hosts[0], targets));
+  for (NodeId spine : ls.spines) {
+    ls.topo.fail_duplex(ls.topo.find_link(ls.leaves[1], spine));
+  }
+  EXPECT_FALSE(all_reachable(ls.topo, ls.hosts[0], targets));
+}
+
+}  // namespace
+}  // namespace peel

@@ -1,0 +1,340 @@
+// The declarative fault subsystem (src/faults/): schedule construction,
+// text-format round-trips, validation, seeded flap generation, and the
+// injector's reference-counted execution inside a live simulation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/faults/injector.h"
+#include "src/faults/schedule.h"
+#include "src/harness/sweep.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/network.h"
+#include "src/topology/failures.h"
+#include "src/topology/leaf_spine.h"
+
+namespace peel {
+namespace {
+
+// --- schedule data type -----------------------------------------------------
+
+TEST(FaultSchedule, NormalizeIsStableChronologicalSort) {
+  FaultSchedule s;
+  s.link_up(2000, 4);
+  s.link_down(1000, 4);
+  s.switch_down(1000, 7);  // same time as the link_down, inserted later
+  s.normalize();
+  ASSERT_EQ(s.events.size(), 3u);
+  EXPECT_EQ(s.events[0].t, 1000);
+  EXPECT_EQ(s.events[0].target, FaultTargetKind::Link);
+  EXPECT_EQ(s.events[1].t, 1000);
+  EXPECT_EQ(s.events[1].target, FaultTargetKind::Switch);  // insertion order kept
+  EXPECT_EQ(s.events[2].action, FaultAction::Up);
+  EXPECT_EQ(s.last_event_time(), 2000);
+}
+
+TEST(FaultSchedule, MergeConcatenatesAndFlapAddsAPair) {
+  FaultSchedule a, b;
+  a.flap_link(1000, 2500, 6);
+  b.link_down(500, 2);
+  a.merge(b);
+  a.normalize();
+  ASSERT_EQ(a.events.size(), 3u);
+  EXPECT_EQ(a.events[0].t, 500);
+  EXPECT_EQ(a.events[1], (FaultEvent{1000, FaultAction::Down,
+                                     FaultTargetKind::Link, 6}));
+  EXPECT_EQ(a.events[2], (FaultEvent{2500, FaultAction::Up,
+                                     FaultTargetKind::Link, 6}));
+}
+
+// --- text format ------------------------------------------------------------
+
+TEST(FaultScheduleText, ParsesCommentsAndBlankLines) {
+  std::istringstream in(
+      "# Figure-7 style outage\n"
+      "\n"
+      "down 100 link 4      # fail the pair containing link 4\n"
+      "up 350.5 link 4\n"
+      "down 200 switch 17\n");
+  // parse_fault_schedule normalizes: chronological regardless of file order.
+  const FaultSchedule s = parse_fault_schedule(in);
+  ASSERT_EQ(s.events.size(), 3u);
+  EXPECT_EQ(s.events[0], (FaultEvent{100'000, FaultAction::Down,
+                                     FaultTargetKind::Link, 4}));
+  EXPECT_EQ(s.events[1], (FaultEvent{200'000, FaultAction::Down,
+                                     FaultTargetKind::Switch, 17}));
+  EXPECT_EQ(s.events[2], (FaultEvent{350'500, FaultAction::Up,
+                                     FaultTargetKind::Link, 4}));
+}
+
+TEST(FaultScheduleText, FormatParsesBackIdentically) {
+  FaultSchedule s;
+  s.flap_link(123'456, 789'012, 8);
+  s.switch_down(1, 3);
+  s.switch_up(999'999'999, 3);
+  s.normalize();
+  std::istringstream in(format_fault_schedule(s));
+  const FaultSchedule back = parse_fault_schedule(in);
+  EXPECT_EQ(back.events, s.events);  // byte-exact round-trip, fractional µs too
+}
+
+TEST(FaultScheduleText, RejectsMalformedLinesWithLineNumber) {
+  const auto expect_bad = [](const std::string& text, const char* needle) {
+    std::istringstream in(text);
+    try {
+      (void)parse_fault_schedule(in);
+      FAIL() << "accepted: " << text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_bad("sideways 5 link 1\n", "line 1");
+  expect_bad("down 5 cable 1\n", "line 1");
+  expect_bad("down -5 link 1\n", "line 1");
+  expect_bad("down 5 link 1 surprise\n", "line 1");
+  expect_bad("down 5 link\n", "line 1");
+  expect_bad("up 5 link 1\ndown zero link 1\n", "line 2");
+}
+
+TEST(FaultScheduleText, LoadThrowsOnMissingFile) {
+  EXPECT_THROW((void)load_fault_schedule("/nonexistent/fault.sched"),
+               std::runtime_error);
+}
+
+// --- validation -------------------------------------------------------------
+
+TEST(FaultScheduleValidate, AcceptsAWellFormedSchedule) {
+  const LeafSpine ls = build_leaf_spine(LeafSpineConfig{2, 4, 1, 0});
+  FaultSchedule s;
+  s.flap_link(1000, 5000, duplex_spine_leaf_links(ls.topo)[0]);
+  s.switch_down(2000, ls.spines[1]);
+  s.switch_up(6000, ls.spines[1]);
+  s.normalize();
+  EXPECT_TRUE(s.validate(ls.topo).empty());
+}
+
+TEST(FaultScheduleValidate, FlagsBadTargetsAndUnmatchedUps) {
+  const LeafSpine ls = build_leaf_spine(LeafSpineConfig{2, 4, 1, 0});
+  FaultSchedule s;
+  s.link_down(100, static_cast<LinkId>(ls.topo.link_count()));  // out of range
+  s.switch_down(200, ls.hosts[0]);  // a host is not a switch
+  s.link_up(300, duplex_spine_leaf_links(ls.topo)[0]);  // up without down
+  s.normalize();
+  const std::vector<std::string> violations = s.validate(ls.topo);
+  EXPECT_EQ(violations.size(), 3u);
+}
+
+TEST(FaultScheduleValidate, FlagsUnsortedEvents) {
+  const LeafSpine ls = build_leaf_spine(LeafSpineConfig{2, 4, 1, 0});
+  const LinkId l = duplex_spine_leaf_links(ls.topo)[0];
+  FaultSchedule s;
+  s.link_up(500, l);
+  s.link_down(100, l);  // later in the list but earlier in time: not normalized
+  EXPECT_FALSE(s.validate(ls.topo).empty());
+  s.normalize();
+  EXPECT_TRUE(s.validate(ls.topo).empty());
+}
+
+// --- flap generation --------------------------------------------------------
+
+TEST(FlapGeneration, DeterministicAndAlternating) {
+  const LeafSpine ls = build_leaf_spine(LeafSpineConfig{4, 8, 1, 0});
+  const std::vector<LinkId> candidates = duplex_spine_leaf_links(ls.topo);
+  FlapProcess flap;
+  flap.mtbf_seconds = 500e-6;
+  flap.mttr_seconds = 100e-6;
+  flap.links = 3;
+  flap.horizon_seconds = 10e-3;
+  ASSERT_TRUE(flap.enabled());
+
+  Rng r1(99), r2(99);
+  const FaultSchedule s1 = generate_flap_schedule(candidates, flap, r1);
+  const FaultSchedule s2 = generate_flap_schedule(candidates, flap, r2);
+  EXPECT_EQ(s1.events, s2.events);
+  EXPECT_FALSE(s1.empty());
+  EXPECT_TRUE(s1.validate(ls.topo).empty());
+
+  // Per link: strictly alternating down/up starting with a down, downs only
+  // before the horizon, and the final event is always a repair.
+  const SimTime horizon = seconds_to_sim(flap.horizon_seconds);
+  std::vector<LinkId> flapped;
+  for (LinkId l : candidates) {
+    std::vector<const FaultEvent*> mine;
+    for (const FaultEvent& ev : s1.events) {
+      if (ev.id == l) mine.push_back(&ev);
+    }
+    if (mine.empty()) continue;
+    flapped.push_back(l);
+    ASSERT_EQ(mine.size() % 2, 0u) << "link " << l << " left broken";
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      const FaultAction want =
+          i % 2 == 0 ? FaultAction::Down : FaultAction::Up;
+      EXPECT_EQ(mine[i]->action, want);
+      if (want == FaultAction::Down) {
+        EXPECT_LT(mine[i]->t, horizon);
+      }
+      if (i > 0) {
+        EXPECT_GT(mine[i]->t, mine[i - 1]->t);
+      }
+    }
+  }
+  EXPECT_EQ(flapped.size(), 3u);
+
+  // A different seed draws a different schedule.
+  Rng r3(100);
+  EXPECT_NE(generate_flap_schedule(candidates, flap, r3).events, s1.events);
+}
+
+TEST(FlapGeneration, DisabledProcessYieldsNothing) {
+  const LeafSpine ls = build_leaf_spine(LeafSpineConfig{2, 4, 1, 0});
+  FlapProcess flap;  // all zeros: disabled
+  EXPECT_FALSE(flap.enabled());
+  Rng rng(1);
+  EXPECT_TRUE(
+      generate_flap_schedule(duplex_spine_leaf_links(ls.topo), flap, rng)
+          .empty());
+}
+
+// --- injector ---------------------------------------------------------------
+
+struct InjectorFixture {
+  LeafSpine ls = build_leaf_spine(LeafSpineConfig{2, 4, 1, 0});
+  EventQueue queue;
+  Network net{ls.topo, SimConfig{}, queue};
+  FaultInjector injector{ls.topo, net, queue};
+};
+
+TEST(FaultInjector, OverlappingOutagesReferenceCount) {
+  InjectorFixture fx;
+  const NodeId spine = fx.ls.spines[0];
+  const LinkId pair = fx.ls.topo.find_link(fx.ls.leaves[0], spine);
+  const LinkId rep = pair - pair % 2;
+
+  FaultSchedule s;
+  s.switch_down(1000, spine);   // takes down all 4 leaf-spine0 pairs
+  s.link_down(2000, pair);      // second claim on one of them
+  s.switch_up(3000, spine);     // 3 pairs restore; `pair` stays down
+  s.link_up(4000, pair);        // now it restores too
+  fx.injector.arm(s);
+
+  bool down_at_2500 = false, still_down_at_3500 = false, up_at_4500 = false;
+  fx.queue.at(2500, [&] { down_at_2500 = fx.ls.topo.link(rep).failed; });
+  fx.queue.at(3500, [&] { still_down_at_3500 = fx.ls.topo.link(rep).failed; });
+  fx.queue.at(4500, [&] { up_at_4500 = !fx.ls.topo.link(rep).failed; });
+  fx.queue.run();
+
+  EXPECT_TRUE(down_at_2500);
+  EXPECT_TRUE(still_down_at_3500) << "switch repair resurrected a failed link";
+  EXPECT_TRUE(up_at_4500);
+  EXPECT_EQ(fx.injector.downs_applied(), 2u);
+  EXPECT_EQ(fx.injector.ups_applied(), 2u);
+  // 4 pairs failed by the switch, 1 absorbed by refcounting on the way up.
+  EXPECT_EQ(fx.injector.pairs_failed(), 4u);
+  EXPECT_EQ(fx.injector.pairs_restored(), 4u);
+  EXPECT_EQ(fx.net.duplex_repairs(), 4u);
+}
+
+TEST(FaultInjector, HandlerReportsOnlyRealTransitions) {
+  InjectorFixture fx;
+  const LinkId pair = duplex_spine_leaf_links(fx.ls.topo)[0];
+  FaultSchedule s;
+  s.link_down(1000, pair);
+  s.link_down(2000, pair);  // already down: no transition
+  s.link_up(3000, pair);    // refcount 2 -> 1: still down
+  s.link_up(4000, pair);    // refcount 1 -> 0: restores
+  fx.injector.arm(s);
+
+  std::vector<std::size_t> changed_counts;
+  fx.injector.set_handler([&](const AppliedFault& applied) {
+    changed_counts.push_back(applied.changed_pairs.size());
+  });
+  fx.queue.run();
+  EXPECT_EQ(changed_counts, (std::vector<std::size_t>{1, 0, 0, 1}));
+}
+
+TEST(FaultInjector, ArmRejectsInvalidSchedulesAndDoubleArm) {
+  InjectorFixture fx;
+  FaultSchedule bad;
+  bad.link_up(100, duplex_spine_leaf_links(fx.ls.topo)[0]);
+  EXPECT_THROW(fx.injector.arm(bad), std::invalid_argument);
+
+  FaultSchedule ok;
+  ok.flap_link(100, 200, duplex_spine_leaf_links(fx.ls.topo)[0]);
+  fx.injector.arm(ok);
+  EXPECT_THROW(fx.injector.arm(ok), std::logic_error);
+}
+
+// --- scenario + sweep determinism -------------------------------------------
+
+ScenarioConfig flapping_config() {
+  ScenarioConfig config;
+  config.scheme = Scheme::Peel;
+  // Failure-shaped greedy trees: the symmetric closed-form tree builder
+  // (rightly) refuses a damaged fabric, and with flapping the fabric may be
+  // damaged at any submit time.
+  config.runner.peel_asymmetric = true;
+  config.group_size = 16;
+  config.message_bytes = 256 * kKiB;
+  config.collectives = 6;
+  config.seed = 4242;
+  config.byte_audit = true;
+  config.faults.flap.mtbf_seconds = 400e-6;
+  config.faults.flap.mttr_seconds = 120e-6;
+  config.faults.flap.links = 3;
+  config.faults.flap.horizon_seconds = 3e-3;
+  return config;
+}
+
+TEST(FaultSweep, ByteIdenticalAcrossThreadCounts) {
+  const LeafSpine ls = build_leaf_spine(LeafSpineConfig{4, 8, 2, 2});
+  const Fabric fabric = Fabric::of(ls);
+
+  SweepSpec spec;
+  spec.base = flapping_config();
+  spec.schemes = {Scheme::BinaryTree, Scheme::Ring, Scheme::Peel};
+  spec.replicas = 2;
+  spec.master_seed = 777;
+
+  SweepOptions serial, parallel;
+  serial.threads = 1;
+  parallel.threads = 4;
+  const SweepResults a = run_sweep(fabric, spec, serial);
+  const SweepResults b = run_sweep(fabric, spec, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const ScenarioResult& ra = a.cells()[i].result;
+    const ScenarioResult& rb = b.cells()[i].result;
+    EXPECT_EQ(ra.cct_seconds.values(), rb.cct_seconds.values()) << "cell " << i;
+    EXPECT_EQ(ra.fabric_bytes, rb.fabric_bytes) << "cell " << i;
+    EXPECT_EQ(ra.events, rb.events) << "cell " << i;
+    EXPECT_EQ(ra.fault_downs, rb.fault_downs) << "cell " << i;
+    EXPECT_EQ(ra.fault_ups, rb.fault_ups) << "cell " << i;
+    EXPECT_EQ(ra.recovered_deliveries, rb.recovered_deliveries) << "cell " << i;
+  }
+  // The faults must actually have fired somewhere, or this test proves
+  // nothing.
+  std::uint64_t downs = 0;
+  for (const SweepCell& c : a.cells()) downs += c.result.fault_downs;
+  EXPECT_GT(downs, 0u);
+}
+
+TEST(FaultSweep, SharedFabricStaysPristine) {
+  // Dynamic faults run against a private topology copy: after a flapping
+  // scenario, the caller's fabric must have zero failed links. 4 spines per
+  // leaf so 3 flapping pairs can never disconnect a leaf at submit time.
+  const LeafSpine ls = build_leaf_spine(LeafSpineConfig{4, 8, 2, 2});
+  const Fabric fabric = Fabric::of(ls);
+  ScenarioConfig config = flapping_config();
+  const ScenarioResult r = run_scenario(fabric, config);
+  EXPECT_GT(r.fault_downs, 0u);
+  for (LinkId l = 0; static_cast<std::size_t>(l) < ls.topo.link_count(); ++l) {
+    EXPECT_FALSE(ls.topo.link(l).failed);
+  }
+}
+
+}  // namespace
+}  // namespace peel
