@@ -1,0 +1,334 @@
+// Simulator performance suite: the repo's persistent perf trajectory.
+//
+// Default mode runs a fixed grid of scenario cells — Broadcast / AllGather /
+// AllReduce on 8-ary and 16-ary fat-trees, with and without flapping links —
+// and writes BENCH_sim.json (events/sec, segments/sec, wall time, peak RSS
+// per cell) so successive PRs can compare data-plane throughput on the same
+// workload. The reference cell for speedup tracking is the k=16 Broadcast
+// without faults.
+//
+// `perf_suite --check <repo_root>` is the determinism gate (wired into
+// ctest): it recomputes a slice of two committed reference CSVs with the
+// exact full-mode bench parameters — the 2 MiB row set of
+// fig5_cct_vs_msgsize.csv and the 2-flapping-links row set of
+// fig7_dynamic_failures.csv — and fails unless every recomputed row is
+// byte-for-byte identical to the committed one. Environment knobs
+// (PEEL_BENCH_*) are deliberately ignored here; the check must reproduce
+// what the full benches wrote, not what the current shell says.
+//
+// Environment (default mode only):
+//   PEEL_BENCH_QUICK=1            smaller sample counts for CI smoke runs
+//   PEEL_BENCH_SAMPLES=<n>        override the per-cell collective count
+//   PEEL_PERF_BASELINE_EPS=<x>    events/sec of the reference cell measured
+//                                 on a baseline build; emitted into the JSON
+//                                 with the resulting speedup factor
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/harness/bench_env.h"
+#include "src/harness/experiment.h"
+#include "src/harness/table.h"
+#include "src/topology/fat_tree.h"
+#include "src/topology/leaf_spine.h"
+
+using namespace peel;
+
+namespace {
+
+[[nodiscard]] long peak_rss_kib() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // KiB on Linux
+}
+
+[[nodiscard]] const char* json_bool(bool b) { return b ? "true" : "false"; }
+
+// ---------------------------------------------------------------------------
+// Default mode: the measured perf grid.
+// ---------------------------------------------------------------------------
+
+struct PerfCellResult {
+  CollectiveKind kind;
+  int fat_tree_k;
+  bool faults;
+  double wall_seconds = 0.0;
+  ScenarioResult result;
+  long rss_kib = 0;
+};
+
+ScenarioConfig perf_cell_config(CollectiveKind kind, bool faults, int samples) {
+  ScenarioConfig c;
+  c.scheme = Scheme::Peel;
+  c.collective = kind;
+  c.group_size = 64;
+  c.message_bytes = 8 * kMiB;
+  c.collectives = samples;
+  c.sim = bench::scaled_sim(c.message_bytes, 42);
+  c.seed = 4242;
+  c.byte_audit = false;
+  if (faults) {
+    c.faults.flap.mtbf_seconds = 2e-3;
+    c.faults.flap.mttr_seconds = 300e-6;
+    c.faults.flap.links = 4;
+    c.faults.flap.horizon_seconds = 15e-3;
+  }
+  return c;
+}
+
+int run_perf_grid() {
+  bench::banner("Simulator performance suite",
+                "data-plane throughput trajectory (BENCH_sim.json)");
+  const int samples = bench::samples_override(12, 3);
+  const std::vector<int> fat_tree_ks = {8, 16};
+  const std::vector<CollectiveKind> kinds = {CollectiveKind::Broadcast,
+                                             CollectiveKind::AllGather,
+                                             CollectiveKind::AllReduce};
+
+  std::vector<PerfCellResult> cells;
+  for (int k : fat_tree_ks) {
+    const FatTree ft = build_fat_tree(FatTreeConfig{k, k / 2, 8});
+    const Fabric fabric = Fabric::of(ft);
+    for (CollectiveKind kind : kinds) {
+      for (bool faults : {false, true}) {
+        const ScenarioConfig config = perf_cell_config(kind, faults, samples);
+        const auto start = std::chrono::steady_clock::now();
+        ScenarioResult r = run_scenario(fabric, config);
+        const std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - start;
+        PerfCellResult cell;
+        cell.kind = kind;
+        cell.fat_tree_k = k;
+        cell.faults = faults;
+        cell.wall_seconds = wall.count();
+        cell.result = std::move(r);
+        cell.rss_kib = peak_rss_kib();
+        cells.push_back(std::move(cell));
+        std::printf("  %-9s k=%-2d faults=%d  %8.2fs wall  %9.0f events/s\n",
+                    to_string(kind), k, faults ? 1 : 0, cell.wall_seconds,
+                    static_cast<double>(cell.result.events) /
+                        cell.wall_seconds);
+      }
+    }
+  }
+
+  Table table({"collective", "fat-tree k", "faults", "wall (s)", "events/s",
+               "segments/s", "peak RSS (MiB)"});
+  double reference_eps = 0.0;
+  for (const PerfCellResult& c : cells) {
+    const double eps =
+        static_cast<double>(c.result.events) / c.wall_seconds;
+    const double sps =
+        static_cast<double>(c.result.segments) / c.wall_seconds;
+    if (c.kind == CollectiveKind::Broadcast && c.fat_tree_k == 16 &&
+        !c.faults) {
+      reference_eps = eps;
+    }
+    table.add_row({to_string(c.kind), cell("%d", c.fat_tree_k),
+                   c.faults ? "on" : "off", cell("%.2f", c.wall_seconds),
+                   cell("%.0f", eps), cell("%.0f", sps),
+                   cell("%.1f", static_cast<double>(c.rss_kib) / 1024.0)});
+  }
+  table.print(std::cout);
+
+  double baseline_eps = 0.0;
+  if (const char* v = std::getenv("PEEL_PERF_BASELINE_EPS")) {
+    baseline_eps = std::atof(v);
+  }
+
+  std::FILE* out = std::fopen("BENCH_sim.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_sim.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"schema\": \"peel.perf_suite.v1\",\n");
+  std::fprintf(out, "  \"quick\": %s,\n", json_bool(bench::quick_mode()));
+  std::fprintf(out, "  \"scheme\": \"Peel\",\n");
+  std::fprintf(out, "  \"group_size\": 64,\n");
+  std::fprintf(out, "  \"message_mib\": 8,\n");
+  std::fprintf(out, "  \"samples_per_cell\": %d,\n", samples);
+  std::fprintf(out, "  \"cells\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const PerfCellResult& c = cells[i];
+    const double eps = static_cast<double>(c.result.events) / c.wall_seconds;
+    const double sps = static_cast<double>(c.result.segments) / c.wall_seconds;
+    std::fprintf(
+        out,
+        "    {\"collective\": \"%s\", \"fat_tree_k\": %d, \"faults\": %s,\n"
+        "     \"wall_seconds\": %.3f, \"sim_seconds\": %.6f,\n"
+        "     \"events\": %llu, \"events_per_sec\": %.0f,\n"
+        "     \"segments\": %llu, \"segments_per_sec\": %.0f,\n"
+        "     \"unfinished\": %zu, \"peak_rss_kib\": %ld}%s\n",
+        to_string(c.kind), c.fat_tree_k, json_bool(c.faults), c.wall_seconds,
+        c.result.sim_seconds,
+        static_cast<unsigned long long>(c.result.events), eps,
+        static_cast<unsigned long long>(c.result.segments), sps,
+        c.result.unfinished, c.rss_kib, i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"reference_cell\": {\"collective\": \"Broadcast\", "
+               "\"fat_tree_k\": 16, \"faults\": false},\n");
+  std::fprintf(out, "  \"reference_events_per_sec\": %.0f", reference_eps);
+  if (baseline_eps > 0.0) {
+    std::fprintf(out, ",\n  \"baseline_events_per_sec\": %.0f", baseline_eps);
+    std::fprintf(out, ",\n  \"speedup_vs_baseline\": %.2f",
+                 reference_eps / baseline_eps);
+  }
+  std::fprintf(out, "\n}\n");
+  std::fclose(out);
+  std::printf("\nreference cell (Broadcast, k=16, no faults): %.0f events/s",
+              reference_eps);
+  if (baseline_eps > 0.0) {
+    std::printf("  (%.2fx vs baseline %.0f)", reference_eps / baseline_eps,
+                baseline_eps);
+  }
+  std::printf("\nJSON -> BENCH_sim.json\n");
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// --check mode: byte-for-byte reproduction of committed reference CSVs.
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("perf_suite --check: cannot read " + path);
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Verifies every expected row appears verbatim in the committed CSV.
+int check_rows(const std::string& csv_path,
+               const std::vector<std::string>& expected) {
+  const std::vector<std::string> committed = read_lines(csv_path);
+  int failures = 0;
+  for (const std::string& row : expected) {
+    bool found = false;
+    for (const std::string& line : committed) {
+      if (line == row) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      ++failures;
+      std::fprintf(stderr, "MISMATCH in %s\n  recomputed: %s\n", csv_path.c_str(),
+                   row.c_str());
+      // Show the committed row with the same prefix (axis + scheme columns)
+      // to make the drift visible.
+      const std::string prefix = row.substr(0, row.find(',', row.find(',') + 1));
+      for (const std::string& line : committed) {
+        if (line.rfind(prefix, 0) == 0) {
+          std::fprintf(stderr, "  committed:  %s\n", line.c_str());
+        }
+      }
+    }
+  }
+  return failures;
+}
+
+int run_check(const std::string& repo_root) {
+  std::printf("== perf_suite --check: determinism against committed CSVs ==\n");
+  int failures = 0;
+
+  // --- fig5, 2 MiB row set: full-mode parameters, no environment input. ---
+  {
+    const FatTree ft = build_fat_tree(FatTreeConfig{8, 4, 8});
+    const Fabric fabric = Fabric::of(ft);
+    const Bytes message = 2 * kMiB;
+    const std::vector<Scheme> schemes = {Scheme::Ring, Scheme::BinaryTree,
+                                         Scheme::Optimal, Scheme::Orca,
+                                         Scheme::Peel, Scheme::PeelProgCores};
+    std::vector<std::string> rows;
+    for (Scheme scheme : schemes) {
+      ScenarioConfig c;
+      c.scheme = scheme;
+      c.collective = CollectiveKind::Broadcast;
+      c.group_size = 512;
+      c.message_bytes = message;
+      c.fragmentation = 0.0;
+      c.collectives = 24;  // samples_for(2 MiB) in full mode
+      c.sim = bench::scaled_sim(message, 5);
+      c.seed = 555;
+      c.byte_audit = false;
+      const ScenarioResult r = run_scenario(fabric, c);
+      rows.push_back(std::to_string(message / kMiB) + "," + to_string(scheme) +
+                     "," + cell("%.6f", r.cct_seconds.mean()) + "," +
+                     cell("%.6f", r.cct_seconds.p99()));
+    }
+    failures += check_rows(repo_root + "/fig5_cct_vs_msgsize.csv", rows);
+    std::printf("fig5 2 MiB rows: %zu recomputed\n", rows.size());
+  }
+
+  // --- fig7 dynamic failures, 2-flapping-links row set. ---
+  {
+    const LeafSpine ls = build_leaf_spine(LeafSpineConfig{16, 48, 2, 8});
+    const Fabric fabric = Fabric::of(ls);
+    const Bytes message = 8 * kMiB;
+    const int links = 2;
+    const std::vector<Scheme> schemes = {Scheme::BinaryTree, Scheme::Ring,
+                                         Scheme::Peel};
+    std::vector<std::string> rows;
+    for (Scheme scheme : schemes) {
+      ScenarioConfig c;
+      c.scheme = scheme;
+      c.collective = CollectiveKind::Broadcast;
+      c.group_size = 64;
+      c.message_bytes = message;
+      c.collectives = 24;  // samples_for(8 MiB) in full mode
+      c.sim = bench::scaled_sim(message, 7);
+      c.seed = 31000 + static_cast<std::uint64_t>(links);
+      c.byte_audit = false;
+      c.faults.flap.mtbf_seconds = 2e-3;
+      c.faults.flap.mttr_seconds = 300e-6;
+      c.faults.flap.links = links;
+      c.faults.flap.horizon_seconds = 15e-3;
+      c.runner.peel_asymmetric = (scheme == Scheme::Peel);
+      const ScenarioResult r = run_scenario(fabric, c);
+      rows.push_back(cell("%d", links) + "," + to_string(scheme) + "," +
+                     cell("%.6f", r.cct_seconds.mean()) + "," +
+                     cell("%.6f", r.cct_seconds.p99()) + "," +
+                     cell("%zu", r.fault_downs) + "," +
+                     cell("%zu", r.fault_ups) + "," +
+                     cell("%zu", r.recovered_deliveries) + "," +
+                     cell("%zu", r.unfinished));
+    }
+    failures += check_rows(repo_root + "/fig7_dynamic_failures.csv", rows);
+    std::printf("fig7 dynamic 2-link rows: %zu recomputed\n", rows.size());
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "perf_suite --check: %d row(s) drifted from the committed "
+                 "CSVs — the data plane is no longer byte-deterministic\n",
+                 failures);
+    return 1;
+  }
+  std::printf("perf_suite --check: all recomputed rows byte-identical\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--check") {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: perf_suite --check <repo_root>\n");
+      return 2;
+    }
+    return run_check(argv[2]);
+  }
+  return run_perf_grid();
+}

@@ -9,6 +9,10 @@
 # (the parallel sweep engine, the Samples::quantile lazy-sort guard, and the
 # fault-injection sweep determinism tests, which exercise concurrent cells
 # mutating private topology copies).
+#
+# Set PEEL_CHECK_PERF=1 to additionally run the perf smoke leg: a Release
+# build of the simulator performance suite (scripts/perf.sh) in quick mode.
+# It gates on determinism (perf_suite --check), not on speed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,6 +39,11 @@ if [[ "${PEEL_CHECK_TSAN:-0}" != "0" ]]; then
   cmake --build build-tsan -j "${JOBS}" --target sweep_test stats_race_test fault_schedule_test
   echo "== ctest build-tsan (concurrency tests) =="
   (cd build-tsan && ctest --output-on-failure -R '^(sweep_test|stats_race_test|fault_schedule_test)$')
+fi
+
+if [[ "${PEEL_CHECK_PERF:-0}" != "0" ]]; then
+  echo "== perf smoke (Release perf_suite, quick mode) =="
+  PEEL_BENCH_QUICK=1 scripts/perf.sh "${JOBS}"
 fi
 
 echo "== all checks passed =="

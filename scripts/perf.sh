@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Perf-smoke entry point: build the Release configuration, run the simulator
+# performance suite, and leave BENCH_sim.json in the repo root.
+#
+# Usage: scripts/perf.sh [jobs]
+#
+# Environment:
+#   PEEL_BENCH_QUICK=1           small sample counts (the CI smoke setting)
+#   PEEL_PERF_BASELINE_EPS=<x>   events/sec of the reference cell on a
+#                                baseline build; the suite emits the speedup
+#                                factor into BENCH_sim.json
+#
+# The suite fails the build only on determinism regressions (the
+# perf_suite_check ctest below), never on raw speed: wall-clock numbers are
+# machine-dependent and belong in the committed JSON for trend tracking, not
+# in a gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc 2>/dev/null || echo 2)}"
+
+echo "== configure build-perf (Release) =="
+cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release
+echo "== build build-perf =="
+cmake --build build-perf -j "${JOBS}" --target perf_suite
+
+echo "== determinism gate (perf_suite --check) =="
+./build-perf/bench/perf_suite --check "$(pwd)"
+
+echo "== perf grid =="
+./build-perf/bench/perf_suite
+echo "BENCH_sim.json written to $(pwd)/BENCH_sim.json"

@@ -247,6 +247,7 @@ ScenarioResult run_scenario_impl(const Fabric& fabric,
   result.core_bytes = bytes_on_links(net, fabric.topo(), true, false, false);
   result.sim_seconds = sim_to_seconds(queue.now());
   result.events = queue.processed();
+  result.segments = net.segments_serialized();
   result.pfc_pauses = net.pfc_pauses();
   result.ecn_marks = net.segments_marked();
   if (injector) {

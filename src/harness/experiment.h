@@ -107,6 +107,7 @@ struct ScenarioResult {
   Bytes core_bytes = 0;
   double sim_seconds = 0.0;       ///< simulated wall-clock at drain
   std::uint64_t events = 0;       ///< discrete events processed
+  std::uint64_t segments = 0;     ///< segments serialized across all links
   std::uint64_t pfc_pauses = 0;
   std::uint64_t ecn_marks = 0;
   std::size_t unfinished = 0;     ///< collectives that never completed (bug if > 0)

@@ -84,6 +84,14 @@ struct SimConfig {
   TelemetryConfig telemetry;
 
   std::uint64_t seed = 1;
+
+  /// Throws std::invalid_argument on configurations the data plane cannot
+  /// execute meaningfully: non-positive segment or buffer sizes, an inverted
+  /// ECN band (kmax < kmin; kmax == kmin is a legal step-ECN config),
+  /// negative PFC hysteresis, or out-of-range fractions. Called by the
+  /// Network constructor, so a bad config fails loudly at setup instead of
+  /// misbehaving mid-run.
+  void validate() const;
 };
 
 }  // namespace peel

@@ -6,13 +6,22 @@
 
 namespace peel {
 
-void EventQueue::at(SimTime t, Action fn) {
+void EventQueue::check_not_past(SimTime t) const {
   if (t < now_) {
     throw std::logic_error("EventQueue: scheduling into the past (t=" +
                            std::to_string(t) + " ns < now=" +
                            std::to_string(now_) + " ns)");
   }
-  heap_.push(Entry{t, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::at(SimTime t, Action fn) {
+  check_not_past(t);
+  heap_.push(Entry{t, next_seq_++, SimEvent{}, std::move(fn)});
+}
+
+void EventQueue::at(SimTime t, const SimEvent& ev) {
+  check_not_past(t);
+  heap_.push(Entry{t, next_seq_++, ev, {}});
 }
 
 bool EventQueue::step() {
@@ -21,10 +30,20 @@ bool EventQueue::step() {
   // which is safe because the entry is popped before the action runs.
   Entry& top = const_cast<Entry&>(heap_.top());
   now_ = top.t;
-  Action fn = std::move(top.fn);
-  heap_.pop();
-  ++processed_;
-  fn();
+  if (top.ev.kind != SimEventKind::None) {
+    const SimEvent ev = top.ev;
+    heap_.pop();
+    ++processed_;
+    if (sink_ == nullptr) {
+      throw std::logic_error("EventQueue: SimEvent fired with no sink bound");
+    }
+    sink_->on_sim_event(ev);
+  } else {
+    Action fn = std::move(top.fn);
+    heap_.pop();
+    ++processed_;
+    fn();
+  }
   return true;
 }
 

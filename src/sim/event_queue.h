@@ -3,6 +3,18 @@
 // Events at equal timestamps run in scheduling order (a monotonically
 // increasing sequence number breaks ties), which makes every simulation run
 // deterministic for a fixed seed.
+//
+// Two scheduling flavors share one heap (and one sequence counter, so their
+// relative order is exactly the scheduling order):
+//
+//   - `at(t, Action)` boxes an arbitrary callback in a std::function. Fine
+//     for control-plane events (collective submission, fault injection,
+//     recovery passes), which are rare.
+//   - `at(t, SimEvent)` carries a type-tagged POD describing one of the
+//     data-plane transitions and dispatches it to the bound SimEventSink
+//     (the Network). The steady state of a simulation is millions of pump /
+//     finish_tx / arrive events; scheduling them as PODs performs no heap
+//     allocation and no std::function indirection on the hot path.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +26,39 @@
 
 namespace peel {
 
+/// Type tag of a packed data-plane event (see SimEvent).
+enum class SimEventKind : std::uint8_t {
+  None = 0,   ///< entry carries a boxed Action instead
+  Pump,       ///< inject the next paced segment of stream `a`
+  FinishTx,   ///< link `a` finished serializing its head segment (epoch)
+  Arrive,     ///< segment (stream b, chunk c, bytes d, ingress e, marked
+              ///< flag) reaches the far end of link `a` (epoch)
+  CnpRate,    ///< congestion notification reaches stream `a`'s sender
+  SampleTick, ///< telemetry time-series sampler
+};
+
+/// Packed arguments of one hot data-plane event. Field meaning is
+/// kind-specific (documented at SimEventKind); the struct is deliberately a
+/// flat POD so scheduling one never touches the heap.
+struct SimEvent {
+  SimEventKind kind = SimEventKind::None;
+  bool flag = false;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  std::int32_t c = 0;
+  std::int32_t d = 0;
+  std::int32_t e = 0;
+  std::uint32_t epoch = 0;
+};
+
+/// Receiver of packed SimEvents (implemented by the Network). Exactly one
+/// sink can be bound to an EventQueue at a time.
+class SimEventSink {
+ public:
+  virtual ~SimEventSink() = default;
+  virtual void on_sim_event(const SimEvent& ev) = 0;
+};
+
 class EventQueue {
  public:
   using Action = std::function<void()>;
@@ -23,6 +68,17 @@ class EventQueue {
 
   /// Schedules `fn` `delay` nanoseconds from now.
   void after(SimTime delay, Action fn) { at(now_ + delay, std::move(fn)); }
+
+  /// Schedules a packed data-plane event at absolute time `t`. A sink must
+  /// be bound (bind_sink) before the event fires.
+  void at(SimTime t, const SimEvent& ev);
+
+  void after(SimTime delay, const SimEvent& ev) { at(now_ + delay, ev); }
+
+  /// Binds the dispatcher for SimEvents (the Network binds itself on
+  /// construction). Pass nullptr to unbind.
+  void bind_sink(SimEventSink* sink) noexcept { sink_ = sink; }
+  [[nodiscard]] SimEventSink* sink() const noexcept { return sink_; }
 
   [[nodiscard]] SimTime now() const noexcept { return now_; }
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
@@ -42,7 +98,8 @@ class EventQueue {
   struct Entry {
     SimTime t;
     std::uint64_t seq;
-    Action fn;
+    SimEvent ev;  ///< dispatched to the sink when kind != None
+    Action fn;    ///< run when ev.kind == None
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const noexcept {
@@ -50,7 +107,10 @@ class EventQueue {
     }
   };
 
+  void check_not_past(SimTime t) const;
+
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimEventSink* sink_ = nullptr;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;

@@ -12,25 +12,71 @@ Network::Network(const Topology& topo, const SimConfig& config, EventQueue& queu
       queue_(&queue),
       rng_(config.seed ^ 0x5eedf00dULL),
       links_(topo.link_count()),
-      nodes_(topo.node_count()) {
+      nodes_(topo.node_count()),
+      blocked_pumps_(topo.node_count()) {
+  config_.validate();
   pause_threshold_ = static_cast<Bytes>(
       static_cast<double>(config_.switch_buffer_bytes) *
       (1.0 - config_.pfc_pause_free_fraction));
+  resume_threshold_ =
+      std::max<Bytes>(0, pause_threshold_ - config_.pfc_hysteresis);
+  in_slot_of_link_.assign(topo.link_count(), -1);
+  for (std::size_t n = 0; n < topo.node_count(); ++n) {
+    const auto& ins = topo.in_links(static_cast<NodeId>(n));
+    nodes_[n].per_ingress.assign(ins.size(), 0);
+    std::int32_t slot = 0;
+    for (LinkId l : ins) in_slot_of_link_[static_cast<std::size_t>(l)] = slot++;
+  }
+  queue_->bind_sink(this);
   if (config_.telemetry.enabled) {
     telem_ = std::make_unique<Telemetry>(config_.telemetry, topo);
     if (config_.telemetry.sample_interval > 0) {
+      sampler_armed_ = true;
       queue_->after(config_.telemetry.sample_interval,
-                    [this] { sample_tick(); });
+                    SimEvent{SimEventKind::SampleTick});
     }
   }
+}
+
+Network::~Network() {
+  if (queue_->sink() == this) queue_->bind_sink(nullptr);
+}
+
+void Network::on_sim_event(const SimEvent& ev) {
+  switch (ev.kind) {
+    case SimEventKind::Pump:
+      pump(ev.a);
+      return;
+    case SimEventKind::FinishTx:
+      finish_tx(ev.a, ev.epoch);
+      return;
+    case SimEventKind::Arrive:
+      arrive(ev.a, Segment{ev.b, ev.c, ev.d, ev.e, ev.flag}, ev.epoch);
+      return;
+    case SimEventKind::CnpRate: {
+      auto& st = streams_[static_cast<std::size_t>(ev.a)];
+      if (!st.closed) st.cc.on_cnp(queue_->now());
+      return;
+    }
+    case SimEventKind::SampleTick:
+      sample_tick();
+      return;
+    case SimEventKind::None:
+      break;
+  }
+  throw std::logic_error("Network: unknown SimEvent kind");
 }
 
 void Network::sample_tick() {
   telem_->sample(queue_->now());
   // Only stay alive while the simulation itself has work left; the sampler
-  // must never be the event that keeps the queue from draining.
+  // must never be the event that keeps the queue from draining. send_chunk
+  // re-arms it when new work shows up after a lapse.
   if (queue_->pending() > 0) {
-    queue_->after(config_.telemetry.sample_interval, [this] { sample_tick(); });
+    queue_->after(config_.telemetry.sample_interval,
+                  SimEvent{SimEventKind::SampleTick});
+  } else {
+    sampler_armed_ = false;
   }
 }
 
@@ -46,14 +92,11 @@ StreamDiagnostic Network::stream_diagnostic(StreamId s) const {
     ++d.pending_chunks;
     d.bytes_pending_injection += st.pending[i].bytes - st.pending[i].injected;
   }
-  for (NodeId r : st.receiver_set) {
-    const auto prog = st.progress.find(r);
-    for (const auto& [chunk, want] : st.chunk_bytes) {
-      Bytes got = 0;
-      if (prog != st.progress.end()) {
-        const auto c = prog->second.find(chunk);
-        if (c != prog->second.end()) got = c->second;
-      }
+  for (const auto& prog : st.progress) {
+    for (std::size_t c = 0; c < st.chunk_want.size(); ++c) {
+      const Bytes want = st.chunk_want[c];
+      if (want <= 0) continue;
+      const Bytes got = c < prog.size() ? prog[c] : 0;
       if (got < want) ++d.incomplete_deliveries;
     }
   }
@@ -98,10 +141,49 @@ Bytes Network::max_queue_peak() const {
 
 StreamId Network::open_stream(StreamSpec spec) {
   const auto id = static_cast<StreamId>(streams_.size());
+  const std::size_t node_count = topo_->node_count();
   StreamState st;
-  st.receiver_set.insert(spec.receivers.begin(), spec.receivers.end());
   const double line = source_line_rate(spec);
   st.cc = Dcqcn(config_.dcqcn, line, spec.cnp_mode, config_.sender_guard_interval);
+
+  // Compile the forwarding map into CSR form: count out-degrees, prefix-sum
+  // into offsets, then drop each node's out-links (in spec order) into its
+  // slice. arrive() then replicates with two array reads and no hashing.
+  st.fwd_offset.assign(node_count + 1, 0);
+  std::size_t total_out = 0;
+  for (const auto& [node, outs] : spec.forward) {
+    if (node < 0 || static_cast<std::size_t>(node) >= node_count) {
+      throw std::invalid_argument("stream forward map names an unknown node");
+    }
+    st.fwd_offset[static_cast<std::size_t>(node) + 1] =
+        static_cast<std::int32_t>(outs.size());
+    total_out += outs.size();
+  }
+  for (std::size_t n = 0; n < node_count; ++n) {
+    st.fwd_offset[n + 1] += st.fwd_offset[n];
+  }
+  st.fwd_links.resize(total_out);
+  for (const auto& [node, outs] : spec.forward) {
+    std::copy(outs.begin(), outs.end(),
+              st.fwd_links.begin() +
+                  st.fwd_offset[static_cast<std::size_t>(node)]);
+  }
+
+  // Dense receiver index (deduplicated, first occurrence wins).
+  st.recv_index.assign(node_count, -1);
+  for (NodeId r : spec.receivers) {
+    if (r < 0 || static_cast<std::size_t>(r) >= node_count) {
+      throw std::invalid_argument("stream receiver list names an unknown node");
+    }
+    auto& slot = st.recv_index[static_cast<std::size_t>(r)];
+    if (slot < 0) {
+      slot = static_cast<std::int32_t>(st.recv_nodes.size());
+      st.recv_nodes.push_back(r);
+    }
+  }
+  st.progress.resize(st.recv_nodes.size());
+  st.last_cnp.assign(st.recv_nodes.size(), kMinCnp);
+
   st.spec = std::move(spec);
   streams_.push_back(std::move(st));
   if (telem_) {
@@ -115,11 +197,24 @@ void Network::send_chunk(StreamId stream, int chunk_index, Bytes bytes) {
   auto& st = streams_[static_cast<std::size_t>(stream)];
   if (st.closed) throw std::logic_error("send_chunk on closed stream");
   if (bytes <= 0) throw std::invalid_argument("chunk bytes must be positive");
-  st.chunk_bytes[chunk_index] = bytes;
+  if (chunk_index < 0) {
+    throw std::invalid_argument("chunk index must be non-negative");
+  }
+  const auto ci = static_cast<std::size_t>(chunk_index);
+  if (st.chunk_want.size() <= ci) st.chunk_want.resize(ci + 1, 0);
+  st.chunk_want[ci] = bytes;
   st.pending.push_back(PendingChunk{chunk_index, bytes, 0});
   if (!st.pump_scheduled) {
     st.pump_scheduled = true;
-    queue_->after(0, [this, stream] { pump(stream); });
+    queue_->after(0, SimEvent{SimEventKind::Pump, false, stream});
+  }
+  // A lapsed telemetry sampler (the event queue momentarily drained at a
+  // tick) restarts with the new work instead of staying dead for the rest
+  // of the run.
+  if (telem_ && config_.telemetry.sample_interval > 0 && !sampler_armed_) {
+    sampler_armed_ = true;
+    queue_->after(config_.telemetry.sample_interval,
+                  SimEvent{SimEventKind::SampleTick});
   }
 }
 
@@ -131,7 +226,7 @@ std::vector<int> Network::cancel_unsent_chunks(StreamId stream) {
   if (keep < st.pending.size() && st.pending[keep].injected > 0) ++keep;
   for (std::size_t i = keep; i < st.pending.size(); ++i) {
     cancelled.push_back(st.pending[i].chunk);
-    st.chunk_bytes.erase(st.pending[i].chunk);
+    st.chunk_want[static_cast<std::size_t>(st.pending[i].chunk)] = 0;
   }
   st.pending.resize(keep);
   return cancelled;
@@ -147,10 +242,13 @@ void Network::close_stream(StreamId stream) {
   st.closed = true;
   st.spec.forward.clear();
   st.spec.receivers.clear();
-  st.receiver_set.clear();
+  st.fwd_offset.clear();
+  st.fwd_links.clear();
+  st.recv_index.clear();
+  st.recv_nodes.clear();
   st.progress.clear();
   st.last_cnp.clear();
-  st.chunk_bytes.clear();
+  st.chunk_want.clear();
   st.pending.clear();
   st.pending_head = 0;
 }
@@ -204,16 +302,16 @@ void Network::pump(StreamId stream) {
   while (st.pending_head < st.pending.size()) {
     const SimTime now = queue_->now();
     // Backpressure: a paused source (its own egress buffers full, e.g. under
-    // PFC from downstream) stops injecting; maybe_resume() re-arms the pump.
+    // PFC from downstream) stops injecting; release_buffer re-arms the pump.
     if (nodes_[static_cast<std::size_t>(st.spec.source)].buffered >
         pause_threshold_) {
       st.pump_blocked = true;
-      blocked_pumps_[st.spec.source].push_back(stream);
+      blocked_pumps_[static_cast<std::size_t>(st.spec.source)].push_back(stream);
       return;
     }
     if (st.pace_next > now) {
       st.pump_scheduled = true;
-      queue_->at(st.pace_next, [this, stream] { pump(stream); });
+      queue_->at(st.pace_next, SimEvent{SimEventKind::Pump, false, stream});
       return;
     }
     const double rate = config_.congestion_control
@@ -225,8 +323,12 @@ void Network::pump(StreamId stream) {
     const Segment seg{stream, pc.chunk, static_cast<std::int32_t>(seg_bytes),
                       kInvalidLink, false};
     if (telem_) telem_->on_inject(stream, pc.chunk, seg_bytes);
-    const auto& outs = st.spec.forward.at(st.spec.source);
-    for (LinkId l : outs) enqueue_segment(l, seg);
+    const auto src = static_cast<std::size_t>(st.spec.source);
+    const std::int32_t out_begin = st.fwd_offset[src];
+    const std::int32_t out_end = st.fwd_offset[src + 1];
+    for (std::int32_t i = out_begin; i < out_end; ++i) {
+      enqueue_segment(st.fwd_links[static_cast<std::size_t>(i)], seg);
+    }
     pc.injected += seg_bytes;
     if (pc.injected == pc.bytes) {
       ++st.pending_head;
@@ -250,11 +352,14 @@ void Network::enqueue_segment(LinkId l, Segment seg) {
   auto& L = links_[static_cast<std::size_t>(l)];
   auto& N = nodes_[static_cast<std::size_t>(topo_->link(l).src)];
 
-  // RED/ECN marking against the pre-enqueue egress depth.
+  // RED/ECN marking against the pre-enqueue egress depth. The kmax > kmin
+  // guard keeps the step-ECN configuration (kmax == kmin: mark with pmax
+  // certainty at the threshold) out of the divide.
   if (!seg.marked && config_.congestion_control) {
     if (L.queued >= config_.ecn_kmax) {
       seg.marked = true;
-    } else if (L.queued > config_.ecn_kmin) {
+    } else if (L.queued > config_.ecn_kmin &&
+               config_.ecn_kmax > config_.ecn_kmin) {
       const double p = config_.ecn_pmax *
                        static_cast<double>(L.queued - config_.ecn_kmin) /
                        static_cast<double>(config_.ecn_kmax - config_.ecn_kmin);
@@ -275,7 +380,8 @@ void Network::enqueue_segment(LinkId l, Segment seg) {
     telem_->on_node_buffer(topo_->link(l).src, N.buffered);
   }
   if (seg.ingress != kInvalidLink) {
-    N.per_ingress[seg.ingress] += seg.bytes;
+    N.per_ingress[static_cast<std::size_t>(
+        in_slot_of_link_[static_cast<std::size_t>(seg.ingress)])] += seg.bytes;
     // PFC: when the shared buffer crosses the stop threshold, pause the
     // ingress port that keeps contributing.
     auto& ingress_link = links_[static_cast<std::size_t>(seg.ingress)];
@@ -303,8 +409,8 @@ void Network::try_start(LinkId l) {
   // Snapshot the fail epoch at serialization start: a failure at any point
   // before arrival (mid-serialization or mid-propagation) must lose the
   // segment, repair or no repair.
-  const std::uint32_t epoch = L.fail_epoch;
-  queue_->at(end, [this, l, epoch] { finish_tx(l, epoch); });
+  queue_->at(end, SimEvent{SimEventKind::FinishTx, false, l, 0, 0, 0, 0,
+                           L.fail_epoch});
 }
 
 void Network::finish_tx(LinkId l, std::uint32_t fail_epoch) {
@@ -319,6 +425,7 @@ void Network::finish_tx(LinkId l, std::uint32_t fail_epoch) {
   L.queued -= seg.bytes;
   L.serialized += seg.bytes;
   total_bytes_ += seg.bytes;
+  ++segments_serialized_;
   L.busy = false;
   if (telem_) {
     telem_->on_serialized(l, seg.stream, seg.bytes, L.queued, queue_->now());
@@ -327,7 +434,8 @@ void Network::finish_tx(LinkId l, std::uint32_t fail_epoch) {
   release_buffer(lk.src, seg.ingress, seg.bytes);
 
   queue_->at(queue_->now() + lk.propagation,
-             [this, l, seg, fail_epoch] { arrive(l, seg, fail_epoch); });
+             SimEvent{SimEventKind::Arrive, seg.marked, l, seg.stream,
+                      seg.chunk, seg.bytes, seg.ingress, fail_epoch});
   try_start(l);
 }
 
@@ -343,32 +451,33 @@ void Network::release_buffer(NodeId n, LinkId ingress, Bytes bytes) {
   auto& N = nodes_[static_cast<std::size_t>(n)];
   N.buffered -= bytes;
   if (ingress != kInvalidLink) {
-    const auto it = N.per_ingress.find(ingress);
-    if (it == N.per_ingress.end()) {
+    Bytes& held =
+        N.per_ingress[static_cast<std::size_t>(
+            in_slot_of_link_[static_cast<std::size_t>(ingress)])];
+    if (held <= 0) {
       throw std::logic_error("release_buffer: untracked ingress");
     }
-    it->second -= bytes;
-    if (it->second <= 0) {
+    held -= bytes;
+    if (held <= 0) {
       // This ingress no longer holds buffer here; resuming it regardless of
       // the total keeps independent directions from deadlocking each other.
-      N.per_ingress.erase(it);
+      held = 0;
       unpause(ingress);
     }
   }
-  const bool below_resume =
-      N.buffered <= pause_threshold_ - config_.pfc_hysteresis;
-  if (!below_resume) return;
+  if (N.buffered > resume_threshold_) return;
   for (LinkId in : topo_->in_links(n)) unpause(in);
   // Re-arm source pumps blocked on this node's buffer.
-  if (auto it = blocked_pumps_.find(n); it != blocked_pumps_.end()) {
-    std::vector<StreamId> waiting = std::move(it->second);
-    blocked_pumps_.erase(it);
+  auto& waiting_here = blocked_pumps_[static_cast<std::size_t>(n)];
+  if (!waiting_here.empty()) {
+    std::vector<StreamId> waiting = std::move(waiting_here);
+    waiting_here.clear();
     for (StreamId s : waiting) {
       auto& st = streams_[static_cast<std::size_t>(s)];
       st.pump_blocked = false;
       if (!st.pump_scheduled && !st.closed) {
         st.pump_scheduled = true;
-        queue_->after(0, [this, s] { pump(s); });
+        queue_->after(0, SimEvent{SimEventKind::Pump, false, s});
       }
     }
   }
@@ -388,17 +497,24 @@ void Network::arrive(LinkId l, Segment seg, std::uint32_t fail_epoch) {
   if (st.closed) return;
 
   seg.ingress = l;  // buffer occupancy downstream is charged to this port
-  if (auto it = st.spec.forward.find(n); it != st.spec.forward.end()) {
-    for (LinkId out : it->second) enqueue_segment(out, seg);
+  const auto ni = static_cast<std::size_t>(n);
+  const std::int32_t out_begin = st.fwd_offset[ni];
+  const std::int32_t out_end = st.fwd_offset[ni + 1];
+  for (std::int32_t i = out_begin; i < out_end; ++i) {
+    enqueue_segment(st.fwd_links[static_cast<std::size_t>(i)], seg);
   }
 
-  if (st.receiver_set.contains(n)) {
-    Bytes& got = st.progress[n][seg.chunk];
+  const std::int32_t ri = st.recv_index[ni];
+  if (ri >= 0) {
+    auto& prog = st.progress[static_cast<std::size_t>(ri)];
+    const auto ci = static_cast<std::size_t>(seg.chunk);
+    if (prog.size() <= ci) prog.resize(ci + 1, 0);
+    Bytes& got = prog[ci];
     got += seg.bytes;
     if (telem_) telem_->on_deliver(seg.stream, n, seg.chunk, seg.bytes);
-    if (seg.marked && config_.congestion_control) maybe_cnp(seg.stream, n);
-    const auto want = st.chunk_bytes.find(seg.chunk);
-    if (want != st.chunk_bytes.end() && got >= want->second) {
+    if (seg.marked && config_.congestion_control) maybe_cnp(seg.stream, ri, n);
+    const Bytes want = ci < st.chunk_want.size() ? st.chunk_want[ci] : 0;
+    if (want > 0 && got >= want) {
       if (on_delivery_) {
         on_delivery_(DeliveryEvent{seg.stream, st.spec.tag, n, seg.chunk});
       }
@@ -406,19 +522,17 @@ void Network::arrive(LinkId l, Segment seg, std::uint32_t fail_epoch) {
   }
 }
 
-void Network::maybe_cnp(StreamId s, NodeId receiver) {
+void Network::maybe_cnp(StreamId s, std::int32_t recv_idx, NodeId receiver) {
   auto& st = streams_[static_cast<std::size_t>(s)];
   const SimTime now = queue_->now();
   if (st.spec.cnp_mode == CnpMode::ReceiverTimer) {
-    auto [it, fresh] = st.last_cnp.try_emplace(receiver, kMinCnp);
-    if (!fresh && now - it->second < config_.receiver_cnp_interval) return;
-    it->second = now;
+    SimTime& last = st.last_cnp[static_cast<std::size_t>(recv_idx)];
+    // kMinCnp is far enough in the past that a fresh receiver always passes.
+    if (now - last < config_.receiver_cnp_interval) return;
+    last = now;
   }
   if (telem_) telem_->on_cnp(s, receiver, now);
-  queue_->after(config_.cnp_delay, [this, s] {
-    auto& stream = streams_[static_cast<std::size_t>(s)];
-    if (!stream.closed) stream.cc.on_cnp(queue_->now());
-  });
+  queue_->after(config_.cnp_delay, SimEvent{SimEventKind::CnpRate, false, s});
 }
 
 }  // namespace peel

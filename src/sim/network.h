@@ -11,12 +11,22 @@
 // Collectives drive the network by opening streams and feeding them chunks;
 // the network calls back on every completed (receiver, chunk) delivery so
 // schemes like Ring can pipeline (forward a chunk as soon as it landed).
+//
+// Hot-path layout: open_stream compiles the StreamSpec's forwarding map into
+// a CSR table (per-node offsets into one flat LinkId array) and the receiver
+// set into a dense node->index map, so the per-segment work in arrive() is
+// array indexing with no hashing. Steady-state events (pump, finish_tx,
+// arrive, CNP delivery, telemetry ticks) are scheduled as packed SimEvents
+// dispatched back through SimEventSink instead of heap-allocated
+// std::function closures; the Network binds itself as the queue's sink on
+// construction. Both changes are behavior-neutral: event sequence numbers,
+// firing order, and RNG draw order are exactly what the closure-based code
+// produced.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -63,9 +73,10 @@ struct StreamDiagnostic {
   std::size_t incomplete_deliveries = 0;    ///< (receiver, chunk) short of target
 };
 
-class Network {
+class Network final : public SimEventSink {
  public:
   Network(const Topology& topo, const SimConfig& config, EventQueue& queue);
+  ~Network() override;
 
   /// Invoked whenever a member receiver finishes a chunk.
   void set_delivery_handler(std::function<void(const DeliveryEvent&)> handler) {
@@ -75,13 +86,14 @@ class Network {
   StreamId open_stream(StreamSpec spec);
 
   /// Queues `bytes` of chunk `chunk_index` for paced injection at the source.
+  /// Chunk indices must be non-negative (they key dense per-receiver state).
   void send_chunk(StreamId stream, int chunk_index, Bytes bytes);
 
   /// Removes chunks whose injection has not begun; returns their indices
   /// (used by PEEL+programmable cores to migrate traffic mid-collective).
   std::vector<int> cancel_unsent_chunks(StreamId stream);
 
-  /// Frees a finished stream's bookkeeping (forwarding map, progress).
+  /// Frees a finished stream's bookkeeping (forwarding table, progress).
   void close_stream(StreamId stream);
 
   /// Reacts to a mid-run failure of the duplex pair containing `l` (mark the
@@ -98,6 +110,10 @@ class Network {
   /// link is live again by then. New traffic flows immediately.
   void on_duplex_restored(LinkId l);
 
+  /// Dispatches a packed data-plane event (EventQueue calls this; not for
+  /// external use).
+  void on_sim_event(const SimEvent& ev) override;
+
   /// Segments dropped by mid-run failures.
   [[nodiscard]] std::uint64_t segments_lost() const noexcept { return lost_segments_; }
   /// Duplex pairs repaired mid-run via on_duplex_restored.
@@ -105,6 +121,11 @@ class Network {
 
   // --- telemetry ----------------------------------------------------------
   [[nodiscard]] Bytes total_bytes_serialized() const noexcept { return total_bytes_; }
+  /// Segments that completed serialization on some link (each replication
+  /// hop counts once) — the natural unit for data-plane throughput.
+  [[nodiscard]] std::uint64_t segments_serialized() const noexcept {
+    return segments_serialized_;
+  }
   [[nodiscard]] Bytes link_bytes(LinkId l) const {
     return links_[static_cast<std::size_t>(l)].serialized;
   }
@@ -161,8 +182,9 @@ class Network {
     Bytes buffered = 0;
     /// Buffered bytes attributed to the ingress link that delivered them —
     /// PFC pauses per ingress port, which is what keeps bidirectional
-    /// traffic through a node from deadlocking.
-    std::unordered_map<LinkId, Bytes> per_ingress;
+    /// traffic through a node from deadlocking. Indexed by the link's
+    /// position in this node's in-link list (in_slot_of_link_).
+    std::vector<Bytes> per_ingress;
   };
 
   struct PendingChunk {
@@ -173,7 +195,6 @@ class Network {
 
   struct StreamState {
     StreamSpec spec;
-    std::unordered_set<NodeId> receiver_set;
     Dcqcn cc;
     std::vector<PendingChunk> pending;  // FIFO via pending_head
     std::size_t pending_head = 0;
@@ -181,11 +202,23 @@ class Network {
     bool pump_blocked = false;  // waiting for the source's buffer to drain
     bool closed = false;
     SimTime pace_next = 0;
-    std::unordered_map<int, Bytes> chunk_bytes;
-    /// receiver -> chunk -> bytes received so far.
-    std::unordered_map<NodeId, std::unordered_map<int, Bytes>> progress;
-    /// receiver -> last CNP emission (CnpMode::ReceiverTimer).
-    std::unordered_map<NodeId, SimTime> last_cnp;
+
+    // Compiled forwarding table (CSR over node ids): node n replicates onto
+    // fwd_links[fwd_offset[n] .. fwd_offset[n+1]), in the exact order the
+    // spec's forward map listed them.
+    std::vector<std::int32_t> fwd_offset;
+    std::vector<LinkId> fwd_links;
+
+    // Dense receiver-side state, keyed by compact receiver index.
+    std::vector<std::int32_t> recv_index;  ///< node -> compact index, or -1
+    std::vector<NodeId> recv_nodes;        ///< compact index -> node
+    /// chunk -> bytes the collective queued for it; 0 = no such chunk
+    /// (send_chunk enforces positive sizes, so 0 is unambiguous).
+    std::vector<Bytes> chunk_want;
+    /// [receiver index][chunk] -> bytes received so far (grown on demand).
+    std::vector<std::vector<Bytes>> progress;
+    /// [receiver index] -> last CNP emission (CnpMode::ReceiverTimer).
+    std::vector<SimTime> last_cnp;
   };
 
   void pump(StreamId s);
@@ -197,10 +230,11 @@ class Network {
   /// lifts PFC pauses and re-arms blocked source pumps as thresholds allow.
   void release_buffer(NodeId n, LinkId ingress, Bytes bytes);
   void unpause(LinkId l);
-  void maybe_cnp(StreamId s, NodeId receiver);
+  void maybe_cnp(StreamId s, std::int32_t recv_idx, NodeId receiver);
   /// Telemetry time-series sampler: records one sample, then reschedules
   /// itself only while other events remain, so it never keeps an otherwise
-  /// drained simulation alive.
+  /// drained simulation alive. send_chunk re-arms a lapsed sampler, so quiet
+  /// gaps between collective phases don't kill the time series for good.
   void sample_tick();
   [[nodiscard]] double source_line_rate(const StreamSpec& spec) const;
 
@@ -212,18 +246,26 @@ class Network {
   std::vector<LinkState> links_;
   std::vector<NodeState> nodes_;
   std::vector<StreamState> streams_;
+  /// link -> its slot within its destination node's in-link list; valid for
+  /// every link because each directed link has exactly one destination.
+  std::vector<std::int32_t> in_slot_of_link_;
   /// Streams whose pacing is blocked on a full source buffer, per node.
-  std::unordered_map<NodeId, std::vector<StreamId>> blocked_pumps_;
+  std::vector<std::vector<StreamId>> blocked_pumps_;
 
   std::function<void(const DeliveryEvent&)> on_delivery_;
   std::unique_ptr<Telemetry> telem_;
 
   Bytes total_bytes_ = 0;
+  std::uint64_t segments_serialized_ = 0;
   std::uint64_t marked_segments_ = 0;
   std::uint64_t pfc_pauses_ = 0;
   std::uint64_t lost_segments_ = 0;
   std::uint64_t duplex_repairs_ = 0;
   Bytes pause_threshold_ = 0;
+  /// PFC resume level: pause threshold minus hysteresis, clamped at zero so
+  /// an over-sized hysteresis can never make resumption unreachable.
+  Bytes resume_threshold_ = 0;
+  bool sampler_armed_ = false;
 
   static constexpr SimTime kMinCnp = -(1LL << 62);
 };

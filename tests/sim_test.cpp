@@ -118,6 +118,58 @@ TEST(EventQueue, EventsCanSchedule) {
   EXPECT_EQ(q.now(), 6);
 }
 
+TEST(EventQueue, SimEventsInterleaveWithActionsInSchedulingOrder) {
+  // The tagged fast path and boxed Actions share one heap and one sequence
+  // counter, so equal-time events of either flavor fire in scheduling order.
+  struct Recorder final : SimEventSink {
+    std::vector<int>* order;
+    void on_sim_event(const SimEvent& ev) override { order->push_back(ev.a); }
+  };
+  EventQueue q;
+  std::vector<int> order;
+  Recorder sink;
+  sink.order = &order;
+  q.bind_sink(&sink);
+  q.at(10, SimEvent{SimEventKind::Pump, false, 1});
+  q.at(10, [&] { order.push_back(2); });
+  q.at(10, SimEvent{SimEventKind::Arrive, false, 3});
+  q.at(5, [&] { order.push_back(0); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(q.processed(), 4u);
+}
+
+TEST(EventQueue, SimEventWithoutSinkThrows) {
+  EventQueue q;
+  q.at(1, SimEvent{SimEventKind::Pump, false, 0});
+  EXPECT_THROW(q.run(), std::logic_error);
+}
+
+TEST(SimConfig, ValidateAcceptsDefaultsAndStepEcn) {
+  SimConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+  // kmax == kmin is the legal "step ECN" band: certainty marking at the
+  // threshold, nothing below it.
+  cfg.ecn_kmin = cfg.ecn_kmax = 64 * kKiB;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(SimConfig, ValidateRejectsBadConfigs) {
+  const auto rejects = [](auto&& mutate) {
+    SimConfig cfg;
+    mutate(cfg);
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  };
+  rejects([](SimConfig& c) { c.segment_bytes = 0; });
+  rejects([](SimConfig& c) { c.switch_buffer_bytes = -1; });
+  rejects([](SimConfig& c) { c.ecn_kmax = c.ecn_kmin - 1; });
+  rejects([](SimConfig& c) { c.ecn_kmin = -5; });
+  rejects([](SimConfig& c) { c.ecn_pmax = 1.5; });
+  rejects([](SimConfig& c) { c.pfc_hysteresis = -1; });
+  rejects([](SimConfig& c) { c.pfc_pause_free_fraction = -0.1; });
+  rejects([](SimConfig& c) { c.telemetry.sample_interval = -1; });
+}
+
 // --- Fixtures ---------------------------------------------------------------
 
 struct ChainFixture {
@@ -401,6 +453,69 @@ TEST(Network, ReceiverTimerSuppressesCnps) {
   const auto unthrottled = cnps_with(CnpMode::Unthrottled);
   EXPECT_GT(unthrottled, 0u);
   EXPECT_LT(timered, unthrottled);
+}
+
+TEST(Network, ConstructorRejectsInvalidConfig) {
+  // A bad config must fail loudly at setup, not misbehave mid-run.
+  ChainFixture f;
+  EventQueue q;
+  SimConfig cfg;
+  cfg.ecn_kmax = cfg.ecn_kmin - 1;  // inverted ECN band
+  EXPECT_THROW(Network(f.topo, cfg, q), std::invalid_argument);
+  SimConfig cfg2;
+  cfg2.segment_bytes = 0;
+  EXPECT_THROW(Network(f.topo, cfg2, q), std::invalid_argument);
+}
+
+TEST(Network, StepEcnMarksEverySegmentAtThreshold) {
+  // kmin == kmax == 0: the degenerate step band marks every segment with
+  // certainty and must never reach the RED interpolation's divide.
+  ChainFixture f;
+  EventQueue q;
+  SimConfig cfg;
+  cfg.ecn_kmin = 0;
+  cfg.ecn_kmax = 0;
+  Network net(f.topo, cfg, q);
+  bool delivered = false;
+  net.set_delivery_handler([&](const DeliveryEvent&) { delivered = true; });
+  const StreamId s = net.open_stream(f.spec());
+  net.send_chunk(s, 0, 256 * kKiB);
+  q.run();
+  EXPECT_TRUE(delivered);
+  // Four 64 KiB segments, each marked once at its first enqueue.
+  EXPECT_EQ(net.segments_marked(), 4u);
+}
+
+TEST(Network, PfcResumesWhenHysteresisExceedsPauseThreshold) {
+  // Regression: with pfc_hysteresis larger than the pause threshold the
+  // resume level went negative, so a source pump blocked on a full buffer
+  // was never re-armed and the transfer silently stalled. The resume level
+  // is clamped at zero: fully drained always resumes.
+  BottleneckFixture f;
+  EventQueue q;
+  SimConfig cfg;
+  cfg.congestion_control = false;
+  cfg.switch_buffer_bytes = 256 * kKiB;  // pause threshold ~228 KiB
+  cfg.pfc_hysteresis = 1 * kMiB;         // larger than the pause threshold
+  Network net(f.topo, cfg, q);
+  bool delivered = false;
+  net.set_delivery_handler([&](const DeliveryEvent& ev) {
+    if (ev.chunk == 0) delivered = true;
+  });
+  const StreamId s = net.open_stream(f.spec(CnpMode::ReceiverTimer));
+  net.send_chunk(s, 0, 8 * kMiB);
+  q.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_GT(net.pfc_pauses(), 0u);
+  EXPECT_EQ(net.stream_diagnostic(s).incomplete_deliveries, 0u);
+}
+
+TEST(Network, RejectsNegativeChunkIndex) {
+  ChainFixture f;
+  EventQueue q;
+  Network net(f.topo, SimConfig{}, q);
+  const StreamId s = net.open_stream(f.spec());
+  EXPECT_THROW(net.send_chunk(s, -1, 64), std::invalid_argument);
 }
 
 TEST(Network, ChunksDeliverInOrder) {

@@ -162,6 +162,28 @@ TEST(Telemetry, SamplerRecordsSeriesAndStopsAtDrain) {
   EXPECT_GT(max_total, 0);  // 100G fan-out of 4 MiB must queue somewhere
 }
 
+TEST(Telemetry, SamplerReArmsAfterQueueDrains) {
+  // Regression: the sampler used to die permanently the first time it ticked
+  // with an empty event queue. A second burst of work after a quiet gap must
+  // grow the time series again.
+  ChainFixture f;
+  EventQueue q;
+  SimConfig cfg = telemetry_config();
+  cfg.telemetry.sample_interval = 10 * kMicrosecond;
+  Network net(f.topo, cfg, q);
+  const StreamId s = net.open_stream(f.spec());
+  net.send_chunk(s, 0, 1 * kMiB);
+  q.run();  // drains completely: the sampler lapses here
+  const std::size_t first_phase =
+      net.telemetry()->summary(q.now()).samples.size();
+  ASSERT_GE(first_phase, 1u);
+
+  net.send_chunk(s, 1, 1 * kMiB);
+  q.run();
+  const TelemetrySummary sum = net.telemetry()->summary(q.now());
+  EXPECT_GT(sum.samples.size(), first_phase);
+}
+
 TEST(Telemetry, MulticastAuditPasses) {
   StarFixture f(3);
   EventQueue q;
