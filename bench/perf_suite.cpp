@@ -2,10 +2,15 @@
 //
 // Default mode runs a fixed grid of scenario cells — Broadcast / AllGather /
 // AllReduce on 8-ary and 16-ary fat-trees, with and without flapping links —
-// and writes BENCH_sim.json (events/sec, segments/sec, wall time, peak RSS
-// per cell) so successive PRs can compare data-plane throughput on the same
-// workload. The reference cell for speedup tracking is the k=16 Broadcast
-// without faults.
+// plus a component microbench section (raw scheduler throughput at three
+// queue-depth regimes, control-plane tree-builds/sec, memoized lookups/sec)
+// and writes BENCH_sim.json (events/sec, segments/sec, wall time, peak RSS,
+// plan-cache hit rate per cell, microbench columns) so successive PRs can
+// compare data-plane throughput on the same workload. The reference cell for
+// speedup tracking is the k=16 Broadcast without faults.
+//
+// `perf_suite --microbench` runs only the component microbenches (fast, no
+// JSON) — the quick perf leg of scripts/check.sh.
 //
 // `perf_suite --check <repo_root>` is the determinism gate (wired into
 // ctest): it recomputes a slice of two committed reference CSVs with the
@@ -16,7 +21,7 @@
 // (PEEL_BENCH_*) are deliberately ignored here; the check must reproduce
 // what the full benches wrote, not what the current shell says.
 //
-// Environment (default mode only):
+// Environment (default and --microbench modes only):
 //   PEEL_BENCH_QUICK=1            smaller sample counts for CI smoke runs
 //   PEEL_BENCH_SAMPLES=<n>        override the per-cell collective count
 //   PEEL_PERF_BASELINE_EPS=<x>    events/sec of the reference cell measured
@@ -32,9 +37,12 @@
 #include <string>
 #include <vector>
 
+#include "src/collectives/plan_cache.h"
 #include "src/harness/bench_env.h"
 #include "src/harness/experiment.h"
 #include "src/harness/table.h"
+#include "src/prefix/plan.h"
+#include "src/sim/event_queue.h"
 #include "src/topology/fat_tree.h"
 #include "src/topology/leaf_spine.h"
 
@@ -82,6 +90,118 @@ ScenarioConfig perf_cell_config(CollectiveKind kind, bool faults, int samples) {
   return c;
 }
 
+// ---------------------------------------------------------------------------
+// Component microbenches: scheduler and control-plane construction in
+// isolation, free of data-plane logic — the columns that say WHERE a grid
+// regression lives.
+// ---------------------------------------------------------------------------
+
+/// Self-sustaining event churn: every fired event reschedules itself a
+/// pseudo-random delta ahead, so the queue holds a constant population while
+/// the clock advances — the pop-one-push-one steady state of a simulation.
+struct ChurnSink final : SimEventSink {
+  EventQueue* queue = nullptr;
+  std::uint64_t lcg = 0x2545F4914F6CDD1DULL;
+  std::uint64_t remaining = 0;
+
+  /// Mostly ladder-scale deltas (1 ns – ~8 µs, the serialization/propagation
+  /// range) with every 256th event thrown ~1 ms out, so rungs, the active
+  /// heap, overflow, and rebase all stay on the measured path.
+  SimTime next_delta() noexcept {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    const std::uint64_t draw = lcg >> 33;
+    if ((draw & 0xff) == 0) return kMillisecond;
+    return 1 + static_cast<SimTime>(draw % 8192);
+  }
+
+  void on_sim_event(const SimEvent& ev) override {
+    if (remaining == 0) return;
+    --remaining;
+    queue->after(next_delta(), ev);
+  }
+};
+
+/// Steady-state scheduler throughput at a fixed queue depth.
+[[nodiscard]] double scheduler_events_per_sec(std::size_t depth,
+                                              std::uint64_t ops) {
+  EventQueue queue;
+  ChurnSink sink;
+  sink.queue = &queue;
+  sink.remaining = ops;
+  queue.bind_sink(&sink);
+  SimEvent ev;
+  ev.kind = SimEventKind::Pump;
+  for (std::size_t i = 0; i < depth; ++i) queue.after(sink.next_delta(), ev);
+
+  const auto start = std::chrono::steady_clock::now();
+  while (queue.processed() < ops && queue.step()) {
+  }
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - start;
+  return static_cast<double>(queue.processed()) / wall.count();
+}
+
+struct MicrobenchResults {
+  // events/sec at shallow / typical / deep queue populations.
+  std::vector<std::pair<std::size_t, double>> scheduler;
+  double tree_builds_per_sec = 0.0;    ///< raw build_peel_plan, k=16, 64 GPUs
+  double cached_lookups_per_sec = 0.0; ///< same key through TreePlanCache
+};
+
+[[nodiscard]] MicrobenchResults run_microbench() {
+  MicrobenchResults r;
+  const bool quick = bench::quick_mode();
+  const std::uint64_t sched_ops = quick ? 200'000 : 2'000'000;
+  for (std::size_t depth : {std::size_t{1} << 10, std::size_t{1} << 15,
+                            std::size_t{1} << 18}) {
+    r.scheduler.emplace_back(depth, scheduler_events_per_sec(depth, sched_ops));
+  }
+
+  const FatTree ft = build_fat_tree(FatTreeConfig{16, 8, 8});
+  const std::vector<NodeId>& gpus = ft.endpoints();
+  const NodeId source = gpus.front();
+  const std::vector<NodeId> dests(gpus.begin() + 1, gpus.begin() + 64);
+
+  const int builds = quick ? 300 : 3000;
+  std::size_t sink_packets = 0;  // defeat dead-code elimination
+  const auto build_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < builds; ++i) {
+    sink_packets += build_peel_plan(ft, source, dests).packets.size();
+  }
+  const std::chrono::duration<double> build_wall =
+      std::chrono::steady_clock::now() - build_start;
+  r.tree_builds_per_sec = builds / build_wall.count();
+
+  TreePlanCache cache;
+  const int lookups = builds * 100;
+  const auto hit_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < lookups; ++i) {
+    const auto plan = cache.get_or_build<PeelPlan>(
+        0, PlanKind::PeelPlan, source, dests, PeelCoverOptions{},
+        [&] { return build_peel_plan(ft, source, dests); });
+    sink_packets += plan->packets.size();
+  }
+  const std::chrono::duration<double> hit_wall =
+      std::chrono::steady_clock::now() - hit_start;
+  r.cached_lookups_per_sec = lookups / hit_wall.count();
+
+  if (sink_packets == 0) std::fprintf(stderr, "microbench: empty plans?\n");
+  return r;
+}
+
+void print_microbench(const MicrobenchResults& r) {
+  Table table({"microbench", "depth / key", "ops/s"});
+  for (const auto& [depth, eps] : r.scheduler) {
+    table.add_row({"scheduler steady-state", cell("%zu events", depth),
+                   cell("%.0f", eps)});
+  }
+  table.add_row({"peel plan build", "k=16, 64 GPUs",
+                 cell("%.0f", r.tree_builds_per_sec)});
+  table.add_row({"plan cache hit", "same key",
+                 cell("%.0f", r.cached_lookups_per_sec)});
+  table.print(std::cout);
+}
+
 int run_perf_grid() {
   bench::banner("Simulator performance suite",
                 "data-plane throughput trajectory (BENCH_sim.json)");
@@ -119,7 +239,7 @@ int run_perf_grid() {
   }
 
   Table table({"collective", "fat-tree k", "faults", "wall (s)", "events/s",
-               "segments/s", "peak RSS (MiB)"});
+               "segments/s", "plan hit %", "peak RSS (MiB)"});
   double reference_eps = 0.0;
   for (const PerfCellResult& c : cells) {
     const double eps =
@@ -133,9 +253,14 @@ int run_perf_grid() {
     table.add_row({to_string(c.kind), cell("%d", c.fat_tree_k),
                    c.faults ? "on" : "off", cell("%.2f", c.wall_seconds),
                    cell("%.0f", eps), cell("%.0f", sps),
+                   cell("%.1f", c.result.plan_cache.hit_rate() * 100.0),
                    cell("%.1f", static_cast<double>(c.rss_kib) / 1024.0)});
   }
   table.print(std::cout);
+
+  std::printf("\ncomponent microbenches\n");
+  const MicrobenchResults micro = run_microbench();
+  print_microbench(micro);
 
   double baseline_eps = 0.0;
   if (const char* v = std::getenv("PEEL_PERF_BASELINE_EPS")) {
@@ -148,7 +273,7 @@ int run_perf_grid() {
     return 1;
   }
   std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"schema\": \"peel.perf_suite.v1\",\n");
+  std::fprintf(out, "  \"schema\": \"peel.perf_suite.v2\",\n");
   std::fprintf(out, "  \"quick\": %s,\n", json_bool(bench::quick_mode()));
   std::fprintf(out, "  \"scheme\": \"Peel\",\n");
   std::fprintf(out, "  \"group_size\": 64,\n");
@@ -159,20 +284,41 @@ int run_perf_grid() {
     const PerfCellResult& c = cells[i];
     const double eps = static_cast<double>(c.result.events) / c.wall_seconds;
     const double sps = static_cast<double>(c.result.segments) / c.wall_seconds;
+    const PlanCacheStats& pc = c.result.plan_cache;
     std::fprintf(
         out,
         "    {\"collective\": \"%s\", \"fat_tree_k\": %d, \"faults\": %s,\n"
         "     \"wall_seconds\": %.3f, \"sim_seconds\": %.6f,\n"
         "     \"events\": %llu, \"events_per_sec\": %.0f,\n"
         "     \"segments\": %llu, \"segments_per_sec\": %.0f,\n"
+        "     \"plan_cache_hits\": %llu, \"plan_cache_misses\": %llu,\n"
+        "     \"plan_cache_hit_rate\": %.4f, "
+        "\"plan_cache_invalidations\": %llu,\n"
         "     \"unfinished\": %zu, \"peak_rss_kib\": %ld}%s\n",
         to_string(c.kind), c.fat_tree_k, json_bool(c.faults), c.wall_seconds,
         c.result.sim_seconds,
         static_cast<unsigned long long>(c.result.events), eps,
         static_cast<unsigned long long>(c.result.segments), sps,
+        static_cast<unsigned long long>(pc.hits),
+        static_cast<unsigned long long>(pc.misses), pc.hit_rate(),
+        static_cast<unsigned long long>(pc.invalidations),
         c.result.unfinished, c.rss_kib, i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"microbench\": {\n");
+  std::fprintf(out, "    \"scheduler\": [\n");
+  for (std::size_t i = 0; i < micro.scheduler.size(); ++i) {
+    std::fprintf(out,
+                 "      {\"queue_depth\": %zu, \"events_per_sec\": %.0f}%s\n",
+                 micro.scheduler[i].first, micro.scheduler[i].second,
+                 i + 1 < micro.scheduler.size() ? "," : "");
+  }
+  std::fprintf(out, "    ],\n");
+  std::fprintf(out, "    \"tree_builds_per_sec\": %.0f,\n",
+               micro.tree_builds_per_sec);
+  std::fprintf(out, "    \"cached_lookups_per_sec\": %.0f\n",
+               micro.cached_lookups_per_sec);
+  std::fprintf(out, "  },\n");
   std::fprintf(out,
                "  \"reference_cell\": {\"collective\": \"Broadcast\", "
                "\"fat_tree_k\": 16, \"faults\": false},\n");
@@ -329,6 +475,12 @@ int main(int argc, char** argv) {
       return 2;
     }
     return run_check(argv[2]);
+  }
+  if (argc >= 2 && std::string(argv[1]) == "--microbench") {
+    bench::banner("Scheduler + control-plane microbench",
+                  "component throughput, no scenario grid");
+    print_microbench(run_microbench());
+    return 0;
   }
   return run_perf_grid();
 }

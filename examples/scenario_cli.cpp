@@ -34,6 +34,9 @@
 //     --detect-us=US        fault detection delay before each recovery pass
 //                           (default 100 µs)
 //     --no-recover          inject faults but never run recovery passes
+//     --stripes=N           stripe chunks across N near-optimal trees per
+//                           collective (Optimal and symmetric PEEL; default 1)
+//     --no-plan-cache       disable the control-plane TreePlanCache (A/B)
 //   e.g. scenario_cli peel broadcast 256 64 30 20 4 --audit --trace=run.json
 //   e.g. scenario_cli ring broadcast 64 8 30 10 --audit --watchdog \
 //            --flap-mtbf=2000 --flap-mttr=500 --flap-links=2
@@ -85,6 +88,8 @@ struct Flags {
   double flap_horizon_us = 0.0;
   double detect_us = 100.0;
   int flap_links = 1;
+  int stripes = 1;
+  bool no_plan_cache = false;
 };
 
 bool flag_value(const char* arg, const char* name, const char** value) {
@@ -132,6 +137,10 @@ std::vector<const char*> parse_flags(int argc, char** argv, Flags& flags) {
       flags.detect_us = std::atof(value);
     } else if (!std::strcmp(arg, "--no-recover")) {
       flags.no_recover = true;
+    } else if (flag_value(arg, "--stripes", &value)) {
+      flags.stripes = std::atoi(value);
+    } else if (!std::strcmp(arg, "--no-plan-cache")) {
+      flags.no_plan_cache = true;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg);
       std::exit(1);
@@ -202,6 +211,8 @@ int main(int argc, char** argv) {
   }
   sc.faults.detection_delay_seconds = flags.detect_us * 1e-6;
   sc.faults.auto_recover = !flags.no_recover;
+  if (flags.stripes > 1) sc.runner.stripe_trees = flags.stripes;
+  sc.runner.plan_cache = !flags.no_plan_cache;
 
   const FatTree ft = build_fat_tree(FatTreeConfig{8, 4, 8});
   const Fabric fabric = Fabric::of(ft);
@@ -217,10 +228,18 @@ int main(int argc, char** argv) {
 
   // Merge the replicas: pool CCT samples, sum counters.
   Samples cct;
+  {
+    std::size_t pooled = 0;
+    for (const SweepCell& c : results.cells()) {
+      pooled += c.result.cct_seconds.count();
+    }
+    cct.reserve(pooled);
+  }
   Bytes fabric_bytes = 0, core_bytes = 0;
   std::uint64_t ecn = 0, pfc = 0, events = 0;
   std::size_t unfinished = 0;
   std::size_t downs = 0, ups = 0, recovered = 0;
+  PlanCacheStats plan;
   for (const SweepCell& c : results.cells()) {
     for (double v : c.result.cct_seconds.values()) cct.add(v);
     fabric_bytes += c.result.fabric_bytes;
@@ -232,6 +251,10 @@ int main(int argc, char** argv) {
     downs += c.result.fault_downs;
     ups += c.result.fault_ups;
     recovered += c.result.recovered_deliveries;
+    plan.hits += c.result.plan_cache.hits;
+    plan.misses += c.result.plan_cache.misses;
+    plan.insertions += c.result.plan_cache.insertions;
+    plan.invalidations += c.result.plan_cache.invalidations;
   }
 
   std::printf("\n  mean CCT    %s\n", format_seconds(cct.mean()).c_str());
@@ -246,6 +269,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(ecn),
               static_cast<unsigned long long>(pfc),
               static_cast<unsigned long long>(events));
+  if (plan.hits + plan.misses > 0) {
+    std::printf("  plan cache  %llu hits / %llu misses (%.1f%% hit rate), "
+                "%llu epoch invalidation(s)\n",
+                static_cast<unsigned long long>(plan.hits),
+                static_cast<unsigned long long>(plan.misses),
+                plan.hit_rate() * 100.0,
+                static_cast<unsigned long long>(plan.invalidations));
+  }
   if (sc.faults.any()) {
     std::printf("  faults      %zu pair-down, %zu pair-up, %zu recovered "
                 "deliveries\n",

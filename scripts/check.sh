@@ -11,8 +11,11 @@
 # mutating private topology copies).
 #
 # Set PEEL_CHECK_PERF=1 to additionally run the perf smoke leg: a Release
-# build of the simulator performance suite (scripts/perf.sh) in quick mode.
-# It gates on determinism (perf_suite --check), not on speed.
+# build of the simulator performance suite (scripts/perf.sh) in quick mode,
+# the standalone scheduler/control-plane microbench, and a report-only diff
+# of the fresh BENCH_sim.json columns against the committed copy
+# (scripts/perf_diff.sh). It gates on determinism (perf_suite --check),
+# not on speed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,6 +47,10 @@ fi
 if [[ "${PEEL_CHECK_PERF:-0}" != "0" ]]; then
   echo "== perf smoke (Release perf_suite, quick mode) =="
   PEEL_BENCH_QUICK=1 scripts/perf.sh "${JOBS}"
+  echo "== scheduler + control-plane microbench (quick) =="
+  PEEL_BENCH_QUICK=1 ./build-perf/bench/perf_suite --microbench
+  echo "== perf diff vs committed BENCH_sim.json (report-only) =="
+  scripts/perf_diff.sh
 fi
 
 echo "== all checks passed =="

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Report-only perf comparison: diff a fresh BENCH_sim.json against the
+# committed copy, column by column — per-cell events/sec, plan-cache hit
+# rate, and the microbench columns (scheduler events/sec per queue depth,
+# tree builds/sec, cached lookups/sec).
+#
+# Usage: scripts/perf_diff.sh [fresh_json]
+#   fresh_json   default: BENCH_sim.json in the repo root (as written by
+#                scripts/perf.sh); compared against `git show HEAD`'s copy.
+#
+# ALWAYS exits 0. Wall-clock throughput is machine-dependent; this script
+# exists so a perf-smoke log shows drift at a glance, not to gate a build
+# (the gate is perf_suite --check, which is byte-exact and machine-free).
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+FRESH="${1:-BENCH_sim.json}"
+
+if [[ ! -f "${FRESH}" ]]; then
+  echo "perf_diff: ${FRESH} not found (run scripts/perf.sh first) -- skipping"
+  exit 0
+fi
+if ! git show HEAD:BENCH_sim.json >/dev/null 2>&1; then
+  echo "perf_diff: no committed BENCH_sim.json at HEAD -- nothing to diff"
+  exit 0
+fi
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "perf_diff: python3 unavailable -- skipping"
+  exit 0
+fi
+
+# The heredoc is python's stdin (the script itself), so the committed copy
+# has to travel as a file, not a pipe.
+COMMITTED="$(mktemp)"
+trap 'rm -f "${COMMITTED}"' EXIT
+git show HEAD:BENCH_sim.json > "${COMMITTED}"
+
+python3 - "${COMMITTED}" "${FRESH}" <<'PY' || true
+import json, sys
+
+with open(sys.argv[1]) as f:
+    committed = json.load(f)
+with open(sys.argv[2]) as f:
+    fresh = json.load(f)
+
+def pct(old, new):
+    if not old:
+        return "   n/a"
+    return f"{(new - old) / old * 100.0:+6.1f}%"
+
+def row(label, old, new):
+    print(f"  {label:<44} {old:>12.0f} {new:>12.0f} {pct(old, new)}")
+
+print(f"perf diff: committed ({committed.get('schema', '?')}, "
+      f"quick={committed.get('quick')}) vs fresh ({fresh.get('schema', '?')}, "
+      f"quick={fresh.get('quick')})")
+if committed.get("quick") != fresh.get("quick"):
+    print("  NOTE: quick-mode mismatch -- per-cell numbers are not comparable")
+print(f"  {'column':<44} {'committed':>12} {'fresh':>12} {'delta':>7}")
+
+def cells_by_key(doc):
+    return {(c["collective"], c["fat_tree_k"], c["faults"]): c
+            for c in doc.get("cells", [])}
+
+old_cells, new_cells = cells_by_key(committed), cells_by_key(fresh)
+for key in old_cells:
+    if key not in new_cells:
+        continue
+    o, n = old_cells[key], new_cells[key]
+    label = f"{key[0]} k={key[1]} faults={'on' if key[2] else 'off'} ev/s"
+    row(label, o.get("events_per_sec", 0), n.get("events_per_sec", 0))
+    ohr, nhr = o.get("plan_cache_hit_rate"), n.get("plan_cache_hit_rate")
+    if ohr is not None and nhr is not None and ohr != nhr:
+        print(f"  {'  plan-cache hit rate':<44} {ohr:>12.4f} {nhr:>12.4f}")
+
+om, nm = committed.get("microbench", {}), fresh.get("microbench", {})
+osched = {s["queue_depth"]: s["events_per_sec"] for s in om.get("scheduler", [])}
+nsched = {s["queue_depth"]: s["events_per_sec"] for s in nm.get("scheduler", [])}
+for depth in sorted(osched):
+    if depth in nsched:
+        row(f"scheduler ev/s @ depth {depth}", osched[depth], nsched[depth])
+for col in ("tree_builds_per_sec", "cached_lookups_per_sec"):
+    if col in om and col in nm:
+        row(col, om[col], nm[col])
+
+oref = committed.get("reference_events_per_sec", 0)
+nref = fresh.get("reference_events_per_sec", 0)
+row("reference cell ev/s", oref, nref)
+PY
+
+exit 0

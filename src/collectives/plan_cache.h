@@ -1,0 +1,136 @@
+// TreePlanCache: control-plane memoization for multicast tree / prefix-plan
+// construction.
+//
+// The simulator's control plane rebuilds byte-identical artifacts constantly:
+// every stripe of a collective derives the same PeelPlan, every repeated
+// placement window re-peels the same Steiner trees, and every recovery pass
+// re-plans origin groups. This cache sits in front of the deterministic
+// builders (build_peel_plan, peel_asymmetric_trees, layer_peel_tree) and
+// returns the previously computed artifact when every input matches.
+//
+// Transparency contract: a hit must be indistinguishable from a rebuild. The
+// key therefore contains EVERY input the builder depends on — kind, source,
+// the full destination vector (exact equality, not just a hash), and the
+// cover policy — plus the fabric epoch: lookups pass the owning Router's
+// generation(), and any change flushes the cache wholesale. Router::
+// invalidate() is called at exactly the points where topology state changes
+// (the documented caller protocol), so a recovery pass after a fault can
+// never reuse a tree planned over dead links.
+//
+// Hit/miss/insertion/invalidation counters feed ScenarioResult, scenario_cli
+// and the perf_suite microbench columns in BENCH_sim.json.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/prefix/plan.h"
+#include "src/topology/topology.h"
+
+namespace peel {
+
+/// Which builder produced a cached artifact (part of the key: two builders
+/// given the same group must never alias each other's results).
+enum class PlanKind : std::uint8_t {
+  PeelPlan,        ///< build_peel_plan (symmetric prefix cover)
+  PeelAsymmetric,  ///< peel_asymmetric_trees (failure-shaped greedy trees)
+  RecoveryTree,    ///< layer_peel_tree for a recovery origin group
+};
+
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;    ///< misses whose artifact was stored
+  std::uint64_t invalidations = 0; ///< epoch-change flushes
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+class TreePlanCache {
+ public:
+  /// `capacity` bounds the entry count; reaching it flushes the cache (the
+  /// artifacts are cheap to rebuild, so eviction policy is not worth state).
+  explicit TreePlanCache(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  /// Looks up the artifact for (kind, source, dests, cover) at fabric epoch
+  /// `generation`, invoking `build` on a miss. `build` must be a pure
+  /// function of those inputs and the (epoch-stable) fabric. T must match
+  /// `kind` at every call site — the kind IS the type tag.
+  template <typename T, typename Build>
+  std::shared_ptr<const T> get_or_build(std::uint64_t generation,
+                                        PlanKind kind, NodeId source,
+                                        const std::vector<NodeId>& dests,
+                                        const PeelCoverOptions& cover,
+                                        Build&& build) {
+    sync_generation(generation);
+    Key key{kind, source, cover.max_tor_prefixes_per_pod, cover.max_pod_blocks,
+            dests};
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      return std::static_pointer_cast<const T>(it->second);
+    }
+    ++stats_.misses;
+    auto value = std::make_shared<const T>(build());
+    if (entries_.size() >= capacity_) entries_.clear();
+    entries_.emplace(std::move(key), value);
+    ++stats_.insertions;
+    return value;
+  }
+
+  [[nodiscard]] const PlanCacheStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
+
+ private:
+  struct Key {
+    PlanKind kind;
+    NodeId source;
+    int cover_tor;
+    int cover_pod;
+    std::vector<NodeId> dests;
+
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      // FNV-1a over every field; the map resolves collisions by full
+      // equality, so the hash only affects speed, never behavior.
+      std::uint64_t h = 1469598103934665603ULL;
+      const auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ULL;
+      };
+      mix(static_cast<std::uint64_t>(k.kind));
+      mix(static_cast<std::uint64_t>(k.source));
+      mix(static_cast<std::uint64_t>(k.cover_tor));
+      mix(static_cast<std::uint64_t>(k.cover_pod));
+      for (NodeId d : k.dests) mix(static_cast<std::uint64_t>(d));
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  void sync_generation(std::uint64_t generation) {
+    if (generation == generation_) return;
+    generation_ = generation;
+    if (!entries_.empty()) {
+      entries_.clear();
+      ++stats_.invalidations;
+    }
+  }
+
+  std::size_t capacity_;
+  std::uint64_t generation_ = 0;
+  PlanCacheStats stats_;
+  std::unordered_map<Key, std::shared_ptr<const void>, KeyHash> entries_;
+};
+
+}  // namespace peel

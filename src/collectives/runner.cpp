@@ -237,24 +237,20 @@ struct CollectiveRunner::MulticastExec : ExecBase {
       stripe.push_back(open(std::move(spec)));
       covered = req.destinations.size();
     } else {
-      std::vector<PeelStream> parts;
+      std::shared_ptr<const std::vector<PeelStream>> cached;
+      std::vector<PeelStream> derived;
       if (options().peel_asymmetric) {
-        if (!fabric().leaf_spine) {
-          throw std::runtime_error("asymmetric PEEL requires a leaf-spine fabric");
-        }
-        parts = peel_asymmetric_trees(*fabric().leaf_spine, req.source,
-                                      req.destinations);
+        cached = runner->asymmetric_trees_for(req.source, req.destinations);
       } else {
-        const PeelPlan plan =
-            fabric().fat_tree
-                ? build_peel_plan(*fabric().fat_tree, req.source, req.destinations,
-                                  options().peel_cover)
-                : build_peel_plan(*fabric().leaf_spine, req.source,
-                                  req.destinations,
-                                  options().peel_cover);
-        parts = peel_static_trees(fabric(), plan, selector);
+        // The plan is selector-free (cache-friendly across stripes and
+        // repeated groups); the stripe's tree choice still varies by
+        // selector, so peel_static_trees runs per stripe.
+        const std::shared_ptr<const PeelPlan> plan =
+            runner->peel_plan_for(req.source, req.destinations);
+        derived = peel_static_trees(fabric(), *plan, selector);
       }
-      for (auto& part : parts) {
+      const std::vector<PeelStream>& parts = cached ? *cached : derived;
+      for (const auto& part : parts) {
         covered += part.receivers.size();
         if (part.receivers.empty()) continue;  // purely redundant packet class
         StreamSpec spec =
@@ -345,13 +341,9 @@ struct CollectiveRunner::PeelProgCoresExec : ExecBase {
   std::vector<StreamId> static_streams;
 
   void start() override {
-    const PeelPlan plan =
-        fabric().fat_tree
-            ? build_peel_plan(*fabric().fat_tree, req.source, req.destinations,
-                              options().peel_cover)
-            : build_peel_plan(*fabric().leaf_spine, req.source, req.destinations,
-                              options().peel_cover);
-    auto parts = peel_static_trees(fabric(), plan, req.id);
+    const std::shared_ptr<const PeelPlan> plan =
+        runner->peel_plan_for(req.source, req.destinations);
+    auto parts = peel_static_trees(fabric(), *plan, req.id);
     std::size_t covered = 0;
     for (auto& part : parts) {
       covered += part.receivers.size();
@@ -546,23 +538,18 @@ struct CollectiveRunner::MulticastAllGatherExec : ExecBase {
 
       // PEEL (PeelProgCores runs its static plan; per-shard refinement would
       // migrate at most one chunk and is omitted).
-      std::vector<PeelStream> parts;
+      std::shared_ptr<const std::vector<PeelStream>> cached;
+      std::vector<PeelStream> derived;
       if (options().peel_asymmetric) {
-        if (!fabric().leaf_spine) {
-          throw std::runtime_error("asymmetric PEEL requires a leaf-spine fabric");
-        }
-        parts = peel_asymmetric_trees(*fabric().leaf_spine, source, dests);
+        cached = runner->asymmetric_trees_for(source, dests);
       } else {
-        const PeelPlan plan =
-            fabric().fat_tree
-                ? build_peel_plan(*fabric().fat_tree, source, dests,
-                                  options().peel_cover)
-                : build_peel_plan(*fabric().leaf_spine, source, dests,
-                                  options().peel_cover);
-        parts = peel_static_trees(fabric(), plan, selector);
+        const std::shared_ptr<const PeelPlan> plan =
+            runner->peel_plan_for(source, dests);
+        derived = peel_static_trees(fabric(), *plan, selector);
       }
+      const std::vector<PeelStream>& parts = cached ? *cached : derived;
       std::size_t covered = 0;
-      for (auto& part : parts) {
+      for (const auto& part : parts) {
         covered += part.receivers.size();
         if (part.receivers.empty()) continue;
         StreamSpec spec = spec_from_tree(topo, part.tree, part.receivers);
@@ -766,23 +753,18 @@ struct CollectiveRunner::TreeReduceBroadcastExec : ExecBase {
       spec.cnp_mode = options().multicast_cnp_mode;
       down_streams.push_back(open(std::move(spec)));
     } else {  // Peel / PeelProgCores
-      std::vector<PeelStream> parts;
+      std::shared_ptr<const std::vector<PeelStream>> cached;
+      std::vector<PeelStream> derived;
       if (options().peel_asymmetric) {
-        if (!fabric().leaf_spine) {
-          throw std::runtime_error("asymmetric PEEL requires a leaf-spine fabric");
-        }
-        parts = peel_asymmetric_trees(*fabric().leaf_spine, root, others);
+        cached = runner->asymmetric_trees_for(root, others);
       } else {
-        const PeelPlan plan =
-            fabric().fat_tree
-                ? build_peel_plan(*fabric().fat_tree, root, others,
-                                  options().peel_cover)
-                : build_peel_plan(*fabric().leaf_spine, root, others,
-                                  options().peel_cover);
-        parts = peel_static_trees(fabric(), plan, req.id);
+        const std::shared_ptr<const PeelPlan> plan =
+            runner->peel_plan_for(root, others);
+        derived = peel_static_trees(fabric(), *plan, req.id);
       }
+      const std::vector<PeelStream>& parts = cached ? *cached : derived;
       std::size_t covered = 0;
-      for (auto& part : parts) {
+      for (const auto& part : parts) {
         covered += part.receivers.size();
         if (part.receivers.empty()) continue;
         StreamSpec spec = spec_from_tree(fabric().topo(), part.tree, part.receivers);
@@ -1037,6 +1019,53 @@ void CollectiveRunner::submit_allreduce(Scheme scheme, AllReduceRequest request)
   register_exec(std::move(exec), scheme, 0, request.buffer_bytes, n);
 }
 
+std::shared_ptr<const PeelPlan> CollectiveRunner::peel_plan_for(
+    NodeId source, const std::vector<NodeId>& dests) {
+  const auto build = [&] {
+    return fabric_.fat_tree
+               ? build_peel_plan(*fabric_.fat_tree, source, dests,
+                                 options_.peel_cover)
+               : build_peel_plan(*fabric_.leaf_spine, source, dests,
+                                 options_.peel_cover);
+  };
+  if (!options_.plan_cache) return std::make_shared<const PeelPlan>(build());
+  return plan_cache_.get_or_build<PeelPlan>(router_.generation(),
+                                            PlanKind::PeelPlan, source, dests,
+                                            options_.peel_cover, build);
+}
+
+std::shared_ptr<const std::vector<PeelStream>>
+CollectiveRunner::asymmetric_trees_for(NodeId source,
+                                       const std::vector<NodeId>& dests) {
+  if (!fabric_.leaf_spine) {
+    throw std::runtime_error("asymmetric PEEL requires a leaf-spine fabric");
+  }
+  const auto build = [&] {
+    return peel_asymmetric_trees(*fabric_.leaf_spine, source, dests);
+  };
+  if (!options_.plan_cache) {
+    return std::make_shared<const std::vector<PeelStream>>(build());
+  }
+  // Asymmetric trees ignore the cover policy; a fixed cover keeps keys from
+  // splitting on an input the builder never reads.
+  return plan_cache_.get_or_build<std::vector<PeelStream>>(
+      router_.generation(), PlanKind::PeelAsymmetric, source, dests,
+      PeelCoverOptions{}, build);
+}
+
+std::shared_ptr<const MulticastTree> CollectiveRunner::recovery_tree_for(
+    NodeId origin, const std::vector<NodeId>& receivers) {
+  const auto build = [&] {
+    return layer_peel_tree(fabric_.topo(), origin, receivers);
+  };
+  if (!options_.plan_cache) {
+    return std::make_shared<const MulticastTree>(build());
+  }
+  return plan_cache_.get_or_build<MulticastTree>(
+      router_.generation(), PlanKind::RecoveryTree, origin, receivers,
+      PeelCoverOptions{}, build);
+}
+
 std::size_t CollectiveRunner::recover_broadcast(std::uint64_t id) {
   const auto it = execs_.find(id);
   if (it == execs_.end() || it->second->req.destinations.empty()) return 0;
@@ -1049,13 +1078,13 @@ bool CollectiveRunner::recover_group_multicast(
   std::vector<NodeId> receivers;
   receivers.reserve(by_receiver.size());
   for (const auto& [receiver, chunks] : by_receiver) receivers.push_back(receiver);
-  MulticastTree tree;
+  std::shared_ptr<const MulticastTree> tree;
   try {
-    tree = layer_peel_tree(fabric_.topo(), origin, receivers);
+    tree = recovery_tree_for(origin, receivers);
   } catch (const std::exception&) {
     return false;  // some receiver unreachable over live links right now
   }
-  StreamSpec spec = spec_from_tree(fabric_.topo(), tree, receivers);
+  StreamSpec spec = spec_from_tree(fabric_.topo(), *tree, receivers);
   spec.cnp_mode = options_.multicast_cnp_mode;
   const StreamId s = exec.open(std::move(spec));
   exec.recovery_streams.insert(s);

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/collectives/fabric.h"
+#include "src/collectives/plan_cache.h"
 #include "src/collectives/trees.h"
 #include "src/common/rng.h"
 #include "src/routing/router.h"
@@ -138,6 +139,11 @@ struct RunnerOptions {
   /// unicasts when some receiver is currently unreachable). false = always
   /// unicast, the original recover_broadcast behavior.
   bool recovery_trees = true;
+  /// Memoize control-plane construction (prefix plans, asymmetric trees,
+  /// recovery trees) in a TreePlanCache keyed on the router's fabric epoch.
+  /// Behavior-transparent either way — the cache key carries every builder
+  /// input — so this knob exists for A/B perf comparison and fault tests.
+  bool plan_cache = true;
 };
 
 /// One (receiver, chunk) delivery a collective still owes, with the endpoint
@@ -202,6 +208,11 @@ class CollectiveRunner {
   }
   [[nodiscard]] std::size_t active_count() const noexcept { return execs_.size(); }
   [[nodiscard]] Router& router() noexcept { return router_; }
+  /// Control-plane memoization counters (hits/misses/invalidations); the
+  /// cache itself is private, consulted by the scheme executors.
+  [[nodiscard]] const TreePlanCache& plan_cache() const noexcept {
+    return plan_cache_;
+  }
 
   /// Diagnostics for every still-active (unfinished) collective, with each
   /// of its streams' progress. Empty when everything completed.
@@ -234,12 +245,25 @@ class CollectiveRunner {
       ExecBase& exec, NodeId origin,
       const std::map<NodeId, std::vector<const ExpectedDelivery*>>& by_receiver);
 
+  // Memoized control-plane builders (TreePlanCache-backed; direct calls when
+  // RunnerOptions::plan_cache is off). Each returns a shared, immutable
+  // artifact — hold the pointer while reading.
+  [[nodiscard]] std::shared_ptr<const PeelPlan> peel_plan_for(
+      NodeId source, const std::vector<NodeId>& dests);
+  [[nodiscard]] std::shared_ptr<const std::vector<PeelStream>>
+  asymmetric_trees_for(NodeId source, const std::vector<NodeId>& dests);
+  /// Throws (propagated from layer_peel_tree) when some receiver is
+  /// unreachable over live links; failures are never cached.
+  [[nodiscard]] std::shared_ptr<const MulticastTree> recovery_tree_for(
+      NodeId origin, const std::vector<NodeId>& receivers);
+
   Fabric fabric_;
   Network* net_;
   EventQueue* queue_;
   Rng rng_;
   RunnerOptions options_;
   Router router_;
+  TreePlanCache plan_cache_;
 
   std::unordered_map<std::uint64_t, std::unique_ptr<ExecBase>> execs_;
   std::unordered_map<std::uint64_t, std::size_t> record_index_;

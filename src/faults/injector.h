@@ -10,7 +10,12 @@
 //
 // Reaction (route invalidation, recovery passes) is the caller's policy: the
 // change handler fires after each applied event, at that event's simulated
-// time.
+// time. Handlers MUST call Router::invalidate() for every applied event —
+// besides flushing stale routes, each call bumps the router's fabric epoch
+// (Router::generation()), which is what invalidates the control-plane
+// TreePlanCache (src/collectives/plan_cache.h): a recovery pass planned
+// after the bump can never reuse a tree cached over dead links, and a
+// repair's own bump keeps the pre-fault plan from being resurrected.
 #pragma once
 
 #include <functional>

@@ -1,5 +1,6 @@
 #include "src/harness/experiment.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
@@ -158,6 +159,21 @@ ScenarioResult run_scenario_impl(const Fabric& fabric,
       fabric, config.offered_load, config.message_bytes, config.group_size);
   const double mean_gap_ns = 1e9 / lambda;
 
+  if (Telemetry* telem = net.telemetry();
+      telem != nullptr && sim.telemetry.sample_interval > 0) {
+    // Pre-size the queue-depth series: a deadline bounds the sample count
+    // exactly; a run-to-drain is sized from the arrival span (collectives x
+    // mean gap) with 2x headroom for the drain tail.
+    const double horizon_ns =
+        config.deadline_seconds > 0.0
+            ? config.deadline_seconds * 1e9
+            : mean_gap_ns * static_cast<double>(config.collectives) * 2.0;
+    const double expected =
+        horizon_ns / static_cast<double>(sim.telemetry.sample_interval);
+    telem->reserve_series(
+        static_cast<std::size_t>(std::min(expected, 1e6)) + 16);
+  }
+
   PlacementOptions placement;
   placement.group_size = config.group_size;
   placement.fragmentation = config.fragmentation;
@@ -217,6 +233,7 @@ ScenarioResult run_scenario_impl(const Fabric& fabric,
   }
 
   ScenarioResult result;
+  result.cct_seconds.reserve(runner.records().size());
   for (const auto& record : runner.records()) {
     if (!record.finished) {
       ++result.unfinished;
@@ -250,6 +267,7 @@ ScenarioResult run_scenario_impl(const Fabric& fabric,
   result.segments = net.segments_serialized();
   result.pfc_pauses = net.pfc_pauses();
   result.ecn_marks = net.segments_marked();
+  result.plan_cache = runner.plan_cache().stats();
   if (injector) {
     result.fault_downs = injector->pairs_failed();
     result.fault_ups = injector->pairs_restored();

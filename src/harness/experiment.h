@@ -115,6 +115,10 @@ struct ScenarioResult {
   std::uint64_t fault_ups = 0;    ///< duplex pairs repaired mid-run
   /// (receiver, chunk) deliveries re-sent by automatic recovery passes.
   std::size_t recovered_deliveries = 0;
+  /// Control-plane memoization counters (TreePlanCache): hits/misses across
+  /// prefix-plan, asymmetric-tree, and recovery-tree construction, plus
+  /// epoch-change invalidations (one per fault-driven flush).
+  PlanCacheStats plan_cache;
   /// Non-null iff telemetry ran (config.sim.telemetry.enabled or
   /// config.byte_audit); flow lifetimes are filled from collective records.
   std::shared_ptr<const TelemetrySummary> telemetry;

@@ -138,6 +138,7 @@ PeelPlan build_generic(const Layout& layout, NodeId source,
   // core-tier prefix rules replicate one packet to every pod in the block.
   for (const auto& [key, slices] : classes) {
     std::vector<int> pod_ids;
+    pod_ids.reserve(slices.size());
     std::map<int, const PodSlice*> slice_by_pod;
     for (const PodSlice& s : slices) {
       pod_ids.push_back(s.pod);

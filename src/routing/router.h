@@ -43,14 +43,27 @@ class Router {
   /// ECMP shortest path src -> dst; empty Route if unreachable.
   [[nodiscard]] Route path(NodeId src, NodeId dst, std::uint64_t flow_hash);
 
-  /// Drops all cached distance fields (call after failing/restoring links).
-  void invalidate() { dist_cache_.clear(); }
+  /// Drops all cached distance fields (call after failing/restoring links)
+  /// and advances the fabric generation. The caller protocol — invalidate()
+  /// after every fail/restore — makes the generation a fabric epoch: any
+  /// derived artifact (distance field, multicast tree, prefix plan) computed
+  /// under an older generation may describe dead links and must be rebuilt.
+  void invalidate() {
+    dist_cache_.clear();
+    ++generation_;
+  }
+
+  /// Monotone fabric epoch; bumped by every invalidate(). TreePlanCache
+  /// (src/collectives/plan_cache.h) keys its validity on this, so its
+  /// staleness domain is exactly the router's.
+  [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
 
   static constexpr std::int32_t kUnreachable = -1;
 
  private:
   const Topology* topo_;
   std::unordered_map<NodeId, std::vector<std::int32_t>> dist_cache_;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace peel

@@ -16,33 +16,122 @@ void EventQueue::check_not_past(SimTime t) const {
 
 void EventQueue::at(SimTime t, Action fn) {
   check_not_past(t);
-  heap_.push(Entry{t, next_seq_++, SimEvent{}, std::move(fn)});
+  acts_.push_back(ClosureEntry{t, next_seq_++, std::move(fn)});
+  std::push_heap(acts_.begin(), acts_.end(), ClosureLater{});
 }
 
-void EventQueue::at(SimTime t, const SimEvent& ev) {
-  check_not_past(t);
-  heap_.push(Entry{t, next_seq_++, ev, {}});
+void EventQueue::insert_slow(const PodEntry& entry) {
+  // pod_count_ was already incremented by the caller.
+  if (pod_count_ == 1) {
+    // First pod after a drain: re-center the ladder just past it so the
+    // active window covers the entry and its near future.
+    shift_ = kDefaultShift;
+    bucket_lo_ = (entry.t >> shift_) + 1;
+    bucket_hi_ = bucket_lo_ + kBuckets;
+    window_end_ = static_cast<SimTime>(bucket_lo_) << shift_;
+    cur_.push_back(entry);  // heap of one
+    return;
+  }
+  const std::int64_t bn = entry.t >> shift_;
+  if (bn < bucket_hi_) {
+    rungs_[static_cast<std::size_t>(bn & kBucketMask)].push_back(entry);
+    ++rung_count_;
+  } else {
+    overflow_.push_back(entry);
+  }
+}
+
+void EventQueue::advance() {
+  for (;;) {
+    while (rung_count_ > 0) {
+      std::vector<PodEntry>& bucket =
+          rungs_[static_cast<std::size_t>(bucket_lo_ & kBucketMask)];
+      ++bucket_lo_;
+      window_end_ = static_cast<SimTime>(bucket_lo_) << shift_;
+      if (!bucket.empty()) {
+        rung_count_ -= bucket.size();
+        // Swap rather than move: cur_'s spent capacity is recycled as the
+        // (now empty) bucket's storage.
+        cur_.swap(bucket);
+        std::make_heap(cur_.begin(), cur_.end(), PodLater{});
+        return;
+      }
+    }
+    rebase();
+  }
+}
+
+void EventQueue::rebase() {
+  SimTime lo = overflow_.front().t;
+  SimTime hi = lo;
+  for (const PodEntry& e : overflow_) {
+    if (e.t < lo) lo = e.t;
+    if (e.t > hi) hi = e.t;
+  }
+  // Widen the stride until the span fits the ring; entries in the ragged
+  // last bucket simply stay in overflow for the next rebase.
+  shift_ = kDefaultShift;
+  while (((hi - lo) >> shift_) >= kBuckets) ++shift_;
+  bucket_lo_ = lo >> shift_;
+  bucket_hi_ = bucket_lo_ + kBuckets;
+  window_end_ = static_cast<SimTime>(bucket_lo_) << shift_;
+  std::vector<PodEntry> rest;
+  for (const PodEntry& e : overflow_) {
+    const std::int64_t bn = e.t >> shift_;
+    if (bn < bucket_hi_) {
+      rungs_[static_cast<std::size_t>(bn & kBucketMask)].push_back(e);
+      ++rung_count_;
+    } else {
+      rest.push_back(e);
+    }
+  }
+  overflow_ = std::move(rest);
+}
+
+bool EventQueue::peek_next(SimTime& t) {
+  const bool have_pod = pod_count_ != 0;
+  if (have_pod && cur_.empty()) advance();
+  if (have_pod && !acts_.empty()) {
+    t = std::min(cur_.front().t, acts_.front().t);
+  } else if (have_pod) {
+    t = cur_.front().t;
+  } else if (!acts_.empty()) {
+    t = acts_.front().t;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 bool EventQueue::step() {
-  if (heap_.empty()) return false;
-  // priority_queue::top is const; the action is moved out via const_cast,
-  // which is safe because the entry is popped before the action runs.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  now_ = top.t;
-  if (top.ev.kind != SimEventKind::None) {
-    const SimEvent ev = top.ev;
-    heap_.pop();
+  const bool have_pod = pod_count_ != 0;
+  if (have_pod && cur_.empty()) advance();
+  bool take_pod = have_pod;
+  if (have_pod && !acts_.empty()) {
+    const PodEntry& p = cur_.front();
+    const ClosureEntry& c = acts_.front();
+    take_pod = p.t != c.t ? p.t < c.t : p.seq < c.seq;
+  } else if (!have_pod && acts_.empty()) {
+    return false;
+  }
+  if (take_pod) {
+    std::pop_heap(cur_.begin(), cur_.end(), PodLater{});
+    const PodEntry entry = cur_.back();
+    cur_.pop_back();
+    --pod_count_;
+    now_ = entry.t;
     ++processed_;
     if (sink_ == nullptr) {
       throw std::logic_error("EventQueue: SimEvent fired with no sink bound");
     }
-    sink_->on_sim_event(ev);
+    sink_->on_sim_event(entry.ev);
   } else {
-    Action fn = std::move(top.fn);
-    heap_.pop();
+    std::pop_heap(acts_.begin(), acts_.end(), ClosureLater{});
+    ClosureEntry entry = std::move(acts_.back());
+    acts_.pop_back();
+    now_ = entry.t;
     ++processed_;
-    fn();
+    entry.fn();
   }
   return true;
 }
@@ -53,7 +142,8 @@ void EventQueue::run() {
 }
 
 void EventQueue::run_until(SimTime t) {
-  while (!heap_.empty() && heap_.top().t <= t) step();
+  SimTime next = 0;
+  while (peek_next(next) && next <= t) step();
   if (now_ < t) now_ = t;
 }
 

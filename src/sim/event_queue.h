@@ -4,22 +4,42 @@
 // increasing sequence number breaks ties), which makes every simulation run
 // deterministic for a fixed seed.
 //
-// Two scheduling flavors share one heap (and one sequence counter, so their
-// relative order is exactly the scheduling order):
+// Two scheduling flavors share one sequence counter, so their relative order
+// is exactly the scheduling order:
 //
 //   - `at(t, Action)` boxes an arbitrary callback in a std::function. Fine
 //     for control-plane events (collective submission, fault injection,
-//     recovery passes), which are rare.
+//     recovery passes), which are rare. Closures live in a small side heap.
 //   - `at(t, SimEvent)` carries a type-tagged POD describing one of the
 //     data-plane transitions and dispatches it to the bound SimEventSink
 //     (the Network). The steady state of a simulation is millions of pump /
 //     finish_tx / arrive events; scheduling them as PODs performs no heap
 //     allocation and no std::function indirection on the hot path.
+//
+// POD storage is a two-tier ladder (calendar) queue instead of one global
+// binary heap:
+//
+//   - `cur_` is a min-heap over the active window [now, window_end). Only
+//     events this close to the clock pay O(log n) sift costs, and n is the
+//     window occupancy, not the total pending count.
+//   - `rungs_` is a ring of kBuckets fixed-width buckets covering
+//     [window_end, window_end + kBuckets << shift). Scheduling into a bucket
+//     is an O(1) push_back; a bucket is heapified only when the clock
+//     reaches it (advance()).
+//   - `overflow_` holds everything past the ladder, unsorted. When the
+//     ladder drains, rebase() re-centers it on the overflow span, widening
+//     the bucket stride (shift_) until the span fits — correctness never
+//     depends on the bucket width, only the constant factors do.
+//
+// Every tier orders by the same (t, seq) key, so firing order is identical
+// to the single-heap implementation this replaced (the `perf_suite --check`
+// byte-identical CSV gate and the thread-invariance tests enforce that).
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "src/common/units.h"
@@ -71,7 +91,17 @@ class EventQueue {
 
   /// Schedules a packed data-plane event at absolute time `t`. A sink must
   /// be bound (bind_sink) before the event fires.
-  void at(SimTime t, const SimEvent& ev);
+  void at(SimTime t, const SimEvent& ev) {
+    check_not_past(t);
+    const PodEntry entry{t, next_seq_++, ev};
+    ++pod_count_;
+    if (pod_count_ > 1 && t < window_end_) {
+      cur_.push_back(entry);
+      std::push_heap(cur_.begin(), cur_.end(), PodLater{});
+    } else {
+      insert_slow(entry);
+    }
+  }
 
   void after(SimTime delay, const SimEvent& ev) { at(now_ + delay, ev); }
 
@@ -81,8 +111,12 @@ class EventQueue {
   [[nodiscard]] SimEventSink* sink() const noexcept { return sink_; }
 
   [[nodiscard]] SimTime now() const noexcept { return now_; }
-  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
-  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  [[nodiscard]] bool empty() const noexcept {
+    return pod_count_ == 0 && acts_.empty();
+  }
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pod_count_ + acts_.size();
+  }
   [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
 
   /// Runs the earliest event; returns false if the queue was empty.
@@ -95,21 +129,74 @@ class EventQueue {
   void run_until(SimTime t);
 
  private:
-  struct Entry {
+  /// Hot-tier entry: 48 bytes, trivially copyable — a heap sift is a plain
+  /// memcpy-class move, unlike the retired Entry that dragged a dead
+  /// std::function through every swap.
+  struct PodEntry {
     SimTime t;
     std::uint64_t seq;
-    SimEvent ev;  ///< dispatched to the sink when kind != None
-    Action fn;    ///< run when ev.kind == None
+    SimEvent ev;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
+  struct PodLater {
+    bool operator()(const PodEntry& a, const PodEntry& b) const noexcept {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+  struct ClosureEntry {
+    SimTime t;
+    std::uint64_t seq;
+    Action fn;
+  };
+  struct ClosureLater {
+    bool operator()(const ClosureEntry& a,
+                    const ClosureEntry& b) const noexcept {
       return a.t != b.t ? a.t > b.t : a.seq > b.seq;
     }
   };
 
-  void check_not_past(SimTime t) const;
+  static constexpr int kBuckets = 512;  // power of two (ring indexing)
+  static constexpr int kBucketMask = kBuckets - 1;
+  /// Default bucket stride: 2^6 ns = 64 ns per bucket, ~33 µs ladder span.
+  /// Tuned on the perf_suite reference cell: segment serialization and
+  /// propagation delays (0.1–5 µs) land in rungs as O(1) push_backs instead
+  /// of active-heap sifts; slower timers (telemetry sampler, throttled
+  /// pacing) overflow and are folded back in by the periodic rebase.
+  static constexpr int kDefaultShift = 6;
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  void check_not_past(SimTime t) const;
+  /// Cold insert paths: first pod (ladder reset), rung push, or overflow.
+  void insert_slow(const PodEntry& entry);
+  /// Refills cur_ from the next non-empty rung (rebasing from overflow when
+  /// the ladder is empty). Precondition: cur_ empty, pod_count_ > 0.
+  void advance();
+  /// Re-centers the ladder on the overflow span. Precondition: cur_ and all
+  /// rungs empty, overflow_ non-empty.
+  void rebase();
+  /// Earliest pending (t, seq); false when empty. May heapify a rung.
+  bool peek_next(SimTime& t);
+
+  // POD tiers. Invariants while pod_count_ > 0:
+  //   cur_ entries    : t < window_end_
+  //   rung entries    : window_end_ <= t < bucket_hi_ << shift_
+  //                     in rung (t >> shift_) & kBucketMask
+  //   overflow entries: t >= bucket_hi_ << shift_
+  // so cur_.front() (after advance()) is the global POD minimum. bucket_hi_
+  // is pinned between rebases: the ladder frontier must NOT slide forward as
+  // bucket_lo_ advances, or a fresh rung insert could land past an entry
+  // already parked in overflow and fire before it.
+  std::vector<PodEntry> cur_;
+  std::array<std::vector<PodEntry>, kBuckets> rungs_;
+  std::vector<PodEntry> overflow_;
+  std::size_t pod_count_ = 0;
+  std::size_t rung_count_ = 0;
+  int shift_ = kDefaultShift;
+  std::int64_t bucket_lo_ = 0;   ///< first rung's absolute bucket number
+  std::int64_t bucket_hi_ = 0;   ///< ladder frontier (absolute bucket number)
+  SimTime window_end_ = 0;       ///< cur_ covers [now, window_end_)
+
+  /// Control-plane closures: rare, so a plain binary heap is fine.
+  std::vector<ClosureEntry> acts_;
+
   SimEventSink* sink_ = nullptr;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;

@@ -144,6 +144,9 @@ class Network final : public SimEventSink {
   [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
 
   /// Non-null iff SimConfig::telemetry.enabled (src/sim/telemetry.h).
+  /// Mutable access for capacity hints (Telemetry::reserve_series); counter
+  /// mutation stays behind the Network's own hooks.
+  [[nodiscard]] Telemetry* telemetry() noexcept { return telem_.get(); }
   [[nodiscard]] const Telemetry* telemetry() const noexcept {
     return telem_.get();
   }

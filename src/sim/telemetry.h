@@ -150,6 +150,14 @@ class Telemetry {
   /// Records one QueueSample at `now` (driven by the Network's sampler).
   void sample(SimTime now);
 
+  /// Capacity hint for the queue-depth time series. A sampler that fires
+  /// every interval for the whole run otherwise reallocates-and-copies the
+  /// series log2(n) times; a caller that knows the horizon (the harness)
+  /// reserves once up front. A hint, never a cap.
+  void reserve_series(std::size_t expected_samples) {
+    samples_.reserve(expected_samples);
+  }
+
   // --- invariants ---------------------------------------------------------
   /// "Exactly once per destination": streams where some receiver was
   /// credited MORE bytes of a chunk than the source injected. Always a bug

@@ -78,6 +78,11 @@ MulticastTree layer_peel_tree(const Topology& topo, NodeId source,
 
   MulticastTree tree(source, dests);
   std::vector<std::pair<NodeId, NodeId>> parent_edges;  // (parent, child)
+  parent_edges.reserve(dests.size());
+  // Reused across all upstream_neighbors calls: the helper runs
+  // O(|layer|^2) times inside the cover loop, and a fresh vector per call
+  // was pure allocation churn on recovery-heavy flap runs.
+  std::vector<NodeId> ups_buf;
 
   // Peel from the outermost layer inward. The pass for layer i may add
   // switches at layer i-1, which the next iteration then connects.
@@ -88,18 +93,19 @@ MulticastTree layer_peel_tree(const Topology& topo, NodeId source,
 
     // A member is covered once some in-neighbor one layer closer to the
     // source is in T.
-    auto upstream_neighbors = [&](NodeId v) {
-      std::vector<NodeId> ups;
+    auto upstream_neighbors = [&](NodeId v) -> const std::vector<NodeId>& {
+      ups_buf.clear();
       for (LinkId l : topo.in_links(v)) {
         const Link& lk = topo.link(l);
-        if (!lk.failed && layer_of(lk.src) == i - 1) ups.push_back(lk.src);
+        if (!lk.failed && layer_of(lk.src) == i - 1) ups_buf.push_back(lk.src);
       }
-      return ups;
+      return ups_buf;
     };
 
     std::vector<NodeId> uncovered;
+    uncovered.reserve(layer_members.size());
     for (NodeId v : layer_members) {
-      const auto ups = upstream_neighbors(v);
+      const auto& ups = upstream_neighbors(v);
       const bool covered = std::any_of(ups.begin(), ups.end(), [&](NodeId u) {
         return in_tree[static_cast<std::size_t>(u)] != 0;
       });
@@ -128,7 +134,7 @@ MulticastTree layer_peel_tree(const Topology& topo, NodeId source,
       in_tree[static_cast<std::size_t>(best)] = 1;
       members[static_cast<std::size_t>(i - 1)].push_back(best);
       std::erase_if(uncovered, [&](NodeId v) {
-        const auto ups = upstream_neighbors(v);
+        const auto& ups = upstream_neighbors(v);
         return std::find(ups.begin(), ups.end(), best) != ups.end();
       });
     }

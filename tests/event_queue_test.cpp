@@ -1,0 +1,237 @@
+// Ladder-scheduler tests: the (t, seq) total order across every storage tier
+// of the EventQueue — active heap, rungs, overflow, and the closure side
+// heap. The data-plane determinism gate (perf_suite --check) would catch a
+// global ordering break eventually; these tests pin the contract at the unit
+// level, including the tier-boundary cases a scenario may not visit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+
+namespace peel {
+namespace {
+
+/// Records the `a` field of every fired SimEvent, optionally running a
+/// caller-supplied reaction (to schedule follow-up events from inside the
+/// dispatch, as the Network does).
+struct RecordingSink final : SimEventSink {
+  std::vector<std::int32_t> fired;
+  std::function<void(const SimEvent&)> react;
+
+  void on_sim_event(const SimEvent& ev) override {
+    fired.push_back(ev.a);
+    if (react) react(ev);
+  }
+};
+
+SimEvent labeled(std::int32_t label) {
+  SimEvent ev;
+  ev.kind = SimEventKind::Pump;
+  ev.a = label;
+  return ev;
+}
+
+// Equal timestamps run in scheduling order even when the entries alternate
+// between the POD ladder and the closure side heap — the two flavors share
+// one sequence counter, and that counter is the tie-break.
+TEST(EventQueueLadder, EqualTimestampFifoAcrossClosureAndPodTiers) {
+  EventQueue q;
+  RecordingSink sink;
+  q.bind_sink(&sink);
+  std::vector<std::int32_t> order;  // closures append here, PODs to the sink
+
+  q.at(50, labeled(0));
+  q.at(50, [&] { order.push_back(1); });
+  q.at(50, labeled(2));
+  q.at(50, [&] { order.push_back(3); });
+  q.at(50, labeled(4));
+  // An earlier event scheduled later still fires first.
+  q.at(10, [&] { order.push_back(-1); });
+
+  // Merge both recorders through a shared log: replay deterministically by
+  // stepping one event at a time and noting which recorder grew.
+  std::vector<std::int32_t> merged;
+  std::size_t seen_pod = 0, seen_act = 0;
+  while (q.step()) {
+    if (sink.fired.size() > seen_pod) merged.push_back(sink.fired[seen_pod++]);
+    if (order.size() > seen_act) merged.push_back(order[seen_act++]);
+  }
+  EXPECT_EQ(merged, (std::vector<std::int32_t>{-1, 0, 1, 2, 3, 4}));
+  EXPECT_EQ(q.processed(), 6u);
+}
+
+// Regression for the pinned-frontier invariant: an entry parked in overflow
+// must fire before any LATER entry, even when the ladder's low edge has
+// advanced far enough that the later timestamp would fit inside a sliding
+// window. (The broken variant — frontier tracking bucket_lo_ instead of
+// staying pinned until rebase — filed the later event into a rung and fired
+// it first.)
+TEST(EventQueueLadder, OverflowEntryFiresBeforeLaterRungInsert) {
+  EventQueue q;
+  RecordingSink sink;
+  q.bind_sink(&sink);
+
+  // First event resets the ladder around t=64; with the default 64 ns
+  // stride and 512 rungs the window ends near t ≈ 33k, so t=40000 overflows.
+  q.at(64, labeled(1));
+  q.at(40000, labeled(100));
+
+  // Walk the ladder: each chain event schedules the next 64 ns ahead until
+  // just short of the overflow entry, dragging the low edge across hundreds
+  // of buckets. Then insert an event PAST the overflow entry.
+  sink.react = [&](const SimEvent& ev) {
+    if (ev.a == 1 && q.now() + 64 < 39000) {
+      q.after(64, labeled(1));
+    } else if (ev.a == 1) {
+      q.at(45000, labeled(200));  // later than the overflow entry
+    }
+  };
+  q.run();
+
+  const auto pos100 = std::find(sink.fired.begin(), sink.fired.end(), 100);
+  const auto pos200 = std::find(sink.fired.begin(), sink.fired.end(), 200);
+  ASSERT_NE(pos100, sink.fired.end());
+  ASSERT_NE(pos200, sink.fired.end());
+  EXPECT_LT(pos100 - sink.fired.begin(), pos200 - sink.fired.begin())
+      << "overflow entry (t=40000) must fire before the rung insert "
+         "(t=45000)";
+  EXPECT_EQ(q.now(), 45000);
+}
+
+// Stress: a few thousand pseudo-random inserts spanning ns-to-ms deltas —
+// some up-front, some scheduled from inside dispatches — must fire in exactly
+// the order a sorted (t, seq) reference model predicts. Deltas are chosen so
+// every tier participates: active window, rungs, overflow, several rebases.
+TEST(EventQueueLadder, StressMatchesSortedReferenceModel) {
+  EventQueue q;
+  RecordingSink sink;
+  q.bind_sink(&sink);
+
+  struct Ref {
+    SimTime t;
+    std::uint64_t seq;
+    std::int32_t label;
+  };
+  std::vector<Ref> ref;
+  std::uint64_t lcg = 0x853c49e6748fea9bULL;
+  std::uint64_t seq = 0;
+  std::int32_t next_label = 0;
+  const auto draw = [&lcg] {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    return lcg >> 33;
+  };
+  // Tri-modal deltas: mostly ladder-scale, some active-window, some far
+  // overflow (forces rebase with widened stride).
+  const auto delta = [&draw]() -> SimTime {
+    const std::uint64_t d = draw();
+    switch (d % 16) {
+      case 0: return static_cast<SimTime>(d % 5'000'000);  // up to 5 ms
+      case 1:
+      case 2: return static_cast<SimTime>(d % 50);         // active window
+      default: return static_cast<SimTime>(d % 20'000);    // rungs
+    }
+  };
+
+  const auto schedule = [&](SimTime t) {
+    const std::int32_t label = next_label++;
+    ref.push_back({t, seq++, label});
+    q.at(t, labeled(label));
+  };
+
+  for (int i = 0; i < 2000; ++i) schedule(delta());
+  int inflight_spawns = 6000;
+  sink.react = [&](const SimEvent&) {
+    for (int k = 0; k < 2 && inflight_spawns > 0; ++k, --inflight_spawns) {
+      schedule(q.now() + delta());
+    }
+  };
+  q.run();
+
+  std::stable_sort(ref.begin(), ref.end(), [](const Ref& a, const Ref& b) {
+    return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+  });
+  ASSERT_EQ(sink.fired.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(sink.fired[i], ref[i].label)
+        << "divergence from the (t, seq) reference order at index " << i;
+  }
+}
+
+// run_until stops exactly at the boundary even when the remaining events sit
+// in different tiers (rung vs overflow), and advances the clock to t.
+TEST(EventQueueLadder, RunUntilHonorsBoundaryAcrossTiers) {
+  EventQueue q;
+  RecordingSink sink;
+  q.bind_sink(&sink);
+
+  q.at(100, labeled(1));
+  q.at(5'000, labeled(2));        // rung
+  q.at(10'000'000, labeled(3));   // overflow
+
+  q.run_until(5'000);
+  EXPECT_EQ(sink.fired, (std::vector<std::int32_t>{1, 2}));
+  EXPECT_EQ(q.now(), 5'000);
+  EXPECT_EQ(q.pending(), 1u);
+
+  q.run_until(20'000'000);
+  EXPECT_EQ(sink.fired, (std::vector<std::int32_t>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 20'000'000);
+  EXPECT_TRUE(q.empty());
+}
+
+// Draining the queue and scheduling again re-anchors the ladder at the new
+// time (a fresh reset, not a stale window) and keeps ordering.
+TEST(EventQueueLadder, DrainThenRescheduleResetsLadder) {
+  EventQueue q;
+  RecordingSink sink;
+  q.bind_sink(&sink);
+
+  q.at(1'000'000, labeled(1));
+  q.run();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.now(), 1'000'000);
+
+  // New epoch of activity at and just past now, plus a far event.
+  q.at(1'000'000, labeled(2));
+  q.at(1'000'001, labeled(3));
+  q.at(9'000'000, labeled(4));
+  q.run();
+  EXPECT_EQ(sink.fired, (std::vector<std::int32_t>{1, 2, 3, 4}));
+  EXPECT_EQ(q.processed(), 4u);
+}
+
+// pending()/empty() count both flavors across all tiers.
+TEST(EventQueueLadder, PendingCountsEveryTier) {
+  EventQueue q;
+  RecordingSink sink;
+  q.bind_sink(&sink);
+
+  q.at(10, labeled(1));        // active window (first pod)
+  q.at(2'000, labeled(2));     // rung
+  q.at(90'000'000, labeled(3)); // overflow
+  q.at(50, [] {});             // closure side heap
+  EXPECT_EQ(q.pending(), 4u);
+  EXPECT_FALSE(q.empty());
+
+  q.run();
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.processed(), 4u);
+}
+
+// A POD event firing with no sink bound throws after the event is consumed
+// (same semantics as the retired single-heap implementation).
+TEST(EventQueueLadder, PodWithoutSinkThrows) {
+  EventQueue q;
+  q.at(10, labeled(1));
+  EXPECT_THROW(q.step(), std::logic_error);
+  EXPECT_EQ(q.processed(), 1u);
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace peel

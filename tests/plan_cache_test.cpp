@@ -1,0 +1,231 @@
+// TreePlanCache contract: the memoized control plane must be invisible to
+// the data plane. Unit tests pin the counter/epoch semantics; scenario tests
+// prove cache-on and cache-off runs are byte-identical (including across
+// fault epochs, where reusing a pre-fault plan would be a correctness bug,
+// not a perf bug); the sweep test pins thread-invariance with the cache on.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "src/collectives/plan_cache.h"
+#include "src/harness/sweep.h"
+#include "src/topology/fat_tree.h"
+#include "src/topology/leaf_spine.h"
+
+namespace peel {
+namespace {
+
+const std::vector<NodeId> kDests{3, 5, 9};
+
+TEST(PlanCache, HitReturnsTheSameArtifact) {
+  TreePlanCache cache;
+  int builds = 0;
+  const auto build = [&builds] {
+    ++builds;
+    return std::vector<int>{1, 2, 3};
+  };
+
+  const auto a = cache.get_or_build<std::vector<int>>(
+      0, PlanKind::PeelPlan, 1, kDests, PeelCoverOptions{}, build);
+  const auto b = cache.get_or_build<std::vector<int>>(
+      0, PlanKind::PeelPlan, 1, kDests, PeelCoverOptions{}, build);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(a.get(), b.get());  // shared artifact, not a copy
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  EXPECT_EQ(cache.stats().invalidations, 0u);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+}
+
+TEST(PlanCache, EveryKeyFieldSeparatesEntries) {
+  TreePlanCache cache;
+  int builds = 0;
+  const auto build = [&builds] { return ++builds; };
+
+  (void)cache.get_or_build<int>(0, PlanKind::PeelPlan, 1, kDests,
+                                PeelCoverOptions{}, build);
+  // Same group through a different builder kind must not alias.
+  (void)cache.get_or_build<int>(0, PlanKind::RecoveryTree, 1, kDests,
+                                PeelCoverOptions{}, build);
+  // Different source.
+  (void)cache.get_or_build<int>(0, PlanKind::PeelPlan, 2, kDests,
+                                PeelCoverOptions{}, build);
+  // Different destination set.
+  (void)cache.get_or_build<int>(0, PlanKind::PeelPlan, 1, {3, 5},
+                                PeelCoverOptions{}, build);
+  // Different cover policy.
+  (void)cache.get_or_build<int>(0, PlanKind::PeelPlan, 1, kDests,
+                                PeelCoverOptions::compact(), build);
+  EXPECT_EQ(builds, 5);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.size(), 5u);
+}
+
+// A fault bumps the fabric epoch; a repair bumps it again. Neither may serve
+// an artifact planned under an older epoch — in particular the post-repair
+// epoch must NOT resurrect the pre-fault plan, even though the fabric is
+// physically identical again (the cache cannot know that; only the epoch
+// protocol is trustworthy).
+TEST(PlanCache, EpochChangeFlushesAndNeverResurrects) {
+  TreePlanCache cache;
+  int builds = 0;
+  const auto build = [&builds] { return ++builds; };
+
+  const auto before = cache.get_or_build<int>(0, PlanKind::PeelPlan, 1, kDests,
+                                              PeelCoverOptions{}, build);
+  const auto fault = cache.get_or_build<int>(1, PlanKind::PeelPlan, 1, kDests,
+                                             PeelCoverOptions{}, build);
+  const auto repair = cache.get_or_build<int>(2, PlanKind::PeelPlan, 1, kDests,
+                                              PeelCoverOptions{}, build);
+  EXPECT_EQ(builds, 3);
+  EXPECT_NE(before.get(), fault.get());
+  EXPECT_NE(before.get(), repair.get());
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+
+  // Within the post-repair epoch the new plan is served normally.
+  const auto again = cache.get_or_build<int>(2, PlanKind::PeelPlan, 1, kDests,
+                                             PeelCoverOptions{}, build);
+  EXPECT_EQ(again.get(), repair.get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(PlanCache, CapacityFlushKeepsServing) {
+  TreePlanCache cache(2);
+  int builds = 0;
+  const auto build = [&builds] { return ++builds; };
+  for (NodeId src = 0; src < 5; ++src) {
+    (void)cache.get_or_build<int>(0, PlanKind::PeelPlan, src, kDests,
+                                  PeelCoverOptions{}, build);
+  }
+  EXPECT_EQ(builds, 5);
+  EXPECT_LE(cache.size(), 2u);
+  // The flush lost entries, not correctness: a repeated key rebuilds.
+  (void)cache.get_or_build<int>(0, PlanKind::PeelPlan, 0, kDests,
+                                PeelCoverOptions{}, build);
+  EXPECT_EQ(builds, 6);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-level transparency: cache on vs cache off.
+// ---------------------------------------------------------------------------
+
+void expect_identical(const ScenarioResult& a, const ScenarioResult& b) {
+  ASSERT_EQ(a.cct_seconds.count(), b.cct_seconds.count());
+  EXPECT_EQ(a.cct_seconds.values(), b.cct_seconds.values());
+  EXPECT_EQ(a.fabric_bytes, b.fabric_bytes);
+  EXPECT_EQ(a.core_bytes, b.core_bytes);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.segments, b.segments);
+  EXPECT_EQ(a.ecn_marks, b.ecn_marks);
+  EXPECT_EQ(a.pfc_pauses, b.pfc_pauses);
+  EXPECT_EQ(a.unfinished, b.unfinished);
+  EXPECT_EQ(a.recovered_deliveries, b.recovered_deliveries);
+}
+
+TEST(PlanCacheScenario, StripedBroadcastIsTransparentAndHits) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 4});  // 64 GPUs
+  const Fabric fabric = Fabric::of(ft);
+  ScenarioConfig config;
+  config.scheme = Scheme::Peel;
+  config.group_size = 16;
+  config.message_bytes = 1 * kMiB;
+  config.collectives = 6;
+  config.seed = 777;
+  config.byte_audit = true;
+  config.watchdog = true;
+  config.runner.stripe_trees = 2;  // stripes share one plan -> sure hits
+
+  ScenarioConfig cached = config;
+  cached.runner.plan_cache = true;
+  const ScenarioResult on = run_scenario(fabric, cached);
+
+  ScenarioConfig uncached = config;
+  uncached.runner.plan_cache = false;
+  const ScenarioResult off = run_scenario(fabric, uncached);
+
+  expect_identical(on, off);
+  EXPECT_GT(on.plan_cache.hits, 0u)
+      << "striped broadcasts must share the per-collective plan";
+  EXPECT_EQ(off.plan_cache.hits + off.plan_cache.misses, 0u)
+      << "plan_cache=false must bypass the cache entirely";
+}
+
+// Faults land between chunks of in-flight collectives; the recovery pass
+// (post-invalidate epoch) must replan rather than reuse, and the repaired
+// fabric gets yet another epoch. The audit+watchdog prove exactly-once
+// delivery either way, and equality proves the cache changed nothing.
+TEST(PlanCacheScenario, FaultEpochsInvalidateMidRun) {
+  LeafSpine ls = build_leaf_spine(LeafSpineConfig{4, 8, 2, 2});
+  const Fabric fabric = Fabric::of(ls);
+  ScenarioConfig config;
+  config.scheme = Scheme::Peel;
+  config.group_size = 16;
+  config.message_bytes = 256 * kKiB;
+  config.collectives = 8;
+  config.seed = 90210;
+  config.byte_audit = true;
+  config.watchdog = true;
+  config.runner.peel_asymmetric = true;
+  config.faults.schedule.switch_down(seconds_to_sim(150e-6), ls.spines[0]);
+  config.faults.schedule.switch_up(seconds_to_sim(600e-6), ls.spines[0]);
+
+  ScenarioConfig cached = config;
+  cached.runner.plan_cache = true;
+  const ScenarioResult on = run_scenario(fabric, cached);
+
+  ScenarioConfig uncached = config;
+  uncached.runner.plan_cache = false;
+  const ScenarioResult off = run_scenario(fabric, uncached);
+
+  expect_identical(on, off);
+  EXPECT_GT(on.fault_downs, 0u);
+  EXPECT_GT(on.plan_cache.invalidations, 0u)
+      << "every fault/repair epoch bump must flush the cache";
+  EXPECT_GT(on.plan_cache.misses, 0u);
+}
+
+// The sweep engine's core guarantee — identical cells at any thread count —
+// must survive the cache. Each cell owns a private runner (and so a private
+// cache); shared state here would show up as cross-cell divergence.
+TEST(PlanCacheScenario, SweepThreadInvarianceWithCacheEnabled) {
+  unsetenv("PEEL_BENCH_THREADS");
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 4});
+  const Fabric fabric = Fabric::of(ft);
+
+  SweepSpec spec;
+  spec.base.scheme = Scheme::Peel;
+  spec.base.group_size = 8;
+  spec.base.message_bytes = 1 * kMiB;
+  spec.base.collectives = 3;
+  spec.base.seed = 99;
+  spec.base.runner.stripe_trees = 2;  // give every cell real cache traffic
+  spec.schemes = {Scheme::Peel, Scheme::Optimal};
+  spec.replicas = 2;
+  spec.master_seed = 7;
+
+  SweepOptions serial;
+  serial.threads = 1;
+  const SweepResults a = run_sweep(fabric, spec, serial);
+  SweepOptions parallel;
+  parallel.threads = 4;
+  const SweepResults b = run_sweep(fabric, spec, parallel);
+
+  ASSERT_EQ(a.size(), b.size());
+  bool any_hits = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expect_identical(a.cells()[i].result, b.cells()[i].result);
+    const PlanCacheStats& pa = a.cells()[i].result.plan_cache;
+    const PlanCacheStats& pb = b.cells()[i].result.plan_cache;
+    EXPECT_EQ(pa.hits, pb.hits);
+    EXPECT_EQ(pa.misses, pb.misses);
+    EXPECT_EQ(pa.invalidations, pb.invalidations);
+    any_hits = any_hits || pa.hits > 0;
+  }
+  EXPECT_TRUE(any_hits) << "no cell exercised the cache — the test lost "
+                           "its teeth";
+}
+
+}  // namespace
+}  // namespace peel
