@@ -117,7 +117,7 @@ int main(int argc, char** argv) {
     // missing — recovering too eagerly would re-unicast chunks the original
     // streams were about to deliver anyway.
     queue.at(5 * kMillisecond, [&] {
-      runner.router().invalidate();
+      runner.on_topology_delta(TopologyDelta::link_down(doomed));
       rescheduled = runner.recover_broadcast(1);
     });
     queue.run();

@@ -271,11 +271,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(events));
   if (plan.hits + plan.misses > 0) {
     std::printf("  plan cache  %llu hits / %llu misses (%.1f%% hit rate), "
-                "%llu epoch invalidation(s)\n",
+                "%llu delta eviction(s), %llu in-place repair(s)\n",
                 static_cast<unsigned long long>(plan.hits),
                 static_cast<unsigned long long>(plan.misses),
                 plan.hit_rate() * 100.0,
-                static_cast<unsigned long long>(plan.invalidations));
+                static_cast<unsigned long long>(plan.invalidations),
+                static_cast<unsigned long long>(plan.repairs));
   }
   if (sc.faults.any()) {
     std::printf("  faults      %zu pair-down, %zu pair-up, %zu recovered "

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Report-only perf comparison: diff a fresh BENCH_sim.json against the
 # committed copy, column by column — per-cell events/sec, plan-cache hit
-# rate, and the microbench columns (scheduler events/sec per queue depth,
-# tree builds/sec, cached lookups/sec).
+# rate, peak RSS (always shown for fault cells, where surgical invalidation
+# and repair make all three the regression surface), and the microbench
+# columns (scheduler events/sec per queue depth, tree builds/sec, cached
+# lookups/sec).
 #
 # Usage: scripts/perf_diff.sh [fresh_json]
 #   fresh_json   default: BENCH_sim.json in the repo root (as written by
@@ -67,11 +69,16 @@ for key in old_cells:
     if key not in new_cells:
         continue
     o, n = old_cells[key], new_cells[key]
-    label = f"{key[0]} k={key[1]} faults={'on' if key[2] else 'off'} ev/s"
+    faulty = bool(key[2])
+    label = f"{key[0]} k={key[1]} faults={'on' if faulty else 'off'} ev/s"
     row(label, o.get("events_per_sec", 0), n.get("events_per_sec", 0))
+    # Fault cells are the surgical-invalidation regression surface: always
+    # show their hit rate and peak RSS; elsewhere only a changed hit rate.
     ohr, nhr = o.get("plan_cache_hit_rate"), n.get("plan_cache_hit_rate")
-    if ohr is not None and nhr is not None and ohr != nhr:
+    if ohr is not None and nhr is not None and (faulty or ohr != nhr):
         print(f"  {'  plan-cache hit rate':<44} {ohr:>12.4f} {nhr:>12.4f}")
+    if faulty:
+        row("  peak_rss_kib", o.get("peak_rss_kib", 0), n.get("peak_rss_kib", 0))
 
 om, nm = committed.get("microbench", {}), fresh.get("microbench", {})
 osched = {s["queue_depth"]: s["events_per_sec"] for s in om.get("scheduler", [])}

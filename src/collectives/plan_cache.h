@@ -8,25 +8,39 @@
 // builders (build_peel_plan, peel_asymmetric_trees, layer_peel_tree) and
 // returns the previously computed artifact when every input matches.
 //
-// Transparency contract: a hit must be indistinguishable from a rebuild. The
-// key therefore contains EVERY input the builder depends on — kind, source,
-// the full destination vector (exact equality, not just a hash), and the
-// cover policy — plus the fabric epoch: lookups pass the owning Router's
-// generation(), and any change flushes the cache wholesale. Router::
-// invalidate() is called at exactly the points where topology state changes
-// (the documented caller protocol), so a recovery pass after a fault can
-// never reuse a tree planned over dead links.
+// Validity contract under topology churn: the cache must never serve a plan
+// that traverses a currently failed link. Each entry learns its artifact's
+// edge set (duplex-pair representatives) at insert time and is indexed under
+// every edge it traverses; apply_delta() consumes a TopologyDelta
+// (src/routing/topology_events.h) and touches only the entries whose trees
+// traverse a pair the delta reports down — repairing them in place through
+// the caller's hook (incremental re-peel, src/steiner/tree_repair.h) or
+// evicting them. Entries with an empty edge set (failure-oblivious builders
+// like build_peel_plan) are immune to deltas by construction. Up transitions
+// evict nothing: a tree over live links stays valid when more links come
+// back, and because eviction already happened at the Down, a repair can
+// never resurrect a plan that traversed the failed link.
 //
-// Hit/miss/insertion/invalidation counters feed ScenarioResult, scenario_cli
-// and the perf_suite microbench columns in BENCH_sim.json.
+// The key still contains EVERY input the builder reads — kind, source, the
+// full destination vector (exact equality, not just a hash), and the cover
+// policy — so within one failure state a hit is indistinguishable from a
+// rebuild. Across failure states the cache guarantees validity, not
+// byte-transparency: a surviving (or repaired) plan may legitimately differ
+// from what a from-scratch rebuild would produce now.
+//
+// Hit/miss/insertion/invalidation/repair counters feed ScenarioResult,
+// scenario_cli and the perf_suite microbench columns in BENCH_sim.json.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "src/prefix/plan.h"
+#include "src/routing/topology_events.h"
 #include "src/topology/topology.h"
 
 namespace peel {
@@ -43,7 +57,8 @@ struct PlanCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;    ///< misses whose artifact was stored
-  std::uint64_t invalidations = 0; ///< epoch-change flushes
+  std::uint64_t invalidations = 0; ///< entries evicted by topology deltas
+  std::uint64_t repairs = 0;       ///< entries patched in place by the hook
 
   [[nodiscard]] double hit_rate() const noexcept {
     const std::uint64_t total = hits + misses;
@@ -52,42 +67,111 @@ struct PlanCacheStats {
   }
 };
 
+/// Outcome of the caller's repair hook for one delta-affected entry: a
+/// replacement artifact plus its new edge set, or a null value to evict.
+struct PlanRepair {
+  std::shared_ptr<const void> value;
+  std::vector<LinkId> edges;
+};
+
 class TreePlanCache {
  public:
   /// `capacity` bounds the entry count; reaching it flushes the cache (the
   /// artifacts are cheap to rebuild, so eviction policy is not worth state).
   explicit TreePlanCache(std::size_t capacity = 4096) : capacity_(capacity) {}
 
-  /// Looks up the artifact for (kind, source, dests, cover) at fabric epoch
-  /// `generation`, invoking `build` on a miss. `build` must be a pure
-  /// function of those inputs and the (epoch-stable) fabric. T must match
-  /// `kind` at every call site — the kind IS the type tag.
-  template <typename T, typename Build>
-  std::shared_ptr<const T> get_or_build(std::uint64_t generation,
-                                        PlanKind kind, NodeId source,
+  /// Attempts to repair (or evicts) every cached plan whose edge set
+  /// traverses a pair the delta reports down. `repair` receives the entry's
+  /// key fields and type-erased artifact and returns the replacement (null
+  /// value = evict); an empty hook evicts every affected entry. Pairs the
+  /// delta reports up touch nothing — see the validity contract above.
+  using RepairFn = std::function<PlanRepair(
+      PlanKind kind, NodeId source, const std::vector<NodeId>& dests,
+      const std::shared_ptr<const void>& value)>;
+  void apply_delta(const TopologyDelta& delta, const RepairFn& repair = {}) {
+    if (delta.seq > last_delta_seq_) last_delta_seq_ = delta.seq;
+    if (delta.down_pairs.empty()) return;
+    // Collect the affected keys first (deduplicated): repairing an entry
+    // re-indexes it, which must not race the bucket iteration.
+    std::vector<const Key*> affected;
+    for (LinkId pair : delta.down_pairs) {
+      const auto bucket = by_edge_.find(pair);
+      if (bucket == by_edge_.end()) continue;
+      for (const Key* k : bucket->second) {
+        if (std::find(affected.begin(), affected.end(), k) == affected.end()) {
+          affected.push_back(k);
+        }
+      }
+    }
+    for (const Key* kp : affected) {
+      const auto it = entries_.find(*kp);
+      Entry& entry = it->second;
+      unindex(&it->first, entry.edges);
+      PlanRepair fixed;
+      if (repair) fixed = repair(kp->kind, kp->source, kp->dests, entry.value);
+      if (fixed.value != nullptr) {
+        entry.value = std::move(fixed.value);
+        entry.edges = normalize_edges(std::move(fixed.edges));
+        index(&it->first, entry.edges);
+        ++stats_.repairs;
+      } else {
+        entries_.erase(it);
+        ++stats_.invalidations;
+      }
+    }
+  }
+
+  /// Looks up the artifact for (kind, source, dests, cover), invoking
+  /// `build` on a miss and `edges_of(artifact)` to learn the duplex pairs
+  /// the artifact traverses (its delta-invalidation footprint). `build` must
+  /// be a pure function of those inputs and the current fabric state. T must
+  /// match `kind` at every call site — the kind IS the type tag.
+  template <typename T, typename Build, typename EdgesOf>
+  std::shared_ptr<const T> get_or_build(PlanKind kind, NodeId source,
                                         const std::vector<NodeId>& dests,
                                         const PeelCoverOptions& cover,
-                                        Build&& build) {
-    sync_generation(generation);
+                                        Build&& build, EdgesOf&& edges_of) {
     Key key{kind, source, cover.max_tor_prefixes_per_pod, cover.max_pod_blocks,
             dests};
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
-      return std::static_pointer_cast<const T>(it->second);
+      return std::static_pointer_cast<const T>(it->second.value);
     }
     ++stats_.misses;
     auto value = std::make_shared<const T>(build());
-    if (entries_.size() >= capacity_) entries_.clear();
-    entries_.emplace(std::move(key), value);
+    if (entries_.size() >= capacity_) {
+      entries_.clear();
+      by_edge_.clear();
+    }
+    Entry entry;
+    entry.value = value;
+    entry.edges = normalize_edges(edges_of(*value));
+    entry.insert_seq = last_delta_seq_;
+    const auto pos = entries_.emplace(std::move(key), std::move(entry)).first;
+    index(&pos->first, pos->second.edges);
     ++stats_.insertions;
     return value;
   }
 
+  /// Overload for failure-oblivious builders (no link in the artifact's
+  /// construction depends on the failure set): the entry carries no edges
+  /// and is therefore immune to topology deltas.
+  template <typename T, typename Build>
+  std::shared_ptr<const T> get_or_build(PlanKind kind, NodeId source,
+                                        const std::vector<NodeId>& dests,
+                                        const PeelCoverOptions& cover,
+                                        Build&& build) {
+    return get_or_build<T>(kind, source, dests, cover,
+                           std::forward<Build>(build),
+                           [](const T&) { return std::vector<LinkId>{}; });
+  }
+
   [[nodiscard]] const PlanCacheStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
-  [[nodiscard]] std::uint64_t generation() const noexcept {
-    return generation_;
+  /// Sequence number of the last delta consumed (monotone, 0 = none yet).
+  [[nodiscard]] std::uint64_t last_delta_seq() const noexcept {
+    return last_delta_seq_;
   }
 
  private:
@@ -117,20 +201,39 @@ class TreePlanCache {
       return static_cast<std::size_t>(h);
     }
   };
+  struct Entry {
+    std::shared_ptr<const void> value;
+    std::vector<LinkId> edges;  ///< sorted, deduped duplex-pair reps
+    std::uint64_t insert_seq = 0;
+  };
 
-  void sync_generation(std::uint64_t generation) {
-    if (generation == generation_) return;
-    generation_ = generation;
-    if (!entries_.empty()) {
-      entries_.clear();
-      ++stats_.invalidations;
+  [[nodiscard]] static std::vector<LinkId> normalize_edges(
+      std::vector<LinkId> edges) {
+    for (LinkId& l : edges) l -= l % 2;
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    return edges;
+  }
+
+  void index(const Key* key, const std::vector<LinkId>& edges) {
+    for (LinkId pair : edges) by_edge_[pair].push_back(key);
+  }
+  void unindex(const Key* key, const std::vector<LinkId>& edges) {
+    for (LinkId pair : edges) {
+      const auto bucket = by_edge_.find(pair);
+      if (bucket == by_edge_.end()) continue;
+      std::erase(bucket->second, key);
+      if (bucket->second.empty()) by_edge_.erase(bucket);
     }
   }
 
   std::size_t capacity_;
-  std::uint64_t generation_ = 0;
+  std::uint64_t last_delta_seq_ = 0;
   PlanCacheStats stats_;
-  std::unordered_map<Key, std::shared_ptr<const void>, KeyHash> entries_;
+  // Node-based map: Key addresses stay stable across rehashes, so the
+  // link-keyed secondary index can hold bare pointers into the key set.
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  std::unordered_map<LinkId, std::vector<const Key*>> by_edge_;
 };
 
 }  // namespace peel

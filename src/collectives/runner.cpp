@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "src/steiner/layer_peel.h"
+#include "src/steiner/tree_repair.h"
 
 namespace peel {
 
@@ -1029,8 +1030,9 @@ std::shared_ptr<const PeelPlan> CollectiveRunner::peel_plan_for(
                                  options_.peel_cover);
   };
   if (!options_.plan_cache) return std::make_shared<const PeelPlan>(build());
-  return plan_cache_.get_or_build<PeelPlan>(router_.generation(),
-                                            PlanKind::PeelPlan, source, dests,
+  // build_peel_plan never reads the failure set (symmetric prefix cover), so
+  // the entry carries no edges and survives every topology delta.
+  return plan_cache_.get_or_build<PeelPlan>(PlanKind::PeelPlan, source, dests,
                                             options_.peel_cover, build);
 }
 
@@ -1049,8 +1051,15 @@ CollectiveRunner::asymmetric_trees_for(NodeId source,
   // Asymmetric trees ignore the cover policy; a fixed cover keeps keys from
   // splitting on an input the builder never reads.
   return plan_cache_.get_or_build<std::vector<PeelStream>>(
-      router_.generation(), PlanKind::PeelAsymmetric, source, dests,
-      PeelCoverOptions{}, build);
+      PlanKind::PeelAsymmetric, source, dests, PeelCoverOptions{}, build,
+      [](const std::vector<PeelStream>& streams) {
+        std::vector<LinkId> edges;
+        for (const PeelStream& s : streams) {
+          const std::vector<LinkId> pairs = duplex_edge_pairs(s.tree);
+          edges.insert(edges.end(), pairs.begin(), pairs.end());
+        }
+        return edges;
+      });
 }
 
 std::shared_ptr<const MulticastTree> CollectiveRunner::recovery_tree_for(
@@ -1062,8 +1071,74 @@ std::shared_ptr<const MulticastTree> CollectiveRunner::recovery_tree_for(
     return std::make_shared<const MulticastTree>(build());
   }
   return plan_cache_.get_or_build<MulticastTree>(
-      router_.generation(), PlanKind::RecoveryTree, origin, receivers,
-      PeelCoverOptions{}, build);
+      PlanKind::RecoveryTree, origin, receivers, PeelCoverOptions{}, build,
+      [](const MulticastTree& tree) { return duplex_edge_pairs(tree); });
+}
+
+PlanRepair CollectiveRunner::repair_cached_plan(
+    PlanKind kind, const std::shared_ptr<const void>& value) const {
+  try {
+    switch (kind) {
+      case PlanKind::RecoveryTree: {
+        const auto& tree = *std::static_pointer_cast<const MulticastTree>(value);
+        TreeRepairResult repaired = repair_tree(fabric_.topo(), tree);
+        auto fixed =
+            std::make_shared<const MulticastTree>(std::move(repaired.tree));
+        return PlanRepair{fixed, duplex_edge_pairs(*fixed)};
+      }
+      case PlanKind::PeelAsymmetric: {
+        const auto& streams =
+            *std::static_pointer_cast<const std::vector<PeelStream>>(value);
+        std::vector<PeelStream> fixed;
+        fixed.reserve(streams.size());
+        std::vector<LinkId> edges;
+        for (const PeelStream& s : streams) {
+          TreeRepairResult repaired = repair_tree(fabric_.topo(), s.tree);
+          const std::vector<LinkId> pairs = duplex_edge_pairs(repaired.tree);
+          edges.insert(edges.end(), pairs.begin(), pairs.end());
+          fixed.push_back(PeelStream{std::move(repaired.tree), s.receivers});
+        }
+        return PlanRepair{
+            std::make_shared<const std::vector<PeelStream>>(std::move(fixed)),
+            std::move(edges)};
+      }
+      case PlanKind::PeelPlan:
+        // Edge-free entries are never delta-indexed; nothing to repair.
+        break;
+    }
+  } catch (const std::exception&) {
+    // Some orphaned destination is unreachable right now: evict; a later
+    // lookup (after repair) rebuilds from scratch.
+  }
+  return PlanRepair{};
+}
+
+void CollectiveRunner::on_topology_delta(const TopologyDelta& delta) {
+  router_.on_topology_delta(delta);
+  // Mark the collectives this outage actually hit: only a stream forwarding
+  // over a failed pair can lose deliveries (the Network drops its queued and
+  // in-flight segments via the fail epoch), so recover_all can skip every
+  // other collective instead of re-sending traffic that is merely in
+  // flight. Up transitions lose nothing and mark nothing.
+  for (const LinkId pair : delta.down_pairs) {
+    const LinkId rev = fabric_.topo().reverse_of(pair);
+    for (const auto& [id, exec] : execs_) {
+      if (damaged_execs_.contains(id)) continue;
+      for (const StreamId s : exec->streams) {
+        if (net_->stream_uses_link(s, pair) || net_->stream_uses_link(s, rev)) {
+          damaged_execs_.insert(id);
+          break;
+        }
+      }
+    }
+  }
+  if (!options_.plan_cache) return;
+  plan_cache_.apply_delta(
+      delta, [this](PlanKind kind, NodeId /*source*/,
+                    const std::vector<NodeId>& /*dests*/,
+                    const std::shared_ptr<const void>& value) {
+        return repair_cached_plan(kind, value);
+      });
 }
 
 std::size_t CollectiveRunner::recover_broadcast(std::uint64_t id) {
@@ -1110,7 +1185,6 @@ std::size_t CollectiveRunner::recover_collective(std::uint64_t id) {
       missing.push_back(d);
     }
   }
-  if (missing.empty()) return 0;
 
   // Supersede the previous pass: whatever it still had in flight is
   // re-enumerated above, and closing keeps repeated passes (one per flap)
@@ -1118,6 +1192,11 @@ std::size_t CollectiveRunner::recover_collective(std::uint64_t id) {
   // drop silently; the byte audit treats such streams as superseded.
   for (StreamId s : exec.open_recovery) net_->close_stream(s);
   exec.open_recovery.clear();
+
+  if (missing.empty()) {
+    damaged_execs_.erase(id);
+    return 0;
+  }
 
   // Deterministic grouping: origins and receivers in ascending id order.
   std::map<NodeId, std::map<NodeId, std::vector<const ExpectedDelivery*>>> groups;
@@ -1150,13 +1229,19 @@ std::size_t CollectiveRunner::recover_collective(std::uint64_t id) {
       }
     }
   }
+  // Full coverage clears the damage mark; a partial pass (some receiver
+  // unreachable over live links) keeps it, so the next recover_all — e.g.
+  // after a link-up delta — retries the remainder.
+  if (rescheduled == missing.size()) damaged_execs_.erase(id);
   return rescheduled;
 }
 
 std::size_t CollectiveRunner::recover_all() {
   std::vector<std::uint64_t> ids;
-  ids.reserve(execs_.size());
-  for (const auto& [id, exec] : execs_) ids.push_back(id);
+  ids.reserve(damaged_execs_.size());
+  for (const std::uint64_t id : damaged_execs_) {
+    if (execs_.contains(id)) ids.push_back(id);
+  }
   std::sort(ids.begin(), ids.end());
   std::size_t rescheduled = 0;
   for (std::uint64_t id : ids) rescheduled += recover_collective(id);
@@ -1193,6 +1278,7 @@ void CollectiveRunner::finish_exec(std::uint64_t id) {
   record.finish_time = queue_->now();
   for (StreamId s : it->second->streams) net_->close_stream(s);
   execs_.erase(it);
+  damaged_execs_.erase(id);
 }
 
 std::vector<StuckFlowInfo> CollectiveRunner::stuck_flows() const {

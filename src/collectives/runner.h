@@ -19,6 +19,7 @@
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/collectives/fabric.h"
@@ -140,9 +141,11 @@ struct RunnerOptions {
   /// unicast, the original recover_broadcast behavior.
   bool recovery_trees = true;
   /// Memoize control-plane construction (prefix plans, asymmetric trees,
-  /// recovery trees) in a TreePlanCache keyed on the router's fabric epoch.
-  /// Behavior-transparent either way — the cache key carries every builder
-  /// input — so this knob exists for A/B perf comparison and fault tests.
+  /// recovery trees) in a TreePlanCache with link-keyed surgical
+  /// invalidation: topology deltas repair or evict exactly the plans whose
+  /// trees traverse an affected link. Behavior-transparent on a stable
+  /// fabric; under churn the cache guarantees validity (never a plan over a
+  /// failed link), not byte-equality with a from-scratch rebuild.
   bool plan_cache = true;
 };
 
@@ -156,7 +159,7 @@ struct ExpectedDelivery {
   Bytes bytes = 0;
 };
 
-class CollectiveRunner {
+class CollectiveRunner : public TopologyObserver {
  public:
   CollectiveRunner(Fabric fabric, Network& net, EventQueue& queue, Rng rng,
                    RunnerOptions options);
@@ -180,10 +183,19 @@ class CollectiveRunner {
   /// broadcast of the reduced buffer.
   void submit_allreduce(Scheme scheme, AllReduceRequest request);
 
+  /// Consumes one topology-change event: flushes the router's distance
+  /// fields and surgically repairs/evicts the cached plans whose trees
+  /// traverse a failed pair (TreePlanCache::apply_delta with the
+  /// incremental-repair hook, src/steiner/tree_repair.h). Subscribe the
+  /// runner to the TopologyEventBus the FaultInjector publishes on, or call
+  /// this directly (e.g. TopologyDelta::link_down(pair)) after mutating the
+  /// Topology by hand.
+  void on_topology_delta(const TopologyDelta& delta) override;
+
   /// Repairs one still-active collective (any kind) after mid-run link
   /// failures. The caller sequence is: Topology::fail_duplex /
   /// restore_duplex, Network::on_duplex_failed / on_duplex_restored,
-  /// router().invalidate(), then this. Every missing (receiver, chunk) pair
+  /// on_topology_delta(...), then this. Every missing (receiver, chunk) pair
   /// is re-sent from the endpoint that holds it — over one layer-peel
   /// multicast tree per origin when RunnerOptions::recovery_trees is set and
   /// several receivers are missing, else per-receiver unicasts. Earlier
@@ -195,8 +207,14 @@ class CollectiveRunner {
   /// the number of chunk deliveries rescheduled (0 if finished or unknown).
   std::size_t recover_collective(std::uint64_t id);
 
-  /// recover_collective over every active collective, in id order. Returns
-  /// the total deliveries rescheduled.
+  /// recover_collective over every collective the observed deltas actually
+  /// damaged (a down pair crossed one of its open streams' forwarding
+  /// tables), in id order. Undamaged collectives merely have deliveries in
+  /// flight — re-sending those is pure duplicate traffic, and on fault-heavy
+  /// runs it is the dominant cost of the recovery path. A collective stays
+  /// marked until a pass covers every missing delivery, so receivers that
+  /// are unreachable right now are retried on the next pass (e.g. after a
+  /// link-up delta). Returns the total deliveries rescheduled.
   std::size_t recover_all();
 
   /// Backward-compatible alias: recover_collective restricted to broadcasts
@@ -257,6 +275,11 @@ class CollectiveRunner {
   [[nodiscard]] std::shared_ptr<const MulticastTree> recovery_tree_for(
       NodeId origin, const std::vector<NodeId>& receivers);
 
+  /// TreePlanCache::apply_delta hook: incrementally repairs a delta-affected
+  /// cached artifact (null value = evict).
+  [[nodiscard]] PlanRepair repair_cached_plan(
+      PlanKind kind, const std::shared_ptr<const void>& value) const;
+
   Fabric fabric_;
   Network* net_;
   EventQueue* queue_;
@@ -268,6 +291,10 @@ class CollectiveRunner {
   std::unordered_map<std::uint64_t, std::unique_ptr<ExecBase>> execs_;
   std::unordered_map<std::uint64_t, std::size_t> record_index_;
   std::vector<CollectiveRecord> records_;
+  /// Collectives a down delta has hit (an open stream of theirs forwarded
+  /// over a failed pair) and no recovery pass has fully covered yet.
+  /// Maintained by on_topology_delta, consumed by recover_all.
+  std::unordered_set<std::uint64_t> damaged_execs_;
 };
 
 /// Formats `flows` as a human-readable multi-line stuck-flow report.

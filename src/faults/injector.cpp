@@ -4,8 +4,9 @@
 
 namespace peel {
 
-FaultInjector::FaultInjector(Topology& topo, Network& net, EventQueue& queue)
-    : topo_(&topo), net_(&net), queue_(&queue) {}
+FaultInjector::FaultInjector(Topology& topo, Network& net, EventQueue& queue,
+                             TopologyEventBus* bus)
+    : topo_(&topo), net_(&net), queue_(&queue), bus_(bus) {}
 
 void FaultInjector::arm(const FaultSchedule& schedule) {
   if (armed_) throw std::logic_error("FaultInjector::arm called twice");
@@ -39,14 +40,24 @@ std::vector<LinkId> FaultInjector::duplex_targets(const FaultEvent& ev) const {
 void FaultInjector::apply(const FaultEvent& ev) {
   AppliedFault applied;
   applied.event = ev;
+  const bool down = ev.action == FaultAction::Down;
+  TopologyDelta& delta = applied.delta;
+  delta.time = ev.t;
+  if (ev.target == FaultTargetKind::Link) {
+    delta.change = down ? TopologyChange::LinkDown : TopologyChange::LinkUp;
+  } else {
+    delta.change = down ? TopologyChange::SwitchDown : TopologyChange::SwitchUp;
+    delta.switch_id = ev.id;
+  }
+  std::vector<LinkId>& changed = down ? delta.down_pairs : delta.up_pairs;
   for (LinkId pair : duplex_targets(ev)) {
     int& count = down_count_[pair];
-    if (ev.action == FaultAction::Down) {
+    if (down) {
       if (++count == 1) {
         topo_->fail_duplex(pair);
         net_->on_duplex_failed(pair);
         ++pairs_failed_;
-        applied.changed_pairs.push_back(pair);
+        changed.push_back(pair);
       }
     } else {
       if (count <= 0) {
@@ -58,15 +69,18 @@ void FaultInjector::apply(const FaultEvent& ev) {
         topo_->restore_duplex(pair);
         net_->on_duplex_restored(pair);
         ++pairs_restored_;
-        applied.changed_pairs.push_back(pair);
+        changed.push_back(pair);
       }
     }
   }
-  if (ev.action == FaultAction::Down) {
+  if (down) {
     ++downs_;
   } else {
     ++ups_;
   }
+  // Absorbed events (reference counts swallowed every pair) publish nothing:
+  // no link changed state, so no derived artifact went stale.
+  if (bus_ != nullptr && delta.any()) delta.seq = bus_->publish(delta);
   if (handler_) handler_(applied);
 }
 

@@ -8,14 +8,16 @@
 // switch failure and its own link failure only comes back when *both* are
 // repaired.
 //
-// Reaction (route invalidation, recovery passes) is the caller's policy: the
-// change handler fires after each applied event, at that event's simulated
-// time. Handlers MUST call Router::invalidate() for every applied event —
-// besides flushing stale routes, each call bumps the router's fabric epoch
-// (Router::generation()), which is what invalidates the control-plane
-// TreePlanCache (src/collectives/plan_cache.h): a recovery pass planned
-// after the bump can never reuse a tree cached over dead links, and a
-// repair's own bump keeps the pre-fault plan from being resurrected.
+// Every applied event is translated into a structured TopologyDelta
+// (src/routing/topology_events.h) naming exactly the duplex pairs whose
+// live/failed state transitioned. When the injector is constructed with a
+// TopologyEventBus, deltas with at least one transition are published on it
+// — that is how the Router's distance cache and the TreePlanCache's
+// link-keyed index learn which routes and plans a fault actually touched
+// (surgical invalidation, not a wholesale flush). Reaction policy (recovery
+// passes, detection delay) stays with the caller: the change handler fires
+// after each applied event, at that event's simulated time, after the bus
+// publish.
 #pragma once
 
 #include <functional>
@@ -23,22 +25,34 @@
 #include <vector>
 
 #include "src/faults/schedule.h"
+#include "src/routing/topology_events.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/network.h"
 
 namespace peel {
 
-/// One applied schedule event plus the duplex pairs whose live/failed state
-/// actually changed (empty when reference counts absorbed the event).
+/// One applied schedule event plus the TopologyDelta describing the duplex
+/// pairs whose live/failed state actually changed (delta.any() is false when
+/// reference counts absorbed the event).
 struct AppliedFault {
   FaultEvent event;
-  std::vector<LinkId> changed_pairs;  ///< representative (even) link ids
+  TopologyDelta delta;
+
+  /// The pairs this event transitioned, whichever direction it went.
+  [[nodiscard]] const std::vector<LinkId>& changed_pairs() const noexcept {
+    return event.action == FaultAction::Down ? delta.down_pairs
+                                             : delta.up_pairs;
+  }
 };
 
 class FaultInjector {
  public:
-  /// The topology must be the same object the network simulates.
-  FaultInjector(Topology& topo, Network& net, EventQueue& queue);
+  /// The topology must be the same object the network simulates. When `bus`
+  /// is non-null, every applied event with at least one pair transition is
+  /// published on it (stamping the delta's sequence number) before the
+  /// handler runs.
+  FaultInjector(Topology& topo, Network& net, EventQueue& queue,
+                TopologyEventBus* bus = nullptr);
 
   /// Registers every event with the event queue (validate() must pass —
   /// throws std::invalid_argument otherwise). May be called at most once.
@@ -65,6 +79,7 @@ class FaultInjector {
   Topology* topo_;
   Network* net_;
   EventQueue* queue_;
+  TopologyEventBus* bus_;
   bool armed_ = false;
   std::function<void(const AppliedFault&)> handler_;
   /// Outstanding Down events per duplex pair; the pair is live iff 0.

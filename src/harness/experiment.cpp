@@ -123,6 +123,7 @@ ScenarioResult run_scenario_impl(const Fabric& fabric,
   CollectiveRunner runner(fabric, net, queue, rng.fork(0xc0'11ec), config.runner);
 
   std::optional<FaultInjector> injector;
+  TopologyEventBus bus;
   std::size_t recovered = 0;
   if (faulty_topo != nullptr) {
     FaultSchedule schedule = config.faults.schedule;
@@ -137,20 +138,20 @@ ScenarioResult run_scenario_impl(const Fabric& fabric,
           generate_flap_schedule(candidates, config.faults.flap, flap_rng));
     }
     schedule.normalize();
-    injector.emplace(*faulty_topo, net, queue);
+    // The runner consumes each published TopologyDelta at the event's
+    // simulated time: route flush plus surgical repair/eviction of exactly
+    // the cached plans whose trees traverse a failed pair.
+    bus.subscribe(&runner);
+    injector.emplace(*faulty_topo, net, queue, &bus);
     const SimTime detect =
         seconds_to_sim(config.faults.detection_delay_seconds);
     injector->set_handler([&queue, &runner, &recovered, detect,
                            auto_recover =
                                config.faults.auto_recover](const AppliedFault&) {
-      // Routes through a changed pair are stale either way (down: dead;
-      // up: better paths exist). Recovery waits for the detection delay.
-      runner.router().invalidate();
+      // Recovery waits for the detection delay (the delta already landed).
       if (!auto_recover) return;
-      queue.after(detect, [&runner, &recovered] {
-        runner.router().invalidate();
-        recovered += runner.recover_all();
-      });
+      queue.after(detect,
+                  [&runner, &recovered] { recovered += runner.recover_all(); });
     });
     injector->arm(schedule);
   }
@@ -182,10 +183,23 @@ ScenarioResult run_scenario_impl(const Fabric& fabric,
   Rng arrivals = rng.fork(0xa41);
   Rng placer = rng.fork(0x97ace);
 
+  // group_pool > 0 models iteration reuse: the same member sets are
+  // resubmitted round-robin instead of a fresh placement per collective.
+  std::vector<GroupSelection> pool;
+  if (config.group_pool > 0) {
+    pool.reserve(static_cast<std::size_t>(
+        std::min(config.group_pool, config.collectives)));
+    for (int i = 0; i < config.group_pool && i < config.collectives; ++i) {
+      pool.push_back(select_local_group(fabric, placement, placer));
+    }
+  }
+
   SimTime t = 0;
   for (int i = 0; i < config.collectives; ++i) {
     t += static_cast<SimTime>(arrivals.exponential(mean_gap_ns));
-    GroupSelection group = select_local_group(fabric, placement, placer);
+    GroupSelection group =
+        pool.empty() ? select_local_group(fabric, placement, placer)
+                     : pool[static_cast<std::size_t>(i) % pool.size()];
     const auto id = static_cast<std::uint64_t>(i) + 1;
     if (config.collective == CollectiveKind::AllGather) {
       AllGatherRequest req;
@@ -265,6 +279,7 @@ ScenarioResult run_scenario_impl(const Fabric& fabric,
   result.sim_seconds = sim_to_seconds(queue.now());
   result.events = queue.processed();
   result.segments = net.segments_serialized();
+  result.segments_lost = net.segments_lost();
   result.pfc_pauses = net.pfc_pauses();
   result.ecn_marks = net.segments_marked();
   result.plan_cache = runner.plan_cache().stats();

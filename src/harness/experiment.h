@@ -52,8 +52,9 @@ struct FaultConfig {
   /// be set explicitly (there is no implicit default).
   FlapProcess flap;
   /// Simulated delay between a fault event and the control plane reacting
-  /// (route invalidation is immediate; the recovery pass runs this much
-  /// later — the "100 us detection" of the recovery tests).
+  /// (the TopologyDelta — route flush + surgical plan repair — lands
+  /// immediately; the recovery pass runs this much later — the "100 us
+  /// detection" of the recovery tests).
   double detection_delay_seconds = 100e-6;
   /// Run CollectiveRunner::recover_all a detection delay after every fault
   /// event. false = inject only; the caller drives recovery itself.
@@ -74,6 +75,12 @@ struct ScenarioConfig {
   double offered_load = 0.30;
   /// Collectives to sample.
   int collectives = 50;
+  /// Distinct member sets to draw; 0 = a fresh group per collective.
+  /// Training jobs resubmit the same collective on the same ranks every
+  /// iteration, so a scenario that never repeats a group under-exercises
+  /// the control plane's memoization. With N > 0 the first N placements
+  /// are drawn up front and submissions cycle through them round-robin.
+  int group_pool = 0;
   double fragmentation = 0.0;
   /// Buddy-aligned (whole rack/pod block) placements — the bin-packing
   /// discipline of production GPU schedulers [3]. Combine with
@@ -108,6 +115,9 @@ struct ScenarioResult {
   double sim_seconds = 0.0;       ///< simulated wall-clock at drain
   std::uint64_t events = 0;       ///< discrete events processed
   std::uint64_t segments = 0;     ///< segments serialized across all links
+  /// Segments an outage ate: enqueued at a dead port, queued behind a
+  /// failure, or in flight when the wire died (Network::segments_lost).
+  std::uint64_t segments_lost = 0;
   std::uint64_t pfc_pauses = 0;
   std::uint64_t ecn_marks = 0;
   std::size_t unfinished = 0;     ///< collectives that never completed (bug if > 0)
@@ -117,7 +127,7 @@ struct ScenarioResult {
   std::size_t recovered_deliveries = 0;
   /// Control-plane memoization counters (TreePlanCache): hits/misses across
   /// prefix-plan, asymmetric-tree, and recovery-tree construction, plus
-  /// epoch-change invalidations (one per fault-driven flush).
+  /// delta-driven surgical evictions (invalidations) and in-place repairs.
   PlanCacheStats plan_cache;
   /// Non-null iff telemetry ran (config.sim.telemetry.enabled or
   /// config.byte_audit); flow lifetimes are filled from collective records.
@@ -128,32 +138,6 @@ struct ScenarioResult {
 /// kind, and size on an otherwise idle fabric.
 [[nodiscard]] ScenarioResult run_scenario(const Fabric& fabric,
                                           const ScenarioConfig& config);
-
-// Deprecated per-collective entry points, kept for one release. They
-// override config.collective with their own kind.
-[[deprecated("use run_scenario with config.collective = CollectiveKind::Broadcast")]]
-[[nodiscard]] inline ScenarioResult run_broadcast_scenario(
-    const Fabric& fabric, const ScenarioConfig& config) {
-  ScenarioConfig c = config;
-  c.collective = CollectiveKind::Broadcast;
-  return run_scenario(fabric, c);
-}
-
-[[deprecated("use run_scenario with config.collective = CollectiveKind::AllGather")]]
-[[nodiscard]] inline ScenarioResult run_allgather_scenario(
-    const Fabric& fabric, const ScenarioConfig& config) {
-  ScenarioConfig c = config;
-  c.collective = CollectiveKind::AllGather;
-  return run_scenario(fabric, c);
-}
-
-[[deprecated("use run_scenario with config.collective = CollectiveKind::AllReduce")]]
-[[nodiscard]] inline ScenarioResult run_allreduce_scenario(
-    const Fabric& fabric, const ScenarioConfig& config) {
-  ScenarioConfig c = config;
-  c.collective = CollectiveKind::AllReduce;
-  return run_scenario(fabric, c);
-}
 
 struct SingleResult {
   double cct_seconds = 0.0;
@@ -180,19 +164,6 @@ struct SingleRunOptions {
 /// broadcast never completes.
 [[nodiscard]] SingleResult run_single_broadcast(const Fabric& fabric,
                                                 const SingleRunOptions& options);
-
-[[deprecated("use the SingleRunOptions overload")]]
-[[nodiscard]] inline SingleResult run_single_broadcast(
-    const Fabric& fabric, Scheme scheme, const GroupSelection& group,
-    Bytes message_bytes, const SimConfig& sim, const RunnerOptions& runner) {
-  SingleRunOptions options;
-  options.scheme = scheme;
-  options.group = group;
-  options.message_bytes = message_bytes;
-  options.sim = sim;
-  options.runner = runner;
-  return run_single_broadcast(fabric, options);
-}
 
 /// Sums serialized bytes over links of the given kinds.
 [[nodiscard]] Bytes bytes_on_links(const Network& net, const Topology& topo,

@@ -4,14 +4,16 @@
 // shortest-path routing, so the Router computes BFS distance fields and walks
 // them greedily.  Among equal-cost next hops it picks one by hashing the flow
 // id with the hop index — the same deterministic spreading ECMP provides in
-// real fabrics.  Distance fields are cached per destination and invalidated
-// when the failure set changes.
+// real fabrics.  Distance fields are cached per destination and flushed when
+// a TopologyDelta (src/routing/topology_events.h) reports a failure-set
+// change.
 #pragma once
 
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
+#include "src/routing/topology_events.h"
 #include "src/topology/topology.h"
 
 namespace peel {
@@ -29,12 +31,12 @@ struct Route {
 [[nodiscard]] std::uint64_t ecmp_hash(std::uint64_t a, std::uint64_t b,
                                       std::uint64_t salt = 0) noexcept;
 
-class Router {
+class Router : public TopologyObserver {
  public:
   explicit Router(const Topology& topo) : topo_(&topo) {}
 
   /// Hop distances from every node to `dst` over live links; kUnreachable for
-  /// disconnected nodes. Cached until invalidate().
+  /// disconnected nodes. Cached until the next delta (or flush_routes()).
   [[nodiscard]] const std::vector<std::int32_t>& distances_to(NodeId dst);
 
   /// Hop distances from `src` to every node (used for layer peeling).
@@ -43,27 +45,30 @@ class Router {
   /// ECMP shortest path src -> dst; empty Route if unreachable.
   [[nodiscard]] Route path(NodeId src, NodeId dst, std::uint64_t flow_hash);
 
-  /// Drops all cached distance fields (call after failing/restoring links)
-  /// and advances the fabric generation. The caller protocol — invalidate()
-  /// after every fail/restore — makes the generation a fabric epoch: any
-  /// derived artifact (distance field, multicast tree, prefix plan) computed
-  /// under an older generation may describe dead links and must be rebuilt.
-  void invalidate() {
-    dist_cache_.clear();
-    ++generation_;
+  /// Consumes one topology-change event: drops the cached distance fields
+  /// (a link transition anywhere can change distances everywhere, and BFS
+  /// fields are cheap to rebuild lazily) and records the delta sequence.
+  /// Surgical invalidation of *plans* lives in TreePlanCache
+  /// (src/collectives/plan_cache.h), which reacts to the same deltas.
+  void on_topology_delta(const TopologyDelta& delta) override {
+    flush_routes();
+    delta_seq_ = delta.seq > delta_seq_ ? delta.seq : delta_seq_ + 1;
   }
 
-  /// Monotone fabric epoch; bumped by every invalidate(). TreePlanCache
-  /// (src/collectives/plan_cache.h) keys its validity on this, so its
-  /// staleness domain is exactly the router's.
-  [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
+  /// Drops all cached distance fields without consuming a delta — for call
+  /// sites that mutate the Topology directly and hold no event bus.
+  void flush_routes() { dist_cache_.clear(); }
+
+  /// Sequence number of the last delta consumed (monotone; hand-built
+  /// deltas with seq 0 still advance it by one).
+  [[nodiscard]] std::uint64_t delta_seq() const noexcept { return delta_seq_; }
 
   static constexpr std::int32_t kUnreachable = -1;
 
  private:
   const Topology* topo_;
   std::unordered_map<NodeId, std::vector<std::int32_t>> dist_cache_;
-  std::uint64_t generation_ = 0;
+  std::uint64_t delta_seq_ = 0;
 };
 
 }  // namespace peel

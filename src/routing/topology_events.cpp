@@ -1,0 +1,52 @@
+#include "src/routing/topology_events.h"
+
+#include <algorithm>
+
+namespace peel {
+
+const char* to_string(TopologyChange change) noexcept {
+  switch (change) {
+    case TopologyChange::LinkDown: return "link-down";
+    case TopologyChange::LinkUp: return "link-up";
+    case TopologyChange::SwitchDown: return "switch-down";
+    case TopologyChange::SwitchUp: return "switch-up";
+  }
+  return "?";
+}
+
+TopologyDelta TopologyDelta::link_down(LinkId link, SimTime t) {
+  TopologyDelta delta;
+  delta.time = t;
+  delta.change = TopologyChange::LinkDown;
+  delta.down_pairs.push_back(link - (link % 2));
+  return delta;
+}
+
+TopologyDelta TopologyDelta::link_up(LinkId link, SimTime t) {
+  TopologyDelta delta;
+  delta.time = t;
+  delta.change = TopologyChange::LinkUp;
+  delta.up_pairs.push_back(link - (link % 2));
+  return delta;
+}
+
+void TopologyEventBus::subscribe(TopologyObserver* observer) {
+  if (observer == nullptr) return;
+  if (std::find(observers_.begin(), observers_.end(), observer) !=
+      observers_.end()) {
+    return;  // idempotent: one notification per observer per delta
+  }
+  observers_.push_back(observer);
+}
+
+void TopologyEventBus::unsubscribe(TopologyObserver* observer) noexcept {
+  std::erase(observers_, observer);
+}
+
+std::uint64_t TopologyEventBus::publish(TopologyDelta delta) {
+  delta.seq = ++last_seq_;
+  for (TopologyObserver* o : observers_) o->on_topology_delta(delta);
+  return delta.seq;
+}
+
+}  // namespace peel

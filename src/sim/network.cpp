@@ -240,16 +240,23 @@ void Network::close_stream(StreamId stream) {
                             stream_diagnostic(stream).incomplete_deliveries == 0);
   }
   st.closed = true;
-  st.spec.forward.clear();
-  st.spec.receivers.clear();
-  st.fwd_offset.clear();
-  st.fwd_links.clear();
-  st.recv_index.clear();
-  st.recv_nodes.clear();
-  st.progress.clear();
-  st.last_cnp.clear();
-  st.chunk_want.clear();
-  st.pending.clear();
+  // Release, don't just clear: fault-heavy runs open one recovery stream per
+  // (collective, origin) per pass, and clear() retains each dead stream's
+  // node-count-sized tables (fwd_offset, recv_index) forever — hundreds of
+  // MiB of dead capacity across a flapping horizon.
+  // NB: `v = {}` is initializer-list assignment and keeps capacity, exactly
+  // like clear(); swapping with a default-constructed temporary frees it.
+  auto release = [](auto& c) { std::decay_t<decltype(c)>{}.swap(c); };
+  release(st.spec.forward);
+  release(st.spec.receivers);
+  release(st.fwd_offset);
+  release(st.fwd_links);
+  release(st.recv_index);
+  release(st.recv_nodes);
+  release(st.progress);
+  release(st.last_cnp);
+  release(st.chunk_want);
+  release(st.pending);
   st.pending_head = 0;
 }
 

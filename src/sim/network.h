@@ -24,6 +24,7 @@
 // produced.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -152,6 +153,15 @@ class Network final : public SimEventSink {
   }
   [[nodiscard]] std::size_t stream_count() const noexcept {
     return streams_.size();
+  }
+  /// True while `s` is open and its compiled forwarding table replicates
+  /// onto `l` (one direction; callers check both directions of a duplex
+  /// pair). Closed streams report false — their tables are released.
+  [[nodiscard]] bool stream_uses_link(StreamId s, LinkId l) const noexcept {
+    const StreamState& st = streams_[static_cast<std::size_t>(s)];
+    if (st.closed) return false;
+    return std::find(st.fwd_links.begin(), st.fwd_links.end(), l) !=
+           st.fwd_links.end();
   }
   /// Progress snapshot for stuck-flow reports (works without telemetry).
   [[nodiscard]] StreamDiagnostic stream_diagnostic(StreamId s) const;

@@ -8,9 +8,9 @@
 #include <vector>
 
 namespace peel {
-namespace {
 
-std::vector<std::int32_t> bfs_from(const Topology& topo, NodeId source) {
+std::vector<std::int32_t> live_bfs_distances(const Topology& topo,
+                                             NodeId source) {
   std::vector<std::int32_t> dist(topo.node_count(), -1);
   std::deque<NodeId> queue{source};
   dist[static_cast<std::size_t>(source)] = 0;
@@ -30,11 +30,9 @@ std::vector<std::int32_t> bfs_from(const Topology& topo, NodeId source) {
   return dist;
 }
 
-}  // namespace
-
 int farthest_destination_distance(const Topology& topo, NodeId source,
                                   std::span<const NodeId> destinations) {
-  const auto dist = bfs_from(topo, source);
+  const auto dist = live_bfs_distances(topo, source);
   int farthest = 0;
   for (NodeId d : destinations) {
     const auto dd = dist[static_cast<std::size_t>(d)];
@@ -48,7 +46,7 @@ int farthest_destination_distance(const Topology& topo, NodeId source,
 
 MulticastTree layer_peel_tree(const Topology& topo, NodeId source,
                               std::span<const NodeId> destinations) {
-  const auto dist = bfs_from(topo, source);
+  const auto dist = live_bfs_distances(topo, source);
   auto layer_of = [&](NodeId n) { return dist[static_cast<std::size_t>(n)]; };
 
   std::int32_t farthest = 0;

@@ -1,0 +1,44 @@
+// Incremental repair of layer-peeling multicast trees after link failures.
+//
+// Lemma 2.1's layering survives a failure untouched everywhere the failure
+// did not cut the tree: only the subtrees hanging below a dead link lose
+// their connection to the source. repair_tree keeps the surviving
+// source-connected portion of the tree verbatim and re-peels (the §2.3
+// greedy, seeded with the survivors as already-covered members) only the
+// destinations the cut orphaned — localized control-plane update instead of
+// a from-scratch rebuild. Every repaired destination sits no deeper than a
+// from-scratch layer_peel_tree would place it: surviving nodes keep their
+// pre-fault depth (<= their post-fault BFS layer, since failures only
+// lengthen shortest paths), and reattachment edges descend one fresh BFS
+// layer per hop, exactly like the scratch build.
+#pragma once
+
+#include <vector>
+
+#include "src/steiner/multicast_tree.h"
+#include "src/topology/topology.h"
+
+namespace peel {
+
+struct TreeRepairResult {
+  MulticastTree tree;
+  /// False when no tree link failed: `tree` is a verbatim copy of the input.
+  bool changed = false;
+  std::size_t links_reused = 0;  ///< surviving links kept (post-prune)
+  std::size_t links_added = 0;   ///< fresh reattachment links (post-prune)
+};
+
+/// Patches `tree` against the current failure set of `topo`. Surviving
+/// source-connected links are reused; orphaned destinations are reattached
+/// by the layer-peeling greedy; branches left serving no destination are
+/// pruned. Deterministic (lowest-id ties, like layer_peel_tree). Throws
+/// std::runtime_error when an orphaned destination is unreachable over live
+/// links — exactly the inputs for which layer_peel_tree would throw too.
+[[nodiscard]] TreeRepairResult repair_tree(const Topology& topo,
+                                           const MulticastTree& tree);
+
+/// Duplex-pair representatives (even link ids) the tree traverses — the edge
+/// set TreePlanCache indexes cached plans under.
+[[nodiscard]] std::vector<LinkId> duplex_edge_pairs(const MulticastTree& tree);
+
+}  // namespace peel

@@ -1,114 +1,123 @@
-// Contract tests for the PR-1 deprecated wrappers: each must forward every
-// field of the modern config — a wrapper that drops or re-defaults a field
-// produces a different simulation, which these equivalence checks catch.
+// Contract tests for the topology-change event API. The bus, the delta
+// factories, and the injector's published deltas form the public surface
+// that cache invalidation and incremental repair hang off — these tests pin
+// the invariants every consumer relies on: monotone sequence stamping,
+// subscription-order notification, idempotent subscribe/unsubscribe,
+// duplex-pair normalization, and the AppliedFault::changed_pairs() view.
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <string>
+#include <vector>
 
-#include "src/harness/experiment.h"
-#include "src/topology/fat_tree.h"
-
-// The whole point of this file is to call the deprecated entry points.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#include "src/routing/topology_events.h"
 
 namespace peel {
 namespace {
 
-const Fabric& test_fabric() {
-  static const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 2});
-  static const Fabric fabric = Fabric::of(ft);
-  return fabric;
-}
-
-/// A config that strays from every default the wrappers could silently
-/// reintroduce — if a field were dropped, results would differ.
-ScenarioConfig nondefault_config() {
-  ScenarioConfig c;
-  c.scheme = Scheme::Optimal;
-  c.group_size = 12;
-  c.message_bytes = 3 * kMiB;
-  c.offered_load = 0.42;
-  c.collectives = 5;
-  c.fragmentation = 0.25;
-  c.buddy_aligned = false;
-  c.seed = 987654321;
-  c.sim.segment_bytes = 128 * kKiB;
-  c.sim.ecn_kmin = 10 * 1000;
-  c.sim.seed = 24;
-  c.runner.chunks = 5;
-  c.runner.controller_delay_enabled = false;
-  c.runner.multicast_cnp_mode = CnpMode::Unthrottled;
-  c.runner.stripe_trees = 2;
-  c.byte_audit = false;
-  return c;
-}
-
-void expect_equal(const ScenarioResult& a, const ScenarioResult& b) {
-  ASSERT_EQ(a.cct_seconds.count(), b.cct_seconds.count());
-  for (std::size_t i = 0; i < a.cct_seconds.values().size(); ++i) {
-    EXPECT_EQ(a.cct_seconds.values()[i], b.cct_seconds.values()[i]) << i;
+struct Recorder : TopologyObserver {
+  std::string name;
+  std::vector<std::string>* order = nullptr;
+  std::vector<TopologyDelta> seen;
+  void on_topology_delta(const TopologyDelta& delta) override {
+    seen.push_back(delta);
+    if (order != nullptr) order->push_back(name);
   }
-  EXPECT_EQ(a.fabric_bytes, b.fabric_bytes);
-  EXPECT_EQ(a.core_bytes, b.core_bytes);
-  EXPECT_EQ(a.sim_seconds, b.sim_seconds);
-  EXPECT_EQ(a.events, b.events);
-  EXPECT_EQ(a.pfc_pauses, b.pfc_pauses);
-  EXPECT_EQ(a.ecn_marks, b.ecn_marks);
-  EXPECT_EQ(a.unfinished, b.unfinished);
+};
+
+TEST(TopologyDelta, FactoriesNormalizeToDuplexPairRepresentatives) {
+  // Links come in duplex pairs (2k, 2k+1); every consumer keys on the even
+  // representative, so the factories must fold odd ids down.
+  const TopologyDelta down = TopologyDelta::link_down(7, 123);
+  EXPECT_EQ(down.change, TopologyChange::LinkDown);
+  ASSERT_EQ(down.down_pairs.size(), 1u);
+  EXPECT_EQ(down.down_pairs[0], 6);
+  EXPECT_TRUE(down.up_pairs.empty());
+  EXPECT_EQ(down.time, 123);
+  EXPECT_TRUE(down.any());
+
+  const TopologyDelta up = TopologyDelta::link_up(6);
+  EXPECT_EQ(up.change, TopologyChange::LinkUp);
+  ASSERT_EQ(up.up_pairs.size(), 1u);
+  EXPECT_EQ(up.up_pairs[0], 6);
+  EXPECT_TRUE(up.down_pairs.empty());
+
+  const TopologyDelta empty{};
+  EXPECT_FALSE(empty.any());
 }
 
-TEST(DeprecatedWrappers, BroadcastScenarioMatchesDirectCall) {
-  ScenarioConfig config = nondefault_config();
-  config.collective = CollectiveKind::Broadcast;
-  const ScenarioResult direct = run_scenario(test_fabric(), config);
-  // The wrapper must produce the identical run even when handed a config
-  // whose collective field disagrees (it documents overriding it).
-  ScenarioConfig wrong_kind = config;
-  wrong_kind.collective = CollectiveKind::AllGather;
-  const ScenarioResult wrapped =
-      run_broadcast_scenario(test_fabric(), wrong_kind);
-  expect_equal(direct, wrapped);
+TEST(TopologyEventBus, PublishStampsMonotoneSequenceNumbers) {
+  TopologyEventBus bus;
+  Recorder obs;
+  bus.subscribe(&obs);
+  EXPECT_EQ(bus.last_seq(), 0u);
+
+  const std::uint64_t s1 = bus.publish(TopologyDelta::link_down(0));
+  const std::uint64_t s2 = bus.publish(TopologyDelta::link_up(0));
+  const std::uint64_t s3 = bus.publish(TopologyDelta::link_down(2));
+  EXPECT_EQ(s1, 1u);
+  EXPECT_EQ(s2, 2u);
+  EXPECT_EQ(s3, 3u);
+  EXPECT_EQ(bus.last_seq(), 3u);
+
+  // Observers see the stamped sequence, not the caller's zero.
+  ASSERT_EQ(obs.seen.size(), 3u);
+  EXPECT_EQ(obs.seen[0].seq, 1u);
+  EXPECT_EQ(obs.seen[1].seq, 2u);
+  EXPECT_EQ(obs.seen[2].seq, 3u);
 }
 
-TEST(DeprecatedWrappers, AllGatherScenarioMatchesDirectCall) {
-  ScenarioConfig config = nondefault_config();
-  config.collective = CollectiveKind::AllGather;
-  const ScenarioResult direct = run_scenario(test_fabric(), config);
-  const ScenarioResult wrapped = run_allgather_scenario(test_fabric(), config);
-  expect_equal(direct, wrapped);
+TEST(TopologyEventBus, NotifiesInSubscriptionOrder) {
+  TopologyEventBus bus;
+  std::vector<std::string> order;
+  Recorder a;
+  a.name = "router";
+  a.order = &order;
+  Recorder b;
+  b.name = "runner";
+  b.order = &order;
+  bus.subscribe(&a);
+  bus.subscribe(&b);
+  bus.publish(TopologyDelta::link_down(4));
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "router");
+  EXPECT_EQ(order[1], "runner");
 }
 
-TEST(DeprecatedWrappers, AllReduceScenarioMatchesDirectCall) {
-  ScenarioConfig config = nondefault_config();
-  config.collective = CollectiveKind::AllReduce;
-  const ScenarioResult direct = run_scenario(test_fabric(), config);
-  const ScenarioResult wrapped = run_allreduce_scenario(test_fabric(), config);
-  expect_equal(direct, wrapped);
+TEST(TopologyEventBus, SubscribeIsIdempotentAndUnsubscribeStopsDelivery) {
+  TopologyEventBus bus;
+  Recorder obs;
+  bus.subscribe(&obs);
+  bus.subscribe(&obs);  // double-subscribe must not double-deliver
+  EXPECT_EQ(bus.observer_count(), 1u);
+  bus.publish(TopologyDelta::link_down(0));
+  EXPECT_EQ(obs.seen.size(), 1u);
+
+  bus.unsubscribe(&obs);
+  EXPECT_EQ(bus.observer_count(), 0u);
+  bus.publish(TopologyDelta::link_down(2));
+  EXPECT_EQ(obs.seen.size(), 1u);
+  bus.unsubscribe(&obs);  // unsubscribing a non-subscriber is a no-op
 }
 
-TEST(DeprecatedWrappers, PositionalSingleBroadcastMatchesOptionsCall) {
-  SingleRunOptions options;
-  options.scheme = Scheme::Peel;
-  options.group.source = test_fabric().endpoints().front();
-  for (int i = 1; i <= 9; ++i) {
-    options.group.destinations.push_back(
-        test_fabric().endpoints()[static_cast<std::size_t>(i)]);
-  }
-  options.message_bytes = 6 * kMiB;
-  options.sim.segment_bytes = 128 * kKiB;
-  options.sim.seed = 77;
-  options.runner.chunks = 3;
-  options.runner.multicast_cnp_mode = CnpMode::ReceiverTimer;
+TEST(TopologyEventBus, SequenceAdvancesWithNoObservers) {
+  // Publishing into an empty bus still burns a sequence number — consumers
+  // that subscribe late must never see a seq they could confuse with an
+  // event they already processed.
+  TopologyEventBus bus;
+  EXPECT_EQ(bus.publish(TopologyDelta::link_down(0)), 1u);
+  Recorder obs;
+  bus.subscribe(&obs);
+  EXPECT_EQ(bus.publish(TopologyDelta::link_up(0)), 2u);
+  ASSERT_EQ(obs.seen.size(), 1u);
+  EXPECT_EQ(obs.seen[0].seq, 2u);
+}
 
-  const SingleResult modern = run_single_broadcast(test_fabric(), options);
-  const SingleResult legacy = run_single_broadcast(
-      test_fabric(), options.scheme, options.group, options.message_bytes,
-      options.sim, options.runner);
-
-  EXPECT_EQ(modern.cct_seconds, legacy.cct_seconds);
-  EXPECT_EQ(modern.fabric_bytes, legacy.fabric_bytes);
-  EXPECT_EQ(modern.core_bytes, legacy.core_bytes);
-  EXPECT_EQ(modern.nvlink_bytes, legacy.nvlink_bytes);
+TEST(TopologyChangeNames, ToStringCoversEveryKind) {
+  EXPECT_STREQ(to_string(TopologyChange::LinkDown), "link-down");
+  EXPECT_STREQ(to_string(TopologyChange::LinkUp), "link-up");
+  EXPECT_STREQ(to_string(TopologyChange::SwitchDown), "switch-down");
+  EXPECT_STREQ(to_string(TopologyChange::SwitchUp), "switch-up");
 }
 
 }  // namespace

@@ -32,11 +32,18 @@ ScenarioConfig base_config() {
 }
 
 FlapProcess default_flap() {
+  // Concentrated on the window where the collectives are actually in
+  // flight (they drain within ~250 us at this load), and wide enough
+  // (12 of the 32 spine-leaf pairs) that outages provably cross live
+  // trees: recovery is surgical now — recover_all only re-sends
+  // deliveries an outage actually ate — so a sparse schedule that never
+  // hits a live stream would recover nothing and the teeth-check below
+  // would be vacuous.
   FlapProcess flap;
-  flap.mtbf_seconds = 400e-6;
-  flap.mttr_seconds = 120e-6;
-  flap.links = 3;
-  flap.horizon_seconds = 3e-3;
+  flap.mtbf_seconds = 60e-6;
+  flap.mttr_seconds = 25e-6;
+  flap.links = 12;
+  flap.horizon_seconds = 400e-6;
   return flap;
 }
 

@@ -250,10 +250,57 @@ TEST(FaultInjector, HandlerReportsOnlyRealTransitions) {
 
   std::vector<std::size_t> changed_counts;
   fx.injector.set_handler([&](const AppliedFault& applied) {
-    changed_counts.push_back(applied.changed_pairs.size());
+    changed_counts.push_back(applied.changed_pairs().size());
   });
   fx.queue.run();
   EXPECT_EQ(changed_counts, (std::vector<std::size_t>{1, 0, 0, 1}));
+}
+
+// The injector publishes a structured TopologyDelta for every event that
+// transitioned at least one pair — absorbed events publish nothing — naming
+// the affected pairs and the switch whose outage expanded to them.
+TEST(FaultInjector, PublishesDeltasOnTheEventBus) {
+  struct Recorder final : TopologyObserver {
+    std::vector<TopologyDelta> seen;
+    void on_topology_delta(const TopologyDelta& delta) override {
+      seen.push_back(delta);
+    }
+  };
+  LeafSpine ls = build_leaf_spine(LeafSpineConfig{2, 4, 1, 0});
+  EventQueue queue;
+  Network net{ls.topo, SimConfig{}, queue};
+  TopologyEventBus bus;
+  Recorder recorder;
+  bus.subscribe(&recorder);
+  FaultInjector injector{ls.topo, net, queue, &bus};
+
+  const NodeId spine = ls.spines[0];
+  const LinkId pair = duplex_spine_leaf_links(ls.topo)[0];
+  FaultSchedule s;
+  s.link_down(1000, pair);
+  s.link_down(2000, pair);  // absorbed (refcount 1 -> 2): publishes nothing
+  s.link_up(3000, pair);    // absorbed (2 -> 1): still down
+  s.link_up(4000, pair);    // 1 -> 0: restores, publishes
+  s.switch_down(5000, spine);
+  s.switch_up(6000, spine);
+  injector.arm(s);
+  queue.run();
+
+  ASSERT_EQ(recorder.seen.size(), 4u);
+  EXPECT_EQ(recorder.seen[0].change, TopologyChange::LinkDown);
+  EXPECT_EQ(recorder.seen[0].down_pairs, std::vector<LinkId>{pair});
+  EXPECT_EQ(recorder.seen[0].seq, 1u);
+  EXPECT_EQ(recorder.seen[0].time, 1000);
+  EXPECT_EQ(recorder.seen[1].change, TopologyChange::LinkUp);
+  EXPECT_EQ(recorder.seen[1].up_pairs, std::vector<LinkId>{pair});
+  EXPECT_EQ(recorder.seen[1].seq, 2u);
+  EXPECT_EQ(recorder.seen[2].change, TopologyChange::SwitchDown);
+  EXPECT_EQ(recorder.seen[2].switch_id, spine);
+  EXPECT_EQ(recorder.seen[2].down_pairs.size(), 4u);  // every incident pair
+  EXPECT_EQ(recorder.seen[3].change, TopologyChange::SwitchUp);
+  EXPECT_EQ(recorder.seen[3].switch_id, spine);
+  EXPECT_EQ(recorder.seen[3].up_pairs.size(), 4u);
+  EXPECT_EQ(bus.last_seq(), 4u);
 }
 
 TEST(FaultInjector, ArmRejectsInvalidSchedulesAndDoubleArm) {

@@ -49,6 +49,31 @@ TEST(Scenario, DeterministicForFixedSeed) {
   EXPECT_EQ(a.events, b.events);
 }
 
+TEST(Scenario, GroupPoolReusesPlacementsAndHitsThePlanCache) {
+  // group_pool models training-iteration reuse: submissions cycle over a
+  // fixed set of member sets instead of drawing a fresh group each time.
+  // Repeated (source, destinations) keys must turn into plan-cache hits —
+  // with 2 pooled groups and 6 broadcasts, only the first visit to each
+  // group can miss.
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 4});
+  const Fabric fabric = Fabric::of(ft);
+
+  ScenarioConfig fresh = quick_config(Scheme::Peel);
+  const ScenarioResult unpooled = run_scenario(fabric, fresh);
+
+  ScenarioConfig pooled = quick_config(Scheme::Peel);
+  pooled.group_pool = 2;
+  const ScenarioResult r = run_scenario(fabric, pooled);
+  EXPECT_EQ(r.unfinished, 0u);
+  EXPECT_GE(r.plan_cache.hits, 4u);
+  EXPECT_GT(r.plan_cache.hits, unpooled.plan_cache.hits);
+
+  // Still a pure function of (fabric, config).
+  const ScenarioResult again = run_scenario(fabric, pooled);
+  EXPECT_EQ(r.cct_seconds.values(), again.cct_seconds.values());
+  EXPECT_EQ(r.events, again.events);
+}
+
 TEST(Scenario, SeedChangesOutcome) {
   const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 4});
   const Fabric fabric = Fabric::of(ft);

@@ -51,7 +51,7 @@ TEST_F(RecoveryFixture, BroadcastSurvivesMidRunLinkFailure) {
   });
   std::size_t rescheduled = 0;
   queue.at(500 * kMicrosecond, [&] {
-    runner.router().invalidate();
+    runner.on_topology_delta(TopologyDelta::link_down(doomed));
     rescheduled = runner.recover_broadcast(1);
   });
   queue.run();
@@ -184,14 +184,12 @@ TEST_F(RecoveryFixture, RingRecoversWithoutForwardingConfusion) {
     net.on_duplex_failed(doomed);
   });
   queue.at(600 * kMicrosecond, [&] {
-    runner.router().invalidate();
+    runner.on_topology_delta(TopologyDelta::link_down(doomed));
     runner.recover_broadcast(1);
   });
-  // A second recovery pass picks up anything the first one raced with.
-  queue.at(5 * kMillisecond, [&] {
-    runner.router().invalidate();
-    runner.recover_broadcast(1);
-  });
+  // A second recovery pass picks up anything the first one raced with; the
+  // topology did not change again, so no new delta is needed.
+  queue.at(5 * kMillisecond, [&] { runner.recover_broadcast(1); });
   queue.run();
   EXPECT_TRUE(runner.records().front().finished);
 }

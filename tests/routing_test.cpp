@@ -101,19 +101,23 @@ TEST(Router, DetourWhenShortestBroken) {
   EXPECT_TRUE(r.nodes.empty() || r.nodes.size() == 1);
 }
 
-TEST(Router, InvalidateRefreshesDistances) {
+TEST(Router, TopologyDeltaRefreshesDistances) {
   LeafSpine ls = build_leaf_spine(LeafSpineConfig{2, 2, 1, 0});
   Router router(ls.topo);
   const Route before = router.path(ls.hosts[0], ls.hosts[1], 0);
   EXPECT_EQ(before.hops(), 4u);
-  // Fail the spine the cached path used; without invalidate the router would
-  // try to walk a stale distance field.
+  // Fail the spine the cached path used; without consuming the delta the
+  // router would try to walk a stale distance field.
+  LinkId doomed = kInvalidLink;
   for (std::size_t i = 0; i < before.nodes.size(); ++i) {
     if (ls.topo.kind(before.nodes[i]) == NodeKind::Core) {
-      ls.topo.fail_duplex(before.links[i - 1]);
+      doomed = before.links[i - 1];
+      ls.topo.fail_duplex(doomed);
     }
   }
-  router.invalidate();
+  const std::uint64_t seq_before = router.delta_seq();
+  router.on_topology_delta(TopologyDelta::link_down(doomed));
+  EXPECT_GT(router.delta_seq(), seq_before);
   const Route after = router.path(ls.hosts[0], ls.hosts[1], 0);
   EXPECT_TRUE(route_is_consistent(ls.topo, after, ls.hosts[0], ls.hosts[1]));
 }

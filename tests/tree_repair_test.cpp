@@ -1,0 +1,183 @@
+// Differential test for incremental tree repair (src/steiner/tree_repair.h):
+// over EVERY failure subset of at most two duplex fabric pairs on small
+// fat-trees, repairing the pristine layer-peel tree must be equivalent to —
+// or better than — rebuilding from scratch. "Equivalent or better" is pinned
+// per destination: the repaired tree is valid on the damaged fabric and no
+// destination sits deeper than in the scratch rebuild (repair reuses
+// pristine-depth subtrees, scratch pays post-fault BFS distances). Repair
+// throws exactly when scratch would (some destination unreachable), and a
+// failure that misses the tree is a verbatim no-op.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/steiner/layer_peel.h"
+#include "src/steiner/multicast_tree.h"
+#include "src/steiner/tree_repair.h"
+#include "src/topology/failures.h"
+#include "src/topology/fat_tree.h"
+
+namespace peel {
+namespace {
+
+/// Hops from the tree's source to `n` along tree in-links.
+std::size_t tree_depth(const MulticastTree& tree, NodeId n,
+                       const Topology& topo) {
+  std::size_t depth = 0;
+  while (n != tree.source()) {
+    const LinkId in = tree.in_link_of(n);
+    if (in == kInvalidLink) ADD_FAILURE() << "node " << n << " has no in-link";
+    n = topo.link(in).src;
+    ++depth;
+  }
+  return depth;
+}
+
+struct Outcome {
+  bool ok = false;
+  MulticastTree tree;
+  bool changed = false;
+};
+
+Outcome try_scratch(const Topology& topo, NodeId source,
+                    const std::vector<NodeId>& dests) {
+  Outcome out;
+  try {
+    out.tree = layer_peel_tree(topo, source, dests);
+    out.ok = true;
+  } catch (const std::exception&) {
+  }
+  return out;
+}
+
+Outcome try_repair(const Topology& topo, const MulticastTree& base) {
+  Outcome out;
+  try {
+    TreeRepairResult r = repair_tree(topo, base);
+    EXPECT_EQ(r.links_reused + r.links_added, r.tree.link_count());
+    out.tree = std::move(r.tree);
+    out.changed = r.changed;
+    out.ok = true;
+  } catch (const std::exception&) {
+  }
+  return out;
+}
+
+/// Runs the full ≤2-pair differential sweep on one fabric.
+void run_differential(FatTree ft, const std::vector<NodeId>& dests) {
+  Topology& topo = ft.topo;
+  const NodeId source = ft.endpoints().front();
+  const MulticastTree base = layer_peel_tree(topo, source, dests);
+  ASSERT_TRUE(base.validate(topo).ok);
+
+  const std::vector<LinkId> pairs = duplex_fabric_links(topo);
+  ASSERT_GT(pairs.size(), 4u);
+
+  std::vector<std::vector<LinkId>> subsets;
+  for (LinkId a : pairs) subsets.push_back({a});
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    for (std::size_t j = i + 1; j < pairs.size(); ++j) {
+      subsets.push_back({pairs[i], pairs[j]});
+    }
+  }
+
+  std::size_t repaired_cases = 0;
+  std::size_t untouched_cases = 0;
+  std::size_t unreachable_cases = 0;
+  for (const std::vector<LinkId>& subset : subsets) {
+    for (LinkId l : subset) topo.fail_duplex(l);
+
+    bool tree_hit = false;
+    for (LinkId l : base.links()) {
+      if (topo.link(l).failed) tree_hit = true;
+    }
+
+    const Outcome scratch = try_scratch(topo, source, dests);
+    const Outcome repaired = try_repair(topo, base);
+    EXPECT_EQ(scratch.ok, repaired.ok)
+        << "repair must fail exactly when a scratch rebuild would, subset {"
+        << subset.front() << (subset.size() > 1 ? "," : "")
+        << (subset.size() > 1 ? std::to_string(subset.back()) : "") << "}";
+
+    if (!scratch.ok) {
+      ++unreachable_cases;
+    } else if (repaired.ok) {
+      const auto check = repaired.tree.validate(topo);
+      EXPECT_TRUE(check.ok) << check.error;
+      if (!tree_hit) {
+        EXPECT_FALSE(repaired.changed);
+        EXPECT_EQ(repaired.tree.links(), base.links())
+            << "a failure missing the tree must be a verbatim no-op";
+        ++untouched_cases;
+      } else {
+        EXPECT_TRUE(repaired.changed);
+        ++repaired_cases;
+      }
+      for (NodeId d : dests) {
+        EXPECT_LE(tree_depth(repaired.tree, d, topo),
+                  tree_depth(scratch.tree, d, topo))
+            << "destination " << d << " deeper after repair than scratch";
+      }
+    }
+
+    for (LinkId l : subset) topo.restore_duplex(l);
+  }
+
+  // The sweep only has teeth if it exercised all three regimes.
+  EXPECT_GT(repaired_cases, 0u);
+  EXPECT_GT(untouched_cases, 0u);
+  EXPECT_GT(unreachable_cases, 0u)
+      << "expected some subset to isolate a destination (e.g. both agg "
+         "uplinks of its ToR)";
+}
+
+TEST(TreeRepair, DifferentialSweepHostEndpoints) {
+  FatTree ft = build_fat_tree(FatTreeConfig{4, -1, 0});  // 16 hosts
+  std::vector<NodeId> dests;
+  for (std::size_t i = 1; i < ft.hosts.size(); i += 2) {
+    dests.push_back(ft.hosts[i]);  // spread across every pod
+  }
+  run_differential(std::move(ft), dests);
+}
+
+TEST(TreeRepair, DifferentialSweepGpuEndpoints) {
+  // GPU tier in play: repair must also reattach through host/NVLink hops.
+  FatTree ft = build_fat_tree(FatTreeConfig{4, 1, 2});  // 8 hosts, 16 GPUs
+  std::vector<NodeId> dests;
+  for (std::size_t i = 1; i < ft.gpus.size(); i += 3) {
+    dests.push_back(ft.gpus[i]);
+  }
+  run_differential(std::move(ft), dests);
+}
+
+TEST(TreeRepair, PristineFabricIsAFastPathNoOp) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, -1, 0});
+  std::vector<NodeId> dests{ft.hosts[3], ft.hosts[7], ft.hosts[11]};
+  const MulticastTree base = layer_peel_tree(ft.topo, ft.hosts[0], dests);
+  const TreeRepairResult r = repair_tree(ft.topo, base);
+  EXPECT_FALSE(r.changed);
+  EXPECT_EQ(r.links_reused, base.link_count());
+  EXPECT_EQ(r.links_added, 0u);
+  EXPECT_EQ(r.tree.links(), base.links());
+}
+
+TEST(TreeRepair, DuplexEdgePairsAreEvenAndUnique) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, -1, 0});
+  std::vector<NodeId> dests{ft.hosts[3], ft.hosts[7], ft.hosts[11]};
+  const MulticastTree tree = layer_peel_tree(ft.topo, ft.hosts[0], dests);
+  const std::vector<LinkId> edges = duplex_edge_pairs(tree);
+  EXPECT_EQ(edges.size(), tree.link_count())
+      << "a tree never uses both directions of a duplex pair";
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_EQ(edges[i] % 2, 0) << "pair representatives are the even ids";
+    if (i > 0) {
+      EXPECT_LT(edges[i - 1], edges[i]) << "sorted, deduplicated";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace peel
