@@ -35,6 +35,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/collectives/plan_cache.h"
@@ -92,6 +93,81 @@ ScenarioConfig perf_cell_config(CollectiveKind kind, bool faults, int samples) {
     c.faults.flap.horizon_seconds = 15e-3;
   }
   return c;
+}
+
+// ---------------------------------------------------------------------------
+// Sharded engine reference cells: the same workload at 1/2/4/8 worker
+// threads through the pod-sharded engine (src/sim/sharded.h). The cells
+// serve two purposes: a wall-clock trajectory for the parallel engine
+// (meaningful only on multi-core hosts — host_cpus is recorded next to the
+// numbers), and an invariance signature (events, segments, bytes, CCT sum)
+// that must be identical at every worker count — the grid-level version of
+// tests/shard_invariance_test.cpp.
+// ---------------------------------------------------------------------------
+
+struct ShardedCellResult {
+  int shards = 0;
+  double wall_seconds = 0.0;
+  ScenarioResult result;
+};
+
+ScenarioConfig sharded_cell_config(int samples) {
+  ScenarioConfig c;
+  c.scheme = Scheme::Peel;
+  c.collective = CollectiveKind::Broadcast;
+  // 2048 GPUs on the k=16 fat-tree span 4 pods (512 GPUs per pod), so every
+  // collective exercises the cross-domain mailbox paths, not just one shard.
+  c.group_size = 2048;
+  c.message_bytes = 4 * kMiB;
+  c.collectives = samples;
+  c.group_pool = 2;
+  c.sim = bench::scaled_sim(c.message_bytes, 42);
+  c.seed = 20338;
+  c.byte_audit = false;
+  return c;
+}
+
+[[nodiscard]] std::vector<ShardedCellResult> run_sharded_cells(int samples) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{16, 8, 8});
+  const Fabric fabric = Fabric::of(ft);
+  const ScenarioConfig base = sharded_cell_config(samples);
+
+  std::vector<ShardedCellResult> cells;
+  for (int shards : {1, 2, 4, 8}) {
+    ScenarioConfig config = base;
+    config.shards = shards;
+    run_scenario(fabric, config);  // unmeasured warmup (see the grid above)
+    const auto start = std::chrono::steady_clock::now();
+    ScenarioResult r = run_scenario(fabric, config);
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - start;
+    ShardedCellResult cell;
+    cell.shards = shards;
+    cell.wall_seconds = wall.count();
+    cell.result = std::move(r);
+    cells.push_back(std::move(cell));
+    std::printf("  sharded shards=%d  %8.2fs wall  %9.0f events/s\n", shards,
+                cell.wall_seconds,
+                static_cast<double>(cell.result.events) / cell.wall_seconds);
+  }
+  return cells;
+}
+
+/// True iff every cell carries the same simulated results as the first —
+/// the byte-identity claim at grid scale.
+[[nodiscard]] bool sharded_cells_invariant(
+    const std::vector<ShardedCellResult>& cells) {
+  const ScenarioResult& ref = cells.front().result;
+  for (const ShardedCellResult& c : cells) {
+    if (c.result.events != ref.events || c.result.segments != ref.segments ||
+        c.result.fabric_bytes != ref.fabric_bytes ||
+        c.result.core_bytes != ref.core_bytes ||
+        c.result.unfinished != ref.unfinished ||
+        c.result.cct_seconds.values() != ref.cct_seconds.values()) {
+      return false;
+    }
+  }
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -268,6 +344,30 @@ int run_perf_grid() {
   }
   table.print(std::cout);
 
+  std::printf("\nsharded engine (k=16 fat-tree, 2048-GPU broadcast, 4 pods)\n");
+  const int sharded_samples = bench::samples_override(4, 1);
+  const std::vector<ShardedCellResult> sharded =
+      run_sharded_cells(sharded_samples);
+  const bool sharded_ok = sharded_cells_invariant(sharded);
+  const double sharded_base_eps =
+      static_cast<double>(sharded.front().result.events) /
+      sharded.front().wall_seconds;
+  {
+    Table stable({"shards", "wall (s)", "events/s", "speedup vs 1"});
+    for (const ShardedCellResult& c : sharded) {
+      const double eps =
+          static_cast<double>(c.result.events) / c.wall_seconds;
+      stable.add_row({cell("%d", c.shards), cell("%.2f", c.wall_seconds),
+                      cell("%.0f", eps),
+                      cell("%.2f", eps / sharded_base_eps)});
+    }
+    stable.print(std::cout);
+    std::printf("  invariance signature %s (%u hardware thread(s))\n",
+                sharded_ok ? "IDENTICAL across shard counts"
+                           : "DIVERGED — determinism bug",
+                std::thread::hardware_concurrency());
+  }
+
   std::printf("\ncomponent microbenches\n");
   const MicrobenchResults micro = run_microbench();
   print_microbench(micro);
@@ -306,6 +406,10 @@ int run_perf_grid() {
         "     \"plan_cache_hit_rate\": %.4f, "
         "\"plan_cache_invalidations\": %llu, "
         "\"plan_cache_repairs\": %llu,\n"
+        "     \"delta_applies\": %llu, \"delta_apply_mean_us\": %.3f, "
+        "\"delta_apply_max_us\": %.3f,\n"
+        "     \"delta_plans_repaired\": %llu, "
+        "\"delta_plans_evicted\": %llu,\n"
         "     \"unfinished\": %zu, \"peak_rss_kib\": %ld}%s\n",
         to_string(c.kind), c.fat_tree_k, json_bool(c.faults), c.wall_seconds,
         c.result.sim_seconds,
@@ -315,9 +419,45 @@ int run_perf_grid() {
         static_cast<unsigned long long>(pc.misses), pc.hit_rate(),
         static_cast<unsigned long long>(pc.invalidations),
         static_cast<unsigned long long>(pc.repairs),
+        static_cast<unsigned long long>(c.result.delta_applies),
+        c.result.delta_applies > 0
+            ? c.result.delta_apply_total_us /
+                  static_cast<double>(c.result.delta_applies)
+            : 0.0,
+        c.result.delta_apply_max_us,
+        static_cast<unsigned long long>(c.result.delta_plans_repaired),
+        static_cast<unsigned long long>(c.result.delta_plans_evicted),
         c.result.unfinished, c.rss_kib, i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"sharded\": {\n");
+  std::fprintf(out,
+               "    \"fat_tree_k\": 16, \"group_size\": 2048, "
+               "\"message_mib\": 4, \"samples\": %d,\n",
+               sharded_samples);
+  std::fprintf(out, "    \"host_cpus\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(
+      out,
+      "    \"signature\": {\"events\": %llu, \"segments\": %llu, "
+      "\"fabric_bytes\": %llu, \"cct_mean_seconds\": %.9f},\n",
+      static_cast<unsigned long long>(sharded.front().result.events),
+      static_cast<unsigned long long>(sharded.front().result.segments),
+      static_cast<unsigned long long>(sharded.front().result.fabric_bytes),
+      sharded.front().result.cct_seconds.mean());
+  std::fprintf(out, "    \"invariant\": %s,\n", json_bool(sharded_ok));
+  std::fprintf(out, "    \"cells\": [\n");
+  for (std::size_t i = 0; i < sharded.size(); ++i) {
+    const ShardedCellResult& c = sharded[i];
+    const double eps = static_cast<double>(c.result.events) / c.wall_seconds;
+    std::fprintf(out,
+                 "      {\"shards\": %d, \"wall_seconds\": %.3f, "
+                 "\"events_per_sec\": %.0f, \"speedup_vs_1\": %.3f}%s\n",
+                 c.shards, c.wall_seconds, eps, eps / sharded_base_eps,
+                 i + 1 < sharded.size() ? "," : "");
+  }
+  std::fprintf(out, "    ]\n");
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"microbench\": {\n");
   std::fprintf(out, "    \"scheduler\": [\n");
   for (std::size_t i = 0; i < micro.scheduler.size(); ++i) {

@@ -37,9 +37,13 @@
 //     --stripes=N           stripe chunks across N near-optimal trees per
 //                           collective (Optimal and symmetric PEEL; default 1)
 //     --no-plan-cache       disable the control-plane TreePlanCache (A/B)
+//     --shards=N            pod-sharded parallel engine with N worker threads
+//                           (results are byte-identical for any N >= 1;
+//                           0 = classic single-queue engine)
 //   e.g. scenario_cli peel broadcast 256 64 30 20 4 --audit --trace=run.json
 //   e.g. scenario_cli ring broadcast 64 8 30 10 --audit --watchdog \
 //            --flap-mtbf=2000 --flap-mttr=500 --flap-links=2
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -90,6 +94,7 @@ struct Flags {
   int flap_links = 1;
   int stripes = 1;
   bool no_plan_cache = false;
+  int shards = 0;
 };
 
 bool flag_value(const char* arg, const char* name, const char** value) {
@@ -141,6 +146,8 @@ std::vector<const char*> parse_flags(int argc, char** argv, Flags& flags) {
       flags.stripes = std::atoi(value);
     } else if (!std::strcmp(arg, "--no-plan-cache")) {
       flags.no_plan_cache = true;
+    } else if (flag_value(arg, "--shards", &value)) {
+      flags.shards = std::atoi(value);
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg);
       std::exit(1);
@@ -213,6 +220,7 @@ int main(int argc, char** argv) {
   sc.faults.auto_recover = !flags.no_recover;
   if (flags.stripes > 1) sc.runner.stripe_trees = flags.stripes;
   sc.runner.plan_cache = !flags.no_plan_cache;
+  sc.shards = flags.shards;
 
   const FatTree ft = build_fat_tree(FatTreeConfig{8, 4, 8});
   const Fabric fabric = Fabric::of(ft);
@@ -239,6 +247,8 @@ int main(int argc, char** argv) {
   std::uint64_t ecn = 0, pfc = 0, events = 0;
   std::size_t unfinished = 0;
   std::size_t downs = 0, ups = 0, recovered = 0;
+  std::uint64_t delta_applies = 0, delta_repaired = 0, delta_evicted = 0;
+  double delta_total_us = 0.0, delta_max_us = 0.0;
   PlanCacheStats plan;
   for (const SweepCell& c : results.cells()) {
     for (double v : c.result.cct_seconds.values()) cct.add(v);
@@ -255,6 +265,11 @@ int main(int argc, char** argv) {
     plan.misses += c.result.plan_cache.misses;
     plan.insertions += c.result.plan_cache.insertions;
     plan.invalidations += c.result.plan_cache.invalidations;
+    delta_applies += c.result.delta_applies;
+    delta_total_us += c.result.delta_apply_total_us;
+    delta_max_us = std::max(delta_max_us, c.result.delta_apply_max_us);
+    delta_repaired += c.result.delta_plans_repaired;
+    delta_evicted += c.result.delta_plans_evicted;
   }
 
   std::printf("\n  mean CCT    %s\n", format_seconds(cct.mean()).c_str());
@@ -282,6 +297,15 @@ int main(int argc, char** argv) {
     std::printf("  faults      %zu pair-down, %zu pair-up, %zu recovered "
                 "deliveries\n",
                 downs, ups, recovered);
+  }
+  if (delta_applies > 0) {
+    std::printf("  delta apply %llu delta(s), %.1f us mean / %.1f us max, "
+                "%llu plan(s) repaired, %llu evicted\n",
+                static_cast<unsigned long long>(delta_applies),
+                delta_total_us / static_cast<double>(delta_applies),
+                delta_max_us,
+                static_cast<unsigned long long>(delta_repaired),
+                static_cast<unsigned long long>(delta_evicted));
   }
 
   if (wants_telemetry || sc.byte_audit) {

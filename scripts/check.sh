@@ -6,9 +6,10 @@
 #
 # Set PEEL_CHECK_TSAN=1 to additionally build a ThreadSanitizer
 # configuration and run the concurrency-sensitive tests under it
-# (the parallel sweep engine, the Samples::quantile lazy-sort guard, and the
+# (the parallel sweep engine, the Samples::quantile lazy-sort guard, the
 # fault-injection sweep determinism tests, which exercise concurrent cells
-# mutating private topology copies).
+# mutating private topology copies, and the pod-sharded engine's
+# shard-invariance suite, which drives the worker pool + mailbox barriers).
 #
 # Set PEEL_CHECK_PERF=1 to additionally run the perf smoke leg: a Release
 # build of the simulator performance suite (scripts/perf.sh) in quick mode,
@@ -39,9 +40,9 @@ if [[ "${PEEL_CHECK_TSAN:-0}" != "0" ]]; then
   echo "== configure build-tsan (-DPEEL_TSAN=ON) =="
   cmake -B build-tsan -S . -DPEEL_TSAN=ON
   echo "== build build-tsan =="
-  cmake --build build-tsan -j "${JOBS}" --target sweep_test stats_race_test fault_schedule_test
+  cmake --build build-tsan -j "${JOBS}" --target sweep_test stats_race_test fault_schedule_test shard_invariance_test
   echo "== ctest build-tsan (concurrency tests) =="
-  (cd build-tsan && ctest --output-on-failure -R '^(sweep_test|stats_race_test|fault_schedule_test)$')
+  (cd build-tsan && ctest --output-on-failure -R '^(sweep_test|stats_race_test|fault_schedule_test|shard_invariance_test)$')
 fi
 
 if [[ "${PEEL_CHECK_PERF:-0}" != "0" ]]; then

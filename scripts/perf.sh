@@ -22,7 +22,7 @@ JOBS="${1:-$(nproc 2>/dev/null || echo 2)}"
 echo "== configure build-perf (Release) =="
 cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release
 echo "== build build-perf =="
-cmake --build build-perf -j "${JOBS}" --target perf_suite
+cmake --build build-perf -j "${JOBS}" --target perf_suite scenario_cli
 
 echo "== determinism gate (perf_suite --check) =="
 ./build-perf/bench/perf_suite --check "$(pwd)"

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Report-only perf comparison: diff a fresh BENCH_sim.json against the
 # committed copy, column by column — per-cell events/sec, plan-cache hit
-# rate, peak RSS (always shown for fault cells, where surgical invalidation
-# and repair make all three the regression surface), and the microbench
-# columns (scheduler events/sec per queue depth, tree builds/sec, cached
+# rate, peak RSS and topology-delta apply latency (always shown for fault
+# cells, where surgical invalidation and repair make all of these the
+# regression surface), the sharded-engine cells (events/sec per worker
+# count plus the shard-invariance signature), and the microbench columns
+# (scheduler events/sec per queue depth, tree builds/sec, cached
 # lookups/sec).
 #
 # Usage: scripts/perf_diff.sh [fresh_json]
@@ -79,6 +81,34 @@ for key in old_cells:
         print(f"  {'  plan-cache hit rate':<44} {ohr:>12.4f} {nhr:>12.4f}")
     if faulty:
         row("  peak_rss_kib", o.get("peak_rss_kib", 0), n.get("peak_rss_kib", 0))
+        # Topology-delta apply latency: the fault-path control-plane cost.
+        oda, nda = o.get("delta_apply_mean_us"), n.get("delta_apply_mean_us")
+        if oda is not None and nda is not None:
+            print(f"  {'  delta apply mean us':<44} {oda:>12.3f} {nda:>12.3f} "
+                  f"{pct(oda, nda)}")
+            row("  delta applies", o.get("delta_applies", 0),
+                n.get("delta_applies", 0))
+            row("  delta plans repaired", o.get("delta_plans_repaired", 0),
+                n.get("delta_plans_repaired", 0))
+            row("  delta plans evicted", o.get("delta_plans_evicted", 0),
+                n.get("delta_plans_evicted", 0))
+
+osh, nsh = committed.get("sharded", {}), fresh.get("sharded", {})
+oshc = {c["shards"]: c for c in osh.get("cells", [])}
+nshc = {c["shards"]: c for c in nsh.get("cells", [])}
+for shards in sorted(oshc):
+    if shards in nshc:
+        row(f"sharded ev/s @ shards={shards}",
+            oshc[shards].get("events_per_sec", 0),
+            nshc[shards].get("events_per_sec", 0))
+if nsh:
+    if not nsh.get("invariant", True):
+        print("  WARNING: fresh sharded cells are NOT shard-invariant "
+              "(determinism bug)")
+    osig, nsig = osh.get("signature", {}), nsh.get("signature", {})
+    if osig and nsig and osig != nsig:
+        print("  NOTE: sharded signature changed -- simulated behavior "
+              "drifted (expected only when the workload or sim changed)")
 
 om, nm = committed.get("microbench", {}), fresh.get("microbench", {})
 osched = {s["queue_depth"]: s["events_per_sec"] for s in om.get("scheduler", [])}

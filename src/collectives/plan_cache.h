@@ -91,16 +91,22 @@ class TreePlanCache {
   void apply_delta(const TopologyDelta& delta, const RepairFn& repair = {}) {
     if (delta.seq > last_delta_seq_) last_delta_seq_ = delta.seq;
     if (delta.down_pairs.empty()) return;
-    // Collect the affected keys first (deduplicated): repairing an entry
-    // re-indexes it, which must not race the bucket iteration.
+    // Collect the affected keys first: repairing an entry re-indexes it,
+    // which must not race the bucket iteration. A plan whose tree traverses
+    // several pairs the delta reports down appears in several buckets; the
+    // per-delta pass stamp dedups it so each plan is repaired (and the hook
+    // invoked) exactly once per delta, regardless of how many of its edges
+    // went down together.
+    const std::uint64_t pass = ++apply_pass_;
     std::vector<const Key*> affected;
     for (LinkId pair : delta.down_pairs) {
       const auto bucket = by_edge_.find(pair);
       if (bucket == by_edge_.end()) continue;
       for (const Key* k : bucket->second) {
-        if (std::find(affected.begin(), affected.end(), k) == affected.end()) {
-          affected.push_back(k);
-        }
+        Entry& e = entries_.find(*k)->second;
+        if (e.last_pass == pass) continue;
+        e.last_pass = pass;
+        affected.push_back(k);
       }
     }
     for (const Key* kp : affected) {
@@ -205,6 +211,7 @@ class TreePlanCache {
     std::shared_ptr<const void> value;
     std::vector<LinkId> edges;  ///< sorted, deduped duplex-pair reps
     std::uint64_t insert_seq = 0;
+    std::uint64_t last_pass = 0;  ///< apply_delta pass that last touched this
   };
 
   [[nodiscard]] static std::vector<LinkId> normalize_edges(
@@ -229,6 +236,7 @@ class TreePlanCache {
 
   std::size_t capacity_;
   std::uint64_t last_delta_seq_ = 0;
+  std::uint64_t apply_pass_ = 0;
   PlanCacheStats stats_;
   // Node-based map: Key addresses stay stable across rehashes, so the
   // link-keyed secondary index can hold bare pointers into the key set.

@@ -1,6 +1,7 @@
 #include "src/collectives/runner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <stdexcept>
 #include <unordered_set>
@@ -69,7 +70,7 @@ struct CollectiveRunner::ExecBase {
     return out;
   }
 
-  [[nodiscard]] Network& net() const { return *runner->net_; }
+  [[nodiscard]] DataPlane& net() const { return *runner->net_; }
   [[nodiscard]] EventQueue& queue() const { return *runner->queue_; }
   [[nodiscard]] const Fabric& fabric() const { return runner->fabric_; }
   [[nodiscard]] const RunnerOptions& options() const { return runner->options_; }
@@ -861,8 +862,9 @@ struct CollectiveRunner::TreeReduceBroadcastExec : ExecBase {
 // Runner
 // ---------------------------------------------------------------------------
 
-CollectiveRunner::CollectiveRunner(Fabric fabric, Network& net, EventQueue& queue,
-                                   Rng rng, RunnerOptions options)
+CollectiveRunner::CollectiveRunner(Fabric fabric, DataPlane& net,
+                                   EventQueue& queue, Rng rng,
+                                   RunnerOptions options)
     : fabric_(fabric),
       net_(&net),
       queue_(&queue),
@@ -1114,6 +1116,8 @@ PlanRepair CollectiveRunner::repair_cached_plan(
 }
 
 void CollectiveRunner::on_topology_delta(const TopologyDelta& delta) {
+  const auto apply_start = std::chrono::steady_clock::now();
+  const PlanCacheStats cache_before = plan_cache_.stats();
   router_.on_topology_delta(delta);
   // Mark the collectives this outage actually hit: only a stream forwarding
   // over a failed pair can lose deliveries (the Network drops its queued and
@@ -1132,13 +1136,24 @@ void CollectiveRunner::on_topology_delta(const TopologyDelta& delta) {
       }
     }
   }
-  if (!options_.plan_cache) return;
-  plan_cache_.apply_delta(
-      delta, [this](PlanKind kind, NodeId /*source*/,
-                    const std::vector<NodeId>& /*dests*/,
-                    const std::shared_ptr<const void>& value) {
-        return repair_cached_plan(kind, value);
-      });
+  if (options_.plan_cache) {
+    plan_cache_.apply_delta(
+        delta, [this](PlanKind kind, NodeId /*source*/,
+                      const std::vector<NodeId>& /*dests*/,
+                      const std::shared_ptr<const void>& value) {
+          return repair_cached_plan(kind, value);
+        });
+  }
+  const PlanCacheStats cache_after = plan_cache_.stats();
+  const double us = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - apply_start)
+                        .count();
+  ++delta_stats_.deltas;
+  delta_stats_.total_us += us;
+  delta_stats_.max_us = std::max(delta_stats_.max_us, us);
+  delta_stats_.plans_repaired += cache_after.repairs - cache_before.repairs;
+  delta_stats_.plans_evicted +=
+      cache_after.invalidations - cache_before.invalidations;
 }
 
 std::size_t CollectiveRunner::recover_broadcast(std::uint64_t id) {

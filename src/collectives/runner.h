@@ -27,7 +27,8 @@
 #include "src/collectives/trees.h"
 #include "src/common/rng.h"
 #include "src/routing/router.h"
-#include "src/sim/network.h"
+#include "src/sim/data_plane.h"
+#include "src/sim/event_queue.h"
 
 namespace peel {
 
@@ -159,9 +160,26 @@ struct ExpectedDelivery {
   Bytes bytes = 0;
 };
 
+/// Accumulated wall-clock cost of the control plane's topology-delta apply
+/// path (on_topology_delta: route flush, damage marking, surgical plan
+/// repair/eviction), surfaced through ScenarioResult so fault-cell perf
+/// regressions show up in perf_diff output. Host time, never simulated time
+/// — it can never perturb a run's byte streams.
+struct DeltaApplyStats {
+  std::uint64_t deltas = 0;          ///< on_topology_delta invocations
+  double total_us = 0.0;             ///< summed apply latency
+  double max_us = 0.0;               ///< worst single delta
+  std::uint64_t plans_repaired = 0;  ///< cache entries patched in place
+  std::uint64_t plans_evicted = 0;   ///< cache entries evicted
+};
+
 class CollectiveRunner : public TopologyObserver {
  public:
-  CollectiveRunner(Fabric fabric, Network& net, EventQueue& queue, Rng rng,
+  /// `net` is any DataPlane — the single-queue Network or the pod-sharded
+  /// engine; `queue` is that engine's control-plane queue (the same
+  /// EventQueue for the solo Network, ShardedNetwork::control() when
+  /// sharded).
+  CollectiveRunner(Fabric fabric, DataPlane& net, EventQueue& queue, Rng rng,
                    RunnerOptions options);
   ~CollectiveRunner();
 
@@ -231,6 +249,10 @@ class CollectiveRunner : public TopologyObserver {
   [[nodiscard]] const TreePlanCache& plan_cache() const noexcept {
     return plan_cache_;
   }
+  /// Wall-clock cost of every on_topology_delta call so far.
+  [[nodiscard]] const DeltaApplyStats& delta_stats() const noexcept {
+    return delta_stats_;
+  }
 
   /// Diagnostics for every still-active (unfinished) collective, with each
   /// of its streams' progress. Empty when everything completed.
@@ -281,7 +303,7 @@ class CollectiveRunner : public TopologyObserver {
       PlanKind kind, const std::shared_ptr<const void>& value) const;
 
   Fabric fabric_;
-  Network* net_;
+  DataPlane* net_;
   EventQueue* queue_;
   Rng rng_;
   RunnerOptions options_;
@@ -295,6 +317,7 @@ class CollectiveRunner : public TopologyObserver {
   /// over a failed pair) and no recovery pass has fully covered yet.
   /// Maintained by on_topology_delta, consumed by recover_all.
   std::unordered_set<std::uint64_t> damaged_execs_;
+  DeltaApplyStats delta_stats_;
 };
 
 /// Formats `flows` as a human-readable multi-line stuck-flow report.

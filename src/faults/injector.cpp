@@ -4,7 +4,7 @@
 
 namespace peel {
 
-FaultInjector::FaultInjector(Topology& topo, Network& net, EventQueue& queue,
+FaultInjector::FaultInjector(Topology& topo, DataPlane& net, EventQueue& queue,
                              TopologyEventBus* bus)
     : topo_(&topo), net_(&net), queue_(&queue), bus_(bus) {}
 

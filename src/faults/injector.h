@@ -27,7 +27,7 @@
 #include "src/faults/schedule.h"
 #include "src/routing/topology_events.h"
 #include "src/sim/event_queue.h"
-#include "src/sim/network.h"
+#include "src/sim/data_plane.h"
 
 namespace peel {
 
@@ -51,7 +51,7 @@ class FaultInjector {
   /// is non-null, every applied event with at least one pair transition is
   /// published on it (stamping the delta's sequence number) before the
   /// handler runs.
-  FaultInjector(Topology& topo, Network& net, EventQueue& queue,
+  FaultInjector(Topology& topo, DataPlane& net, EventQueue& queue,
                 TopologyEventBus* bus = nullptr);
 
   /// Registers every event with the event queue (validate() must pass —
@@ -77,7 +77,7 @@ class FaultInjector {
   [[nodiscard]] std::vector<LinkId> duplex_targets(const FaultEvent& ev) const;
 
   Topology* topo_;
-  Network* net_;
+  DataPlane* net_;
   EventQueue* queue_;
   TopologyEventBus* bus_;
   bool armed_ = false;

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "src/faults/injector.h"
+#include "src/sim/sharded.h"
 #include "src/topology/failures.h"
 
 namespace peel {
@@ -36,9 +37,76 @@ struct FabricStore {
   }
 };
 
-ScenarioResult run_scenario_impl(const Fabric& fabric,
-                                 const ScenarioConfig& config,
-                                 Topology* faulty_topo);
+// Uniform engine surface the scenario driver is templated over. Both
+// engines expose: the control-plane queue (submissions, fault timers,
+// recovery closures), the DataPlane the runner/injector talk to, the
+// run loop, clocks/counters, and telemetry access.
+
+/// Classic single-queue engine: one EventQueue, one Network.
+struct SoloEngine {
+  EventQueue queue;
+  Network net;
+
+  SoloEngine(const Topology& topo, const SimConfig& sim)
+      : net(topo, sim, queue) {}
+
+  [[nodiscard]] EventQueue& control() noexcept { return queue; }
+  [[nodiscard]] DataPlane& data() noexcept { return net; }
+  void run() { queue.run(); }
+  void run_until(SimTime t) { queue.run_until(t); }
+  [[nodiscard]] bool empty() const { return queue.empty(); }
+  [[nodiscard]] SimTime now() const { return queue.now(); }
+  [[nodiscard]] std::uint64_t events() const { return queue.processed(); }
+  [[nodiscard]] std::uint64_t segments_serialized() const {
+    return net.segments_serialized();
+  }
+  [[nodiscard]] std::uint64_t segments_lost() const {
+    return net.segments_lost();
+  }
+  [[nodiscard]] std::uint64_t pfc_pauses() const { return net.pfc_pauses(); }
+  [[nodiscard]] std::uint64_t segments_marked() const {
+    return net.segments_marked();
+  }
+  void reserve_series(std::size_t expected) {
+    if (Telemetry* telem = net.telemetry()) telem->reserve_series(expected);
+  }
+  /// Telemetry for audit/summary once the run has quiesced; null = disabled.
+  [[nodiscard]] const Telemetry* finished_telemetry() const {
+    return net.telemetry();
+  }
+};
+
+/// Pod-sharded parallel engine (src/sim/sharded.h).
+struct ShardedEngine {
+  ShardedNetwork net;
+
+  ShardedEngine(const Topology& topo, const SimConfig& sim, int threads)
+      : net(topo, sim, threads) {}
+
+  [[nodiscard]] EventQueue& control() noexcept { return net.control(); }
+  [[nodiscard]] DataPlane& data() noexcept { return net; }
+  void run() { net.run(); }
+  void run_until(SimTime t) { net.run_until(t); }
+  [[nodiscard]] bool empty() const { return net.empty(); }
+  [[nodiscard]] SimTime now() const { return net.now(); }
+  [[nodiscard]] std::uint64_t events() const { return net.events_processed(); }
+  [[nodiscard]] std::uint64_t segments_serialized() const {
+    return net.segments_serialized();
+  }
+  [[nodiscard]] std::uint64_t segments_lost() const {
+    return net.segments_lost();
+  }
+  [[nodiscard]] std::uint64_t pfc_pauses() const { return net.pfc_pauses(); }
+  [[nodiscard]] std::uint64_t segments_marked() const {
+    return net.segments_marked();
+  }
+  void reserve_series(std::size_t expected) {
+    if (net.telemetry_enabled()) net.reserve_series(expected);
+  }
+  [[nodiscard]] const Telemetry* finished_telemetry() const {
+    return net.merged_telemetry();
+  }
+};
 
 /// Joins audit violation lines into one exception message.
 std::string audit_message(const char* context,
@@ -72,55 +140,14 @@ std::shared_ptr<const TelemetrySummary> make_summary(
   return summary;
 }
 
-}  // namespace
-
-bool byte_audit_env_default() {
-  const char* v = std::getenv("PEEL_BYTE_AUDIT");
-  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
-}
-
-const char* to_string(CollectiveKind kind) noexcept {
-  switch (kind) {
-    case CollectiveKind::Broadcast: return "Broadcast";
-    case CollectiveKind::AllGather: return "AllGather";
-    case CollectiveKind::AllReduce: return "AllReduce";
-  }
-  return "?";
-}
-
-Bytes bytes_on_links(const Network& net, const Topology& topo, bool fabric,
-                     bool host_nic, bool nvlink) {
-  Bytes total = 0;
-  for (LinkId l = 0; static_cast<std::size_t>(l) < topo.link_count(); ++l) {
-    const LinkKind kind = topo.link(l).kind;
-    const bool counted = (kind == LinkKind::Fabric && fabric) ||
-                         (kind == LinkKind::HostNic && host_nic) ||
-                         (kind == LinkKind::NvLink && nvlink);
-    if (counted) total += net.link_bytes(l);
-  }
-  return total;
-}
-
-ScenarioResult run_scenario(const Fabric& fabric, const ScenarioConfig& config) {
-  if (!config.faults.any()) return run_scenario_impl(fabric, config, nullptr);
-  // Dynamic faults mutate the Topology; run against a private deep copy so
-  // the caller's (possibly sweep-shared) fabric stays pristine.
-  FabricStore store(fabric);
-  return run_scenario_impl(store.view(), config, &store.topo());
-}
-
-namespace {
-
-ScenarioResult run_scenario_impl(const Fabric& fabric,
+template <typename Engine>
+ScenarioResult run_scenario_with(Engine& engine, const Fabric& fabric,
                                  const ScenarioConfig& config,
-                                 Topology* faulty_topo) {
-  SimConfig sim = config.sim;
-  if (config.byte_audit) sim.telemetry.enabled = true;  // audit needs accounting
-
-  EventQueue queue;
-  Network net(fabric.topo(), sim, queue);
+                                 const SimConfig& sim, Topology* faulty_topo) {
+  EventQueue& queue = engine.control();
   Rng rng(config.seed);
-  CollectiveRunner runner(fabric, net, queue, rng.fork(0xc0'11ec), config.runner);
+  CollectiveRunner runner(fabric, engine.data(), queue, rng.fork(0xc0'11ec),
+                          config.runner);
 
   std::optional<FaultInjector> injector;
   TopologyEventBus bus;
@@ -142,7 +169,7 @@ ScenarioResult run_scenario_impl(const Fabric& fabric,
     // simulated time: route flush plus surgical repair/eviction of exactly
     // the cached plans whose trees traverse a failed pair.
     bus.subscribe(&runner);
-    injector.emplace(*faulty_topo, net, queue, &bus);
+    injector.emplace(*faulty_topo, engine.data(), queue, &bus);
     const SimTime detect =
         seconds_to_sim(config.faults.detection_delay_seconds);
     injector->set_handler([&queue, &runner, &recovered, detect,
@@ -160,8 +187,7 @@ ScenarioResult run_scenario_impl(const Fabric& fabric,
       fabric, config.offered_load, config.message_bytes, config.group_size);
   const double mean_gap_ns = 1e9 / lambda;
 
-  if (Telemetry* telem = net.telemetry();
-      telem != nullptr && sim.telemetry.sample_interval > 0) {
+  if (sim.telemetry.enabled && sim.telemetry.sample_interval > 0) {
     // Pre-size the queue-depth series: a deadline bounds the sample count
     // exactly; a run-to-drain is sized from the arrival span (collectives x
     // mean gap) with 2x headroom for the drain tail.
@@ -171,7 +197,7 @@ ScenarioResult run_scenario_impl(const Fabric& fabric,
             : mean_gap_ns * static_cast<double>(config.collectives) * 2.0;
     const double expected =
         horizon_ns / static_cast<double>(sim.telemetry.sample_interval);
-    telem->reserve_series(
+    engine.reserve_series(
         static_cast<std::size_t>(std::min(expected, 1e6)) + 16);
   }
 
@@ -232,13 +258,13 @@ ScenarioResult run_scenario_impl(const Fabric& fabric,
   }
 
   if (config.deadline_seconds > 0.0) {
-    queue.run_until(seconds_to_sim(config.deadline_seconds));
+    engine.run_until(seconds_to_sim(config.deadline_seconds));
   } else {
-    queue.run();
+    engine.run();
   }
 
   if (config.watchdog) {
-    enforce_all_finished(runner, queue.empty()
+    enforce_all_finished(runner, engine.empty()
                                      ? "event queue drained"
                                      : "deadline " +
                                            std::to_string(
@@ -256,12 +282,12 @@ ScenarioResult run_scenario_impl(const Fabric& fabric,
     result.cct_seconds.add(record.cct_seconds());
   }
 
-  if (const Telemetry* telem = net.telemetry()) {
+  if (const Telemetry* telem = engine.finished_telemetry()) {
     if (config.byte_audit) {
       // The full conservation check only holds once everything drained and
       // finished; a deadline-truncated or unfinished run still must never
       // over-deliver (a byte credited twice is a bug at any point).
-      const bool clean = result.unfinished == 0 && queue.empty();
+      const bool clean = result.unfinished == 0 && engine.empty();
       const std::vector<std::string> violations =
           clean ? telem->conservation_violations()
                 : telem->over_delivery_violations();
@@ -271,18 +297,26 @@ ScenarioResult run_scenario_impl(const Fabric& fabric,
             violations));
       }
     }
-    result.telemetry = make_summary(*telem, runner, queue.now());
+    result.telemetry = make_summary(*telem, runner, engine.now());
   }
 
-  result.fabric_bytes = bytes_on_links(net, fabric.topo(), true, true, false);
-  result.core_bytes = bytes_on_links(net, fabric.topo(), true, false, false);
-  result.sim_seconds = sim_to_seconds(queue.now());
-  result.events = queue.processed();
-  result.segments = net.segments_serialized();
-  result.segments_lost = net.segments_lost();
-  result.pfc_pauses = net.pfc_pauses();
-  result.ecn_marks = net.segments_marked();
+  result.fabric_bytes =
+      bytes_on_links(engine.data(), fabric.topo(), true, true, false);
+  result.core_bytes =
+      bytes_on_links(engine.data(), fabric.topo(), true, false, false);
+  result.sim_seconds = sim_to_seconds(engine.now());
+  result.events = engine.events();
+  result.segments = engine.segments_serialized();
+  result.segments_lost = engine.segments_lost();
+  result.pfc_pauses = engine.pfc_pauses();
+  result.ecn_marks = engine.segments_marked();
   result.plan_cache = runner.plan_cache().stats();
+  const DeltaApplyStats& deltas = runner.delta_stats();
+  result.delta_applies = deltas.deltas;
+  result.delta_apply_total_us = deltas.total_us;
+  result.delta_apply_max_us = deltas.max_us;
+  result.delta_plans_repaired = deltas.plans_repaired;
+  result.delta_plans_evicted = deltas.plans_evicted;
   if (injector) {
     result.fault_downs = injector->pairs_failed();
     result.fault_ups = injector->pairs_restored();
@@ -291,17 +325,25 @@ ScenarioResult run_scenario_impl(const Fabric& fabric,
   return result;
 }
 
-}  // namespace
+ScenarioResult run_scenario_impl(const Fabric& fabric,
+                                 const ScenarioConfig& config,
+                                 Topology* faulty_topo) {
+  SimConfig sim = config.sim;
+  if (config.byte_audit) sim.telemetry.enabled = true;  // audit needs accounting
 
-SingleResult run_single_broadcast(const Fabric& fabric,
-                                  const SingleRunOptions& options) {
-  SimConfig sim = options.sim;
-  if (options.byte_audit) sim.telemetry.enabled = true;
+  if (config.shards > 0) {
+    ShardedEngine engine(fabric.topo(), sim, config.shards);
+    return run_scenario_with(engine, fabric, config, sim, faulty_topo);
+  }
+  SoloEngine engine(fabric.topo(), sim);
+  return run_scenario_with(engine, fabric, config, sim, faulty_topo);
+}
 
-  EventQueue queue;
-  Network net(fabric.topo(), sim, queue);
-  CollectiveRunner runner(fabric, net, queue, Rng(options.sim.seed),
-                          options.runner);
+template <typename Engine>
+SingleResult run_single_with(Engine& engine, const Fabric& fabric,
+                             const SingleRunOptions& options) {
+  CollectiveRunner runner(fabric, engine.data(), engine.control(),
+                          Rng(options.sim.seed), options.runner);
 
   BroadcastRequest req;
   req.id = 1;
@@ -309,12 +351,13 @@ SingleResult run_single_broadcast(const Fabric& fabric,
   req.destinations = options.group.destinations;
   req.message_bytes = options.message_bytes;
   runner.submit(options.scheme, std::move(req));
-  queue.run();
+  engine.run();
 
   if (runner.records().empty() || !runner.records().front().finished) {
     throw std::runtime_error("single broadcast did not complete");
   }
-  if (const Telemetry* telem = net.telemetry(); telem && options.byte_audit) {
+  if (const Telemetry* telem = engine.finished_telemetry();
+      telem && options.byte_audit) {
     const std::vector<std::string> violations = telem->conservation_violations();
     if (!violations.empty()) {
       throw std::runtime_error(
@@ -323,10 +366,63 @@ SingleResult run_single_broadcast(const Fabric& fabric,
   }
   SingleResult result;
   result.cct_seconds = runner.records().front().cct_seconds();
-  result.fabric_bytes = bytes_on_links(net, fabric.topo(), true, true, false);
-  result.core_bytes = bytes_on_links(net, fabric.topo(), true, false, false);
-  result.nvlink_bytes = bytes_on_links(net, fabric.topo(), false, false, true);
+  result.fabric_bytes =
+      bytes_on_links(engine.data(), fabric.topo(), true, true, false);
+  result.core_bytes =
+      bytes_on_links(engine.data(), fabric.topo(), true, false, false);
+  result.nvlink_bytes =
+      bytes_on_links(engine.data(), fabric.topo(), false, false, true);
   return result;
+}
+
+}  // namespace
+
+bool byte_audit_env_default() {
+  const char* v = std::getenv("PEEL_BYTE_AUDIT");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+const char* to_string(CollectiveKind kind) noexcept {
+  switch (kind) {
+    case CollectiveKind::Broadcast: return "Broadcast";
+    case CollectiveKind::AllGather: return "AllGather";
+    case CollectiveKind::AllReduce: return "AllReduce";
+  }
+  return "?";
+}
+
+Bytes bytes_on_links(const DataPlane& net, const Topology& topo, bool fabric,
+                     bool host_nic, bool nvlink) {
+  Bytes total = 0;
+  for (LinkId l = 0; static_cast<std::size_t>(l) < topo.link_count(); ++l) {
+    const LinkKind kind = topo.link(l).kind;
+    const bool counted = (kind == LinkKind::Fabric && fabric) ||
+                         (kind == LinkKind::HostNic && host_nic) ||
+                         (kind == LinkKind::NvLink && nvlink);
+    if (counted) total += net.link_bytes(l);
+  }
+  return total;
+}
+
+ScenarioResult run_scenario(const Fabric& fabric, const ScenarioConfig& config) {
+  if (!config.faults.any()) return run_scenario_impl(fabric, config, nullptr);
+  // Dynamic faults mutate the Topology; run against a private deep copy so
+  // the caller's (possibly sweep-shared) fabric stays pristine.
+  FabricStore store(fabric);
+  return run_scenario_impl(store.view(), config, &store.topo());
+}
+
+SingleResult run_single_broadcast(const Fabric& fabric,
+                                  const SingleRunOptions& options) {
+  SimConfig sim = options.sim;
+  if (options.byte_audit) sim.telemetry.enabled = true;
+
+  if (options.shards > 0) {
+    ShardedEngine engine(fabric.topo(), sim, options.shards);
+    return run_single_with(engine, fabric, options);
+  }
+  SoloEngine engine(fabric.topo(), sim);
+  return run_single_with(engine, fabric, options);
 }
 
 }  // namespace peel

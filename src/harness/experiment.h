@@ -89,6 +89,12 @@ struct ScenarioConfig {
   SimConfig sim;
   RunnerOptions runner;
   std::uint64_t seed = 1;
+  /// Pod-sharded parallel engine (src/sim/sharded.h): > 0 selects the
+  /// sharded engine with that many worker threads (clamped to the pod-domain
+  /// count of the fabric); 0 = the classic single-queue engine. The domain
+  /// decomposition is fixed by the topology, so any two positive values
+  /// produce byte-identical results — the knob trades wall-clock only.
+  int shards = 0;
 
   /// Byte-conservation audit (src/sim/telemetry.h): forces telemetry on and
   /// throws std::runtime_error at drain if any stream over-delivered, or —
@@ -129,6 +135,15 @@ struct ScenarioResult {
   /// prefix-plan, asymmetric-tree, and recovery-tree construction, plus
   /// delta-driven surgical evictions (invalidations) and in-place repairs.
   PlanCacheStats plan_cache;
+  /// Topology-delta apply cost on the control plane (route flush + surgical
+  /// plan repair/eviction), measured per consumed TopologyDelta. Wall-clock
+  /// microseconds — diagnostic output only, never part of byte-compared
+  /// results. Zero when the run saw no faults.
+  std::uint64_t delta_applies = 0;
+  double delta_apply_total_us = 0.0;
+  double delta_apply_max_us = 0.0;
+  std::uint64_t delta_plans_repaired = 0;
+  std::uint64_t delta_plans_evicted = 0;
   /// Non-null iff telemetry ran (config.sim.telemetry.enabled or
   /// config.byte_audit); flow lifetimes are filled from collective records.
   std::shared_ptr<const TelemetrySummary> telemetry;
@@ -157,6 +172,8 @@ struct SingleRunOptions {
   /// Same audit as ScenarioConfig::byte_audit (always a full conservation
   /// check — the single broadcast must complete).
   bool byte_audit = byte_audit_env_default();
+  /// Same engine selector as ScenarioConfig::shards (0 = single-queue).
+  int shards = 0;
 };
 
 /// Runs exactly one broadcast on an otherwise idle fabric (bandwidth
@@ -166,7 +183,7 @@ struct SingleRunOptions {
                                                 const SingleRunOptions& options);
 
 /// Sums serialized bytes over links of the given kinds.
-[[nodiscard]] Bytes bytes_on_links(const Network& net, const Topology& topo,
+[[nodiscard]] Bytes bytes_on_links(const DataPlane& net, const Topology& topo,
                                    bool fabric, bool host_nic, bool nvlink);
 
 }  // namespace peel

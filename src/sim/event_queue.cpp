@@ -34,6 +34,17 @@ void EventQueue::insert_slow(const PodEntry& entry) {
   }
   const std::int64_t bn = entry.t >> shift_;
   if (bn < bucket_hi_) {
+    // Boundary hardening: an entry reaching this branch sits at or past
+    // window_end_ (the hot path claims everything below it), so its bucket
+    // number can never trail the ladder's low edge. If it did, the ring
+    // index (bn & kBucketMask) would alias a future bucket and the entry
+    // would fire out of order — fail loudly instead of silently reordering.
+    if (bn < bucket_lo_) {
+      throw std::logic_error(
+          "EventQueue: rung insert below the ladder frontier (t=" +
+          std::to_string(entry.t) + " ns, window_end=" +
+          std::to_string(window_end_) + " ns)");
+    }
     rungs_[static_cast<std::size_t>(bn & kBucketMask)].push_back(entry);
     ++rung_count_;
   } else {
@@ -145,6 +156,11 @@ void EventQueue::run_until(SimTime t) {
   SimTime next = 0;
   while (peek_next(next) && next <= t) step();
   if (now_ < t) now_ = t;
+}
+
+void EventQueue::run_window(SimTime end) {
+  SimTime next = 0;
+  while (peek_next(next) && next < end) step();
 }
 
 }  // namespace peel

@@ -55,6 +55,9 @@ enum class SimEventKind : std::uint8_t {
               ///< flag) reaches the far end of link `a` (epoch)
   CnpRate,    ///< congestion notification reaches stream `a`'s sender
   SampleTick, ///< telemetry time-series sampler
+  PfcPause,   ///< cross-domain PFC pause frame reaches link `a`'s sender
+              ///< (sharded engine only; epoch guards stale frames)
+  PfcResume,  ///< cross-domain PFC resume frame reaches link `a`'s sender
 };
 
 /// Packed arguments of one hot data-plane event. Field meaning is
@@ -127,6 +130,23 @@ class EventQueue {
 
   /// Runs events with timestamps <= `t`, then advances the clock to `t`.
   void run_until(SimTime t);
+
+  /// Earliest pending timestamp across every tier; false when empty. (The
+  /// sharded engine's window loop takes the min over all domain queues.)
+  [[nodiscard]] bool next_event_time(SimTime& t) { return peek_next(t); }
+
+  /// Runs events with timestamps strictly BEFORE `end` (a conservative PDES
+  /// window), leaving the clock at the last processed event. Unlike
+  /// run_until, the clock is NOT advanced to the horizon — events may still
+  /// arrive inside [now, end) from another domain's mailbox drain.
+  void run_window(SimTime end);
+
+  /// Moves the clock forward to `t` without running anything. Precondition:
+  /// no pending event is earlier than `t` (the caller knows a global bound,
+  /// e.g. the sharded engine's window minimum). A no-op when t <= now().
+  void advance_to(SimTime t) {
+    if (t > now_) now_ = t;
+  }
 
  private:
   /// Hot-tier entry: 48 bytes, trivially copyable — a heap sift is a plain

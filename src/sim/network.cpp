@@ -61,10 +61,40 @@ void Network::on_sim_event(const SimEvent& ev) {
     case SimEventKind::SampleTick:
       sample_tick();
       return;
+    // Cross-domain PFC frames (sharded engine): the pause decision — and its
+    // telemetry — happened on the buffer-owning (mirror) side when the frame
+    // was posted; here the link's owning domain applies the state change to
+    // the real serializer. The epoch guard drops frames that were in flight
+    // when the link failed: the failure already cleared pause state on both
+    // sides, and a stale pause must never wedge a repaired link.
+    case SimEventKind::PfcPause: {
+      auto& L = links_[static_cast<std::size_t>(ev.a)];
+      if (L.fail_epoch == ev.epoch) L.pfc_paused = true;
+      return;
+    }
+    case SimEventKind::PfcResume: {
+      auto& L = links_[static_cast<std::size_t>(ev.a)];
+      if (L.fail_epoch == ev.epoch && L.pfc_paused) {
+        L.pfc_paused = false;
+        if (L.blocked) try_start(ev.a);
+      }
+      return;
+    }
     case SimEventKind::None:
       break;
   }
   throw std::logic_error("Network: unknown SimEvent kind");
+}
+
+void Network::post_pfc(SimEventKind kind, LinkId ingress) {
+  if (xhook_ == nullptr) return;
+  SimEvent ev;
+  ev.kind = kind;
+  ev.a = ingress;
+  ev.epoch = links_[static_cast<std::size_t>(ingress)].fail_epoch;
+  // The frame travels back to the link's sender: one propagation delay,
+  // which is >= the shard lookahead for every cross-domain link.
+  xhook_->post(queue_->now() + topo_->link(ingress).propagation, ev);
 }
 
 void Network::sample_tick() {
@@ -77,6 +107,14 @@ void Network::sample_tick() {
                   SimEvent{SimEventKind::SampleTick});
   } else {
     sampler_armed_ = false;
+  }
+}
+
+void Network::rearm_sampler() {
+  if (telem_ && config_.telemetry.sample_interval > 0 && !sampler_armed_) {
+    sampler_armed_ = true;
+    queue_->after(config_.telemetry.sample_interval,
+                  SimEvent{SimEventKind::SampleTick});
   }
 }
 
@@ -191,6 +229,23 @@ StreamId Network::open_stream(StreamSpec spec) {
     telem_->on_stream_open(id, sp.tag, sp.receivers);
   }
   return id;
+}
+
+StreamId Network::open_stream_stub() {
+  const auto id = static_cast<StreamId>(streams_.size());
+  streams_.emplace_back();  // no tables; keeps StreamIds aligned across domains
+  return id;
+}
+
+void Network::note_chunk(StreamId stream, int chunk_index, Bytes bytes) {
+  auto& st = streams_[static_cast<std::size_t>(stream)];
+  if (st.closed) return;
+  if (chunk_index < 0) {
+    throw std::invalid_argument("chunk index must be non-negative");
+  }
+  const auto ci = static_cast<std::size_t>(chunk_index);
+  if (st.chunk_want.size() <= ci) st.chunk_want.resize(ci + 1, 0);
+  st.chunk_want[ci] = bytes;
 }
 
 void Network::send_chunk(StreamId stream, int chunk_index, Bytes bytes) {
@@ -396,6 +451,10 @@ void Network::enqueue_segment(LinkId l, Segment seg) {
       ingress_link.pfc_paused = true;
       ++pfc_pauses_;
       if (telem_) telem_->on_pause(seg.ingress, queue_->now());
+      // Sharded engine: if another domain owns the ingress link's
+      // serializer, this flip only touched the local mirror — forward the
+      // pause frame to the owner.
+      post_pfc(SimEventKind::PfcPause, seg.ingress);
     }
   }
   if (!L.busy) try_start(l);
@@ -440,7 +499,7 @@ void Network::finish_tx(LinkId l, std::uint32_t fail_epoch) {
 
   release_buffer(lk.src, seg.ingress, seg.bytes);
 
-  queue_->at(queue_->now() + lk.propagation,
+  post_event(queue_->now() + lk.propagation,
              SimEvent{SimEventKind::Arrive, seg.marked, l, seg.stream,
                       seg.chunk, seg.bytes, seg.ingress, fail_epoch});
   try_start(l);
@@ -452,6 +511,7 @@ void Network::unpause(LinkId l) {
   L.pfc_paused = false;
   if (telem_) telem_->on_unpause(l, queue_->now());
   if (L.blocked) try_start(l);
+  post_pfc(SimEventKind::PfcResume, l);
 }
 
 void Network::release_buffer(NodeId n, LinkId ingress, Bytes bytes) {
@@ -539,7 +599,7 @@ void Network::maybe_cnp(StreamId s, std::int32_t recv_idx, NodeId receiver) {
     last = now;
   }
   if (telem_) telem_->on_cnp(s, receiver, now);
-  queue_->after(config_.cnp_delay, SimEvent{SimEventKind::CnpRate, false, s});
+  post_event(now + config_.cnp_delay, SimEvent{SimEventKind::CnpRate, false, s});
 }
 
 }  // namespace peel

@@ -32,6 +32,7 @@
 
 #include "src/common/rng.h"
 #include "src/sim/config.h"
+#include "src/sim/data_plane.h"
 #include "src/sim/dcqcn.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/telemetry.h"
@@ -39,81 +40,84 @@
 
 namespace peel {
 
-using StreamId = std::int32_t;
-
-/// A transfer program: where data enters, how nodes forward it, who consumes.
-struct StreamSpec {
-  NodeId source = kInvalidNode;
-  /// node -> out-links to replicate onto (oriented away from the source).
-  std::unordered_map<NodeId, std::vector<LinkId>> forward;
-  /// Endpoints whose deliveries count (over-covered hosts are *not* listed:
-  /// they receive bytes but discard silently).
-  std::vector<NodeId> receivers;
-  CnpMode cnp_mode = CnpMode::ReceiverTimer;
-  /// Collective id (or any caller cookie) echoed in delivery events.
-  std::uint64_t tag = 0;
+/// Shard-mode routing hook (src/sim/sharded.h): claims events whose handler
+/// lives in another execution domain. `post` returns true when it captured
+/// the event for cross-domain delivery at absolute time `t`; false means the
+/// event is domain-local and the Network schedules it on its own queue. A
+/// Network with no hook bound behaves exactly as before — the hook sites are
+/// behavior-neutral for the single-queue engine.
+class CrossDomainHook {
+ public:
+  virtual ~CrossDomainHook() = default;
+  virtual bool post(SimTime t, const SimEvent& ev) = 0;
 };
 
-struct DeliveryEvent {
-  StreamId stream = -1;
-  std::uint64_t tag = 0;
-  NodeId receiver = kInvalidNode;
-  int chunk = -1;
-};
-
-/// Snapshot of one stream's progress, for stuck-flow diagnostics. Available
-/// whether or not telemetry is enabled — it reads the Network's own state.
-struct StreamDiagnostic {
-  StreamId stream = -1;
-  std::uint64_t tag = 0;
-  bool closed = false;
-  bool pump_blocked = false;    ///< injection stalled on a full source buffer
-  bool pump_scheduled = false;  ///< a pump event is in flight
-  std::size_t pending_chunks = 0;           ///< chunks not fully injected yet
-  Bytes bytes_pending_injection = 0;        ///< of those chunks
-  std::size_t incomplete_deliveries = 0;    ///< (receiver, chunk) short of target
-};
-
-class Network final : public SimEventSink {
+class Network final : public SimEventSink, public DataPlane {
  public:
   Network(const Topology& topo, const SimConfig& config, EventQueue& queue);
   ~Network() override;
 
   /// Invoked whenever a member receiver finishes a chunk.
-  void set_delivery_handler(std::function<void(const DeliveryEvent&)> handler) {
+  void set_delivery_handler(
+      std::function<void(const DeliveryEvent&)> handler) override {
     on_delivery_ = std::move(handler);
   }
 
-  StreamId open_stream(StreamSpec spec);
+  StreamId open_stream(StreamSpec spec) override;
+
+  /// Shard-mode: reserves the next StreamId with no forwarding/receiver
+  /// state, keeping ids aligned across domain replicas that do not
+  /// participate in the stream. Events for a stub stream must never be
+  /// routed to this instance.
+  StreamId open_stream_stub();
 
   /// Queues `bytes` of chunk `chunk_index` for paced injection at the source.
   /// Chunk indices must be non-negative (they key dense per-receiver state).
-  void send_chunk(StreamId stream, int chunk_index, Bytes bytes);
+  void send_chunk(StreamId stream, int chunk_index, Bytes bytes) override;
+
+  /// Shard-mode mirror of send_chunk for non-source domain replicas: records
+  /// the chunk's target size so arrivals in this domain can complete
+  /// deliveries, without scheduling any injection here. `bytes` 0 un-records
+  /// a chunk (mirrors cancel_unsent_chunks on the source domain).
+  void note_chunk(StreamId stream, int chunk_index, Bytes bytes);
 
   /// Removes chunks whose injection has not begun; returns their indices
   /// (used by PEEL+programmable cores to migrate traffic mid-collective).
-  std::vector<int> cancel_unsent_chunks(StreamId stream);
+  std::vector<int> cancel_unsent_chunks(StreamId stream) override;
 
   /// Frees a finished stream's bookkeeping (forwarding table, progress).
-  void close_stream(StreamId stream);
+  void close_stream(StreamId stream) override;
 
   /// Reacts to a mid-run failure of the duplex pair containing `l` (mark the
   /// Topology failed first): queued segments on both directions are lost, as
   /// are segments still in flight on the dead wire. Streams routed through
   /// the link silently stop delivering past it — recovery is the collective
   /// layer's job (CollectiveRunner::recover_broadcast).
-  void on_duplex_failed(LinkId l);
+  void on_duplex_failed(LinkId l) override;
 
   /// Reacts to a mid-run repair of the duplex pair containing `l` (call
   /// Topology::restore_duplex first). Segments that were on the wire or
   /// queued when the link died stay dead — each failure advances the link's
   /// fail epoch, and arrivals from an older epoch are dropped even if the
   /// link is live again by then. New traffic flows immediately.
-  void on_duplex_restored(LinkId l);
+  void on_duplex_restored(LinkId l) override;
+
+  /// Binds the shard-mode routing hook (nullptr to unbind). With a hook
+  /// bound, cross-domain Arrive / CnpRate events are diverted to it, and PFC
+  /// pause state changes on remote-owned ingress links are forwarded as
+  /// PfcPause / PfcResume frames carrying one propagation delay.
+  void set_cross_domain_hook(CrossDomainHook* hook) noexcept {
+    xhook_ = hook;
+  }
 
   /// Dispatches a packed data-plane event (EventQueue calls this; not for
   /// external use).
   void on_sim_event(const SimEvent& ev) override;
+
+  /// Shard-mode: restarts a lapsed telemetry sampler after a mailbox drain
+  /// delivered fresh cross-domain work to this domain's queue (the same
+  /// re-arming send_chunk performs when new local work shows up).
+  void rearm_sampler();
 
   /// Segments dropped by mid-run failures.
   [[nodiscard]] std::uint64_t segments_lost() const noexcept { return lost_segments_; }
@@ -127,7 +131,7 @@ class Network final : public SimEventSink {
   [[nodiscard]] std::uint64_t segments_serialized() const noexcept {
     return segments_serialized_;
   }
-  [[nodiscard]] Bytes link_bytes(LinkId l) const {
+  [[nodiscard]] Bytes link_bytes(LinkId l) const override {
     return links_[static_cast<std::size_t>(l)].serialized;
   }
   [[nodiscard]] std::uint64_t segments_marked() const noexcept { return marked_segments_; }
@@ -157,14 +161,14 @@ class Network final : public SimEventSink {
   /// True while `s` is open and its compiled forwarding table replicates
   /// onto `l` (one direction; callers check both directions of a duplex
   /// pair). Closed streams report false — their tables are released.
-  [[nodiscard]] bool stream_uses_link(StreamId s, LinkId l) const noexcept {
+  [[nodiscard]] bool stream_uses_link(StreamId s, LinkId l) const override {
     const StreamState& st = streams_[static_cast<std::size_t>(s)];
     if (st.closed) return false;
     return std::find(st.fwd_links.begin(), st.fwd_links.end(), l) !=
            st.fwd_links.end();
   }
   /// Progress snapshot for stuck-flow reports (works without telemetry).
-  [[nodiscard]] StreamDiagnostic stream_diagnostic(StreamId s) const;
+  [[nodiscard]] StreamDiagnostic stream_diagnostic(StreamId s) const override;
 
  private:
   struct Segment {
@@ -235,6 +239,16 @@ class Network final : public SimEventSink {
   };
 
   void pump(StreamId s);
+  /// Schedules `ev` at `t`, letting the cross-domain hook (if any) claim it
+  /// for another domain's queue first.
+  void post_event(SimTime t, const SimEvent& ev) {
+    if (xhook_ != nullptr && xhook_->post(t, ev)) return;
+    queue_->at(t, ev);
+  }
+  /// Shard-mode: forwards a PFC pause-state change on `ingress` to the
+  /// link's owning domain, one propagation delay out. No-op without a hook
+  /// (single-queue engine: the local state flip already IS the real state).
+  void post_pfc(SimEventKind kind, LinkId ingress);
   void enqueue_segment(LinkId l, Segment seg);
   void try_start(LinkId l);
   void finish_tx(LinkId l, std::uint32_t fail_epoch);
@@ -267,6 +281,7 @@ class Network final : public SimEventSink {
 
   std::function<void(const DeliveryEvent&)> on_delivery_;
   std::unique_ptr<Telemetry> telem_;
+  CrossDomainHook* xhook_ = nullptr;
 
   Bytes total_bytes_ = 0;
   std::uint64_t segments_serialized_ = 0;

@@ -202,6 +202,85 @@ std::vector<std::string> Telemetry::conservation_violations() const {
   return out;
 }
 
+void Telemetry::merge_from(const Telemetry& other) {
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    LinkAccum& a = links_[i];
+    const LinkAccum& b = other.links_[i];
+    a.bytes += b.bytes;
+    a.segments += b.segments;
+    a.ecn_marks += b.ecn_marks;
+    a.pfc_pauses += b.pfc_pauses;
+    a.pause_time += b.pause_time;
+    if (b.pause_begin >= 0) a.pause_begin = b.pause_begin;
+    a.depth += b.depth;
+    a.peak = std::max(a.peak, b.peak);
+    a.depth_integral += b.depth_integral;
+    a.last_change = std::max(a.last_change, b.last_change);
+  }
+
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].buffer_peak =
+        std::max(nodes_[i].buffer_peak, other.nodes_[i].buffer_peak);
+  }
+
+  if (other.streams_.size() > streams_.size()) {
+    streams_.resize(other.streams_.size());
+  }
+  for (std::size_t i = 0; i < other.streams_.size(); ++i) {
+    StreamAccum& a = streams_[i];
+    const StreamAccum& b = other.streams_[i];
+    // A domain outside the stream's footprint holds a default-constructed
+    // stub accum (no on_stream_open); any domain that saw the open agrees on
+    // the tag, so max() just skips the zeroed stubs.
+    a.tag = std::max(a.tag, b.tag);
+    a.receivers.insert(a.receivers.end(), b.receivers.begin(),
+                       b.receivers.end());
+    for (const auto& [chunk, bytes] : b.injected) a.injected[chunk] += bytes;
+    for (const auto& [receiver, chunks] : b.delivered) {
+      auto& mine = a.delivered[receiver];
+      for (const auto& [chunk, bytes] : chunks) mine[chunk] += bytes;
+    }
+    a.enqueued += b.enqueued;
+    a.serialized += b.serialized;
+    a.lost_queued += b.lost_queued;
+    a.lost_wire += b.lost_wire;
+    a.lost_ingress += b.lost_ingress;
+    a.closed_incomplete = a.closed_incomplete || b.closed_incomplete;
+  }
+
+  // Samples: merge-join on timestamp. Each link's depth (and pause state) is
+  // tracked in exactly one domain, so same-instant samples add fieldwise.
+  std::vector<QueueSample> merged;
+  merged.reserve(samples_.size() + other.samples_.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < samples_.size() || j < other.samples_.size()) {
+    const bool take_mine =
+        j == other.samples_.size() ||
+        (i < samples_.size() && samples_[i].t < other.samples_[j].t);
+    const bool take_theirs =
+        !take_mine &&
+        (i == samples_.size() || other.samples_[j].t < samples_[i].t);
+    if (take_mine) {
+      merged.push_back(samples_[i++]);
+    } else if (take_theirs) {
+      merged.push_back(other.samples_[j++]);
+    } else {
+      QueueSample s = samples_[i++];
+      const QueueSample& o = other.samples_[j++];
+      s.total_queued += o.total_queued;
+      s.max_link_queued = std::max(s.max_link_queued, o.max_link_queued);
+      s.queued_links += o.queued_links;
+      s.paused_links += o.paused_links;
+      merged.push_back(s);
+    }
+  }
+  samples_ = std::move(merged);
+
+  pauses_.insert(pauses_.end(), other.pauses_.begin(), other.pauses_.end());
+  cnps_.insert(cnps_.end(), other.cnps_.begin(), other.cnps_.end());
+}
+
 TelemetrySummary Telemetry::summary(SimTime now) const {
   TelemetrySummary s;
   s.duration = now;

@@ -179,6 +179,19 @@ class Telemetry {
   /// for the harness to fill.
   [[nodiscard]] TelemetrySummary summary(SimTime now) const;
 
+  /// Folds another Telemetry (same config, same topology) into this one.
+  ///
+  /// The sharded engine runs one Telemetry per pod domain; each accumulator
+  /// field has exactly one writing domain (link serializer counters live in
+  /// the link's src domain, PFC pause spans in the buffer-owning dst domain,
+  /// per-receiver delivery credits in the receiver's domain), so summing is
+  /// exact, peaks merge by max, and closed_incomplete flags OR together.
+  /// Queue-depth samples merge by timestamp; trace events concatenate in the
+  /// caller's (domain-id) order. Call on a fresh instance, folding domains
+  /// in ascending id order, to get a summary equivalent to a single global
+  /// Telemetry's.
+  void merge_from(const Telemetry& other);
+
  private:
   struct LinkAccum {
     Bytes bytes = 0;

@@ -233,5 +233,140 @@ TEST(EventQueueLadder, PodWithoutSinkThrows) {
   EXPECT_TRUE(q.empty());
 }
 
+// Rebase where every overflow entry shares one timestamp: lo == hi, so the
+// stride-widening loop must not run (span 0 fits any stride) and all entries
+// land in a single rung, firing in scheduling order. (The off-by-one variant
+// — widening while span >= kBuckets << shift with span 0, or filing the
+// shared bucket at the ring's high edge — either loops forever or drops the
+// entries back into overflow every rebase.)
+TEST(EventQueueLadder, RebaseWithSingleTimestampOverflow) {
+  EventQueue q;
+  RecordingSink sink;
+  q.bind_sink(&sink);
+
+  // Anchor at t=64: the ladder re-centers with its window ending near
+  // t ≈ 33k (64 ns stride, 512 rungs), so t=1ms entries all overflow.
+  q.at(64, labeled(0));
+  for (std::int32_t i = 1; i <= 5; ++i) q.at(1'000'000, labeled(i));
+  q.run();
+
+  EXPECT_EQ(sink.fired, (std::vector<std::int32_t>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(q.now(), 1'000'000);
+}
+
+// Rebase whose overflow span is EXACTLY kBuckets << kDefaultShift (512 x 64):
+// the widen condition is (span >> shift) >= kBuckets, so equality must widen
+// the stride once — a `>` comparison would leave hi's bucket number equal to
+// bucket_hi_, aliasing ring slot 0 and firing the far entry before the near
+// ones. Order must match the (t, seq) reference regardless.
+TEST(EventQueueLadder, RebaseSpanExactlyRingCapacityKeepsOrder) {
+  EventQueue q;
+  RecordingSink sink;
+  q.bind_sink(&sink);
+
+  const SimTime base = 1'000'000;
+  const SimTime span = 512 * 64;  // kBuckets << kDefaultShift
+  q.at(64, labeled(0));           // anchor; everything below overflows past it
+  q.at(base + span, labeled(3));  // scheduled first, fires last
+  q.at(base, labeled(1));
+  q.at(base + 64, labeled(2));
+  q.run();
+
+  EXPECT_EQ(sink.fired, (std::vector<std::int32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(q.now(), base + span);
+}
+
+// --- Window primitives (the sharded engine's conservative-PDES substrate) --
+
+// run_window's horizon is EXCLUSIVE: an event exactly at `end` belongs to the
+// next window (it may still be preceded by a cross-domain arrival at end-ε),
+// and the clock stays at the last processed event rather than jumping to the
+// horizon.
+TEST(EventQueueWindow, RunWindowExcludesEventsAtTheHorizon) {
+  EventQueue q;
+  RecordingSink sink;
+  q.bind_sink(&sink);
+
+  q.at(10, labeled(1));
+  q.at(99, labeled(2));
+  q.at(100, labeled(3));  // exactly at the horizon: must NOT fire
+  q.at(100, [] {});       // closure flavor at the horizon: must NOT fire
+
+  q.run_window(100);
+  EXPECT_EQ(sink.fired, (std::vector<std::int32_t>{1, 2}));
+  EXPECT_EQ(q.now(), 99) << "clock must stay at the last event, not the horizon";
+  EXPECT_EQ(q.pending(), 2u);
+
+  // An arrival landing inside [now, horizon) from a mailbox drain is legal
+  // and fires in (t, seq) order in the next window.
+  q.at(99, labeled(4));
+  q.run_window(101);
+  EXPECT_EQ(sink.fired, (std::vector<std::int32_t>{1, 2, 4, 3}));
+  EXPECT_TRUE(q.empty());
+}
+
+// An empty window (no events below the horizon) processes nothing and leaves
+// the clock untouched — the barrier advance is advance_to's job.
+TEST(EventQueueWindow, EmptyWindowIsANoOp) {
+  EventQueue q;
+  RecordingSink sink;
+  q.bind_sink(&sink);
+
+  q.at(500, labeled(1));
+  q.run_window(500);
+  EXPECT_TRUE(sink.fired.empty());
+  EXPECT_EQ(q.now(), 0);
+  EXPECT_EQ(q.pending(), 1u);
+
+  q.run_window(501);
+  EXPECT_EQ(sink.fired, (std::vector<std::int32_t>{1}));
+}
+
+// advance_to moves the clock forward only; a stale (smaller) bound is a
+// no-op, and scheduling at the advanced clock is legal while scheduling
+// before it still throws.
+TEST(EventQueueWindow, AdvanceToIsMonotoneAndGatesScheduling) {
+  EventQueue q;
+  RecordingSink sink;
+  q.bind_sink(&sink);
+
+  q.advance_to(250);
+  EXPECT_EQ(q.now(), 250);
+  q.advance_to(100);  // backwards: no-op
+  EXPECT_EQ(q.now(), 250);
+
+  q.at(250, labeled(1));  // exactly at now: legal
+  EXPECT_THROW(q.at(249, labeled(2)), std::logic_error);
+  q.run();
+  EXPECT_EQ(sink.fired, (std::vector<std::int32_t>{1}));
+  EXPECT_EQ(q.now(), 250);
+}
+
+// next_event_time peeks the global minimum across the POD ladder and the
+// closure side heap without consuming anything — the sharded engine's window
+// bound is computed from it every iteration.
+TEST(EventQueueWindow, NextEventTimePeeksMinAcrossTiers) {
+  EventQueue q;
+  RecordingSink sink;
+  q.bind_sink(&sink);
+
+  SimTime t = -1;
+  EXPECT_FALSE(q.next_event_time(t));
+
+  q.at(700, labeled(1));        // rung
+  q.at(90'000'000, labeled(2)); // overflow
+  EXPECT_TRUE(q.next_event_time(t));
+  EXPECT_EQ(t, 700);
+
+  q.at(300, [] {});  // closure earlier than every POD
+  EXPECT_TRUE(q.next_event_time(t));
+  EXPECT_EQ(t, 300);
+  EXPECT_EQ(q.pending(), 3u) << "peeking must not consume";
+  EXPECT_EQ(q.processed(), 0u);
+
+  q.run();
+  EXPECT_FALSE(q.next_event_time(t));
+}
+
 }  // namespace
 }  // namespace peel

@@ -8,6 +8,7 @@
 // survives the cache.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <vector>
 
@@ -160,6 +161,83 @@ TEST(PlanCache, RepairHookPatchesAndReindexes) {
   cache.apply_delta(TopologyDelta::link_down(4));  // old edge: no longer indexed
   EXPECT_EQ(cache.size(), 1u);
   cache.apply_delta(TopologyDelta::link_down(20));  // new edge: evicts
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+// Batching regression: a switch-down delta reports every duplex pair of the
+// dead switch in ONE TopologyDelta, and a plan whose tree traverses several
+// of those pairs appears in several edge buckets. The repair hook must run
+// exactly once per affected plan per delta — not once per matching pair.
+// (The broken variant re-repaired the plan for every pair it traversed,
+// multiplying hook cost and repair counters by the tree's fan-out into the
+// dead switch.)
+TEST(PlanCache, MultiPairDeltaRepairsEachPlanOnce) {
+  TreePlanCache cache;
+  int builds = 0;
+  const auto build = [&builds] { return ++builds; };
+  // One plan fans three pairs into the doomed switch; another touches one.
+  const auto wide = [](const int&) { return std::vector<LinkId>{4, 8, 12}; };
+  const auto narrow = [](const int&) { return std::vector<LinkId>{8}; };
+
+  (void)cache.get_or_build<int>(PlanKind::RecoveryTree, 1, kDests,
+                                PeelCoverOptions{}, build, wide);
+  (void)cache.get_or_build<int>(PlanKind::RecoveryTree, 2, kDests,
+                                PeelCoverOptions{}, build, narrow);
+
+  TopologyDelta outage;  // hand-built switch outage: three pairs die at once
+  outage.change = TopologyChange::SwitchDown;
+  outage.down_pairs = {4, 8, 12};
+  int hook_calls = 0;
+  std::vector<NodeId> repaired;
+  cache.apply_delta(
+      outage, [&](PlanKind, NodeId source, const std::vector<NodeId>&,
+                  const std::shared_ptr<const void>& value) {
+        ++hook_calls;
+        repaired.push_back(source);
+        return PlanRepair{value, {20}};  // keep artifact, reroute to edge 20
+      });
+
+  EXPECT_EQ(hook_calls, 2) << "one repair per affected plan per delta";
+  EXPECT_EQ(cache.stats().repairs, 2u);
+  EXPECT_EQ(cache.stats().invalidations, 0u);
+  std::sort(repaired.begin(), repaired.end());
+  EXPECT_EQ(repaired, (std::vector<NodeId>{1, 2}));
+
+  // Both entries were re-indexed under the repaired edge set only: the old
+  // pairs no longer reach them, the new edge evicts both.
+  cache.apply_delta(TopologyDelta::link_down(4));
+  EXPECT_EQ(cache.size(), 2u);
+  cache.apply_delta(TopologyDelta::link_down(20));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+}
+
+// The once-per-delta stamp must not stick across deltas: a later delta that
+// hits the repaired plan again invokes the hook again, and eviction under a
+// multi-pair delta counts once per plan too.
+TEST(PlanCache, PassStampResetsBetweenDeltas) {
+  TreePlanCache cache;
+  int builds = 0;
+  const auto build = [&builds] { return ++builds; };
+  const auto edges = [](const int&) { return std::vector<LinkId>{4, 8}; };
+
+  (void)cache.get_or_build<int>(PlanKind::RecoveryTree, 1, kDests,
+                                PeelCoverOptions{}, build, edges);
+  int hook_calls = 0;
+  const auto keep = [&](PlanKind, NodeId, const std::vector<NodeId>&,
+                        const std::shared_ptr<const void>& value) {
+    ++hook_calls;
+    return PlanRepair{value, {4, 8}};  // same footprint, patched in place
+  };
+  cache.apply_delta(TopologyDelta::link_down(4), keep);
+  cache.apply_delta(TopologyDelta::link_down(8), keep);
+  EXPECT_EQ(hook_calls, 2) << "each delta gets its own repair pass";
+
+  // Multi-pair delta with no hook: the doubly-indexed entry evicts once.
+  TopologyDelta both;
+  both.down_pairs = {4, 8};
+  cache.apply_delta(both);
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.stats().invalidations, 1u);
 }

@@ -1,0 +1,235 @@
+// Shard-invariance suite: the pod-sharded engine (src/sim/sharded.h) must be
+// an execution knob, not a semantics knob. The domain decomposition is a
+// pure function of the topology, so any two positive shard counts must
+// produce byte-identical results — CCT samples, byte counters, event counts,
+// telemetry CSVs — and identical fault handling: a run with outages on
+// cross-shard links (leaf-spine spine links live in the core domain) still
+// passes the byte-conservation audit, proving exactly-once delivery through
+// recovery at every worker count. The k=32 fat-tree broadcast pins the
+// acceptance scale from the issue.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/harness/experiment.h"
+#include "src/sim/trace.h"
+#include "src/topology/fat_tree.h"
+#include "src/topology/leaf_spine.h"
+
+namespace peel {
+namespace {
+
+/// Every simulated-output field of a ScenarioResult. Wall-clock fields
+/// (delta_apply_*_us) are intentionally absent: they measure the host, not
+/// the simulation.
+void expect_identical(const ScenarioResult& a, const ScenarioResult& b) {
+  ASSERT_EQ(a.cct_seconds.count(), b.cct_seconds.count());
+  EXPECT_EQ(a.cct_seconds.values(), b.cct_seconds.values());
+  EXPECT_EQ(a.fabric_bytes, b.fabric_bytes);
+  EXPECT_EQ(a.core_bytes, b.core_bytes);
+  EXPECT_DOUBLE_EQ(a.sim_seconds, b.sim_seconds);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.segments, b.segments);
+  EXPECT_EQ(a.segments_lost, b.segments_lost);
+  EXPECT_EQ(a.pfc_pauses, b.pfc_pauses);
+  EXPECT_EQ(a.ecn_marks, b.ecn_marks);
+  EXPECT_EQ(a.unfinished, b.unfinished);
+  EXPECT_EQ(a.fault_downs, b.fault_downs);
+  EXPECT_EQ(a.fault_ups, b.fault_ups);
+  EXPECT_EQ(a.recovered_deliveries, b.recovered_deliveries);
+  EXPECT_EQ(a.plan_cache.hits, b.plan_cache.hits);
+  EXPECT_EQ(a.plan_cache.misses, b.plan_cache.misses);
+  EXPECT_EQ(a.plan_cache.invalidations, b.plan_cache.invalidations);
+  EXPECT_EQ(a.plan_cache.repairs, b.plan_cache.repairs);
+  EXPECT_EQ(a.delta_applies, b.delta_applies);
+  EXPECT_EQ(a.delta_plans_repaired, b.delta_plans_repaired);
+  EXPECT_EQ(a.delta_plans_evicted, b.delta_plans_evicted);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// The figure-style scenario: a 64-GPU fat-tree (4 pods + core = 5 domains),
+// striped PEEL broadcasts, sampled telemetry, audit + watchdog. Results AND
+// both telemetry CSV exports must be byte-identical at 1, 2, and 8 shards.
+TEST(ShardInvariance, FigureScenarioByteIdenticalAcrossShardCounts) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 4});
+  const Fabric fabric = Fabric::of(ft);
+  ScenarioConfig config;
+  config.scheme = Scheme::Peel;
+  config.group_size = 16;
+  config.message_bytes = 1 * kMiB;
+  config.collectives = 6;
+  config.seed = 777;
+  config.byte_audit = true;
+  config.watchdog = true;
+  config.runner.stripe_trees = 2;
+  config.sim.telemetry.enabled = true;
+  config.sim.telemetry.sample_interval = 20 * kMicrosecond;
+
+  ScenarioResult results[3];
+  std::string link_csv[3];
+  std::string samples_csv[3];
+  const int shard_counts[3] = {1, 2, 8};
+  for (int i = 0; i < 3; ++i) {
+    config.shards = shard_counts[i];
+    results[i] = run_scenario(fabric, config);
+    ASSERT_NE(results[i].telemetry, nullptr);
+    const std::string dir = ::testing::TempDir();
+    const std::string links =
+        dir + "/shard" + std::to_string(shard_counts[i]) + "_links.csv";
+    const std::string samples =
+        dir + "/shard" + std::to_string(shard_counts[i]) + "_samples.csv";
+    write_link_telemetry_csv(links, *results[i].telemetry);
+    write_queue_samples_csv(samples, *results[i].telemetry);
+    link_csv[i] = slurp(links);
+    samples_csv[i] = slurp(samples);
+  }
+
+  for (int i = 1; i < 3; ++i) {
+    SCOPED_TRACE("shards=" + std::to_string(shard_counts[i]) + " vs shards=1");
+    expect_identical(results[0], results[i]);
+    EXPECT_EQ(link_csv[0], link_csv[i]) << "link telemetry CSV diverged";
+    EXPECT_EQ(samples_csv[0], samples_csv[i]) << "queue-depth CSV diverged";
+  }
+  EXPECT_EQ(results[0].unfinished, 0u);
+  EXPECT_GT(link_csv[0].size(), 100u) << "CSV export suspiciously empty";
+}
+
+// Every collective flavor drains audit-clean under sharding and agrees
+// across worker counts — the engines share all collective logic, so a
+// divergence here is a cross-domain ordering bug, not a collective bug.
+TEST(ShardInvariance, AllCollectiveKindsAuditCleanAcrossShardCounts) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 4});
+  const Fabric fabric = Fabric::of(ft);
+  for (const CollectiveKind kind :
+       {CollectiveKind::Broadcast, CollectiveKind::AllGather,
+        CollectiveKind::AllReduce}) {
+    SCOPED_TRACE(to_string(kind));
+    ScenarioConfig config;
+    config.scheme = Scheme::Peel;
+    config.collective = kind;
+    config.group_size = 16;
+    config.message_bytes = 512 * kKiB;
+    config.collectives = 4;
+    config.seed = 4242;
+    config.byte_audit = true;
+    config.watchdog = true;
+
+    config.shards = 2;
+    const ScenarioResult two = run_scenario(fabric, config);
+    config.shards = 8;
+    const ScenarioResult eight = run_scenario(fabric, config);
+    expect_identical(two, eight);
+    EXPECT_EQ(two.unfinished, 0u);
+  }
+}
+
+// Outages on cross-shard links: on the leaf-spine fabric every spine sits in
+// the core domain, so each flapped spine-leaf pair straddles a shard
+// boundary, and its TopologyDelta / recovery pass must land identically at
+// every worker count. The byte audit makes the exactly-once claim a hard
+// failure: a delivery replayed twice (or lost at a mailbox boundary) throws.
+TEST(ShardInvariance, CrossShardFaultRecoveryIsExactlyOnce) {
+  LeafSpine ls = build_leaf_spine(LeafSpineConfig{4, 8, 2, 2});
+  const Fabric fabric = Fabric::of(ls);
+  ScenarioConfig config;
+  config.scheme = Scheme::Peel;
+  config.runner.peel_asymmetric = true;  // trees must tolerate mid-run damage
+  config.group_size = 16;
+  config.message_bytes = 256 * kKiB;
+  config.offered_load = 0.3;
+  config.collectives = 8;
+  config.seed = 90210;
+  config.byte_audit = true;
+  config.watchdog = true;
+  config.faults.flap.mtbf_seconds = 60e-6;
+  config.faults.flap.mttr_seconds = 25e-6;
+  config.faults.flap.links = 12;
+  config.faults.flap.horizon_seconds = 400e-6;
+
+  ScenarioResult results[3];
+  const int shard_counts[3] = {1, 2, 8};
+  for (int i = 0; i < 3; ++i) {
+    config.shards = shard_counts[i];
+    results[i] = run_scenario(fabric, config);
+  }
+  for (int i = 1; i < 3; ++i) {
+    SCOPED_TRACE("shards=" + std::to_string(shard_counts[i]) + " vs shards=1");
+    expect_identical(results[0], results[i]);
+  }
+  EXPECT_EQ(results[0].unfinished, 0u);
+  EXPECT_GT(results[0].fault_downs, 0u);
+  EXPECT_EQ(results[0].fault_ups, results[0].fault_downs);
+  EXPECT_GT(results[0].recovered_deliveries, 0u)
+      << "flapping never hit a live stream — the test lost its teeth";
+  EXPECT_GT(results[0].delta_applies, 0u)
+      << "fault deltas must be measured by the apply-latency counters";
+}
+
+// Same config, same shard count, run twice: the parallel engine must be
+// deterministic against itself, not just against the 1-worker execution.
+TEST(ShardInvariance, ShardedReplayIsDeterministic) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 4});
+  const Fabric fabric = Fabric::of(ft);
+  ScenarioConfig config;
+  config.scheme = Scheme::Peel;
+  config.group_size = 16;
+  config.message_bytes = 1 * kMiB;
+  config.collectives = 6;
+  config.seed = 31337;
+  config.byte_audit = true;
+  config.watchdog = true;
+  config.shards = 8;
+
+  const ScenarioResult a = run_scenario(fabric, config);
+  const ScenarioResult b = run_scenario(fabric, config);
+  expect_identical(a, b);
+}
+
+// Acceptance scale: a k=32 fat-tree (32 pods + core = 33 domains) broadcast
+// completes under the sharded engine, audit-clean, with identical bandwidth
+// accounting at 2 and 8 workers. Host counts are kept lean (1 host per ToR,
+// 1 GPU per host) so the test exercises the pod fan-out, not the NVLink
+// tier.
+TEST(ShardInvariance, K32FatTreeBroadcastCompletesSharded) {
+  FatTreeConfig cfg;
+  cfg.k = 32;
+  cfg.hosts_per_tor = 1;
+  cfg.gpus_per_host = 1;
+  const FatTree ft = build_fat_tree(cfg);
+  const Fabric fabric = Fabric::of(ft);
+
+  SingleRunOptions options;
+  options.scheme = Scheme::Peel;
+  options.message_bytes = 1 * kMiB;
+  options.byte_audit = true;
+  // A group spanning many pods: every 5th host across the whole fabric.
+  options.group.source = ft.hosts.front();
+  for (std::size_t i = 5; i < ft.hosts.size(); i += 5) {
+    options.group.destinations.push_back(ft.hosts[i]);
+  }
+
+  options.shards = 2;
+  const SingleResult two = run_single_broadcast(fabric, options);
+  options.shards = 8;
+  const SingleResult eight = run_single_broadcast(fabric, options);
+
+  EXPECT_GT(two.cct_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(two.cct_seconds, eight.cct_seconds);
+  EXPECT_EQ(two.fabric_bytes, eight.fabric_bytes);
+  EXPECT_EQ(two.core_bytes, eight.core_bytes);
+  EXPECT_EQ(two.nvlink_bytes, eight.nvlink_bytes);
+  EXPECT_GT(two.fabric_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace peel
