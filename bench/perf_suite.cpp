@@ -1,7 +1,8 @@
 // Simulator performance suite: the repo's persistent perf trajectory.
 //
 // Default mode runs a fixed grid of scenario cells — Broadcast / AllGather /
-// AllReduce on 8-ary and 16-ary fat-trees, with and without flapping links —
+// AllReduce (host-side Peel plus the in-network InNet AllReduce) on 8-ary
+// and 16-ary fat-trees, with and without flapping links —
 // plus a component microbench section (raw scheduler throughput at three
 // queue-depth regimes, control-plane tree-builds/sec, memoized lookups/sec)
 // and writes BENCH_sim.json (events/sec, segments/sec, wall time, peak RSS,
@@ -64,6 +65,7 @@ namespace {
 // ---------------------------------------------------------------------------
 
 struct PerfCellResult {
+  Scheme scheme;
   CollectiveKind kind;
   int fat_tree_k;
   bool faults;
@@ -72,9 +74,10 @@ struct PerfCellResult {
   long rss_kib = 0;
 };
 
-ScenarioConfig perf_cell_config(CollectiveKind kind, bool faults, int samples) {
+ScenarioConfig perf_cell_config(Scheme scheme, CollectiveKind kind, bool faults,
+                                int samples) {
   ScenarioConfig c;
-  c.scheme = Scheme::Peel;
+  c.scheme = scheme;
   c.collective = kind;
   c.group_size = 64;
   c.message_bytes = 8 * kMiB;
@@ -287,17 +290,26 @@ int run_perf_grid() {
                 "data-plane throughput trajectory (BENCH_sim.json)");
   const int samples = bench::samples_override(12, 3);
   const std::vector<int> fat_tree_ks = {8, 16};
-  const std::vector<CollectiveKind> kinds = {CollectiveKind::Broadcast,
-                                             CollectiveKind::AllGather,
-                                             CollectiveKind::AllReduce};
+  // (scheme, collective) rows of the grid. AllReduce runs twice: the
+  // host-side tree-reduce + multicast baseline and the in-network InNet
+  // scheme (switch-combined reduce up the mirrored prefix tree), so the
+  // JSON carries both sides of the in-network-vs-host comparison under
+  // identical load, clean and faulted.
+  const std::vector<std::pair<Scheme, CollectiveKind>> rows = {
+      {Scheme::Peel, CollectiveKind::Broadcast},
+      {Scheme::Peel, CollectiveKind::AllGather},
+      {Scheme::Peel, CollectiveKind::AllReduce},
+      {Scheme::InNet, CollectiveKind::AllReduce},
+  };
 
   std::vector<PerfCellResult> cells;
   for (int k : fat_tree_ks) {
     const FatTree ft = build_fat_tree(FatTreeConfig{k, k / 2, 8});
     const Fabric fabric = Fabric::of(ft);
-    for (CollectiveKind kind : kinds) {
+    for (const auto& [scheme, kind] : rows) {
       for (bool faults : {false, true}) {
-        const ScenarioConfig config = perf_cell_config(kind, faults, samples);
+        const ScenarioConfig config =
+            perf_cell_config(scheme, kind, faults, samples);
         // Unmeasured warmup run: the small cells finish in ~100 ms, where
         // first-touch page faults and the allocator state left behind by
         // the previous cell would otherwise dominate the wall time. Each
@@ -309,6 +321,7 @@ int run_perf_grid() {
         const std::chrono::duration<double> wall =
             std::chrono::steady_clock::now() - start;
         PerfCellResult cell;
+        cell.scheme = scheme;
         cell.kind = kind;
         cell.fat_tree_k = k;
         cell.faults = faults;
@@ -316,16 +329,17 @@ int run_perf_grid() {
         cell.result = std::move(r);
         cell.rss_kib = peak_rss_kib();
         cells.push_back(std::move(cell));
-        std::printf("  %-9s k=%-2d faults=%d  %8.2fs wall  %9.0f events/s\n",
-                    to_string(kind), k, faults ? 1 : 0, cell.wall_seconds,
+        std::printf("  %-5s %-9s k=%-2d faults=%d  %8.2fs wall  %9.0f events/s\n",
+                    to_string(scheme), to_string(kind), k, faults ? 1 : 0,
+                    cell.wall_seconds,
                     static_cast<double>(cell.result.events) /
                         cell.wall_seconds);
       }
     }
   }
 
-  Table table({"collective", "fat-tree k", "faults", "wall (s)", "events/s",
-               "segments/s", "plan hit %", "peak RSS (MiB)"});
+  Table table({"scheme", "collective", "fat-tree k", "faults", "wall (s)",
+               "events/s", "segments/s", "plan hit %", "peak RSS (MiB)"});
   double reference_eps = 0.0;
   for (const PerfCellResult& c : cells) {
     const double eps =
@@ -336,7 +350,8 @@ int run_perf_grid() {
         !c.faults) {
       reference_eps = eps;
     }
-    table.add_row({to_string(c.kind), cell("%d", c.fat_tree_k),
+    table.add_row({to_string(c.scheme), to_string(c.kind),
+                   cell("%d", c.fat_tree_k),
                    c.faults ? "on" : "off", cell("%.2f", c.wall_seconds),
                    cell("%.0f", eps), cell("%.0f", sps),
                    cell("%.1f", c.result.plan_cache.hit_rate() * 100.0),
@@ -383,9 +398,8 @@ int run_perf_grid() {
     return 1;
   }
   std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"schema\": \"peel.perf_suite.v2\",\n");
+  std::fprintf(out, "  \"schema\": \"peel.perf_suite.v3\",\n");
   std::fprintf(out, "  \"quick\": %s,\n", json_bool(bench::quick_mode()));
-  std::fprintf(out, "  \"scheme\": \"Peel\",\n");
   std::fprintf(out, "  \"group_size\": 64,\n");
   std::fprintf(out, "  \"group_pool\": 4,\n");
   std::fprintf(out, "  \"message_mib\": 8,\n");
@@ -398,7 +412,8 @@ int run_perf_grid() {
     const PlanCacheStats& pc = c.result.plan_cache;
     std::fprintf(
         out,
-        "    {\"collective\": \"%s\", \"fat_tree_k\": %d, \"faults\": %s,\n"
+        "    {\"scheme\": \"%s\", \"collective\": \"%s\", "
+        "\"fat_tree_k\": %d, \"faults\": %s,\n"
         "     \"wall_seconds\": %.3f, \"sim_seconds\": %.6f,\n"
         "     \"events\": %llu, \"events_per_sec\": %.0f,\n"
         "     \"segments\": %llu, \"segments_per_sec\": %.0f,\n"
@@ -410,8 +425,10 @@ int run_perf_grid() {
         "\"delta_apply_max_us\": %.3f,\n"
         "     \"delta_plans_repaired\": %llu, "
         "\"delta_plans_evicted\": %llu,\n"
+        "     \"reduce_sram_peak\": %llu,\n"
         "     \"unfinished\": %zu, \"peak_rss_kib\": %ld}%s\n",
-        to_string(c.kind), c.fat_tree_k, json_bool(c.faults), c.wall_seconds,
+        to_string(c.scheme), to_string(c.kind), c.fat_tree_k,
+        json_bool(c.faults), c.wall_seconds,
         c.result.sim_seconds,
         static_cast<unsigned long long>(c.result.events), eps,
         static_cast<unsigned long long>(c.result.segments), sps,
@@ -427,6 +444,7 @@ int run_perf_grid() {
         c.result.delta_apply_max_us,
         static_cast<unsigned long long>(c.result.delta_plans_repaired),
         static_cast<unsigned long long>(c.result.delta_plans_evicted),
+        static_cast<unsigned long long>(c.result.reduce_sram_peak),
         c.result.unfinished, c.rss_kib, i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");

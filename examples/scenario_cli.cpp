@@ -5,8 +5,10 @@
 // Usage:
 //   scenario_cli [scheme] [collective] [group_gpus] [message_MiB] [load%] [n]
 //                [replicas] [flags...]
-//     scheme:      ring | tree | optimal | orca | peel | peelcores
+//     scheme:      ring | tree | optimal | orca | peel | peelcores | innet
 //     collective:  broadcast | allgather | allreduce
+//                  (innet is AllReduce-only: switch-combined reduce up the
+//                  mirrored prefix tree, PEEL multicast down)
 //     replicas:    independent repetitions with derived per-replica seeds,
 //                  run in parallel by the sweep engine (PEEL_BENCH_THREADS
 //                  overrides the worker count)
@@ -65,6 +67,7 @@ Scheme parse_scheme(const char* s) {
   if (!std::strcmp(s, "orca")) return Scheme::Orca;
   if (!std::strcmp(s, "peel")) return Scheme::Peel;
   if (!std::strcmp(s, "peelcores")) return Scheme::PeelProgCores;
+  if (!std::strcmp(s, "innet")) return Scheme::InNet;
   std::fprintf(stderr, "unknown scheme '%s'\n", s);
   std::exit(1);
 }
@@ -243,7 +246,7 @@ int main(int argc, char** argv) {
     }
     cct.reserve(pooled);
   }
-  Bytes fabric_bytes = 0, core_bytes = 0;
+  Bytes fabric_bytes = 0, core_bytes = 0, sram_peak = 0;
   std::uint64_t ecn = 0, pfc = 0, events = 0;
   std::size_t unfinished = 0;
   std::size_t downs = 0, ups = 0, recovered = 0;
@@ -257,6 +260,7 @@ int main(int argc, char** argv) {
     ecn += c.result.ecn_marks;
     pfc += c.result.pfc_pauses;
     events += c.result.events;
+    sram_peak += c.result.reduce_sram_peak;
     unfinished += c.result.unfinished;
     downs += c.result.fault_downs;
     ups += c.result.fault_ups;
@@ -284,6 +288,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(ecn),
               static_cast<unsigned long long>(pfc),
               static_cast<unsigned long long>(events));
+  if (sram_peak > 0) {
+    std::printf("  reduce SRAM %s peak (summed over replicas)\n",
+                format_bytes(static_cast<double>(sram_peak)).c_str());
+  }
   if (plan.hits + plan.misses > 0) {
     std::printf("  plan cache  %llu hits / %llu misses (%.1f%% hit rate), "
                 "%llu delta eviction(s), %llu in-place repair(s)\n",

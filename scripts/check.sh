@@ -13,10 +13,10 @@
 #
 # Set PEEL_CHECK_PERF=1 to additionally run the perf smoke leg: a Release
 # build of the simulator performance suite (scripts/perf.sh) in quick mode,
-# the standalone scheduler/control-plane microbench, and a report-only diff
+# the standalone scheduler/control-plane microbench, a report-only diff
 # of the fresh BENCH_sim.json columns against the committed copy
-# (scripts/perf_diff.sh). It gates on determinism (perf_suite --check),
-# not on speed.
+# (scripts/perf_diff.sh), and an audited in-network AllReduce smoke through
+# scenario_cli. It gates on determinism (perf_suite --check), not on speed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -52,6 +52,8 @@ if [[ "${PEEL_CHECK_PERF:-0}" != "0" ]]; then
   PEEL_BENCH_QUICK=1 ./build-perf/bench/perf_suite --microbench
   echo "== perf diff vs committed BENCH_sim.json (report-only) =="
   scripts/perf_diff.sh
+  echo "== in-network AllReduce smoke (scenario_cli innet, audited) =="
+  ./build-perf/examples/scenario_cli innet allreduce 16 8 30 5 --audit --watchdog
 fi
 
 echo "== all checks passed =="

@@ -63,7 +63,10 @@ if committed.get("quick") != fresh.get("quick"):
 print(f"  {'column':<44} {'committed':>12} {'fresh':>12} {'delta':>7}")
 
 def cells_by_key(doc):
-    return {(c["collective"], c["fat_tree_k"], c["faults"]): c
+    # "scheme" arrived with schema v3 (the in-network AllReduce cells);
+    # older committed copies carried a single top-level scheme.
+    return {(c.get("scheme", doc.get("scheme", "Peel")), c["collective"],
+             c["fat_tree_k"], c["faults"]): c
             for c in doc.get("cells", [])}
 
 old_cells, new_cells = cells_by_key(committed), cells_by_key(fresh)
@@ -71,8 +74,8 @@ for key in old_cells:
     if key not in new_cells:
         continue
     o, n = old_cells[key], new_cells[key]
-    faulty = bool(key[2])
-    label = f"{key[0]} k={key[1]} faults={'on' if faulty else 'off'} ev/s"
+    faulty = bool(key[3])
+    label = f"{key[0]} {key[1]} k={key[2]} faults={'on' if faulty else 'off'} ev/s"
     row(label, o.get("events_per_sec", 0), n.get("events_per_sec", 0))
     # Fault cells are the surgical-invalidation regression surface: always
     # show their hit rate and peak RSS; elsewhere only a changed hit rate.

@@ -51,6 +51,7 @@ enum class PlanKind : std::uint8_t {
   PeelPlan,        ///< build_peel_plan (symmetric prefix cover)
   PeelAsymmetric,  ///< peel_asymmetric_trees (failure-shaped greedy trees)
   RecoveryTree,    ///< layer_peel_tree for a recovery origin group
+  ReducePlan,      ///< peel_static_trees parts reused as mirrored reduce trees
 };
 
 struct PlanCacheStats {

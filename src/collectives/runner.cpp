@@ -19,6 +19,7 @@ const char* to_string(Scheme s) noexcept {
     case Scheme::Orca: return "Orca";
     case Scheme::Peel: return "PEEL";
     case Scheme::PeelProgCores: return "PEEL+ProgCores";
+    case Scheme::InNet: return "InNet";
   }
   return "?";
 }
@@ -54,6 +55,16 @@ struct CollectiveRunner::ExecBase {
   virtual void start() = 0;
   /// Scheme-specific reaction to a completed (receiver, chunk).
   virtual void on_delivery(const DeliveryEvent& ev) { (void)ev; }
+
+  /// Scheme-owned recovery: runs before the generic origin->receiver pass.
+  /// The override removes from `missing` every delivery the generic pass
+  /// must not touch (re-sending them itself where possible) and returns the
+  /// count it rescheduled; deliveries it removed but could not reschedule
+  /// keep the collective's damage mark set, so a later pass retries them.
+  virtual std::size_t recover_scheme(std::vector<ExpectedDelivery>& missing) {
+    (void)missing;
+    return 0;
+  }
 
   /// Every (receiver, chunk) this collective must complete, with the
   /// endpoint holding the bytes. The default is the broadcast shape; multi-
@@ -859,6 +870,120 @@ struct CollectiveRunner::TreeReduceBroadcastExec : ExecBase {
 };
 
 // ---------------------------------------------------------------------------
+// In-network AllReduce: the PEEL prefix parts fuse into ONE stream
+// (innet_fused_spec) whose forward map is the merged member-serving
+// multicast tree rerooted at the pivot — the first fan-out switch above the
+// initiating rank. Every member paces its contribution up the exact mirror
+// of its down-tree branch, switches combine child segments in SRAM
+// (src/sim/network.cpp reduce path), and the pivot's fully combined bytes
+// turn around into the ordinary prefix multicast down the same tree. Each
+// fabric link is crossed once up and once down, and every member's NIC
+// carries exactly 1× the buffer each way — less than Ring's 2(n-1)/n.
+//
+// Chunk ids are the piece indices directly: the reduce and broadcast halves
+// are one stream, so there is no second id space to keep disjoint.
+// ---------------------------------------------------------------------------
+
+struct CollectiveRunner::InNetAllReduceExec : ExecBase {
+  std::vector<NodeId> order;       ///< sorted members; order[0] roots the plan
+  std::vector<Bytes> piece_bytes;  ///< the pipelined pieces of the buffer
+  StreamId fused = -1;             ///< the single up+down reduce stream
+
+  [[nodiscard]] int pieces() const { return static_cast<int>(piece_bytes.size()); }
+
+  void start() override {
+    const NodeId root = order[0];
+    const std::vector<NodeId> others(order.begin() + 1, order.end());
+    StreamSpec spec;
+    try {
+      const std::shared_ptr<const std::vector<PeelStream>> plan =
+          runner->reduce_plan_for(root, others);
+      std::size_t covered = 0;
+      for (const auto& part : *plan) covered += part.receivers.size();
+      if (covered != others.size()) {
+        throw std::runtime_error("in-network reduce parts do not partition");
+      }
+      spec = innet_fused_spec(fabric().topo(), *plan, root, order);
+    } catch (const std::exception&) {
+      // Mid-outage submission: the static prefix expansion crossed a dead
+      // link, or a surgically repaired part pruned a member-serving branch
+      // (part trees carry no destination list, so repair_tree is free to
+      // drop them). Fuse one live layer-peel tree instead — the same
+      // fallback recover_scheme uses. If a member is genuinely unreachable
+      // this rethrows, exactly like every host-side scheme's router path.
+      const std::shared_ptr<const MulticastTree> tree =
+          runner->recovery_tree_for(root, others);
+      const PeelStream whole{*tree, others};
+      spec = innet_fused_spec(fabric().topo(), std::span{&whole, 1}, root,
+                              order);
+    }
+    spec.cnp_mode = options().multicast_cnp_mode;
+    fused = open(std::move(spec));
+    for (int c = 0; c < pieces(); ++c) {
+      net().send_chunk(fused, c, piece_bytes[static_cast<std::size_t>(c)]);
+    }
+  }
+
+  [[nodiscard]] std::vector<ExpectedDelivery> expected_deliveries() const override {
+    // Every member (the initiator included — the reversed trunk makes it an
+    // ordinary leaf of the down-tree) is owed every combined piece. Origin
+    // is the initiator only nominally: no single endpoint holds
+    // switch-combined bytes, so recover_scheme re-runs the reduction.
+    std::vector<ExpectedDelivery> out;
+    out.reserve(expected);
+    for (int c = 0; c < pieces(); ++c) {
+      const Bytes bytes = piece_bytes[static_cast<std::size_t>(c)];
+      for (NodeId m : order) out.push_back({m, c, order[0], bytes});
+    }
+    return out;
+  }
+
+  std::size_t recover_scheme(std::vector<ExpectedDelivery>& missing) override {
+    // Claim everything: the generic pass cannot re-send switch-combined
+    // bytes (no endpoint holds them), and a partially combined piece cannot
+    // be patched per receiver — the whole reduction re-runs over a fresh
+    // tree on live links. If some member is unreachable right now nothing
+    // is rescheduled, which keeps the damage mark set so a later pass
+    // (after repair) retries.
+    if (missing.empty()) return 0;
+    std::vector<int> redo;
+    for (const ExpectedDelivery& d : missing) redo.push_back(d.chunk);
+    std::sort(redo.begin(), redo.end());
+    redo.erase(std::unique(redo.begin(), redo.end()), redo.end());
+
+    const std::vector<NodeId> others(order.begin() + 1, order.end());
+    StreamSpec spec;
+    try {
+      const std::shared_ptr<const MulticastTree> tree =
+          runner->recovery_tree_for(order[0], others);
+      const PeelStream whole{*tree, others};
+      spec = innet_fused_spec(fabric().topo(), std::span{&whole, 1}, order[0],
+                              order);
+    } catch (const std::exception&) {
+      return 0;  // some member unreachable: a later pass retries
+    }
+    spec.cnp_mode = options().multicast_cnp_mode;
+    // Supersede the damaged stream: its in-flight contributions drop with
+    // it (the byte audit treats closed streams as superseded) and the
+    // fresh stream's ledger restarts the exactly-once accounting from
+    // zero — contributions can neither drop nor double-count across the
+    // repair.
+    const std::size_t rescheduled = missing.size();
+    missing.clear();
+    net().close_stream(fused);
+    const StreamId s = open(std::move(spec));
+    // Deliberately NOT in recovery_streams: member deliveries must still
+    // fire so the collective can finish.
+    open_recovery.push_back(s);
+    fused = s;
+    for (int cid : redo) {
+      net().send_chunk(s, cid, piece_bytes[static_cast<std::size_t>(cid)]);
+    }
+    return rescheduled;
+  }
+};
+
+// ---------------------------------------------------------------------------
 // Runner
 // ---------------------------------------------------------------------------
 
@@ -917,6 +1042,10 @@ void CollectiveRunner::submit(Scheme scheme, BroadcastRequest request) {
       exec = std::move(p);
       break;
     }
+    case Scheme::InNet:
+      throw std::invalid_argument(
+          "broadcast does not support InNet (no reduction phase to offload); "
+          "use Peel for the multicast itself");
   }
 
   exec->runner = this;
@@ -934,6 +1063,11 @@ void CollectiveRunner::submit_allgather(Scheme scheme, AllGatherRequest request)
   }
   if (scheme == Scheme::BinaryTree) {
     throw std::invalid_argument("AllGather does not support BinaryTree");
+  }
+  if (scheme == Scheme::InNet) {
+    throw std::invalid_argument(
+        "AllGather does not support InNet (nothing to reduce; every shard is "
+        "already a plain multicast)");
   }
   if (execs_.contains(request.id)) {
     throw std::invalid_argument("duplicate collective id");
@@ -1004,6 +1138,15 @@ void CollectiveRunner::submit_allreduce(Scheme scheme, AllReduceRequest request)
     chunk_sizes = split_chunks(request.buffer_bytes, static_cast<int>(n));
     expected = 2 * n * (n - 1);
     exec = std::move(ring);
+  } else if (scheme == Scheme::InNet) {
+    auto innet = std::make_unique<InNetAllReduceExec>();
+    innet->order = members;
+    innet->piece_bytes = split_chunks(request.buffer_bytes, options_.chunks);
+    chunk_sizes = innet->piece_bytes;
+    // Every member receives every combined piece off the fused stream's
+    // down multicast — the initiator included.
+    expected = n * innet->piece_bytes.size();
+    exec = std::move(innet);
   } else {
     auto tree = std::make_unique<TreeReduceBroadcastExec>();
     tree->scheme = scheme;
@@ -1036,6 +1179,29 @@ std::shared_ptr<const PeelPlan> CollectiveRunner::peel_plan_for(
   // the entry carries no edges and survives every topology delta.
   return plan_cache_.get_or_build<PeelPlan>(PlanKind::PeelPlan, source, dests,
                                             options_.peel_cover, build);
+}
+
+std::shared_ptr<const std::vector<PeelStream>> CollectiveRunner::reduce_plan_for(
+    NodeId root, const std::vector<NodeId>& dests) {
+  const auto build = [&] {
+    // Selector 0: the reduce plan must be deterministic per (root, group) so
+    // repeated collectives share one cached artifact — stripe variety buys
+    // nothing here, the mirror is fixed by the forward cover anyway.
+    return peel_static_trees(fabric_, *peel_plan_for(root, dests), 0);
+  };
+  if (!options_.plan_cache) {
+    return std::make_shared<const std::vector<PeelStream>>(build());
+  }
+  return plan_cache_.get_or_build<std::vector<PeelStream>>(
+      PlanKind::ReducePlan, root, dests, options_.peel_cover, build,
+      [](const std::vector<PeelStream>& streams) {
+        std::vector<LinkId> edges;
+        for (const PeelStream& s : streams) {
+          const std::vector<LinkId> pairs = duplex_edge_pairs(s.tree);
+          edges.insert(edges.end(), pairs.begin(), pairs.end());
+        }
+        return edges;
+      });
 }
 
 std::shared_ptr<const std::vector<PeelStream>>
@@ -1088,7 +1254,10 @@ PlanRepair CollectiveRunner::repair_cached_plan(
             std::make_shared<const MulticastTree>(std::move(repaired.tree));
         return PlanRepair{fixed, duplex_edge_pairs(*fixed)};
       }
-      case PlanKind::PeelAsymmetric: {
+      case PlanKind::PeelAsymmetric:
+      case PlanKind::ReducePlan: {
+        // Both store forward-orientation PeelStream parts (ReducePlan parts
+        // are mirrored only at spec-build time), so one repair serves both.
         const auto& streams =
             *std::static_pointer_cast<const std::vector<PeelStream>>(value);
         std::vector<PeelStream> fixed;
@@ -1213,13 +1382,18 @@ std::size_t CollectiveRunner::recover_collective(std::uint64_t id) {
     return 0;
   }
 
+  // Scheme-owned recovery first: an exec whose deliveries cannot be re-sent
+  // by any single endpoint (e.g. InNet's switch-combined reduce pieces)
+  // claims them out of `missing` and re-schedules them itself.
+  const std::size_t total = missing.size();
+  std::size_t rescheduled = exec.recover_scheme(missing);
+
   // Deterministic grouping: origins and receivers in ascending id order.
   std::map<NodeId, std::map<NodeId, std::vector<const ExpectedDelivery*>>> groups;
   for (const ExpectedDelivery& d : missing) {
     groups[d.origin][d.receiver].push_back(&d);
   }
 
-  std::size_t rescheduled = 0;
   for (const auto& [origin, by_receiver] : groups) {
     if (options_.recovery_trees && by_receiver.size() >= 2 &&
         recover_group_multicast(exec, origin, by_receiver)) {
@@ -1247,7 +1421,7 @@ std::size_t CollectiveRunner::recover_collective(std::uint64_t id) {
   // Full coverage clears the damage mark; a partial pass (some receiver
   // unreachable over live links) keeps it, so the next recover_all — e.g.
   // after a link-up delta — retries the remainder.
-  if (rescheduled == missing.size()) damaged_execs_.erase(id);
+  if (rescheduled == total) damaged_execs_.erase(id);
   return rescheduled;
 }
 

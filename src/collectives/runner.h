@@ -12,6 +12,11 @@
 //                   zero setup latency
 //   PeelProgCores — PEEL fast start + background controller that migrates
 //                   remaining chunks onto the exact tree (§3.3)
+//   InNet         — AllReduce-only: each PEEL prefix tree is mirrored into a
+//                   switch-combining reduce tree (contributions aggregate in
+//                   SRAM on the way up), then the PEEL prefix multicast
+//                   broadcasts the result — each fabric link is crossed once
+//                   up and once down, no host bounces
 #pragma once
 
 #include <map>
@@ -39,6 +44,7 @@ enum class Scheme {
   Orca,
   Peel,
   PeelProgCores,
+  InNet,
 };
 
 [[nodiscard]] const char* to_string(Scheme s) noexcept;
@@ -66,6 +72,8 @@ struct AllGatherRequest {
 /// all-gather; multicast schemes reduce up a binary rank tree (combining at
 /// hosts — no in-network compute assumed) and broadcast the result through
 /// the scheme's multicast tree, which is where PEEL halves the heavy phase.
+/// InNet additionally offloads the reduction itself: the PEEL prefix trees
+/// run mirrored, with switches combining contributions in SRAM.
 struct AllReduceRequest {
   std::uint64_t id = 0;
   std::vector<NodeId> members;  ///< all ranks, >= 2
@@ -196,9 +204,11 @@ class CollectiveRunner : public TopologyObserver {
   /// AllGather (NCCL's trees are broadcast/reduce shapes).
   void submit_allgather(Scheme scheme, AllGatherRequest request);
 
-  /// Starts an AllReduce. Ring = reduce-scatter + all-gather; every other
-  /// scheme = binary-tree host-side reduction followed by that scheme's
-  /// broadcast of the reduced buffer.
+  /// Starts an AllReduce. Ring = reduce-scatter + all-gather; InNet =
+  /// switch-combining reduction up mirrored PEEL prefix trees followed by
+  /// the PEEL prefix multicast down; every other scheme = binary-tree
+  /// host-side reduction followed by that scheme's broadcast of the reduced
+  /// buffer.
   void submit_allreduce(Scheme scheme, AllReduceRequest request);
 
   /// Consumes one topology-change event: flushes the router's distance
@@ -270,6 +280,7 @@ class CollectiveRunner : public TopologyObserver {
   struct MulticastAllGatherExec;
   struct RingAllReduceExec;
   struct TreeReduceBroadcastExec;
+  struct InNetAllReduceExec;
 
   void register_exec(std::unique_ptr<ExecBase> exec, Scheme scheme,
                      SimTime setup_delay, Bytes message_bytes,
@@ -292,6 +303,13 @@ class CollectiveRunner : public TopologyObserver {
       NodeId source, const std::vector<NodeId>& dests);
   [[nodiscard]] std::shared_ptr<const std::vector<PeelStream>>
   asymmetric_trees_for(NodeId source, const std::vector<NodeId>& dests);
+  /// PEEL prefix parts for (root, dests), fused at spec-build time into the
+  /// single up+down reduce stream (innet_fused_spec mirrors the merged
+  /// member-serving tree). Selector-free, so every
+  /// collective over the same group shares one cached artifact; cached WITH
+  /// its edge set so topology deltas surgically repair the parts.
+  [[nodiscard]] std::shared_ptr<const std::vector<PeelStream>> reduce_plan_for(
+      NodeId root, const std::vector<NodeId>& dests);
   /// Throws (propagated from layer_peel_tree) when some receiver is
   /// unreachable over live links; failures are never cached.
   [[nodiscard]] std::shared_ptr<const MulticastTree> recovery_tree_for(

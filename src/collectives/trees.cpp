@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "src/prefix/cover.h"
 #include "src/steiner/layer_peel.h"
@@ -57,6 +58,85 @@ StreamSpec spec_from_route(const Route& route) {
     spec.forward[route.nodes[i]].push_back(route.links[i]);
   }
   spec.receivers = {route.nodes.back()};
+  return spec;
+}
+
+StreamSpec innet_fused_spec(const Topology& topo,
+                            std::span<const PeelStream> parts, NodeId source,
+                            std::span<const NodeId> members) {
+  if (members.empty()) {
+    throw std::invalid_argument("fused reduce needs at least one member");
+  }
+  // Union the member-serving links of every part into one in-link map.  Each
+  // receiver's up-walk stops as soon as it meets a node another walk already
+  // connected, so over-covered branches (receivers of *other* parts) never
+  // enter the map, and where two parts reach the same switch over different
+  // cores the later one grafts onto the earlier path — the fused stream
+  // carries a single copy of the buffer, so it needs one tree, not the
+  // per-part link sets verbatim.
+  std::unordered_map<NodeId, LinkId> in_link;
+  for (const PeelStream& part : parts) {
+    for (NodeId r : part.receivers) {
+      NodeId n = r;
+      while (n != source) {
+        const LinkId in = part.tree.in_link_of(n);
+        if (in == kInvalidLink) {
+          throw std::invalid_argument("part receiver is not in its tree");
+        }
+        // Stop at the first already-connected node: its recorded chain leads
+        // to the source through links laid down by earlier walks, which are
+        // disjoint from this walk's fresh fragment — so no cycle can form.
+        if (!in_link.try_emplace(n, in).second) break;
+        n = topo.link(in).src;
+      }
+    }
+  }
+  std::unordered_map<NodeId, std::vector<LinkId>> out;
+  for (const auto& [dst, l] : in_link) out[topo.link(l).src].push_back(l);
+  for (auto& [n, links] : out) std::sort(links.begin(), links.end());
+  // Reroot at the pivot: walk up from the source while the tree is a pure
+  // chain; the first fan-out node is where the parts' trunks diverge toward
+  // the replication tier.  The trunk links below it flip direction so the
+  // pivot's multicast reaches the source like any other member.
+  NodeId pivot = source;
+  std::vector<LinkId> trunk;
+  while (true) {
+    auto it = out.find(pivot);
+    if (it == out.end() || it->second.size() != 1) break;
+    trunk.push_back(it->second.front());
+    pivot = topo.link(it->second.front()).dst;
+  }
+  if (!out.contains(pivot)) {
+    // Pure chain (the group collapses onto one down-path): combine at the
+    // source's host — the first hop up — rather than at a member endpoint.
+    if (trunk.empty()) {
+      throw std::invalid_argument("fused reduce has no fabric links");
+    }
+    pivot = topo.link(trunk.front()).dst;
+    trunk.resize(1);
+  }
+  for (LinkId l : trunk) {
+    const Link& lk = topo.link(l);
+    auto it = out.find(lk.src);
+    auto& links = it->second;
+    links.erase(std::find(links.begin(), links.end(), l));
+    if (links.empty()) out.erase(it);
+    auto& up = out[lk.dst];
+    up.push_back(topo.reverse_of(l));
+    std::sort(up.begin(), up.end());
+  }
+  for (NodeId m : members) {
+    if (out.contains(m)) {
+      throw std::invalid_argument(
+          "fused reduce member lies on an interior node; in-network combining "
+          "at an injecting endpoint is not modeled");
+    }
+  }
+  StreamSpec spec;
+  spec.source = pivot;
+  spec.forward = std::move(out);
+  spec.receivers.assign(members.begin(), members.end());
+  spec.contributors.assign(members.begin(), members.end());
   return spec;
 }
 

@@ -51,6 +51,28 @@ struct PeelStream {
                                                         const PeelPlan& plan,
                                                         std::uint64_t selector);
 
+/// Fuses PEEL prefix parts into one in-network AllReduce StreamSpec. The
+/// parts' member-serving links (over-covered branches pruned) merge into a
+/// single tree rooted at `source`, which is then rerooted at the pivot — the
+/// first fan-out node above the source, where the parts' trunks diverge
+/// toward the replication tier. The spec's forward map is that rerooted tree
+/// (the prefix multicast down to every member, source included via the
+/// reversed trunk); the data plane runs contributions up the exact mirror of
+/// the same links, combining at every interior switch, and the pivot's fully
+/// combined bytes re-enter the forward fan-out as an ordinary multicast. So
+/// the aggregation fan-in set at each switch is link-for-link the reverse of
+/// its member-serving fan-out set, and each fabric link is crossed once up
+/// and once down. Where two parts reach the same switch over different
+/// cores, the later part grafts onto the earlier path (one buffer copy needs
+/// one tree, not the per-part link sets verbatim). Every member is both a
+/// contributor and a receiver. Throws std::invalid_argument when a part
+/// receiver is missing from its tree or a member sits on an interior node
+/// (in-network combining at an injecting endpoint is not modeled).
+[[nodiscard]] StreamSpec innet_fused_spec(const Topology& topo,
+                                          std::span<const PeelStream> parts,
+                                          NodeId source,
+                                          std::span<const NodeId> members);
+
 /// PEEL on an asymmetric leaf–spine: the §2.3 greedy tree, split into one
 /// stream per (spine, prefix block) — the sender emits one packet copy per
 /// prefix, exactly as in the symmetric case.

@@ -67,6 +67,9 @@ struct SoloEngine {
   [[nodiscard]] std::uint64_t segments_marked() const {
     return net.segments_marked();
   }
+  [[nodiscard]] Bytes reduce_sram_peak() const {
+    return net.reduce_sram_peak();
+  }
   void reserve_series(std::size_t expected) {
     if (Telemetry* telem = net.telemetry()) telem->reserve_series(expected);
   }
@@ -99,6 +102,9 @@ struct ShardedEngine {
   [[nodiscard]] std::uint64_t pfc_pauses() const { return net.pfc_pauses(); }
   [[nodiscard]] std::uint64_t segments_marked() const {
     return net.segments_marked();
+  }
+  [[nodiscard]] Bytes reduce_sram_peak() const {
+    return net.reduce_sram_peak();
   }
   void reserve_series(std::size_t expected) {
     if (net.telemetry_enabled()) net.reserve_series(expected);
@@ -310,6 +316,7 @@ ScenarioResult run_scenario_with(Engine& engine, const Fabric& fabric,
   result.segments_lost = engine.segments_lost();
   result.pfc_pauses = engine.pfc_pauses();
   result.ecn_marks = engine.segments_marked();
+  result.reduce_sram_peak = engine.reduce_sram_peak();
   result.plan_cache = runner.plan_cache().stats();
   const DeltaApplyStats& deltas = runner.delta_stats();
   result.delta_applies = deltas.deltas;

@@ -126,6 +126,11 @@ struct ScenarioResult {
   std::uint64_t segments_lost = 0;
   std::uint64_t pfc_pauses = 0;
   std::uint64_t ecn_marks = 0;
+  /// High-water mark of switch combining SRAM (in-network reduce streams
+  /// only; 0 for every host-side scheme). Sharded runs report the sum of
+  /// per-domain peaks, an upper bound — not byte-compared across shard
+  /// counts.
+  Bytes reduce_sram_peak = 0;
   std::size_t unfinished = 0;     ///< collectives that never completed (bug if > 0)
   std::uint64_t fault_downs = 0;  ///< duplex pairs that went down mid-run
   std::uint64_t fault_ups = 0;    ///< duplex pairs repaired mid-run

@@ -47,6 +47,10 @@ void SimConfig::validate() const {
   if (cnp_delay < 0 || receiver_cnp_interval < 0 || sender_guard_interval < 0) {
     reject("CNP delays/intervals must be non-negative");
   }
+  if (reduce_combine_latency < 0) {
+    reject("reduce_combine_latency must be non-negative (got " +
+           std::to_string(reduce_combine_latency) + ")");
+  }
   if (telemetry.sample_interval < 0) {
     reject("telemetry.sample_interval must be non-negative (got " +
            std::to_string(telemetry.sample_interval) + ")");

@@ -78,6 +78,12 @@ struct SimConfig {
 
   DcqcnParams dcqcn;
 
+  /// In-network reduction: delay between the moment a combiner has every
+  /// expected child's next bytes of a chunk and the combined segment entering
+  /// the upstream egress queue (switch ALU + SRAM read-out; SHArP-class
+  /// hardware quotes sub-microsecond combine stages).
+  SimTime reduce_combine_latency = 200;  // ns
+
   /// Disables rate control entirely (links still serialize FIFO).
   bool congestion_control = true;
 

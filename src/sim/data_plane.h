@@ -32,6 +32,15 @@ struct StreamSpec {
   CnpMode cnp_mode = CnpMode::ReceiverTimer;
   /// Collective id (or any caller cookie) echoed in delivery events.
   std::uint64_t tag = 0;
+  /// Non-empty turns the stream into an in-network *reduction*: every listed
+  /// endpoint injects its own copy of each chunk, `forward` is oriented
+  /// toward `source` (the reduction root — the stream's only receiver), and
+  /// each interior node combines child segments before forwarding upstream.
+  std::vector<NodeId> contributors;
+  /// Sharded-engine replica mask, parallel to `contributors`: 1 = this
+  /// engine instance paces that contributor's injector, 0 = a peer domain
+  /// does. Empty = all local (the single-queue engine).
+  std::vector<std::uint8_t> contributor_local;
 };
 
 struct DeliveryEvent {

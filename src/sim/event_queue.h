@@ -58,6 +58,9 @@ enum class SimEventKind : std::uint8_t {
   PfcPause,   ///< cross-domain PFC pause frame reaches link `a`'s sender
               ///< (sharded engine only; epoch guards stale frames)
   PfcResume,  ///< cross-domain PFC resume frame reaches link `a`'s sender
+  ReduceEmit, ///< combiner `b` of reduce stream `a` forwards `d` combined
+              ///< bytes of chunk `c` upstream (scheduled combine_latency
+              ///< after the last expected child byte arrived; marked flag)
 };
 
 /// Packed arguments of one hot data-plane event. Field meaning is

@@ -45,7 +45,11 @@ Network::~Network() {
 void Network::on_sim_event(const SimEvent& ev) {
   switch (ev.kind) {
     case SimEventKind::Pump:
-      pump(ev.a);
+      if (streams_[static_cast<std::size_t>(ev.a)].injectors.empty()) {
+        pump(ev.a);
+      } else {
+        pump_reduce(ev.a, ev.b);
+      }
       return;
     case SimEventKind::FinishTx:
       finish_tx(ev.a, ev.epoch);
@@ -55,9 +59,19 @@ void Network::on_sim_event(const SimEvent& ev) {
       return;
     case SimEventKind::CnpRate: {
       auto& st = streams_[static_cast<std::size_t>(ev.a)];
-      if (!st.closed) st.cc.on_cnp(queue_->now());
+      if (st.closed) return;
+      if (st.injectors.empty()) {
+        st.cc.on_cnp(queue_->now());
+      } else {
+        // Reduce stream: the CNP targets one contributor's injector (ev.b).
+        auto& inj = st.injectors[static_cast<std::size_t>(ev.b)];
+        if (inj.local) inj.cc.on_cnp(queue_->now());
+      }
       return;
     }
+    case SimEventKind::ReduceEmit:
+      reduce_emit(ev.a, ev.b, ev.c, ev.d, ev.flag);
+      return;
     case SimEventKind::SampleTick:
       sample_tick();
       return;
@@ -130,6 +144,15 @@ StreamDiagnostic Network::stream_diagnostic(StreamId s) const {
     ++d.pending_chunks;
     d.bytes_pending_injection += st.pending[i].bytes - st.pending[i].injected;
   }
+  for (const auto& inj : st.injectors) {
+    d.pump_blocked |= inj.pump_blocked;
+    d.pump_scheduled |= inj.pump_scheduled;
+    for (std::size_t i = inj.pending_head; i < inj.pending.size(); ++i) {
+      ++d.pending_chunks;
+      d.bytes_pending_injection +=
+          inj.pending[i].bytes - inj.pending[i].injected;
+    }
+  }
   for (const auto& prog : st.progress) {
     for (std::size_t c = 0; c < st.chunk_want.size(); ++c) {
       const Bytes want = st.chunk_want[c];
@@ -141,16 +164,16 @@ StreamDiagnostic Network::stream_diagnostic(StreamId s) const {
   return d;
 }
 
-double Network::source_line_rate(const StreamSpec& spec) const {
+double Network::source_line_rate(const StreamSpec& spec, NodeId start) const {
   // The rate limiter physically sits at the NIC: walk through any leading
   // NVLink hop(s) and pace against the first fabric-facing link.  Pacing
   // against NVLink itself (900 B/ns) would let a GPU-sourced stream dump the
   // whole message into local buffers before congestion control can act.
-  auto it = spec.forward.find(spec.source);
+  auto it = spec.forward.find(start);
   if (it == spec.forward.end() || it->second.empty()) {
     throw std::invalid_argument("stream source has no out-links");
   }
-  NodeId cursor = spec.source;
+  NodeId cursor = start;
   for (int depth = 0; depth < 4; ++depth) {
     const auto hop = spec.forward.find(cursor);
     if (hop == spec.forward.end() || hop->second.empty()) break;
@@ -181,8 +204,15 @@ StreamId Network::open_stream(StreamSpec spec) {
   const auto id = static_cast<StreamId>(streams_.size());
   const std::size_t node_count = topo_->node_count();
   StreamState st;
-  const double line = source_line_rate(spec);
-  st.cc = Dcqcn(config_.dcqcn, line, spec.cnp_mode, config_.sender_guard_interval);
+  const bool reduce = !spec.contributors.empty();
+  if (!reduce) {
+    // Reduce streams pace per contributor instead; spec.source is the pivot
+    // switch where the combined bytes turn around into the down multicast —
+    // nothing injects there.
+    const double line = source_line_rate(spec, spec.source);
+    st.cc =
+        Dcqcn(config_.dcqcn, line, spec.cnp_mode, config_.sender_guard_interval);
+  }
 
   // Compile the forwarding map into CSR form: count out-degrees, prefix-sum
   // into offsets, then drop each node's out-links (in spec order) into its
@@ -222,11 +252,110 @@ StreamId Network::open_stream(StreamSpec spec) {
   st.progress.resize(st.recv_nodes.size());
   st.last_cnp.assign(st.recv_nodes.size(), kMinCnp);
 
+  if (reduce) {
+    if (!spec.contributor_local.empty() &&
+        spec.contributor_local.size() != spec.contributors.size()) {
+      throw std::invalid_argument(
+          "contributor_local mask must match contributors");
+    }
+    // The forward map is the down multicast tree; contributions climb the
+    // exact mirror of the same links. Invert it once: node -> the one
+    // forward link pointing at it.
+    std::unordered_map<NodeId, LinkId> in_link;
+    in_link.reserve(st.fwd_links.size());
+    for (const auto& [node, outs] : spec.forward) {
+      for (LinkId l : outs) {
+        if (!in_link.try_emplace(topo_->link(l).dst, l).second) {
+          throw std::invalid_argument(
+              "reduce stream forward map is not a tree");
+        }
+      }
+    }
+    // One paced injector per contributing endpoint, each rate-limited
+    // against the first fabric link of its own up-path (the mirror of the
+    // down-tree branch that serves it).
+    st.injectors.reserve(spec.contributors.size());
+    for (std::size_t i = 0; i < spec.contributors.size(); ++i) {
+      ReduceInjector inj;
+      inj.node = spec.contributors[i];
+      inj.local =
+          spec.contributor_local.empty() || spec.contributor_local[i] != 0;
+      const auto in_it = in_link.find(inj.node);
+      if (in_it == in_link.end()) {
+        throw std::invalid_argument(
+            "reduce contributor is not in the down-tree");
+      }
+      const auto cn = static_cast<std::size_t>(inj.node);
+      if (st.fwd_offset[cn] != st.fwd_offset[cn + 1]) {
+        throw std::invalid_argument(
+            "reduce contributor is an interior node of the down-tree; "
+            "in-network combining at an injecting endpoint is not modeled");
+      }
+      inj.up_link = topo_->reverse_of(in_it->second);
+      // The rate limiter physically sits at the NIC: walk through any
+      // leading NVLink mirror hop(s) and pace against the first
+      // fabric-facing up-link (source_line_rate's reduce twin).
+      LinkId pace = inj.up_link;
+      for (int depth = 0;
+           depth < 4 && topo_->link(pace).kind == LinkKind::NvLink; ++depth) {
+        const auto up = in_link.find(topo_->link(pace).dst);
+        if (up == in_link.end()) break;  // pure-NVLink path: no NIC to pace at
+        pace = topo_->reverse_of(up->second);
+      }
+      const double line = topo_->link(pace).rate.bytes_per_ns();
+      inj.cc = Dcqcn(config_.dcqcn, line, spec.cnp_mode,
+                     config_.sender_guard_interval);
+      st.injectors.push_back(std::move(inj));
+    }
+    // Every interior node of the down-tree is an aggregation point whose
+    // fan-in set is link-for-link the mirror of its fan-out: it holds a
+    // chunk's bytes until every mirrored child link has delivered them, then
+    // forwards the combined frontier up its own mirrored in-link — or, at
+    // the pivot (spec.source, the only interior node with no in-link),
+    // launches it onto the forward fan-out. Node order and child order are
+    // canonicalized by sorting, so combiner indices do not depend on the
+    // forward map's iteration order.
+    std::vector<NodeId> combine_nodes;
+    combine_nodes.reserve(spec.forward.size());
+    for (const auto& [node, outs] : spec.forward) {
+      if (!outs.empty()) combine_nodes.push_back(node);
+    }
+    std::sort(combine_nodes.begin(), combine_nodes.end());
+    st.combiner_of_node.assign(node_count, -1);
+    st.combiners.reserve(combine_nodes.size());
+    bool pivot_seen = false;
+    for (NodeId n : combine_nodes) {
+      ReduceCombiner cb;
+      cb.node = n;
+      cb.child_links.reserve(spec.forward.at(n).size());
+      for (LinkId l : spec.forward.at(n)) {
+        cb.child_links.push_back(topo_->reverse_of(l));
+      }
+      std::sort(cb.child_links.begin(), cb.child_links.end());
+      if (const auto it = in_link.find(n); it != in_link.end()) {
+        cb.up_link = topo_->reverse_of(it->second);
+      } else if (n == spec.source) {
+        pivot_seen = true;
+      } else {
+        throw std::invalid_argument(
+            "reduce stream down-tree is rooted away from spec.source");
+      }
+      st.combiner_of_node[static_cast<std::size_t>(n)] =
+          static_cast<std::int32_t>(st.combiners.size());
+      st.combiners.push_back(std::move(cb));
+    }
+    if (!pivot_seen) {
+      throw std::invalid_argument(
+          "reduce stream source is not an interior node of the forward map");
+    }
+  }
+
   st.spec = std::move(spec);
   streams_.push_back(std::move(st));
   if (telem_) {
     const StreamSpec& sp = streams_.back().spec;
     telem_->on_stream_open(id, sp.tag, sp.receivers);
+    if (reduce) telem_->on_reduce_open(id, sp.contributors);
   }
   return id;
 }
@@ -246,6 +375,9 @@ void Network::note_chunk(StreamId stream, int chunk_index, Bytes bytes) {
   const auto ci = static_cast<std::size_t>(chunk_index);
   if (st.chunk_want.size() <= ci) st.chunk_want.resize(ci + 1, 0);
   st.chunk_want[ci] = bytes;
+  if (telem_ && !st.injectors.empty() && bytes > 0) {
+    telem_->on_reduce_target(stream, chunk_index, bytes);
+  }
 }
 
 void Network::send_chunk(StreamId stream, int chunk_index, Bytes bytes) {
@@ -258,10 +390,26 @@ void Network::send_chunk(StreamId stream, int chunk_index, Bytes bytes) {
   const auto ci = static_cast<std::size_t>(chunk_index);
   if (st.chunk_want.size() <= ci) st.chunk_want.resize(ci + 1, 0);
   st.chunk_want[ci] = bytes;
-  st.pending.push_back(PendingChunk{chunk_index, bytes, 0});
-  if (!st.pump_scheduled) {
-    st.pump_scheduled = true;
-    queue_->after(0, SimEvent{SimEventKind::Pump, false, stream});
+  if (!st.injectors.empty()) {
+    // In-network reduction: every (engine-local) contributor injects its own
+    // copy of the chunk; the tree combines them on the way to the root.
+    if (telem_) telem_->on_reduce_target(stream, chunk_index, bytes);
+    for (std::size_t i = 0; i < st.injectors.size(); ++i) {
+      ReduceInjector& inj = st.injectors[i];
+      if (!inj.local) continue;
+      inj.pending.push_back(PendingChunk{chunk_index, bytes, 0});
+      if (!inj.pump_scheduled) {
+        inj.pump_scheduled = true;
+        queue_->after(0, SimEvent{SimEventKind::Pump, false, stream,
+                                  static_cast<std::int32_t>(i)});
+      }
+    }
+  } else {
+    st.pending.push_back(PendingChunk{chunk_index, bytes, 0});
+    if (!st.pump_scheduled) {
+      st.pump_scheduled = true;
+      queue_->after(0, SimEvent{SimEventKind::Pump, false, stream});
+    }
   }
   // A lapsed telemetry sampler (the event queue momentarily drained at a
   // tick) restarts with the new work instead of staying dead for the rest
@@ -312,6 +460,14 @@ void Network::close_stream(StreamId stream) {
   release(st.last_cnp);
   release(st.chunk_want);
   release(st.pending);
+  release(st.spec.contributors);
+  release(st.spec.contributor_local);
+  release(st.injectors);
+  release(st.combiners);
+  release(st.combiner_of_node);
+  // Whatever this stream still held in combiner SRAM is discarded with it.
+  reduce_held_ -= st.reduce_held;
+  st.reduce_held = 0;
   st.pending_head = 0;
 }
 
@@ -368,7 +524,8 @@ void Network::pump(StreamId stream) {
     if (nodes_[static_cast<std::size_t>(st.spec.source)].buffered >
         pause_threshold_) {
       st.pump_blocked = true;
-      blocked_pumps_[static_cast<std::size_t>(st.spec.source)].push_back(stream);
+      blocked_pumps_[static_cast<std::size_t>(st.spec.source)].push_back(
+          BlockedPump{stream, -1});
       return;
     }
     if (st.pace_next > now) {
@@ -402,6 +559,53 @@ void Network::pump(StreamId stream) {
     const double tx_ns = static_cast<double>(seg_bytes) / rate;
     st.pace_next =
         std::max(st.pace_next, now) + static_cast<SimTime>(std::ceil(tx_ns));
+  }
+}
+
+void Network::pump_reduce(StreamId stream, std::int32_t injector) {
+  auto& st = streams_[static_cast<std::size_t>(stream)];
+  ReduceInjector& inj = st.injectors[static_cast<std::size_t>(injector)];
+  inj.pump_scheduled = false;
+  if (st.closed) return;
+
+  while (inj.pending_head < inj.pending.size()) {
+    const SimTime now = queue_->now();
+    if (nodes_[static_cast<std::size_t>(inj.node)].buffered >
+        pause_threshold_) {
+      inj.pump_blocked = true;
+      blocked_pumps_[static_cast<std::size_t>(inj.node)].push_back(
+          BlockedPump{stream, injector});
+      return;
+    }
+    if (inj.pace_next > now) {
+      inj.pump_scheduled = true;
+      queue_->at(inj.pace_next,
+                 SimEvent{SimEventKind::Pump, false, stream, injector});
+      return;
+    }
+    const double rate = config_.congestion_control ? inj.cc.rate(now)
+                                                   : inj.cc.line_rate();
+    auto& pc = inj.pending[inj.pending_head];
+    const Bytes seg_bytes =
+        std::min<Bytes>(config_.segment_bytes, pc.bytes - pc.injected);
+    const Segment seg{stream, pc.chunk, static_cast<std::int32_t>(seg_bytes),
+                      kInvalidLink, false};
+    if (telem_) {
+      telem_->on_inject(stream, pc.chunk, seg_bytes);
+      telem_->on_reduce_contribute(stream, inj.node, pc.chunk, seg_bytes);
+    }
+    enqueue_segment(inj.up_link, seg);
+    pc.injected += seg_bytes;
+    if (pc.injected == pc.bytes) {
+      ++inj.pending_head;
+      if (inj.pending_head == inj.pending.size()) {
+        inj.pending.clear();
+        inj.pending_head = 0;
+      }
+    }
+    const double tx_ns = static_cast<double>(seg_bytes) / rate;
+    inj.pace_next =
+        std::max(inj.pace_next, now) + static_cast<SimTime>(std::ceil(tx_ns));
   }
 }
 
@@ -537,14 +741,25 @@ void Network::release_buffer(NodeId n, LinkId ingress, Bytes bytes) {
   // Re-arm source pumps blocked on this node's buffer.
   auto& waiting_here = blocked_pumps_[static_cast<std::size_t>(n)];
   if (!waiting_here.empty()) {
-    std::vector<StreamId> waiting = std::move(waiting_here);
+    std::vector<BlockedPump> waiting = std::move(waiting_here);
     waiting_here.clear();
-    for (StreamId s : waiting) {
-      auto& st = streams_[static_cast<std::size_t>(s)];
-      st.pump_blocked = false;
-      if (!st.pump_scheduled && !st.closed) {
-        st.pump_scheduled = true;
-        queue_->after(0, SimEvent{SimEventKind::Pump, false, s});
+    for (const BlockedPump& bp : waiting) {
+      auto& st = streams_[static_cast<std::size_t>(bp.stream)];
+      if (bp.injector < 0) {
+        st.pump_blocked = false;
+        if (!st.pump_scheduled && !st.closed) {
+          st.pump_scheduled = true;
+          queue_->after(0, SimEvent{SimEventKind::Pump, false, bp.stream});
+        }
+      } else if (!st.closed) {
+        ReduceInjector& inj =
+            st.injectors[static_cast<std::size_t>(bp.injector)];
+        inj.pump_blocked = false;
+        if (!inj.pump_scheduled) {
+          inj.pump_scheduled = true;
+          queue_->after(
+              0, SimEvent{SimEventKind::Pump, false, bp.stream, bp.injector});
+        }
       }
     }
   }
@@ -562,6 +777,26 @@ void Network::arrive(LinkId l, Segment seg, std::uint32_t fail_epoch) {
   const NodeId n = topo_->link(l).dst;
   auto& st = streams_[static_cast<std::size_t>(seg.stream)];
   if (st.closed) return;
+
+  // In-network reduction: an arrival at an interior node over one of its
+  // mirrored child links is an upstream contribution — absorb into combiner
+  // SRAM instead of replicating; reduce_absorb forwards the combined
+  // frontier once all expected children have delivered it. An arrival at
+  // the same node over its down in-link (never a child: the mirror has no
+  // 2-cycles) is the multicast passing through and falls through to the
+  // ordinary replicate path.
+  if (!st.combiner_of_node.empty()) {
+    const std::int32_t ci = st.combiner_of_node[static_cast<std::size_t>(n)];
+    if (ci >= 0) {
+      const auto& kids = st.combiners[static_cast<std::size_t>(ci)].child_links;
+      const auto slot = static_cast<std::size_t>(
+          std::lower_bound(kids.begin(), kids.end(), l) - kids.begin());
+      if (slot < kids.size() && kids[slot] == l) {
+        reduce_absorb(seg.stream, ci, slot, seg);
+        return;
+      }
+    }
+  }
 
   seg.ingress = l;  // buffer occupancy downstream is charged to this port
   const auto ni = static_cast<std::size_t>(n);
@@ -589,6 +824,74 @@ void Network::arrive(LinkId l, Segment seg, std::uint32_t fail_epoch) {
   }
 }
 
+void Network::reduce_absorb(StreamId s, std::int32_t combiner,
+                            std::size_t slot, const Segment& seg) {
+  auto& st = streams_[static_cast<std::size_t>(s)];
+  ReduceCombiner& cb = st.combiners[static_cast<std::size_t>(combiner)];
+  const auto chunk = static_cast<std::size_t>(seg.chunk);
+  if (cb.child_bytes.size() <= chunk) {
+    cb.child_bytes.resize(chunk + 1);
+    cb.out_progress.resize(chunk + 1, 0);
+  }
+  auto& row = cb.child_bytes[chunk];
+  if (row.empty()) row.assign(cb.child_links.size(), 0);
+  row[slot] += seg.bytes;
+  st.reduce_held += seg.bytes;
+  reduce_held_ += seg.bytes;
+  reduce_held_peak_ = std::max(reduce_held_peak_, reduce_held_);
+  if (telem_) {
+    telem_->on_reduce_absorb(s, cb.child_links[slot], seg.chunk, seg.bytes);
+  }
+
+  // A chunk's bytes leave the combiner at the pace of its slowest child;
+  // anything a faster sibling is ahead by stays in SRAM.
+  Bytes frontier = row[0];
+  for (std::size_t i = 1; i < row.size(); ++i) {
+    frontier = std::min(frontier, row[i]);
+  }
+  const Bytes delta = frontier - cb.out_progress[chunk];
+  if (delta <= 0) return;
+  cb.out_progress[chunk] = frontier;
+  const Bytes freed = delta * static_cast<Bytes>(row.size());
+  st.reduce_held -= freed;
+  reduce_held_ -= freed;
+  if (telem_) telem_->on_reduce_emit(s, cb.node, seg.chunk, delta);
+
+  // The combined bytes re-enter the fabric one ALU latency later (ReduceEmit
+  // fires on this domain's own queue — the combiner and the serializer it
+  // emits on always share a domain).
+  queue_->after(config_.reduce_combine_latency,
+                SimEvent{SimEventKind::ReduceEmit, seg.marked, s, combiner,
+                         seg.chunk, static_cast<std::int32_t>(delta)});
+}
+
+void Network::reduce_emit(StreamId s, std::int32_t combiner,
+                          std::int32_t chunk, Bytes bytes, bool marked) {
+  auto& st = streams_[static_cast<std::size_t>(s)];
+  if (st.closed) return;
+  const ReduceCombiner& cb =
+      st.combiners[static_cast<std::size_t>(combiner)];
+  // ingress = kInvalidLink: combined segments come out of combiner SRAM
+  // (tracked by the reduce_held gauge), not an ingress queue, so they are
+  // deliberately outside per-ingress PFC accounting — pausing the fast
+  // children of a slow combiner is exactly the fan-in deadlock the SRAM
+  // model exists to avoid.
+  const Segment seg{s, chunk, static_cast<std::int32_t>(bytes), kInvalidLink,
+                    marked};
+  if (cb.up_link != kInvalidLink) {
+    enqueue_segment(cb.up_link, seg);
+    return;
+  }
+  // Pivot: the fully combined bytes turn around and launch the forward
+  // multicast down to every member.
+  const auto ni = static_cast<std::size_t>(cb.node);
+  const std::int32_t out_begin = st.fwd_offset[ni];
+  const std::int32_t out_end = st.fwd_offset[ni + 1];
+  for (std::int32_t i = out_begin; i < out_end; ++i) {
+    enqueue_segment(st.fwd_links[static_cast<std::size_t>(i)], seg);
+  }
+}
+
 void Network::maybe_cnp(StreamId s, std::int32_t recv_idx, NodeId receiver) {
   auto& st = streams_[static_cast<std::size_t>(s)];
   const SimTime now = queue_->now();
@@ -599,6 +902,17 @@ void Network::maybe_cnp(StreamId s, std::int32_t recv_idx, NodeId receiver) {
     last = now;
   }
   if (telem_) telem_->on_cnp(s, receiver, now);
+  if (!st.injectors.empty()) {
+    // Reduce stream: one ECN mark at the root fans out into a CNP per
+    // contributor — the many-to-one twin of the multicast CNP implosion the
+    // guard timer (CnpMode::SenderGuard) coalesces at each injector.
+    for (std::size_t i = 0; i < st.injectors.size(); ++i) {
+      post_event(now + config_.cnp_delay,
+                 SimEvent{SimEventKind::CnpRate, false, s,
+                          static_cast<std::int32_t>(i)});
+    }
+    return;
+  }
   post_event(now + config_.cnp_delay, SimEvent{SimEventKind::CnpRate, false, s});
 }
 

@@ -135,6 +135,9 @@ class Network final : public SimEventSink, public DataPlane {
     return links_[static_cast<std::size_t>(l)].serialized;
   }
   [[nodiscard]] std::uint64_t segments_marked() const noexcept { return marked_segments_; }
+  /// High-water mark of combiner SRAM held across all reduce streams (bytes
+  /// a fast child is ahead of its slowest sibling at some aggregation point).
+  [[nodiscard]] Bytes reduce_sram_peak() const noexcept { return reduce_held_peak_; }
   [[nodiscard]] std::uint64_t pfc_pauses() const noexcept { return pfc_pauses_; }
   /// High-water mark of one link's egress queue.
   [[nodiscard]] Bytes link_queue_peak(LinkId l) const {
@@ -210,6 +213,36 @@ class Network final : public SimEventSink, public DataPlane {
     Bytes injected = 0;
   };
 
+  /// One contributor's paced sender on an in-network reduce stream — the
+  /// per-source half of StreamState, replicated per contributing endpoint.
+  struct ReduceInjector {
+    NodeId node = kInvalidNode;
+    LinkId up_link = kInvalidLink;  ///< mirror of the spec's in-link to `node`
+    Dcqcn cc;
+    std::vector<PendingChunk> pending;  // FIFO via pending_head
+    std::size_t pending_head = 0;
+    bool pump_scheduled = false;
+    bool pump_blocked = false;
+    bool local = true;  ///< sharded engine: false = a peer domain paces this
+    SimTime pace_next = 0;
+  };
+
+  /// Combining state at one aggregation point of a reduce stream — an
+  /// interior node of the spec's down-tree, whose fan-in set is the exact
+  /// mirror of its forward fan-out. A chunk's bytes move upstream only once
+  /// every child link has delivered them, so out_progress[chunk] tracks min
+  /// over children. Bytes a faster child is ahead by sit in switch SRAM (the
+  /// Network-wide reduce_held gauge).
+  struct ReduceCombiner {
+    NodeId node = kInvalidNode;
+    /// Mirror of the in-link above `node`; kInvalidLink marks the pivot
+    /// (spec.source), whose combined bytes launch the forward multicast.
+    LinkId up_link = kInvalidLink;
+    std::vector<LinkId> child_links;  ///< sorted; mirrors of the fan-out links
+    std::vector<std::vector<Bytes>> child_bytes;  ///< [chunk][child slot]
+    std::vector<Bytes> out_progress;              ///< [chunk] bytes forwarded
+  };
+
   struct StreamState {
     StreamSpec spec;
     Dcqcn cc;
@@ -219,6 +252,14 @@ class Network final : public SimEventSink, public DataPlane {
     bool pump_blocked = false;  // waiting for the source's buffer to drain
     bool closed = false;
     SimTime pace_next = 0;
+
+    // In-network reduction (non-empty injectors <=> spec.contributors set):
+    // one paced injector per contributor, one combiner per aggregation node,
+    // and a dense node -> combiner index for the arrive() fast path.
+    std::vector<ReduceInjector> injectors;
+    std::vector<ReduceCombiner> combiners;
+    std::vector<std::int32_t> combiner_of_node;
+    Bytes reduce_held = 0;  ///< this stream's share of the SRAM gauge
 
     // Compiled forwarding table (CSR over node ids): node n replicates onto
     // fwd_links[fwd_offset[n] .. fwd_offset[n+1]), in the exact order the
@@ -239,6 +280,19 @@ class Network final : public SimEventSink, public DataPlane {
   };
 
   void pump(StreamId s);
+  /// Paced injection for contributor `injector` of reduce stream `s` (the
+  /// reduce-stream twin of pump()).
+  void pump_reduce(StreamId s, std::int32_t injector);
+  /// A segment of reduce stream `s` arrived at combiner `combiner` over the
+  /// child link in `slot`: absorb it, advance the min-over-children
+  /// frontier, and schedule a ReduceEmit for any newly combined bytes.
+  void reduce_absorb(StreamId s, std::int32_t combiner, std::size_t slot,
+                     const Segment& seg);
+  /// Fires combine_latency after a frontier advance: enqueues the combined
+  /// bytes on the combiner's upstream egress — or, at the pivot, launches
+  /// them onto the forward multicast fan-out.
+  void reduce_emit(StreamId s, std::int32_t combiner, std::int32_t chunk,
+                   Bytes bytes, bool marked);
   /// Schedules `ev` at `t`, letting the cross-domain hook (if any) claim it
   /// for another domain's queue first.
   void post_event(SimTime t, const SimEvent& ev) {
@@ -263,7 +317,12 @@ class Network final : public SimEventSink, public DataPlane {
   /// drained simulation alive. send_chunk re-arms a lapsed sampler, so quiet
   /// gaps between collective phases don't kill the time series for good.
   void sample_tick();
-  [[nodiscard]] double source_line_rate(const StreamSpec& spec) const;
+  /// Rate of the first fabric-class link a segment injected at `start`
+  /// traverses (NVLink hops are skipped — the NIC, not NVLink, paces).
+  /// `start` is spec.source for broadcast streams and each contributor for
+  /// reduce streams.
+  [[nodiscard]] double source_line_rate(const StreamSpec& spec,
+                                        NodeId start) const;
 
   const Topology* topo_;
   SimConfig config_;
@@ -277,13 +336,21 @@ class Network final : public SimEventSink, public DataPlane {
   /// every link because each directed link has exactly one destination.
   std::vector<std::int32_t> in_slot_of_link_;
   /// Streams whose pacing is blocked on a full source buffer, per node.
-  std::vector<std::vector<StreamId>> blocked_pumps_;
+  /// `injector` is -1 for broadcast streams, else the index of the reduce
+  /// injector parked at the node.
+  struct BlockedPump {
+    StreamId stream;
+    std::int32_t injector;
+  };
+  std::vector<std::vector<BlockedPump>> blocked_pumps_;
 
   std::function<void(const DeliveryEvent&)> on_delivery_;
   std::unique_ptr<Telemetry> telem_;
   CrossDomainHook* xhook_ = nullptr;
 
   Bytes total_bytes_ = 0;
+  Bytes reduce_held_ = 0;       ///< combiner SRAM currently occupied
+  Bytes reduce_held_peak_ = 0;  ///< high-water mark of the above
   std::uint64_t segments_serialized_ = 0;
   std::uint64_t marked_segments_ = 0;
   std::uint64_t pfc_pauses_ = 0;

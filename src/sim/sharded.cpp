@@ -88,9 +88,15 @@ bool ShardedNetwork::route(int from, SimTime t, const SimEvent& ev) {
     case SimEventKind::Arrive:
       target = plan_.domain_of_node(topo_->link(ev.a).dst);
       break;
-    case SimEventKind::CnpRate:
-      target = streams_[static_cast<std::size_t>(ev.a)].src_domain;
+    case SimEventKind::CnpRate: {
+      // Reduce streams fan one CNP per injector (ev.b = injector index);
+      // each rate limiter lives with its contributor's endpoint.
+      const StreamInfo& si = streams_[static_cast<std::size_t>(ev.a)];
+      target = si.injector_domain.empty()
+                   ? si.src_domain
+                   : si.injector_domain[static_cast<std::size_t>(ev.b)];
       break;
+    }
     case SimEventKind::PfcPause:
     case SimEventKind::PfcResume:
       target = plan_.domain_of_node(topo_->link(ev.a).src);
@@ -257,9 +263,18 @@ StreamId ShardedNetwork::open_stream(StreamSpec spec) {
     for (LinkId l : outs) mark(topo_->link(l).dst);
   }
   for (NodeId r : spec.receivers) mark(r);
+  for (NodeId c : spec.contributors) mark(c);
 
   StreamInfo info;
   info.src_domain = plan_.domain_of_node(spec.source);
+  for (NodeId c : spec.contributors) {
+    info.injector_domain.push_back(plan_.domain_of_node(c));
+  }
+  info.injector_domains = info.injector_domain;
+  std::sort(info.injector_domains.begin(), info.injector_domains.end());
+  info.injector_domains.erase(
+      std::unique(info.injector_domains.begin(), info.injector_domains.end()),
+      info.injector_domains.end());
   StreamId id = -1;
   for (int d = 0; d < domain_total_; ++d) {
     Network& net = *domains_[static_cast<std::size_t>(d)]->net;
@@ -271,6 +286,16 @@ StreamId ShardedNetwork::open_stream(StreamSpec spec) {
       per.receivers.clear();
       for (NodeId r : spec.receivers) {
         if (plan_.domain_of_node(r) == d) per.receivers.push_back(r);
+      }
+      if (!spec.contributors.empty()) {
+        // Every replica keeps the full contributor list (combiner child
+        // slots and CNP injector indices must align across domains); the
+        // mask says which injectors THIS replica paces.
+        per.contributor_local.resize(spec.contributors.size());
+        for (std::size_t i = 0; i < spec.contributors.size(); ++i) {
+          per.contributor_local[i] =
+              static_cast<std::uint8_t>(info.injector_domain[i] == d ? 1 : 0);
+        }
       }
       got = net.open_stream(std::move(per));
       info.footprint.push_back(d);
@@ -287,13 +312,20 @@ StreamId ShardedNetwork::open_stream(StreamSpec spec) {
 
 void ShardedNetwork::send_chunk(StreamId stream, int chunk_index, Bytes bytes) {
   const StreamInfo& info = streams_[static_cast<std::size_t>(stream)];
+  // Pacing state lives with the injecting endpoints: the source domain for a
+  // multicast, every contributor-owning domain for a reduce stream. The
+  // remaining footprint domains only mirror the chunk's target size so
+  // arrivals there can complete (receiver, chunk) deliveries.
+  const auto paces = [&](int d) {
+    if (info.injector_domains.empty()) return d == info.src_domain;
+    return std::binary_search(info.injector_domains.begin(),
+                              info.injector_domains.end(), d);
+  };
   for (int d : info.footprint) {
     Network& net = *domains_[static_cast<std::size_t>(d)]->net;
-    if (d == info.src_domain) {
+    if (paces(d)) {
       net.send_chunk(stream, chunk_index, bytes);
     } else {
-      // Mirror the chunk's target size so arrivals in this domain can
-      // complete (receiver, chunk) deliveries.
       net.note_chunk(stream, chunk_index, bytes);
     }
   }
@@ -341,12 +373,18 @@ StreamDiagnostic ShardedNetwork::stream_diagnostic(StreamId s) const {
   StreamDiagnostic d = domains_[static_cast<std::size_t>(info.src_domain)]
                            ->net->stream_diagnostic(s);
   // Receiver progress is partitioned across the footprint (each replica
-  // tracks only domain-owned receivers); pump state lives at the source.
+  // tracks only domain-owned receivers), and a reduce stream's injector
+  // pending state is partitioned the same way; multicast pump state lives
+  // at the source alone (other replicas report zeros).
   for (int fd : info.footprint) {
     if (fd == info.src_domain) continue;
-    d.incomplete_deliveries += domains_[static_cast<std::size_t>(fd)]
-                                   ->net->stream_diagnostic(s)
-                                   .incomplete_deliveries;
+    const StreamDiagnostic part =
+        domains_[static_cast<std::size_t>(fd)]->net->stream_diagnostic(s);
+    d.incomplete_deliveries += part.incomplete_deliveries;
+    d.pending_chunks += part.pending_chunks;
+    d.bytes_pending_injection += part.bytes_pending_injection;
+    d.pump_blocked |= part.pump_blocked;
+    d.pump_scheduled |= part.pump_scheduled;
   }
   return d;
 }
@@ -414,6 +452,12 @@ std::uint64_t ShardedNetwork::segments_lost() const {
 std::uint64_t ShardedNetwork::duplex_repairs() const {
   // Every replica increments on the same restore call — read one, not the sum.
   return domains_.front()->net->duplex_repairs();
+}
+
+Bytes ShardedNetwork::reduce_sram_peak() const {
+  Bytes n = 0;
+  for (const auto& dom : domains_) n += dom->net->reduce_sram_peak();
+  return n;
 }
 
 Bytes ShardedNetwork::max_queue_peak() const {

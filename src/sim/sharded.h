@@ -23,6 +23,11 @@
 //   - PfcPause / PfcResume frames from the buffer-owning mirror side to the
 //     serializer-owning side (delay = the ingress link's propagation).
 //
+// In-network reduce streams introduce no fourth kind: each injector paces in
+// its contributor's domain, a combiner's absorb/emit runs in its node's
+// domain (ReduceEmit schedules on the local queue and the links it emits on
+// originate at that node), and only the Arrive hops between them cross.
+//
 // That minimum — the smallest propagation over cross-domain links — is the
 // conservative lookahead L. The engine repeatedly: finds the global minimum
 // pending timestamp W; if a control-plane closure is due at W it runs it
@@ -122,6 +127,12 @@ class ShardedNetwork final : public DataPlane {
   [[nodiscard]] std::uint64_t segments_lost() const;
   [[nodiscard]] std::uint64_t duplex_repairs() const;
   [[nodiscard]] Bytes max_queue_peak() const;
+  /// Sum of per-domain combining-SRAM high-water marks. Combining state is
+  /// domain-local (a combiner's arrivals and emits all run in its node's
+  /// domain), so each domain's gauge peaks independently; the sum bounds the
+  /// fabric-wide SRAM demand. Not shard-invariant — the solo engine's single
+  /// gauge can peak lower than the per-domain sum.
+  [[nodiscard]] Bytes reduce_sram_peak() const;
 
   // --- telemetry ----------------------------------------------------------
   [[nodiscard]] bool telemetry_enabled() const;
@@ -162,6 +173,13 @@ class ShardedNetwork final : public DataPlane {
     int src_domain = -1;
     /// Domains holding real (non-stub) replicas, ascending.
     std::vector<int> footprint;
+    /// Reduce streams only: contributor index -> owning domain (CnpRate
+    /// events carry the injector index, not a node). Empty = not a reduce
+    /// stream.
+    std::vector<int> injector_domain;
+    /// Distinct owning domains of the above, ascending: the replicas whose
+    /// send_chunk actually paces injectors (the rest only note_chunk).
+    std::vector<int> injector_domains;
   };
 
   /// Routes a hook-posted event: false = local to `from` (schedule there),

@@ -112,6 +112,34 @@ void Telemetry::on_stream_close(std::int32_t s, bool complete) {
   if (!complete) stream(s).closed_incomplete = true;
 }
 
+void Telemetry::on_reduce_open(std::int32_t s,
+                               const std::vector<NodeId>& contributors) {
+  StreamAccum& st = stream(s);
+  st.reduce = true;
+  st.contributors = contributors;
+}
+
+void Telemetry::on_reduce_target(std::int32_t s, int chunk, Bytes bytes) {
+  StreamAccum& st = stream(s);
+  st.reduce = true;  // note_chunk replicas may never see on_reduce_open
+  st.reduce_target[chunk] = bytes;
+}
+
+void Telemetry::on_reduce_contribute(std::int32_t s, NodeId contributor,
+                                     int chunk, Bytes bytes) {
+  stream(s).contributed[contributor][chunk] += bytes;
+}
+
+void Telemetry::on_reduce_absorb(std::int32_t s, LinkId l, int chunk,
+                                 Bytes bytes) {
+  stream(s).absorbed[l][chunk] += bytes;
+}
+
+void Telemetry::on_reduce_emit(std::int32_t s, NodeId node, int chunk,
+                               Bytes bytes) {
+  stream(s).emitted[node][chunk] += bytes;
+}
+
 void Telemetry::sample(SimTime now) {
   QueueSample q;
   q.t = now;
@@ -124,10 +152,61 @@ void Telemetry::sample(SimTime now) {
   samples_.push_back(q);
 }
 
+namespace {
+
+/// Anytime reduction-ledger checks: any account credited past the per-rank
+/// target is a double-count (a rank contributing twice, a combiner absorbing
+/// a duplicate child segment, or duplicate combined forwards).
+void reduce_over_violations(std::int32_t id, std::uint64_t tag,
+                            const std::unordered_map<int, Bytes>& target,
+                            const char* what, NodeId where,
+                            const std::unordered_map<int, Bytes>& account,
+                            std::vector<std::string>& out) {
+  for (const auto& [chunk, got] : account) {
+    const auto t = target.find(chunk);
+    const Bytes want = t == target.end() ? 0 : t->second;
+    if (got <= want) continue;
+    char buf[200];
+    std::snprintf(buf, sizeof buf,
+                  "%s: %s %d accounts %lld bytes of chunk %d against a "
+                  "per-rank target of %lld (reduction double-count)",
+                  describe_stream(id, tag).c_str(), what, where,
+                  static_cast<long long>(got), chunk,
+                  static_cast<long long>(want));
+    out.emplace_back(buf);
+  }
+}
+
+}  // namespace
+
 std::vector<std::string> Telemetry::over_delivery_violations() const {
   std::vector<std::string> out;
   for (std::size_t i = 0; i < streams_.size(); ++i) {
     const StreamAccum& st = streams_[i];
+    const auto id = static_cast<std::int32_t>(i);
+    if (st.reduce) {
+      // Combining legitimately collapses k child segments into one, so the
+      // injected-vs-delivered identity is replaced by the ledger: nothing —
+      // contribution, absorption, combined forward, or a member's delivery
+      // credit from the down multicast — may exceed the per-rank target.
+      for (const auto& [node, chunks] : st.contributed) {
+        reduce_over_violations(id, st.tag, st.reduce_target, "contributor",
+                               node, chunks, out);
+      }
+      for (const auto& [link, chunks] : st.absorbed) {
+        reduce_over_violations(id, st.tag, st.reduce_target, "child link",
+                               static_cast<NodeId>(link), chunks, out);
+      }
+      for (const auto& [node, chunks] : st.emitted) {
+        reduce_over_violations(id, st.tag, st.reduce_target, "combiner", node,
+                               chunks, out);
+      }
+      for (const auto& [receiver, chunks] : st.delivered) {
+        reduce_over_violations(id, st.tag, st.reduce_target, "receiver",
+                               receiver, chunks, out);
+      }
+      continue;
+    }
     for (const auto& [receiver, chunks] : st.delivered) {
       for (const auto& [chunk, got] : chunks) {
         const auto want = st.injected.find(chunk);
@@ -178,6 +257,62 @@ std::vector<std::string> Telemetry::conservation_violations() const {
     const bool lossy =
         st.lost_queued > 0 || st.lost_wire > 0 || st.lost_ingress > 0;
     if (lossy || st.closed_incomplete) continue;
+    if (st.reduce) {
+      // Exactly-once at drain: every contributor injected its full share of
+      // every chunk once, every observed ledger account (child absorption,
+      // combined forward, member delivery credit) landed exactly on the
+      // per-rank target. Under-absorption anywhere starves the pivot's down
+      // multicast, so it shows up at every receiver, each of which is
+      // checked against every target chunk.
+      const auto expect = [&](const char* what, NodeId where, int chunk,
+                              Bytes got, Bytes want) {
+        if (got == want) return;
+        char buf[200];
+        std::snprintf(buf, sizeof buf,
+                      "%s: %s %d accounts %lld of %lld target bytes of chunk "
+                      "%d with no segment losses (reduction ledger)",
+                      describe_stream(id, st.tag).c_str(), what, where,
+                      static_cast<long long>(got), static_cast<long long>(want),
+                      chunk);
+        out.emplace_back(buf);
+      };
+      for (const auto& [chunk, want] : st.reduce_target) {
+        if (want <= 0) continue;
+        for (NodeId c : st.contributors) {
+          Bytes got = 0;
+          const auto rows = st.contributed.find(c);
+          if (rows != st.contributed.end()) {
+            const auto cell = rows->second.find(chunk);
+            if (cell != rows->second.end()) got = cell->second;
+          }
+          expect("contributor", c, chunk, got, want);
+        }
+        for (NodeId r : st.receivers) {
+          Bytes got = 0;
+          const auto rows = st.delivered.find(r);
+          if (rows != st.delivered.end()) {
+            const auto cell = rows->second.find(chunk);
+            if (cell != rows->second.end()) got = cell->second;
+          }
+          expect("receiver", r, chunk, got, want);
+        }
+      }
+      for (const auto& [link, chunks] : st.absorbed) {
+        for (const auto& [chunk, got] : chunks) {
+          const auto t = st.reduce_target.find(chunk);
+          expect("child link", static_cast<NodeId>(link), chunk, got,
+                 t == st.reduce_target.end() ? 0 : t->second);
+        }
+      }
+      for (const auto& [node, chunks] : st.emitted) {
+        for (const auto& [chunk, got] : chunks) {
+          const auto t = st.reduce_target.find(chunk);
+          expect("combiner", node, chunk, got,
+                 t == st.reduce_target.end() ? 0 : t->second);
+        }
+      }
+      continue;
+    }
     for (NodeId receiver : st.receivers) {
       const auto got_it = st.delivered.find(receiver);
       for (const auto& [chunk, injected] : st.injected) {
@@ -246,6 +381,27 @@ void Telemetry::merge_from(const Telemetry& other) {
     a.lost_wire += b.lost_wire;
     a.lost_ingress += b.lost_ingress;
     a.closed_incomplete = a.closed_incomplete || b.closed_incomplete;
+    // Reduction ledger: structure fields (contributor set, per-chunk target)
+    // are identical in every domain that recorded them; accounts sum because
+    // each (contributor / child link / combiner / root) has exactly one
+    // writing domain.
+    a.reduce = a.reduce || b.reduce;
+    if (a.contributors.empty()) a.contributors = b.contributors;
+    for (const auto& [chunk, bytes] : b.reduce_target) {
+      a.reduce_target[chunk] = std::max(a.reduce_target[chunk], bytes);
+    }
+    for (const auto& [node, chunks] : b.contributed) {
+      auto& mine = a.contributed[node];
+      for (const auto& [chunk, bytes] : chunks) mine[chunk] += bytes;
+    }
+    for (const auto& [link, chunks] : b.absorbed) {
+      auto& mine = a.absorbed[link];
+      for (const auto& [chunk, bytes] : chunks) mine[chunk] += bytes;
+    }
+    for (const auto& [node, chunks] : b.emitted) {
+      auto& mine = a.emitted[node];
+      for (const auto& [chunk, bytes] : chunks) mine[chunk] += bytes;
+    }
   }
 
   // Samples: merge-join on timestamp. Each link's depth (and pause state) is

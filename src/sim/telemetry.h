@@ -147,6 +147,31 @@ class Telemetry {
   /// under-delivery check — over-delivery and hop conservation still apply.
   void on_stream_close(std::int32_t stream, bool complete);
 
+  // --- reduction ledger (in-network reduce streams) -----------------------
+  // In-switch combining legitimately "destroys" bytes (k child segments
+  // leave as one), so the generic injected-vs-delivered identity cannot
+  // audit a reduce stream. These hooks build the replacement: a first-class
+  // ledger of who owed what. Per chunk the contract is
+  //   every contributor injects target bytes exactly once,
+  //   every combiner child link delivers exactly target bytes,
+  //   every combiner forwards exactly target combined bytes,
+  //   the root is credited exactly target bytes,
+  // checked as `> target` anytime (double-count) and `== target` at drain
+  // (exactly-once) for streams that closed complete and lost nothing.
+  /// Declares `stream` an in-network reduction with this contributor set.
+  void on_reduce_open(std::int32_t stream,
+                      const std::vector<NodeId>& contributors);
+  /// Per-chunk target: the bytes each rank owes (send_chunk/note_chunk).
+  void on_reduce_target(std::int32_t stream, int chunk, Bytes bytes);
+  /// `contributor` injected `bytes` of `chunk` (subset of on_inject).
+  void on_reduce_contribute(std::int32_t stream, NodeId contributor, int chunk,
+                            Bytes bytes);
+  /// A combiner absorbed `bytes` of `chunk` over child link `l`.
+  void on_reduce_absorb(std::int32_t stream, LinkId l, int chunk, Bytes bytes);
+  /// Combiner at `node` advanced `chunk`'s combined frontier by `bytes`
+  /// (forwarded upstream, or credited to the root when `node` is the root).
+  void on_reduce_emit(std::int32_t stream, NodeId node, int chunk, Bytes bytes);
+
   /// Records one QueueSample at `now` (driven by the Network's sampler).
   void sample(SimTime now);
 
@@ -224,6 +249,17 @@ class Telemetry {
     /// Owner closed the stream before every delivery completed (superseded
     /// by another stream); exempts it from the under-delivery check.
     bool closed_incomplete = false;
+
+    // Reduction ledger (reduce == true streams only; see on_reduce_open).
+    bool reduce = false;
+    std::vector<NodeId> contributors;
+    std::unordered_map<int, Bytes> reduce_target;  ///< chunk -> per-rank bytes
+    /// contributor -> chunk -> bytes injected.
+    std::unordered_map<NodeId, std::unordered_map<int, Bytes>> contributed;
+    /// child link -> chunk -> bytes absorbed at the link's combiner.
+    std::unordered_map<LinkId, std::unordered_map<int, Bytes>> absorbed;
+    /// combiner node -> chunk -> combined bytes forwarded/credited.
+    std::unordered_map<NodeId, std::unordered_map<int, Bytes>> emitted;
   };
 
   void advance_depth(LinkAccum& a, Bytes new_depth, SimTime now);

@@ -122,6 +122,58 @@ TEST(FaultRecovery, AllGatherSurvivesFlapping) {
   EXPECT_EQ(r.fault_ups, r.fault_downs);
 }
 
+TEST(FaultRecovery, InNetAllReduceSurvivesReduceTreeOutage) {
+  // Kill a spine while in-network reductions are mid-flight: the fused
+  // reduce stream loses both down-tree deliveries AND up-mirror
+  // contributions (some already combined into switch SRAM and gone with
+  // it). recover_scheme must re-run the whole reduction over a fresh live
+  // tree — the byte-conservation audit rejects a dropped contribution
+  // (under-delivery) and a double-counted one (a stale partial combining
+  // with the re-sent copy) equally loudly.
+  LeafSpine ls;
+  const Fabric fabric = test_fabric(ls);
+  ScenarioConfig config = base_config();
+  config.scheme = Scheme::InNet;
+  config.collective = CollectiveKind::AllReduce;
+  config.collectives = 4;
+  // 60 us lands inside the first collectives' reduce/broadcast window on
+  // this fabric (they drain within ~250 us at this load), so the outage
+  // provably eats live reduce-stream deliveries — the recovered teeth
+  // check below is not vacuous.
+  config.faults.schedule.switch_down(seconds_to_sim(60e-6), ls.spines[0]);
+  config.faults.schedule.switch_up(seconds_to_sim(2e-3), ls.spines[0]);
+
+  const ScenarioResult r = run_scenario(fabric, config);
+  EXPECT_EQ(r.unfinished, 0u);
+  // The spine takes all 8 of its leaf uplink pairs down and back up.
+  EXPECT_EQ(r.fault_downs, 8u);
+  EXPECT_EQ(r.fault_ups, 8u);
+  EXPECT_GT(r.recovered_deliveries, 0u)
+      << "the outage never hit a live reduce stream — the test lost its teeth";
+  // Switch combining actually ran (contributions were held in SRAM).
+  EXPECT_GT(r.reduce_sram_peak, 0u);
+}
+
+TEST(FaultRecovery, InNetAllReduceSurvivesFlapping) {
+  // The stochastic variant: repeated short outages across 12 spine-leaf
+  // pairs while reductions run. Every flap that crosses a fused stream
+  // supersedes it (close + re-fuse on live links), so the exactly-once
+  // audit holds across arbitrarily many repair generations.
+  LeafSpine ls;
+  const Fabric fabric = test_fabric(ls);
+  ScenarioConfig config = base_config();
+  config.scheme = Scheme::InNet;
+  config.collective = CollectiveKind::AllReduce;
+  config.collectives = 4;
+  config.faults.flap = default_flap();
+
+  const ScenarioResult r = run_scenario(fabric, config);
+  EXPECT_EQ(r.unfinished, 0u);
+  EXPECT_GT(r.fault_downs, 0u);
+  EXPECT_EQ(r.fault_ups, r.fault_downs);
+  EXPECT_GT(r.reduce_sram_peak, 0u);
+}
+
 TEST(FaultRecovery, WithoutRecoveryAnOutageStrandsCollectives) {
   // Negative control: the same damage with auto-recovery off must leave
   // collectives unfinished — proof the recovery passes are what saves the

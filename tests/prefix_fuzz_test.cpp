@@ -13,15 +13,25 @@
 //     every rule lookup returns exactly the block's live ports
 //   - the <value,len> wire encoding round-trips losslessly and fits in
 //     tuple_header_bits(m) bits
+//   - the fused in-network reduce spec built from random groups' prefix
+//     parts is a tree whose aggregation fan-in sets mirror the forward
+//     fan-out sets link-for-link, with every rank contributing exactly once
+//     and identical rule-table occupancy in both directions
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "src/collectives/trees.h"
 #include "src/common/rng.h"
 #include "src/prefix/cover.h"
+#include "src/prefix/plan.h"
 #include "src/prefix/prefix.h"
+#include "src/topology/fat_tree.h"
 
 namespace peel {
 namespace {
@@ -196,6 +206,127 @@ TEST(PrefixFuzz, TupleEncodingRoundTrips) {
   // Malformed tuples are rejected on both sides of the wire.
   EXPECT_THROW((void)encode_tuple(Prefix{2, 1}, 3), std::out_of_range);
   EXPECT_THROW((void)decode_tuple(0xffu, 3), std::out_of_range);
+}
+
+TEST(PrefixFuzz, InNetFusedSpecMirrorsForwardCover) {
+  // Random groups through the whole in-network reduce planning path: PEEL
+  // prefix plan -> per-packet trees -> innet_fused_spec. The properties are
+  // the reduce-correctness contract, not golden outputs:
+  //   - the parts partition the non-root members (prefix exactness carried
+  //     through tree expansion),
+  //   - every rank appears exactly once among contributors and receivers,
+  //   - the forward map is a tree rooted at the pivot with every member a
+  //     leaf, reachable from the pivot,
+  //   - each forward link is duplex and used once, so the aggregation
+  //     fan-in set of every switch is link-for-link the reverse of its
+  //     forward fan-out set — identical rule-table occupancy both ways.
+  Rng rng(0x1'44ed'5eedULL);
+  const FatTree small = build_fat_tree(FatTreeConfig{4, 2, 4});
+  const FatTree mid = build_fat_tree(FatTreeConfig{8, 4, 8});
+  const Fabric fabrics[2] = {Fabric::of(small), Fabric::of(mid)};
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const bool use_mid = (trial & 1) != 0;
+    const Fabric& fabric = fabrics[use_mid ? 1 : 0];
+    const Topology& topo = fabric.topo();
+    const std::vector<NodeId>& gpus =
+        use_mid ? mid.endpoints() : small.endpoints();
+
+    const std::size_t group =
+        2 + static_cast<std::size_t>(rng.next_below(31));
+    std::vector<NodeId> members;
+    std::unordered_set<NodeId> taken;
+    while (members.size() < group) {
+      const NodeId g = gpus[rng.next_below(gpus.size())];
+      if (taken.insert(g).second) members.push_back(g);
+    }
+    const NodeId root = members.front();
+    const std::vector<NodeId> others(members.begin() + 1, members.end());
+
+    const PeelPlan plan =
+        use_mid ? build_peel_plan(mid, root, others)
+                : build_peel_plan(small, root, others);
+    const std::vector<PeelStream> parts = peel_static_trees(fabric, plan, 0);
+
+    // The parts partition the non-root members: each exactly once.
+    std::unordered_set<NodeId> served;
+    for (const PeelStream& part : parts) {
+      for (NodeId r : part.receivers) {
+        EXPECT_TRUE(served.insert(r).second)
+            << "rank " << r << " served by two parts (trial " << trial << ")";
+      }
+    }
+    EXPECT_EQ(served.size(), others.size());
+    for (NodeId r : others) EXPECT_TRUE(served.contains(r));
+
+    const StreamSpec spec = innet_fused_spec(topo, parts, root, members);
+
+    // Exactly-once contribution: the contributor set is the member set.
+    EXPECT_EQ(spec.contributors.size(), members.size());
+    EXPECT_EQ(spec.receivers.size(), members.size());
+    std::unordered_set<NodeId> contributors(spec.contributors.begin(),
+                                            spec.contributors.end());
+    EXPECT_EQ(contributors.size(), members.size()) << "duplicate contributor";
+    for (NodeId m : members) EXPECT_TRUE(contributors.contains(m));
+
+    // Forward map is a tree rooted at the pivot; members are leaves.
+    std::unordered_map<NodeId, NodeId> parent;
+    std::unordered_set<LinkId> used;
+    for (const auto& [n, links] : spec.forward) {
+      EXPECT_FALSE(links.empty()) << "empty fan-out slice at node " << n;
+      for (LinkId l : links) {
+        const Link& lk = topo.link(l);
+        EXPECT_EQ(lk.src, n) << "fan-out link not rooted at its node";
+        EXPECT_TRUE(used.insert(l).second)
+            << "forward link " << l << " used twice";
+        EXPECT_TRUE(parent.try_emplace(lk.dst, n).second)
+            << "node " << lk.dst << " has two parents";
+        // Duplex: the mirrored up-link exists and is the exact reverse, so
+        // the contribution path is link-for-link the forward path flipped.
+        const LinkId rev = topo.reverse_of(l);
+        ASSERT_NE(rev, kInvalidLink) << "forward link without a mirror";
+        EXPECT_EQ(topo.link(rev).src, lk.dst);
+        EXPECT_EQ(topo.link(rev).dst, lk.src);
+      }
+    }
+    EXPECT_FALSE(parent.contains(spec.source)) << "pivot has a parent";
+    EXPECT_TRUE(spec.forward.contains(spec.source))
+        << "pivot is not an interior node";
+    for (NodeId m : members) {
+      EXPECT_FALSE(spec.forward.contains(m)) << "member is an interior node";
+      // Every member hangs off the tree: walk up to the pivot in a bounded
+      // number of hops (tree height is at most GPU->host->ToR->agg->core and
+      // back down).
+      NodeId n = m;
+      int hops = 0;
+      while (n != spec.source && hops < 16) {
+        const auto it = parent.find(n);
+        ASSERT_NE(it, parent.end())
+            << "member " << m << " disconnected at " << n;
+        n = it->second;
+        ++hops;
+      }
+      EXPECT_EQ(n, spec.source) << "member " << m << " never reaches pivot";
+    }
+
+    // Mirror occupancy: the aggregation fan-in set of every interior node is
+    // exactly the reverses of its forward fan-out set, so the rule-table
+    // occupancy of the mirrored (reduce) plan equals the forward plan's at
+    // every switch.
+    for (const auto& [n, links] : spec.forward) {
+      std::vector<LinkId> fan_in;
+      fan_in.reserve(links.size());
+      for (LinkId l : links) fan_in.push_back(topo.reverse_of(l));
+      std::sort(fan_in.begin(), fan_in.end());
+      EXPECT_EQ(fan_in.size(), links.size());
+      EXPECT_TRUE(std::adjacent_find(fan_in.begin(), fan_in.end()) ==
+                  fan_in.end())
+          << "duplicate fan-in link at node " << n;
+      for (LinkId l : fan_in) {
+        EXPECT_EQ(topo.link(l).dst, n)
+            << "fan-in link does not terminate at its combiner";
+      }
+    }
+  }
 }
 
 TEST(PrefixFuzz, CoverOfRandomRackSetsSurvivesEncodeDecode) {

@@ -133,6 +133,43 @@ TEST(ShardInvariance, AllCollectiveKindsAuditCleanAcrossShardCounts) {
   }
 }
 
+// In-network reduction under sharding: the fused reduce stream's combining
+// state lives inside each pod domain (contributions absorb and emit without
+// crossing a mailbox), so InNet AllReduce must be byte-identical at every
+// worker count and drain audit-clean — a divergence means combining state
+// leaked across a shard boundary. reduce_sram_peak is deliberately NOT
+// compared: the sharded engine sums per-domain peaks (an upper bound on the
+// global peak), so only its positivity is invariant.
+TEST(ShardInvariance, InNetAllReduceByteIdenticalAcrossShardCounts) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 4});
+  const Fabric fabric = Fabric::of(ft);
+  ScenarioConfig config;
+  config.scheme = Scheme::InNet;
+  config.collective = CollectiveKind::AllReduce;
+  config.group_size = 16;
+  config.message_bytes = 512 * kKiB;
+  config.collectives = 4;
+  config.seed = 4242;
+  config.byte_audit = true;
+  config.watchdog = true;
+
+  ScenarioResult results[3];
+  const int shard_counts[3] = {1, 2, 8};
+  for (int i = 0; i < 3; ++i) {
+    config.shards = shard_counts[i];
+    results[i] = run_scenario(fabric, config);
+  }
+  for (int i = 1; i < 3; ++i) {
+    SCOPED_TRACE("shards=" + std::to_string(shard_counts[i]) + " vs shards=1");
+    expect_identical(results[0], results[i]);
+  }
+  EXPECT_EQ(results[0].unfinished, 0u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GT(results[i].reduce_sram_peak, 0u)
+        << "switch combining never ran at shards=" << shard_counts[i];
+  }
+}
+
 // Outages on cross-shard links: on the leaf-spine fabric every spine sits in
 // the core domain, so each flapped spine-leaf pair straddles a shard
 // boundary, and its TopologyDelta / recovery pass must land identically at
