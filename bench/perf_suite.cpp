@@ -43,6 +43,7 @@
 #include "src/harness/bench_env.h"
 #include "src/harness/experiment.h"
 #include "src/harness/table.h"
+#include "src/harness/workload.h"
 #include "src/prefix/plan.h"
 #include "src/sim/event_queue.h"
 #include "src/topology/fat_tree.h"
@@ -152,6 +153,65 @@ ScenarioConfig sharded_cell_config(int samples) {
     std::printf("  sharded shards=%d  %8.2fs wall  %9.0f events/s\n", shards,
                 cell.wall_seconds,
                 static_cast<double>(cell.result.events) / cell.wall_seconds);
+  }
+  return cells;
+}
+
+// ---------------------------------------------------------------------------
+// Workload engine cells: the continuous multi-tenant traffic path
+// (src/harness/workload.h) — job arrivals, churn, and group-table admission
+// on top of the same data plane. One PEEL cell and one table-constrained
+// IP-multicast cell, so the trajectory catches regressions in the arrival/
+// churn control plane as well as the underlying engine.
+// ---------------------------------------------------------------------------
+
+struct WorkloadCellResult {
+  Scheme scheme = Scheme::Peel;
+  std::size_t capacity = 0;
+  double wall_seconds = 0.0;
+  WorkloadResult result;
+};
+
+[[nodiscard]] std::vector<WorkloadCellResult> run_workload_cells(int jobs) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{8, 4, 8});
+  const Fabric fabric = Fabric::of(ft);
+  WorkloadConfig base;
+  base.arrivals.jobs = jobs;
+  base.arrivals.message_bytes = 512 * kKiB;
+  base.arrivals.group_sizes = {8, 16, 32};
+  base.arrivals.iterations = 2;
+  base.arrivals.iteration_gap_seconds = 100e-6;
+  base.arrivals.hold_seconds = 1e-3;
+  base.arrivals.fragmented_share = 0.25;
+  base.arrivals.buddy_share = 0.5;
+  base.arrivals.rate_per_second = job_rate_for_load(
+      fabric, 0.20, base.arrivals.message_bytes, 16, base.arrivals.iterations);
+  base.churn.events_per_job = 1;
+  base.seed = 20260809;
+  base.byte_audit = false;
+
+  std::vector<WorkloadCellResult> cells;
+  for (const auto& [scheme, capacity] :
+       std::vector<std::pair<Scheme, std::size_t>>{{Scheme::Peel, 0},
+                                                   {Scheme::Optimal, 16}}) {
+    WorkloadConfig config = base;
+    config.scheme = scheme;
+    config.table_capacity = capacity;
+    (void)run_workload(fabric, config);  // unmeasured warmup, as in the grid
+    const auto start = std::chrono::steady_clock::now();
+    WorkloadResult r = run_workload(fabric, config);
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - start;
+    WorkloadCellResult cell;
+    cell.scheme = scheme;
+    cell.capacity = capacity;
+    cell.wall_seconds = wall.count();
+    cell.result = std::move(r);
+    std::printf("  workload %-7s cap=%-3zu %8.2fs wall  %9.0f events/s\n",
+                to_string(scheme), capacity, cell.wall_seconds,
+                static_cast<double>(cell.result.sim.events) /
+                    cell.wall_seconds);
+    cells.push_back(std::move(cell));
   }
   return cells;
 }
@@ -383,6 +443,29 @@ int run_perf_grid() {
                 std::thread::hardware_concurrency());
   }
 
+  std::printf("\nworkload engine (k=8 fat-tree, continuous job arrivals)\n");
+  const int workload_jobs = bench::samples_override(300, 60);
+  const std::vector<WorkloadCellResult> workload =
+      run_workload_cells(workload_jobs);
+  {
+    Table wtable({"scheme", "capacity", "wall (s)", "events/s", "admitted",
+                  "fell back", "ctrl updates", "hottest switch"});
+    for (const WorkloadCellResult& c : workload) {
+      wtable.add_row(
+          {to_string(c.scheme),
+           c.capacity == 0 ? std::string("-") : std::to_string(c.capacity),
+           cell("%.2f", c.wall_seconds),
+           cell("%.0f", static_cast<double>(c.result.sim.events) /
+                            c.wall_seconds),
+           cell("%zu / %zu", c.result.jobs_admitted, c.result.jobs_submitted),
+           cell("%zu", c.result.jobs_fell_back),
+           cell("%llu",
+                static_cast<unsigned long long>(c.result.controller_updates)),
+           cell("%zu", c.result.tcam_peak_occupancy)});
+    }
+    wtable.print(std::cout);
+  }
+
   std::printf("\ncomponent microbenches\n");
   const MicrobenchResults micro = run_microbench();
   print_microbench(micro);
@@ -398,7 +481,7 @@ int run_perf_grid() {
     return 1;
   }
   std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"schema\": \"peel.perf_suite.v3\",\n");
+  std::fprintf(out, "  \"schema\": \"peel.perf_suite.v4\",\n");
   std::fprintf(out, "  \"quick\": %s,\n", json_bool(bench::quick_mode()));
   std::fprintf(out, "  \"group_size\": 64,\n");
   std::fprintf(out, "  \"group_pool\": 4,\n");
@@ -425,7 +508,8 @@ int run_perf_grid() {
         "\"delta_apply_max_us\": %.3f,\n"
         "     \"delta_plans_repaired\": %llu, "
         "\"delta_plans_evicted\": %llu,\n"
-        "     \"reduce_sram_peak\": %llu,\n"
+        "     \"reduce_sram_peak\": %llu, "
+        "\"reduce_sram_peak_max_domain\": %llu,\n"
         "     \"unfinished\": %zu, \"peak_rss_kib\": %ld}%s\n",
         to_string(c.scheme), to_string(c.kind), c.fat_tree_k,
         json_bool(c.faults), c.wall_seconds,
@@ -445,6 +529,7 @@ int run_perf_grid() {
         static_cast<unsigned long long>(c.result.delta_plans_repaired),
         static_cast<unsigned long long>(c.result.delta_plans_evicted),
         static_cast<unsigned long long>(c.result.reduce_sram_peak),
+        static_cast<unsigned long long>(c.result.reduce_sram_peak_max_domain),
         c.result.unfinished, c.rss_kib, i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
@@ -473,6 +558,34 @@ int run_perf_grid() {
                  "\"events_per_sec\": %.0f, \"speedup_vs_1\": %.3f}%s\n",
                  c.shards, c.wall_seconds, eps, eps / sharded_base_eps,
                  i + 1 < sharded.size() ? "," : "");
+  }
+  std::fprintf(out, "    ]\n");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"workload\": {\n");
+  std::fprintf(out, "    \"fat_tree_k\": 8, \"jobs\": %d,\n", workload_jobs);
+  std::fprintf(out, "    \"cells\": [\n");
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    const WorkloadCellResult& c = workload[i];
+    std::fprintf(
+        out,
+        "      {\"scheme\": \"%s\", \"table_capacity\": %zu,\n"
+        "       \"wall_seconds\": %.3f, \"events\": %llu, "
+        "\"events_per_sec\": %.0f,\n"
+        "       \"jobs_admitted\": %zu, \"jobs_fell_back\": %zu, "
+        "\"admission_failures\": %zu,\n"
+        "       \"controller_updates\": %llu, "
+        "\"controller_update_rate_hz\": %.1f, \"churn_events\": %llu,\n"
+        "       \"tcam_peak_occupancy\": %zu, \"unfinished\": %zu}%s\n",
+        to_string(c.scheme), c.capacity, c.wall_seconds,
+        static_cast<unsigned long long>(c.result.sim.events),
+        static_cast<double>(c.result.sim.events) / c.wall_seconds,
+        c.result.jobs_admitted, c.result.jobs_fell_back,
+        c.result.admission_failures,
+        static_cast<unsigned long long>(c.result.controller_updates),
+        c.result.controller_update_rate_hz,
+        static_cast<unsigned long long>(c.result.churn_events),
+        c.result.tcam_peak_occupancy, c.result.sim.unfinished,
+        i + 1 < workload.size() ? "," : "");
   }
   std::fprintf(out, "    ]\n");
   std::fprintf(out, "  },\n");

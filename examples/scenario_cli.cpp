@@ -42,9 +42,39 @@
 //     --shards=N            pod-sharded parallel engine with N worker threads
 //                           (results are byte-identical for any N >= 1;
 //                           0 = classic single-queue engine)
+//
+//   Workload mode (--workload): the positionals become
+//     [scheme] [collective] [group_gpus] [message_MiB] [load%] [jobs]
+//   and run the multi-tenant continuous-traffic engine (docs/workload.md):
+//   Poisson job arrivals, per-job placement policies, iteration resubmission,
+//   membership churn, and MulticastGroupTable admission for group-state
+//   schemes. Extra flags:
+//     --iters=N             iterations per job (default 2)
+//     --gap-us=US           think time between a job's iterations (default
+//                           1000 us)
+//     --hold-us=US          group-state hold after the last iteration's
+//                           submission, open loop (default 0)
+//     --rate=J              job arrival rate, jobs/second (default: derived
+//                           from load% via job_rate_for_load)
+//     --churn=N             membership-change events per job (default 0)
+//     --churn-frac=F        fraction of members replaced per event (0.25)
+//     --capacity=N          multicast table entries per switch (512; 0 =
+//                           unlimited)
+//     --frag-share=F        P(job placed fragmented) (default 0)
+//     --buddy-share=F       P(job placed buddy-aligned) (default 0)
+//     --frag=F              fragmentation level of fragmented jobs (0.25)
+//     --closed-loop         chain iterations off completions instead of the
+//                           fixed open-loop cadence
+//     --no-fallback         drop rejected jobs instead of degrading to Ring
+//     --tcam-csv=FILE       write the TCAM occupancy time series as CSV
+//   (--audit, --watchdog, --deadline, --shards apply as usual; faults,
+//   replicas, and trace/telemetry exports are single-run-mode only.)
+//
 //   e.g. scenario_cli peel broadcast 256 64 30 20 4 --audit --trace=run.json
-//   e.g. scenario_cli ring broadcast 64 8 30 10 --audit --watchdog \
+//   e.g. scenario_cli ring broadcast 64 8 30 10 --audit --watchdog
 //            --flap-mtbf=2000 --flap-mttr=500 --flap-links=2
+//   e.g. scenario_cli optimal broadcast 16 1 30 200 --workload --churn=2
+//            --capacity=64 --audit --watchdog
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -54,6 +84,7 @@
 #include <vector>
 
 #include "src/harness/sweep.h"
+#include "src/harness/workload.h"
 #include "src/sim/trace.h"
 
 using namespace peel;
@@ -98,6 +129,21 @@ struct Flags {
   int stripes = 1;
   bool no_plan_cache = false;
   int shards = 0;
+  // --- workload mode ---
+  bool workload = false;
+  int iters = 2;
+  double gap_us = 1000.0;
+  double hold_us = 0.0;
+  double rate = 0.0;
+  int churn = 0;
+  double churn_frac = 0.25;
+  long capacity = 512;
+  double frag_share = 0.0;
+  double buddy_share = 0.0;
+  double frag = 0.25;
+  bool closed_loop = false;
+  bool no_fallback = false;
+  std::string tcam_csv;
 };
 
 bool flag_value(const char* arg, const char* name, const char** value) {
@@ -151,6 +197,34 @@ std::vector<const char*> parse_flags(int argc, char** argv, Flags& flags) {
       flags.no_plan_cache = true;
     } else if (flag_value(arg, "--shards", &value)) {
       flags.shards = std::atoi(value);
+    } else if (!std::strcmp(arg, "--workload")) {
+      flags.workload = true;
+    } else if (flag_value(arg, "--iters", &value)) {
+      flags.iters = std::atoi(value);
+    } else if (flag_value(arg, "--gap-us", &value)) {
+      flags.gap_us = std::atof(value);
+    } else if (flag_value(arg, "--hold-us", &value)) {
+      flags.hold_us = std::atof(value);
+    } else if (flag_value(arg, "--rate", &value)) {
+      flags.rate = std::atof(value);
+    } else if (flag_value(arg, "--churn", &value)) {
+      flags.churn = std::atoi(value);
+    } else if (flag_value(arg, "--churn-frac", &value)) {
+      flags.churn_frac = std::atof(value);
+    } else if (flag_value(arg, "--capacity", &value)) {
+      flags.capacity = std::atol(value);
+    } else if (flag_value(arg, "--frag-share", &value)) {
+      flags.frag_share = std::atof(value);
+    } else if (flag_value(arg, "--buddy-share", &value)) {
+      flags.buddy_share = std::atof(value);
+    } else if (flag_value(arg, "--frag", &value)) {
+      flags.frag = std::atof(value);
+    } else if (!std::strcmp(arg, "--closed-loop")) {
+      flags.closed_loop = true;
+    } else if (!std::strcmp(arg, "--no-fallback")) {
+      flags.no_fallback = true;
+    } else if (flag_value(arg, "--tcam-csv", &value)) {
+      flags.tcam_csv = value;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg);
       std::exit(1);
@@ -159,11 +233,137 @@ std::vector<const char*> parse_flags(int argc, char** argv, Flags& flags) {
   return positional;
 }
 
+int run_workload_mode(const Flags& flags,
+                      const std::vector<const char*>& args) {
+  const auto arg = [&args](std::size_t i) -> const char* {
+    return i < args.size() ? args[i] : nullptr;
+  };
+  WorkloadConfig wc;
+  wc.scheme = arg(0) ? parse_scheme(arg(0)) : Scheme::Peel;
+  wc.collective = arg(1) ? parse_collective(arg(1)) : CollectiveKind::Broadcast;
+  const int group = arg(2) ? std::atoi(arg(2)) : 16;
+  wc.arrivals.group_sizes = {group};
+  wc.arrivals.message_bytes = (arg(3) ? std::atoll(arg(3)) : 1) * kMiB;
+  const double load = (arg(4) ? std::atof(arg(4)) : 30.0) / 100.0;
+  wc.arrivals.jobs = arg(5) ? std::atoi(arg(5)) : 50;
+  wc.arrivals.iterations = flags.iters;
+  wc.arrivals.iteration_gap_seconds = flags.gap_us * 1e-6;
+  wc.arrivals.hold_seconds = flags.hold_us * 1e-6;
+  wc.arrivals.fragmented_share = flags.frag_share;
+  wc.arrivals.buddy_share = flags.buddy_share;
+  wc.arrivals.fragmentation = flags.frag;
+  wc.churn.events_per_job = flags.churn;
+  wc.churn.replace_fraction = flags.churn_frac;
+  wc.table_capacity = static_cast<std::size_t>(flags.capacity);
+  wc.ring_fallback = !flags.no_fallback;
+  wc.closed_loop = flags.closed_loop;
+  wc.seed = 20260705;
+  wc.shards = flags.shards;
+  if (flags.audit) wc.byte_audit = true;
+  wc.watchdog = flags.watchdog;
+  wc.deadline_seconds = flags.deadline_seconds;
+  if (flags.stripes > 1) wc.runner.stripe_trees = flags.stripes;
+  wc.runner.plan_cache = !flags.no_plan_cache;
+
+  const FatTree ft = build_fat_tree(FatTreeConfig{8, 4, 8});
+  const Fabric fabric = Fabric::of(ft);
+  // The effective fragmentation the load model should account for is the
+  // mix-weighted level across placement policies.
+  wc.arrivals.rate_per_second =
+      flags.rate > 0.0
+          ? flags.rate
+          : job_rate_for_load(fabric, load, wc.arrivals.message_bytes, group,
+                              wc.arrivals.iterations,
+                              flags.frag_share * flags.frag);
+
+  std::printf(
+      "workload %s %s: %d jobs x %d iteration(s), %d GPUs/group, %lld MiB, "
+      "%.1f jobs/s, churn %d x %.0f%%, table %zu entries/switch "
+      "on a 1024-GPU 8-ary fat-tree (%s loop%s)\n",
+      to_string(wc.scheme), to_string(wc.collective), wc.arrivals.jobs,
+      wc.arrivals.iterations, group,
+      static_cast<long long>(wc.arrivals.message_bytes / kMiB),
+      wc.arrivals.rate_per_second, wc.churn.events_per_job,
+      wc.churn.replace_fraction * 100, wc.table_capacity,
+      wc.closed_loop ? "closed" : "open", flags.shards > 0 ? ", sharded" : "");
+
+  const WorkloadResult r = run_workload(fabric, wc);
+
+  std::printf("\n  jobs        %zu submitted / %zu admitted / %zu fell back "
+              "to Ring / %zu rejected\n",
+              r.jobs_submitted, r.jobs_admitted, r.jobs_fell_back,
+              r.jobs_rejected);
+  std::printf("  admission   %zu failure(s); PEEL static rules: %zu/switch\n",
+              r.admission_failures, r.static_rules_per_switch);
+  std::printf("  controller  %llu update(s), %.1f /s; %llu install(s), "
+              "%llu remove(s), %llu churn event(s)\n",
+              static_cast<unsigned long long>(r.controller_updates),
+              r.controller_update_rate_hz,
+              static_cast<unsigned long long>(r.group_installs),
+              static_cast<unsigned long long>(r.group_removes),
+              static_cast<unsigned long long>(r.churn_events));
+  std::printf("  TCAM peak   %zu group(s), %zu entries fabric-wide, "
+              "%zu at the fullest switch (%zu series point(s))\n",
+              r.tcam_peak_groups, r.tcam_peak_entries, r.tcam_peak_occupancy,
+              r.tcam_series.size());
+  if (!r.cct_seconds.empty()) {
+    std::printf("  mean CCT    %s\n",
+                format_seconds(r.cct_seconds.mean()).c_str());
+    std::printf("  p50  CCT    %s\n",
+                format_seconds(r.cct_seconds.p50()).c_str());
+    std::printf("  p99  CCT    %s\n",
+                format_seconds(r.cct_seconds.p99()).c_str());
+  }
+  if (r.job_mean_cct_seconds.count() > 1) {
+    const double p50 = r.job_mean_cct_seconds.p50();
+    std::printf("  isolation   per-job mean CCT p50 %s, p99 %s (stretch "
+                "%.2fx)\n",
+                format_seconds(p50).c_str(),
+                format_seconds(r.job_mean_cct_seconds.p99()).c_str(),
+                p50 > 0.0 ? r.job_mean_cct_seconds.p99() / p50 : 0.0);
+  }
+  std::printf("  sim         %.3f s simulated, %llu events, %llu unfinished\n",
+              r.sim.sim_seconds,
+              static_cast<unsigned long long>(r.sim.events),
+              static_cast<unsigned long long>(r.sim.unfinished));
+
+  if (!flags.tcam_csv.empty()) {
+    std::FILE* f = std::fopen(flags.tcam_csv.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", flags.tcam_csv.c_str());
+      return 1;
+    }
+    std::fprintf(f, "seconds,groups,total_entries,max_occupancy,"
+                    "admission_failures\n");
+    for (const TcamSample& s : r.tcam_series) {
+      std::fprintf(f, "%.9f,%zu,%zu,%zu,%zu\n", s.seconds, s.groups,
+                   s.total_entries, s.max_occupancy, s.admission_failures);
+    }
+    std::fclose(f);
+    std::printf("  TCAM CSV    %s\n", flags.tcam_csv.c_str());
+  }
+
+  if (r.sim.unfinished) {
+    std::printf("  WARNING: %llu collectives did not finish\n",
+                static_cast<unsigned long long>(r.sim.unfinished));
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags;
   const std::vector<const char*> args = parse_flags(argc, argv, flags);
+  if (flags.workload) {
+    try {
+      return run_workload_mode(flags, args);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  }
   const auto arg = [&args](std::size_t i) -> const char* {
     return i < args.size() ? args[i] : nullptr;
   };

@@ -54,6 +54,9 @@ if [[ "${PEEL_CHECK_PERF:-0}" != "0" ]]; then
   scripts/perf_diff.sh
   echo "== in-network AllReduce smoke (scenario_cli innet, audited) =="
   ./build-perf/examples/scenario_cli innet allreduce 16 8 30 5 --audit --watchdog
+  echo "== multi-tenant workload smoke (scenario_cli --workload, audited) =="
+  ./build-perf/examples/scenario_cli --workload optimal broadcast 16 1 30 40 \
+      --churn=1 --capacity=8 --audit --watchdog
 fi
 
 echo "== all checks passed =="

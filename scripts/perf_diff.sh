@@ -113,6 +113,25 @@ if nsh:
         print("  NOTE: sharded signature changed -- simulated behavior "
               "drifted (expected only when the workload or sim changed)")
 
+owl, nwl = committed.get("workload", {}), fresh.get("workload", {})
+owlc = {(c["scheme"], c.get("table_capacity", 0)): c
+        for c in owl.get("cells", [])}
+nwlc = {(c["scheme"], c.get("table_capacity", 0)): c
+        for c in nwl.get("cells", [])}
+for key in sorted(owlc):
+    if key not in nwlc:
+        continue
+    o, n = owlc[key], nwlc[key]
+    row(f"workload {key[0]} cap={key[1]} ev/s",
+        o.get("events_per_sec", 0), n.get("events_per_sec", 0))
+    # Admission counters are deterministic: any drift is a behavior change,
+    # not noise — call it out like the sharded signature.
+    for col in ("jobs_admitted", "jobs_fell_back", "admission_failures",
+                "controller_updates"):
+        if o.get(col) != n.get(col):
+            print(f"  NOTE: workload {key[0]} cap={key[1]} {col} changed "
+                  f"{o.get(col)} -> {n.get(col)}")
+
 om, nm = committed.get("microbench", {}), fresh.get("microbench", {})
 osched = {s["queue_depth"]: s["events_per_sec"] for s in om.get("scheduler", [])}
 nsched = {s["queue_depth"]: s["events_per_sec"] for s in nm.get("scheduler", [])}

@@ -1099,6 +1099,7 @@ void CollectiveRunner::submit_allgather(Scheme scheme, AllGatherRequest request)
 
   exec->runner = this;
   exec->req.id = request.id;
+  exec->req.job = request.job;
   exec->req.message_bytes = request.total_bytes;
   // One chunk per member shard; every member receives the n-1 other shards.
   if (request.total_bytes < static_cast<Bytes>(n)) {
@@ -1159,6 +1160,7 @@ void CollectiveRunner::submit_allreduce(Scheme scheme, AllReduceRequest request)
 
   exec->runner = this;
   exec->req.id = request.id;
+  exec->req.job = request.job;
   exec->req.message_bytes = request.buffer_bytes;
   exec->chunk_sizes = std::move(chunk_sizes);
   exec->expected = expected;
@@ -1442,6 +1444,7 @@ void CollectiveRunner::register_exec(std::unique_ptr<ExecBase> exec, Scheme sche
                                      std::size_t group_size) {
   CollectiveRecord record;
   record.id = exec->req.id;
+  record.job = exec->req.job;
   record.scheme = scheme;
   record.submit_time = queue_->now();
   record.setup_delay = setup_delay;
@@ -1468,6 +1471,12 @@ void CollectiveRunner::finish_exec(std::uint64_t id) {
   for (StreamId s : it->second->streams) net_->close_stream(s);
   execs_.erase(it);
   damaged_execs_.erase(id);
+  // The handler may submit follow-up collectives, which re-enter
+  // register_exec and can reallocate records_ — hand it a copy.
+  if (finish_handler_) {
+    const CollectiveRecord copy = record;
+    finish_handler_(copy);
+  }
 }
 
 std::vector<StuckFlowInfo> CollectiveRunner::stuck_flows() const {

@@ -19,6 +19,7 @@
 //                   up and once down, no host bounces
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -54,6 +55,9 @@ struct BroadcastRequest {
   NodeId source = kInvalidNode;
   std::vector<NodeId> destinations;  ///< member endpoints, source excluded
   Bytes message_bytes = 0;
+  /// Owning job for multi-tenant workloads (src/harness/workload.h); 0 =
+  /// standalone. Copied onto the CollectiveRecord for per-job attribution.
+  std::uint64_t job = 0;
 };
 
 /// AllGather: every member contributes a shard; afterwards every member
@@ -65,6 +69,7 @@ struct AllGatherRequest {
   std::uint64_t id = 0;
   std::vector<NodeId> members;  ///< all ranks, >= 2
   Bytes total_bytes = 0;        ///< gathered buffer size (sum of shards)
+  std::uint64_t job = 0;        ///< owning job; 0 = standalone
 };
 
 /// AllReduce: every member contributes a buffer; afterwards every member
@@ -78,10 +83,12 @@ struct AllReduceRequest {
   std::uint64_t id = 0;
   std::vector<NodeId> members;  ///< all ranks, >= 2
   Bytes buffer_bytes = 0;       ///< per-rank gradient buffer size
+  std::uint64_t job = 0;        ///< owning job; 0 = standalone
 };
 
 struct CollectiveRecord {
   std::uint64_t id = 0;
+  std::uint64_t job = 0;  ///< owning job (request.job); 0 = standalone
   Scheme scheme = Scheme::Ring;
   SimTime submit_time = 0;
   SimTime setup_delay = 0;  ///< controller latency charged to this collective
@@ -268,6 +275,15 @@ class CollectiveRunner : public TopologyObserver {
   /// of its streams' progress. Empty when everything completed.
   [[nodiscard]] std::vector<StuckFlowInfo> stuck_flows() const;
 
+  /// Called at the end of finish_exec, after the record is finalized and the
+  /// exec's streams are closed — the hook the workload engine uses to chain a
+  /// job's next iteration off the previous one's completion. The handler runs
+  /// on the control-plane queue's thread; it may submit new collectives or
+  /// schedule closures, but must not destroy the runner.
+  void set_finish_handler(std::function<void(const CollectiveRecord&)> handler) {
+    finish_handler_ = std::move(handler);
+  }
+
  private:
   friend struct ExecBase;
   struct ExecBase;
@@ -336,6 +352,7 @@ class CollectiveRunner : public TopologyObserver {
   /// Maintained by on_topology_delta, consumed by recover_all.
   std::unordered_set<std::uint64_t> damaged_execs_;
   DeltaApplyStats delta_stats_;
+  std::function<void(const CollectiveRecord&)> finish_handler_;
 };
 
 /// Formats `flows` as a human-readable multi-line stuck-flow report.

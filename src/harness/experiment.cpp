@@ -8,12 +8,18 @@
 #include <string>
 
 #include "src/faults/injector.h"
+#include "src/harness/engine.h"
 #include "src/sim/sharded.h"
 #include "src/topology/failures.h"
 
 namespace peel {
 
 namespace {
+
+using detail::audit_message;
+using detail::make_summary;
+using detail::ShardedEngine;
+using detail::SoloEngine;
 
 /// Owning deep copy of a fabric, for scenarios that mutate the topology
 /// mid-run (dynamic faults). The caller's fabric is often shared by
@@ -37,114 +43,9 @@ struct FabricStore {
   }
 };
 
-// Uniform engine surface the scenario driver is templated over. Both
-// engines expose: the control-plane queue (submissions, fault timers,
-// recovery closures), the DataPlane the runner/injector talk to, the
-// run loop, clocks/counters, and telemetry access.
-
-/// Classic single-queue engine: one EventQueue, one Network.
-struct SoloEngine {
-  EventQueue queue;
-  Network net;
-
-  SoloEngine(const Topology& topo, const SimConfig& sim)
-      : net(topo, sim, queue) {}
-
-  [[nodiscard]] EventQueue& control() noexcept { return queue; }
-  [[nodiscard]] DataPlane& data() noexcept { return net; }
-  void run() { queue.run(); }
-  void run_until(SimTime t) { queue.run_until(t); }
-  [[nodiscard]] bool empty() const { return queue.empty(); }
-  [[nodiscard]] SimTime now() const { return queue.now(); }
-  [[nodiscard]] std::uint64_t events() const { return queue.processed(); }
-  [[nodiscard]] std::uint64_t segments_serialized() const {
-    return net.segments_serialized();
-  }
-  [[nodiscard]] std::uint64_t segments_lost() const {
-    return net.segments_lost();
-  }
-  [[nodiscard]] std::uint64_t pfc_pauses() const { return net.pfc_pauses(); }
-  [[nodiscard]] std::uint64_t segments_marked() const {
-    return net.segments_marked();
-  }
-  [[nodiscard]] Bytes reduce_sram_peak() const {
-    return net.reduce_sram_peak();
-  }
-  void reserve_series(std::size_t expected) {
-    if (Telemetry* telem = net.telemetry()) telem->reserve_series(expected);
-  }
-  /// Telemetry for audit/summary once the run has quiesced; null = disabled.
-  [[nodiscard]] const Telemetry* finished_telemetry() const {
-    return net.telemetry();
-  }
-};
-
-/// Pod-sharded parallel engine (src/sim/sharded.h).
-struct ShardedEngine {
-  ShardedNetwork net;
-
-  ShardedEngine(const Topology& topo, const SimConfig& sim, int threads)
-      : net(topo, sim, threads) {}
-
-  [[nodiscard]] EventQueue& control() noexcept { return net.control(); }
-  [[nodiscard]] DataPlane& data() noexcept { return net; }
-  void run() { net.run(); }
-  void run_until(SimTime t) { net.run_until(t); }
-  [[nodiscard]] bool empty() const { return net.empty(); }
-  [[nodiscard]] SimTime now() const { return net.now(); }
-  [[nodiscard]] std::uint64_t events() const { return net.events_processed(); }
-  [[nodiscard]] std::uint64_t segments_serialized() const {
-    return net.segments_serialized();
-  }
-  [[nodiscard]] std::uint64_t segments_lost() const {
-    return net.segments_lost();
-  }
-  [[nodiscard]] std::uint64_t pfc_pauses() const { return net.pfc_pauses(); }
-  [[nodiscard]] std::uint64_t segments_marked() const {
-    return net.segments_marked();
-  }
-  [[nodiscard]] Bytes reduce_sram_peak() const {
-    return net.reduce_sram_peak();
-  }
-  void reserve_series(std::size_t expected) {
-    if (net.telemetry_enabled()) net.reserve_series(expected);
-  }
-  [[nodiscard]] const Telemetry* finished_telemetry() const {
-    return net.merged_telemetry();
-  }
-};
-
-/// Joins audit violation lines into one exception message.
-std::string audit_message(const char* context,
-                          const std::vector<std::string>& violations) {
-  std::string msg = "byte-conservation audit failed (";
-  msg += context;
-  msg += "):";
-  for (const std::string& v : violations) {
-    msg += "\n  ";
-    msg += v;
-  }
-  return msg;
-}
-
-/// Builds the summary for ScenarioResult/SingleResult consumers, attaching
-/// flow lifetimes from collective records (the Network cannot know them).
-std::shared_ptr<const TelemetrySummary> make_summary(
-    const Telemetry& telem, const CollectiveRunner& runner, SimTime now) {
-  auto summary = std::make_shared<TelemetrySummary>(telem.summary(now));
-  summary->flows.reserve(runner.records().size());
-  for (const CollectiveRecord& record : runner.records()) {
-    FlowSpan f;
-    f.id = record.id;
-    f.name =
-        std::string(to_string(record.scheme)) + " #" + std::to_string(record.id);
-    f.begin = record.submit_time;
-    f.end = record.finished ? record.finish_time : now;
-    f.finished = record.finished;
-    summary->flows.push_back(std::move(f));
-  }
-  return summary;
-}
+// The engine adapters (SoloEngine / ShardedEngine) and the audit/summary
+// helpers moved to src/harness/engine.h so run_workload
+// (src/harness/workload.cpp) drives the same surfaces.
 
 template <typename Engine>
 ScenarioResult run_scenario_with(Engine& engine, const Fabric& fabric,
@@ -317,6 +218,7 @@ ScenarioResult run_scenario_with(Engine& engine, const Fabric& fabric,
   result.pfc_pauses = engine.pfc_pauses();
   result.ecn_marks = engine.segments_marked();
   result.reduce_sram_peak = engine.reduce_sram_peak();
+  result.reduce_sram_peak_max_domain = engine.reduce_sram_peak_max_domain();
   result.plan_cache = runner.plan_cache().stats();
   const DeltaApplyStats& deltas = runner.delta_stats();
   result.delta_applies = deltas.deltas;

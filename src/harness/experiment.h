@@ -128,9 +128,16 @@ struct ScenarioResult {
   std::uint64_t ecn_marks = 0;
   /// High-water mark of switch combining SRAM (in-network reduce streams
   /// only; 0 for every host-side scheme). Sharded runs report the sum of
-  /// per-domain peaks, an upper bound — not byte-compared across shard
-  /// counts.
+  /// per-domain peaks — an upper bound on fabric-wide demand (domains need
+  /// not peak at the same instant) — so this field is not byte-compared
+  /// across shard counts.
   Bytes reduce_sram_peak = 0;
+  /// Hottest single pod-domain's combining-SRAM peak — a lower bound on the
+  /// fabric-wide peak and the per-switch-budget-relevant figure. Equals
+  /// reduce_sram_peak on the solo engine (one fabric-wide gauge), so solo
+  /// and sharded cells are comparable on this field:
+  /// max_domain <= solo peak <= per-domain sum.
+  Bytes reduce_sram_peak_max_domain = 0;
   std::size_t unfinished = 0;     ///< collectives that never completed (bug if > 0)
   std::uint64_t fault_downs = 0;  ///< duplex pairs that went down mid-run
   std::uint64_t fault_ups = 0;    ///< duplex pairs repaired mid-run

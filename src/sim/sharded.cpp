@@ -460,6 +460,14 @@ Bytes ShardedNetwork::reduce_sram_peak() const {
   return n;
 }
 
+Bytes ShardedNetwork::reduce_sram_peak_max_domain() const {
+  Bytes peak = 0;
+  for (const auto& dom : domains_) {
+    peak = std::max(peak, dom->net->reduce_sram_peak());
+  }
+  return peak;
+}
+
 Bytes ShardedNetwork::max_queue_peak() const {
   Bytes peak = 0;
   for (const auto& dom : domains_) {

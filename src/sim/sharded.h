@@ -129,10 +129,19 @@ class ShardedNetwork final : public DataPlane {
   [[nodiscard]] Bytes max_queue_peak() const;
   /// Sum of per-domain combining-SRAM high-water marks. Combining state is
   /// domain-local (a combiner's arrivals and emits all run in its node's
-  /// domain), so each domain's gauge peaks independently; the sum bounds the
-  /// fabric-wide SRAM demand. Not shard-invariant — the solo engine's single
-  /// gauge can peak lower than the per-domain sum.
+  /// domain), so each domain's gauge peaks independently; the sum is an
+  /// UPPER BOUND on the fabric-wide SRAM demand — the domains need not peak
+  /// at the same instant, so the sum overstates what a single fabric-wide
+  /// gauge (the solo engine's reduce_sram_peak) would read. Not
+  /// shard-invariant. Use reduce_sram_peak_max_domain for a figure that is
+  /// comparable across engines.
   [[nodiscard]] Bytes reduce_sram_peak() const;
+  /// Largest single-domain combining-SRAM high-water mark — a LOWER BOUND on
+  /// the fabric-wide peak (the true peak is at least the hottest domain's).
+  /// This is the per-switch-budget-relevant figure: no individual switch ever
+  /// held more than its domain's gauge, so solo and sharded cells can be
+  /// compared on it (solo's single gauge lies in [max_domain, sum]).
+  [[nodiscard]] Bytes reduce_sram_peak_max_domain() const;
 
   // --- telemetry ----------------------------------------------------------
   [[nodiscard]] bool telemetry_enabled() const;

@@ -1,0 +1,115 @@
+#include "src/workload/arrivals.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace peel {
+
+const char* to_string(PlacementPolicy policy) noexcept {
+  switch (policy) {
+    case PlacementPolicy::BinPacked: return "BinPacked";
+    case PlacementPolicy::Fragmented: return "Fragmented";
+    case PlacementPolicy::BuddyAligned: return "BuddyAligned";
+  }
+  return "?";
+}
+
+PlacementOptions placement_for(PlacementPolicy policy, int group_size,
+                               double fragmentation) {
+  PlacementOptions p;
+  p.group_size = group_size;
+  p.host_aligned = true;
+  switch (policy) {
+    case PlacementPolicy::BinPacked:
+      break;
+    case PlacementPolicy::Fragmented:
+      p.fragmentation = fragmentation;
+      break;
+    case PlacementPolicy::BuddyAligned:
+      p.buddy_aligned = true;
+      break;
+  }
+  return p;
+}
+
+std::vector<JobSpec> generate_arrivals(const ArrivalOptions& options,
+                                       Rng& rng) {
+  if (options.group_sizes.empty()) {
+    throw std::invalid_argument("generate_arrivals: empty group_sizes");
+  }
+  if (options.fragmented_share < 0.0 || options.buddy_share < 0.0 ||
+      options.fragmented_share + options.buddy_share > 1.0) {
+    throw std::invalid_argument("generate_arrivals: bad policy shares");
+  }
+  if (options.iterations < 1) {
+    throw std::invalid_argument("generate_arrivals: iterations must be >= 1");
+  }
+
+  std::vector<SimTime> arrivals;
+  if (!options.trace_seconds.empty()) {
+    arrivals.reserve(options.trace_seconds.size());
+    for (double s : options.trace_seconds) {
+      if (s < 0.0) {
+        throw std::invalid_argument("generate_arrivals: negative trace time");
+      }
+      arrivals.push_back(seconds_to_sim(s));
+    }
+    std::sort(arrivals.begin(), arrivals.end());
+  } else {
+    if (options.rate_per_second <= 0.0) {
+      throw std::invalid_argument(
+          "generate_arrivals: rate_per_second must be > 0 without a trace");
+    }
+    if (options.jobs < 1) {
+      throw std::invalid_argument("generate_arrivals: jobs must be >= 1");
+    }
+    const double mean_gap_ns = 1e9 / options.rate_per_second;
+    arrivals.reserve(static_cast<std::size_t>(options.jobs));
+    SimTime t = 0;
+    for (int i = 0; i < options.jobs; ++i) {
+      t += static_cast<SimTime>(rng.exponential(mean_gap_ns));
+      arrivals.push_back(t);
+    }
+  }
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(arrivals.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    JobSpec spec;
+    spec.job = static_cast<std::uint64_t>(i) + 1;
+    spec.arrival = arrivals[i];
+    // One uniform draw in [0,1) splits into the three policy shares.
+    const double u =
+        static_cast<double>(rng.next_below(1u << 30)) / static_cast<double>(1u << 30);
+    if (u < options.fragmented_share) {
+      spec.policy = PlacementPolicy::Fragmented;
+    } else if (u < options.fragmented_share + options.buddy_share) {
+      spec.policy = PlacementPolicy::BuddyAligned;
+    } else {
+      spec.policy = PlacementPolicy::BinPacked;
+    }
+    spec.group_size = options.group_sizes[static_cast<std::size_t>(
+        rng.next_below(options.group_sizes.size()))];
+    spec.message_bytes = options.message_bytes;
+    spec.iterations = options.iterations;
+    spec.iteration_gap = seconds_to_sim(options.iteration_gap_seconds);
+    spec.hold = seconds_to_sim(options.hold_seconds);
+    jobs.push_back(spec);
+  }
+  return jobs;
+}
+
+double job_rate_for_load(const Fabric& fabric, double offered_load,
+                         Bytes message_bytes, int group_size, int iterations,
+                         double fragmentation) {
+  if (iterations < 1) {
+    throw std::invalid_argument("job_rate_for_load: iterations must be >= 1");
+  }
+  // A job is `iterations` collectives; dividing the collective rate by the
+  // per-job count keeps the byte flux at the offered load.
+  return arrival_rate_for_load(fabric, offered_load, message_bytes, group_size,
+                               fragmentation) /
+         static_cast<double>(iterations);
+}
+
+}  // namespace peel

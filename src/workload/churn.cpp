@@ -1,0 +1,48 @@
+#include "src/workload/churn.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace peel {
+
+int churn_group(const Fabric& fabric, std::vector<NodeId>& members,
+                NodeId keep, double replace_fraction, Rng& rng) {
+  if (replace_fraction <= 0.0 || members.empty()) return 0;
+  if (replace_fraction > 1.0) {
+    throw std::invalid_argument("churn_group: replace_fraction > 1");
+  }
+  const auto& endpoints = fabric.endpoints();
+  const auto n = static_cast<std::uint64_t>(endpoints.size());
+
+  std::unordered_set<NodeId> in_group(members.begin(), members.end());
+  in_group.insert(keep);
+  // No spare endpoints to pull in — a full-fabric group cannot churn.
+  if (in_group.size() >= endpoints.size()) return 0;
+
+  const int want = std::max<int>(
+      1, static_cast<int>(std::ceil(replace_fraction *
+                                    static_cast<double>(members.size()))));
+  int replaced = 0;
+  for (int i = 0; i < want; ++i) {
+    const auto victim = static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(members.size())));
+    // Same bounded rejection loop as select_local_group's displacement: the
+    // group is a vanishing fraction of the fabric in the regimes that
+    // matter, so 64 draws practically always find an outsider; when they
+    // don't, this event replaces fewer members than requested.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const NodeId candidate =
+          endpoints[static_cast<std::size_t>(rng.next_below(n))];
+      if (in_group.contains(candidate)) continue;
+      in_group.erase(members[victim]);
+      members[victim] = candidate;
+      in_group.insert(candidate);
+      ++replaced;
+      break;
+    }
+  }
+  return replaced;
+}
+
+}  // namespace peel

@@ -1,0 +1,43 @@
+// Group-membership churn for the multi-tenant workload engine
+// (docs/workload.md).
+//
+// Cloud multicast's hard problem is not the steady state but the churn rate:
+// tenants join and leave groups continuously, and every membership change
+// forces a per-group-state scheme (IP multicast, Orca) through the controller
+// and into switch tables again, while PEEL's k-1 static prefix rules need no
+// update at all (§5; Elmo/Bert in PAPERS.md measure exactly this pressure).
+// churn_group models one membership-change event: a fraction of a job's
+// members leave and are replaced by endpoints elsewhere on the fabric.
+#pragma once
+
+#include <vector>
+
+#include "src/collectives/fabric.h"
+#include "src/common/rng.h"
+
+namespace peel {
+
+struct ChurnOptions {
+  /// Membership-change events over a job's lifetime, spread evenly across
+  /// its iterations (0 = static membership).
+  int events_per_job = 0;
+  /// Fraction of the member set replaced per event (at least one member
+  /// when > 0).
+  double replace_fraction = 0.25;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return events_per_job > 0 && replace_fraction > 0.0;
+  }
+};
+
+/// One churn event: replaces ceil(replace_fraction * members.size()) members
+/// of `members` (in place) with uniformly random endpoints that are outside
+/// the current group and distinct from `keep` (the job's source, which never
+/// churns — it owns the collective). Returns the number of members actually
+/// replaced (less than requested only when the fabric has no spare
+/// endpoints). The relative order of surviving members is preserved, so the
+/// resulting destination list stays deterministic.
+int churn_group(const Fabric& fabric, std::vector<NodeId>& members,
+                NodeId keep, double replace_fraction, Rng& rng);
+
+}  // namespace peel

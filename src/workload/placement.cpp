@@ -70,17 +70,28 @@ GroupSelection select_local_group(const Fabric& fabric,
 }
 
 double arrival_rate_for_load(const Fabric& fabric, double offered_load,
-                             Bytes message_bytes, int group_size) {
+                             Bytes message_bytes, int group_size,
+                             double fragmentation) {
   if (offered_load <= 0.0 || message_bytes <= 0 || group_size < 2) {
     throw std::invalid_argument("arrival_rate_for_load: bad arguments");
+  }
+  if (fragmentation < 0.0 || fragmentation > 1.0) {
+    throw std::invalid_argument("arrival_rate_for_load: bad fragmentation");
   }
   const auto& endpoints = fabric.endpoints();
   const int per_host = std::max<int>(
       1, static_cast<int>(endpoints.size()) /
              std::max<int>(1, static_cast<int>(fabric.hosts().size())));
   // Hosts a group touches; every one receives the full message once over its
-  // access link under optimal multicast.
-  const int group_hosts = (group_size + per_host - 1) / per_host;
+  // access link under optimal multicast. The contiguous window packs
+  // (group_size - displaced) members densely; each displaced member
+  // (select_local_group's int(fragmentation * g)) is charged its own host —
+  // an upper bound, see the header.
+  const int displaced = static_cast<int>(fragmentation * group_size);
+  const int packed = group_size - displaced;
+  const int group_hosts = std::min<int>(
+      static_cast<int>(fabric.hosts().size()),
+      (packed + per_host - 1) / per_host + displaced);
 
   // Total access-link delivery capacity in bytes/second.
   const Topology& topo = fabric.topo();

@@ -50,7 +50,23 @@ struct PlacementOptions {
 /// multicast.  Capacity is accounted on host access links — the resource
 /// every scheme must cross — so the same load setting is comparable across
 /// schemes (paper §4 fixes it at 30%).
+///
+/// The host count a group touches assumes contiguous (bin-packed) placement:
+/// ceil(group_size / endpoints_per_host) hosts, each receiving the message
+/// once over its access link.  A fragmented placement displaces members onto
+/// hosts of their own, so the same group crosses MORE access links and the
+/// true load at a given rate is higher than the contiguous model predicts.
+/// Pass the placement's `fragmentation` to account for that: each displaced
+/// member is charged a whole extra host (an upper bound — two displaced
+/// members sharing a victim host is possible but rare on large fabrics),
+/// which keeps the offered-load knob comparable between contiguous and
+/// fragmented scenario cells.  The default 0.0 preserves the historical
+/// contiguous accounting (and the committed figure CSVs): cross-SCHEME
+/// comparability at fixed fragmentation was never affected — every scheme in
+/// a cell shares one rate — only the load calibration across fragmentation
+/// levels was.
 [[nodiscard]] double arrival_rate_for_load(const Fabric& fabric, double offered_load,
-                                           Bytes message_bytes, int group_size);
+                                           Bytes message_bytes, int group_size,
+                                           double fragmentation = 0.0);
 
 }  // namespace peel

@@ -1,6 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
 #include "src/baselines/group_table.h"
+#include "src/common/rng.h"
 #include "src/steiner/symmetric.h"
 #include "src/topology/fat_tree.h"
 
@@ -60,6 +67,80 @@ TEST_F(GroupTableFixture, RemoveFreesEntries) {
   EXPECT_EQ(tcam.groups_installed(), 0u);
   EXPECT_TRUE(tcam.install(2, tree_for(0, 4, 1)));
   tcam.remove(99);  // unknown group: no-op
+}
+
+// Fuzz: random install/remove interleavings against a shadow model that
+// re-derives each tree's switch set independently. Guards the two-pass
+// check-then-commit invariant — a rejected install must leave every switch's
+// occupancy untouched, and removes must free exactly what the matching
+// install charged, under arbitrary interleaving.
+TEST_F(GroupTableFixture, FuzzInstallRemoveInterleavingMatchesShadowModel) {
+  const auto switches_of = [&](const MulticastTree& tree) {
+    std::unordered_set<NodeId> sws;
+    for (LinkId l : tree.links()) {
+      const NodeId src = ft.topo.link(l).src;
+      if (is_switch(ft.topo.kind(src))) sws.insert(src);
+    }
+    return sws;
+  };
+
+  for (const std::size_t capacity : {1u, 2u, 4u}) {
+    MulticastGroupTable tcam(ft.topo, capacity);
+    std::unordered_map<std::uint64_t, std::unordered_set<NodeId>> live;
+    std::unordered_map<NodeId, std::size_t> shadow_occupancy;
+    Rng rng(0xf022 + capacity);
+    std::uint64_t next_group = 1;
+    std::vector<std::uint64_t> live_ids;
+
+    for (int step = 0; step < 600; ++step) {
+      const bool do_remove = !live_ids.empty() && rng.next_below(3) == 0;
+      if (do_remove) {
+        const std::size_t pick = rng.next_below(live_ids.size());
+        const std::uint64_t id = live_ids[pick];
+        tcam.remove(id);
+        for (NodeId sw : live.at(id)) --shadow_occupancy[sw];
+        live.erase(id);
+        live_ids[pick] = live_ids.back();
+        live_ids.pop_back();
+      } else {
+        const std::size_t first = rng.next_below(12);
+        const std::size_t count = 2 + rng.next_below(ft.hosts.size() - first - 1);
+        const MulticastTree tree = tree_for(first, count, rng.next_below(64));
+        const std::unordered_set<NodeId> sws = switches_of(tree);
+        const bool should_admit = std::ranges::all_of(sws, [&](NodeId sw) {
+          const auto it = shadow_occupancy.find(sw);
+          return (it == shadow_occupancy.end() ? 0 : it->second) < capacity;
+        });
+        const std::uint64_t id = next_group++;
+        const bool admitted = tcam.install(id, tree);
+        ASSERT_EQ(admitted, should_admit)
+            << "capacity=" << capacity << " step=" << step;
+        if (admitted) {
+          for (NodeId sw : sws) ++shadow_occupancy[sw];
+          live.emplace(id, sws);
+          live_ids.push_back(id);
+        }
+      }
+
+      // Full-state comparison after every transaction.
+      ASSERT_EQ(tcam.groups_installed(), live.size());
+      std::size_t shadow_total = 0, shadow_max = 0;
+      for (const auto& [sw, n] : shadow_occupancy) {
+        ASSERT_EQ(tcam.entries_at(sw), n) << "switch " << sw;
+        ASSERT_LE(n, capacity);
+        shadow_total += n;
+        shadow_max = std::max(shadow_max, n);
+      }
+      ASSERT_EQ(tcam.total_entries(), shadow_total);
+      ASSERT_EQ(tcam.max_occupancy(), shadow_max);
+    }
+
+    // Drain everything: the table must return to empty.
+    for (const std::uint64_t id : live_ids) tcam.remove(id);
+    EXPECT_EQ(tcam.groups_installed(), 0u);
+    EXPECT_EQ(tcam.total_entries(), 0u);
+    EXPECT_EQ(tcam.max_occupancy(), 0u);
+  }
 }
 
 TEST_F(GroupTableFixture, DisjointGroupsDoNotContend) {

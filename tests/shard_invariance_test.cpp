@@ -139,7 +139,9 @@ TEST(ShardInvariance, AllCollectiveKindsAuditCleanAcrossShardCounts) {
 // worker count and drain audit-clean — a divergence means combining state
 // leaked across a shard boundary. reduce_sram_peak is deliberately NOT
 // compared: the sharded engine sums per-domain peaks (an upper bound on the
-// global peak), so only its positivity is invariant.
+// global peak), so only its positivity is invariant. The companion
+// reduce_sram_peak_max_domain (hottest single domain — a lower bound and the
+// per-switch-budget figure) must bracket the bound the other way.
 TEST(ShardInvariance, InNetAllReduceByteIdenticalAcrossShardCounts) {
   const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 4});
   const Fabric fabric = Fabric::of(ft);
@@ -167,7 +169,19 @@ TEST(ShardInvariance, InNetAllReduceByteIdenticalAcrossShardCounts) {
   for (int i = 0; i < 3; ++i) {
     EXPECT_GT(results[i].reduce_sram_peak, 0u)
         << "switch combining never ran at shards=" << shard_counts[i];
+    // max-domain <= sum-of-domains, always.
+    EXPECT_GT(results[i].reduce_sram_peak_max_domain, 0u);
+    EXPECT_LE(results[i].reduce_sram_peak_max_domain,
+              results[i].reduce_sram_peak)
+        << "shards=" << shard_counts[i];
   }
+
+  // The solo engine keeps one fabric-wide gauge, so both figures coincide
+  // there — solo cells stay comparable to sharded max_domain by definition.
+  config.shards = 0;
+  const ScenarioResult solo = run_scenario(fabric, config);
+  EXPECT_GT(solo.reduce_sram_peak, 0u);
+  EXPECT_EQ(solo.reduce_sram_peak_max_domain, solo.reduce_sram_peak);
 }
 
 // Outages on cross-shard links: on the leaf-spine fabric every spine sits in

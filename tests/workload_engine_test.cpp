@@ -1,0 +1,329 @@
+// Multi-tenant continuous-traffic engine tests (src/harness/workload.h).
+//
+// Tier-1 cases pin the determinism contract on a small fabric:
+//   - same (config, seed) twice  -> byte-identical results,
+//   - shards 2 vs 8              -> byte-identical results (PR 7 guarantee),
+//   - shards 0 vs 2              -> identical *control plane* (admissions,
+//     TCAM series, controller updates, placements); CCT may differ because
+//     the solo engine replays wire delays differently,
+// plus the admission story (PEEL admits every job while Optimal overflows a
+// small table and degrades to Ring), closed-loop chaining, drop-without-
+// fallback accounting, and an InNet AllReduce churn run with the byte audit
+// (and thus the reduction-audit ledger) armed.
+//
+// WorkloadEngineSlow.* is the paper-scale acceptance run: a k=16 fat tree,
+// >= 1000 arriving jobs with churn, byte audit + watchdog on, showing
+// admission failures grow with group concurrency while PEEL admits all.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "src/harness/workload.h"
+#include "src/collectives/fabric.h"
+#include "src/topology/fat_tree.h"
+
+namespace peel {
+namespace {
+
+WorkloadConfig small_config() {
+  WorkloadConfig config;
+  config.arrivals.jobs = 40;
+  config.arrivals.rate_per_second = 20'000.0;
+  config.arrivals.group_sizes = {4, 8};
+  config.arrivals.message_bytes = 256 * 1024;
+  config.arrivals.iterations = 3;
+  config.arrivals.iteration_gap_seconds = 200e-6;
+  config.arrivals.fragmented_share = 0.25;
+  config.arrivals.buddy_share = 0.25;
+  config.churn.events_per_job = 1;
+  config.seed = 7;
+  config.byte_audit = true;
+  config.watchdog = true;
+  return config;
+}
+
+/// Control-plane fields only — the part the determinism contract promises is
+/// identical across engines (solo vs sharded) and thread counts.
+void expect_same_control_plane(const WorkloadResult& a,
+                               const WorkloadResult& b) {
+  EXPECT_EQ(a.jobs_submitted, b.jobs_submitted);
+  EXPECT_EQ(a.jobs_admitted, b.jobs_admitted);
+  EXPECT_EQ(a.jobs_fell_back, b.jobs_fell_back);
+  EXPECT_EQ(a.jobs_rejected, b.jobs_rejected);
+  EXPECT_EQ(a.admission_failures, b.admission_failures);
+  EXPECT_EQ(a.controller_updates, b.controller_updates);
+  EXPECT_EQ(a.group_installs, b.group_installs);
+  EXPECT_EQ(a.group_removes, b.group_removes);
+  EXPECT_EQ(a.churn_events, b.churn_events);
+  EXPECT_EQ(a.static_rules_per_switch, b.static_rules_per_switch);
+  EXPECT_EQ(a.tcam_peak_groups, b.tcam_peak_groups);
+  EXPECT_EQ(a.tcam_peak_occupancy, b.tcam_peak_occupancy);
+  EXPECT_EQ(a.tcam_peak_entries, b.tcam_peak_entries);
+  ASSERT_EQ(a.tcam_series.size(), b.tcam_series.size());
+  for (std::size_t i = 0; i < a.tcam_series.size(); ++i) {
+    EXPECT_EQ(a.tcam_series[i].seconds, b.tcam_series[i].seconds) << i;
+    EXPECT_EQ(a.tcam_series[i].groups, b.tcam_series[i].groups) << i;
+    EXPECT_EQ(a.tcam_series[i].total_entries, b.tcam_series[i].total_entries)
+        << i;
+    EXPECT_EQ(a.tcam_series[i].max_occupancy, b.tcam_series[i].max_occupancy)
+        << i;
+    EXPECT_EQ(a.tcam_series[i].admission_failures,
+              b.tcam_series[i].admission_failures)
+        << i;
+  }
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].job, b.jobs[i].job);
+    EXPECT_EQ(a.jobs[i].policy, b.jobs[i].policy) << i;
+    EXPECT_EQ(a.jobs[i].scheme, b.jobs[i].scheme) << i;
+    EXPECT_EQ(a.jobs[i].group_size, b.jobs[i].group_size) << i;
+    EXPECT_EQ(a.jobs[i].arrival_seconds, b.jobs[i].arrival_seconds) << i;
+    EXPECT_EQ(a.jobs[i].admitted, b.jobs[i].admitted) << i;
+    EXPECT_EQ(a.jobs[i].fell_back, b.jobs[i].fell_back) << i;
+    EXPECT_EQ(a.jobs[i].rejected, b.jobs[i].rejected) << i;
+    EXPECT_EQ(a.jobs[i].churn_events, b.jobs[i].churn_events) << i;
+  }
+}
+
+/// Data-plane fields on top — byte-identical only across two runs of the
+/// same engine kind (or two positive shard counts).
+void expect_same_everything(const WorkloadResult& a, const WorkloadResult& b) {
+  expect_same_control_plane(a, b);
+  ASSERT_EQ(a.cct_seconds.count(), b.cct_seconds.count());
+  const std::vector<double>& av = a.cct_seconds.values();
+  const std::vector<double>& bv = b.cct_seconds.values();
+  for (std::size_t i = 0; i < av.size(); ++i) EXPECT_EQ(av[i], bv[i]) << i;
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].iterations_finished, b.jobs[i].iterations_finished);
+    EXPECT_EQ(a.jobs[i].mean_cct_seconds, b.jobs[i].mean_cct_seconds) << i;
+  }
+  EXPECT_EQ(a.sim.fabric_bytes, b.sim.fabric_bytes);
+  EXPECT_EQ(a.sim.core_bytes, b.sim.core_bytes);
+  EXPECT_EQ(a.sim.events, b.sim.events);
+  EXPECT_EQ(a.sim.segments, b.sim.segments);
+  EXPECT_EQ(a.sim.sim_seconds, b.sim.sim_seconds);
+}
+
+TEST(WorkloadEngine, RepeatRunIsByteIdentical) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 4});
+  const Fabric fabric = Fabric::of(ft);
+  const WorkloadConfig config = small_config();
+  const WorkloadResult a = run_workload(fabric, config);
+  const WorkloadResult b = run_workload(fabric, config);
+  expect_same_everything(a, b);
+  EXPECT_EQ(a.sim.unfinished, 0u);
+  EXPECT_GT(a.cct_seconds.count(), 0u);
+}
+
+TEST(WorkloadEngine, PositiveShardCountsAreByteIdentical) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{8, 4, 4});
+  const Fabric fabric = Fabric::of(ft);
+  WorkloadConfig config = small_config();
+  config.arrivals.group_sizes = {8, 16};
+  config.shards = 2;
+  const WorkloadResult two = run_workload(fabric, config);
+  config.shards = 8;
+  const WorkloadResult eight = run_workload(fabric, config);
+  expect_same_everything(two, eight);
+  EXPECT_EQ(two.sim.unfinished, 0u);
+}
+
+TEST(WorkloadEngine, ControlPlaneMatchesAcrossSoloAndShardedEngines) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{8, 4, 4});
+  const Fabric fabric = Fabric::of(ft);
+  // Group-state scheme with a tight table: the hard case, where admission
+  // decisions and churn re-installs must interleave identically.
+  WorkloadConfig config = small_config();
+  config.scheme = Scheme::Optimal;
+  config.table_capacity = 6;
+  config.arrivals.group_sizes = {8, 16};
+  config.arrivals.hold_seconds = 500e-6;  // overlap lifetimes
+  config.shards = 0;
+  const WorkloadResult solo = run_workload(fabric, config);
+  config.shards = 2;
+  const WorkloadResult sharded = run_workload(fabric, config);
+  expect_same_control_plane(solo, sharded);
+  // Both ran every collective to completion, whatever the engine.
+  EXPECT_EQ(solo.sim.unfinished, 0u);
+  EXPECT_EQ(sharded.sim.unfinished, 0u);
+  EXPECT_EQ(solo.cct_seconds.count(), sharded.cct_seconds.count());
+}
+
+TEST(WorkloadEngine, PeelAdmitsEveryJobWithZeroControllerTraffic) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 4});
+  const Fabric fabric = Fabric::of(ft);
+  WorkloadConfig config = small_config();
+  config.scheme = Scheme::Peel;
+  config.table_capacity = 1;  // irrelevant for PEEL: no per-group state
+  const WorkloadResult r = run_workload(fabric, config);
+  EXPECT_EQ(r.jobs_admitted, r.jobs_submitted);
+  EXPECT_EQ(r.jobs_fell_back, 0u);
+  EXPECT_EQ(r.jobs_rejected, 0u);
+  EXPECT_EQ(r.admission_failures, 0u);
+  EXPECT_EQ(r.controller_updates, 0u);
+  EXPECT_EQ(r.tcam_peak_entries, 0u);
+  // k-1 static rules on a k-ary fat tree.
+  EXPECT_EQ(r.static_rules_per_switch, 3u);
+  // The series still timestamps the lifecycle (flat all-zero line).
+  EXPECT_GE(r.tcam_series.size(), 2 * r.jobs_submitted);
+}
+
+TEST(WorkloadEngine, OptimalOverflowsSmallTableAndFallsBackToRing) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 4});
+  const Fabric fabric = Fabric::of(ft);
+  WorkloadConfig config = small_config();
+  config.scheme = Scheme::Optimal;
+  config.table_capacity = 2;
+  config.arrivals.hold_seconds = 2e-3;  // keep groups resident -> contention
+  const WorkloadResult r = run_workload(fabric, config);
+  EXPECT_GT(r.admission_failures, 0u);
+  EXPECT_GT(r.jobs_fell_back, 0u);
+  EXPECT_EQ(r.jobs_rejected, 0u);  // fallback, not drop
+  EXPECT_EQ(r.jobs_admitted + r.jobs_fell_back, r.jobs_submitted);
+  EXPECT_GT(r.controller_updates, 0u);
+  EXPECT_GT(r.controller_update_rate_hz, 0.0);
+  EXPECT_LE(r.tcam_peak_occupancy, 2u);  // capacity is a hard per-switch cap
+  // Every job still finished its iterations (degraded service, not loss).
+  EXPECT_EQ(r.sim.unfinished, 0u);
+  for (const JobOutcome& job : r.jobs) {
+    EXPECT_GT(job.iterations_finished, 0) << "job " << job.job;
+  }
+}
+
+TEST(WorkloadEngine, DropWithoutFallbackRejectsJobs) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 4});
+  const Fabric fabric = Fabric::of(ft);
+  WorkloadConfig config = small_config();
+  config.scheme = Scheme::Optimal;
+  config.table_capacity = 2;
+  config.ring_fallback = false;
+  config.churn.events_per_job = 0;  // rejects happen at arrival only
+  config.arrivals.hold_seconds = 2e-3;
+  const WorkloadResult r = run_workload(fabric, config);
+  EXPECT_GT(r.jobs_rejected, 0u);
+  EXPECT_EQ(r.jobs_fell_back, 0u);
+  EXPECT_EQ(r.jobs_admitted + r.jobs_rejected, r.jobs_submitted);
+  // Rejected jobs never submit, so every record that exists finished.
+  EXPECT_EQ(r.sim.unfinished, 0u);
+  for (const JobOutcome& job : r.jobs) {
+    if (job.rejected) {
+      EXPECT_EQ(job.iterations_finished, 0);
+    }
+  }
+}
+
+TEST(WorkloadEngine, ClosedLoopRunsEveryIteration) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 4});
+  const Fabric fabric = Fabric::of(ft);
+  WorkloadConfig config = small_config();
+  config.closed_loop = true;
+  config.arrivals.jobs = 12;
+  const WorkloadResult r = run_workload(fabric, config);
+  EXPECT_EQ(r.sim.unfinished, 0u);
+  EXPECT_EQ(r.cct_seconds.count(),
+            static_cast<std::size_t>(12 * config.arrivals.iterations));
+  for (const JobOutcome& job : r.jobs) {
+    EXPECT_EQ(job.iterations_finished, config.arrivals.iterations);
+    EXPECT_GT(job.mean_cct_seconds, 0.0);
+  }
+}
+
+// Churned InNet AllReduce with the byte audit armed: the audit forces
+// telemetry on, and at a clean drain checks full conservation — including
+// the in-network reduction ledger (every combined byte accounted). This is
+// the regression gate for churn interacting with switch-resident state.
+TEST(WorkloadEngine, InNetChurnWorkloadPassesByteAuditAndLedger) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 4});
+  const Fabric fabric = Fabric::of(ft);
+  WorkloadConfig config = small_config();
+  config.scheme = Scheme::InNet;
+  config.collective = CollectiveKind::AllReduce;
+  config.arrivals.jobs = 16;
+  config.arrivals.group_sizes = {4, 8};
+  config.churn.events_per_job = 2;
+  const WorkloadResult r = run_workload(fabric, config);
+  EXPECT_EQ(r.sim.unfinished, 0u);
+  EXPECT_GT(r.churn_events, 0u);
+  EXPECT_GT(r.sim.reduce_sram_peak, 0u);
+  EXPECT_GE(r.sim.reduce_sram_peak, r.sim.reduce_sram_peak_max_domain);
+  ASSERT_NE(r.sim.telemetry, nullptr);
+}
+
+TEST(WorkloadEngine, RejectsUnsupportedSchemeCollectiveCombos) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 4});
+  const Fabric fabric = Fabric::of(ft);
+  WorkloadConfig config = small_config();
+  config.scheme = Scheme::InNet;
+  config.collective = CollectiveKind::Broadcast;
+  EXPECT_THROW((void)run_workload(fabric, config), std::invalid_argument);
+  config.scheme = Scheme::Orca;
+  config.collective = CollectiveKind::AllReduce;
+  EXPECT_THROW((void)run_workload(fabric, config), std::invalid_argument);
+  config.scheme = Scheme::BinaryTree;
+  config.collective = CollectiveKind::AllGather;
+  EXPECT_THROW((void)run_workload(fabric, config), std::invalid_argument);
+}
+
+// --- acceptance run (slow label) ------------------------------------------
+//
+// k=16 fat tree, >= 1000 Poisson job arrivals with churn, byte audit +
+// watchdog armed. PEEL admits every job with zero controller traffic and
+// k-1 = 15 static rules; Optimal on the same arrival process overflows a
+// bounded table, and its failures grow as group lifetimes (concurrency)
+// grow.
+TEST(WorkloadEngineSlow, PaperScaleTenancyPressure) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{16, 8, 8});
+  const Fabric fabric = Fabric::of(ft);
+
+  WorkloadConfig config;
+  config.arrivals.jobs = 1000;
+  config.arrivals.rate_per_second =
+      job_rate_for_load(fabric, 0.20, 512 * 1024, 16, 2);
+  config.arrivals.group_sizes = {8, 16, 32};
+  config.arrivals.message_bytes = 512 * 1024;
+  config.arrivals.iterations = 2;
+  config.arrivals.iteration_gap_seconds = 100e-6;
+  config.arrivals.fragmented_share = 0.25;
+  config.arrivals.buddy_share = 0.5;
+  config.churn.events_per_job = 1;
+  config.seed = 20260809;
+  config.shards = 8;
+  config.byte_audit = true;
+  config.watchdog = true;
+
+  // PEEL: every job admitted, zero controller transactions, 15 static rules.
+  config.scheme = Scheme::Peel;
+  const WorkloadResult peel = run_workload(fabric, config);
+  EXPECT_EQ(peel.jobs_submitted, 1000u);
+  EXPECT_EQ(peel.jobs_admitted, 1000u);
+  EXPECT_EQ(peel.admission_failures, 0u);
+  EXPECT_EQ(peel.controller_updates, 0u);
+  EXPECT_EQ(peel.static_rules_per_switch, 15u);  // k-1 at k=16
+  EXPECT_GT(peel.churn_events, 0u);
+  EXPECT_EQ(peel.sim.unfinished, 0u);
+  EXPECT_EQ(peel.cct_seconds.count(), 2000u);
+  EXPECT_GT(peel.job_mean_cct_seconds.count(), 0u);
+  EXPECT_FALSE(peel.tcam_series.empty());
+
+  // Optimal with a bounded table: failures appear, and grow with group
+  // concurrency (longer hold -> more groups resident at once).
+  config.scheme = Scheme::Optimal;
+  config.table_capacity = 24;
+  config.arrivals.hold_seconds = 200e-6;
+  const WorkloadResult short_hold = run_workload(fabric, config);
+  config.arrivals.hold_seconds = 5e-3;
+  const WorkloadResult long_hold = run_workload(fabric, config);
+  EXPECT_GT(long_hold.admission_failures, 0u);
+  EXPECT_GE(long_hold.admission_failures, short_hold.admission_failures);
+  EXPECT_GT(long_hold.tcam_peak_groups, 0u);
+  EXPECT_LE(long_hold.tcam_peak_occupancy, 24u);
+  EXPECT_GT(long_hold.controller_update_rate_hz, 0.0);
+  EXPECT_EQ(long_hold.sim.unfinished, 0u);
+  // Fallback keeps the work flowing: every job still runs.
+  EXPECT_EQ(long_hold.jobs_admitted + long_hold.jobs_fell_back, 1000u);
+}
+
+}  // namespace
+}  // namespace peel
