@@ -10,6 +10,12 @@
 // compare data-plane throughput on the same workload. The reference cell for
 // speedup tracking is the k=16 Broadcast without faults.
 //
+// Schema v5 keys every cell by `fidelity` (packet | flow) and adds a
+// `flow_fidelity` section: the reference cell re-run under the flow-level
+// engine (events reduction vs packet is the headline number, >= 20x
+// expected at the 8 MiB grid message) plus a k=32 fat-tree 1000-job
+// multi-tenant tenancy sweep that is only tractable under flow fidelity.
+//
 // `perf_suite --microbench` runs only the component microbenches (fast, no
 // JSON) — the quick perf leg of scripts/check.sh.
 //
@@ -214,6 +220,95 @@ struct WorkloadCellResult {
     cells.push_back(std::move(cell));
   }
   return cells;
+}
+
+// ---------------------------------------------------------------------------
+// Flow-fidelity cells (schema v5): the reference grid cell under both
+// engines — same trees, same chunks, so byte totals match exactly and the
+// events column shows the fluid model's discount — plus the k=32 tenancy
+// sweep the packet engine cannot finish in bench-budget wall time.
+// ---------------------------------------------------------------------------
+
+struct FlowFidelityResults {
+  double packet_wall = 0.0;
+  double flow_wall = 0.0;
+  ScenarioResult packet;
+  ScenarioResult flow;
+  int tenancy_jobs = 0;
+  double tenancy_wall = 0.0;
+  WorkloadResult tenancy;
+};
+
+[[nodiscard]] FlowFidelityResults run_flow_fidelity_cells(int samples) {
+  FlowFidelityResults out;
+  const FatTree ft = build_fat_tree(FatTreeConfig{16, 8, 8});
+  const Fabric fabric = Fabric::of(ft);
+  ScenarioConfig config = perf_cell_config(Scheme::Peel,
+                                           CollectiveKind::Broadcast,
+                                           /*faults=*/false, samples);
+  for (const Fidelity fidelity : {Fidelity::Packet, Fidelity::Flow}) {
+    config.fidelity = fidelity;
+    run_scenario(fabric, config);  // unmeasured warmup, as in the grid
+    const auto start = std::chrono::steady_clock::now();
+    ScenarioResult r = run_scenario(fabric, config);
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - start;
+    std::printf("  fidelity=%-6s %8.2fs wall  %12llu events  %9.0f events/s\n",
+                to_string(fidelity), wall.count(),
+                static_cast<unsigned long long>(r.events),
+                static_cast<double>(r.events) / wall.count());
+    if (fidelity == Fidelity::Packet) {
+      out.packet_wall = wall.count();
+      out.packet = std::move(r);
+    } else {
+      out.flow_wall = wall.count();
+      out.flow = std::move(r);
+    }
+  }
+  const double reduction =
+      out.flow.events > 0
+          ? static_cast<double>(out.packet.events) /
+                static_cast<double>(out.flow.events)
+          : 0.0;
+  std::printf("  events reduction: %.1fx%s\n", reduction,
+              reduction < 20.0 ? "  (WARNING: below the 20x target)" : "");
+
+  // k=32 tenancy sweep: 1000 jobs (quick: 100) on a 512-endpoint fat-tree.
+  // Lean per-ToR fan-out keeps the exercise on the pod/core tiers.
+  FatTreeConfig big;
+  big.k = 32;
+  big.hosts_per_tor = 1;
+  big.gpus_per_host = 1;
+  const FatTree ft32 = build_fat_tree(big);
+  const Fabric fabric32 = Fabric::of(ft32);
+  WorkloadConfig wc;
+  wc.scheme = Scheme::Peel;
+  wc.fidelity = Fidelity::Flow;
+  wc.arrivals.jobs = bench::samples_override(1000, 100);
+  wc.arrivals.message_bytes = 512 * kKiB;
+  wc.arrivals.group_sizes = {8, 16, 32};
+  wc.arrivals.iterations = 2;
+  wc.arrivals.iteration_gap_seconds = 100e-6;
+  wc.arrivals.hold_seconds = 1e-3;
+  wc.arrivals.fragmented_share = 0.25;
+  wc.arrivals.buddy_share = 0.5;
+  wc.arrivals.rate_per_second = job_rate_for_load(
+      fabric32, 0.20, wc.arrivals.message_bytes, 16, wc.arrivals.iterations);
+  wc.churn.events_per_job = 1;
+  wc.seed = 20260809;
+  wc.byte_audit = false;
+  out.tenancy_jobs = wc.arrivals.jobs;
+  const auto start = std::chrono::steady_clock::now();
+  out.tenancy = run_workload(fabric32, wc);
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - start;
+  out.tenancy_wall = wall.count();
+  std::printf("  tenancy k=32 jobs=%d (flow)  %8.2fs wall  %9.0f events/s  "
+              "%zu/%zu admitted\n",
+              out.tenancy_jobs, out.tenancy_wall,
+              static_cast<double>(out.tenancy.sim.events) / out.tenancy_wall,
+              out.tenancy.jobs_admitted, out.tenancy.jobs_submitted);
+  return out;
 }
 
 /// True iff every cell carries the same simulated results as the first —
@@ -466,6 +561,10 @@ int run_perf_grid() {
     wtable.print(std::cout);
   }
 
+  std::printf(
+      "\nflow fidelity (reference cell both engines; k=32 tenancy sweep)\n");
+  const FlowFidelityResults flowf = run_flow_fidelity_cells(samples);
+
   std::printf("\ncomponent microbenches\n");
   const MicrobenchResults micro = run_microbench();
   print_microbench(micro);
@@ -481,7 +580,7 @@ int run_perf_grid() {
     return 1;
   }
   std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"schema\": \"peel.perf_suite.v4\",\n");
+  std::fprintf(out, "  \"schema\": \"peel.perf_suite.v5\",\n");
   std::fprintf(out, "  \"quick\": %s,\n", json_bool(bench::quick_mode()));
   std::fprintf(out, "  \"group_size\": 64,\n");
   std::fprintf(out, "  \"group_pool\": 4,\n");
@@ -496,7 +595,7 @@ int run_perf_grid() {
     std::fprintf(
         out,
         "    {\"scheme\": \"%s\", \"collective\": \"%s\", "
-        "\"fat_tree_k\": %d, \"faults\": %s,\n"
+        "\"fat_tree_k\": %d, \"faults\": %s, \"fidelity\": \"packet\",\n"
         "     \"wall_seconds\": %.3f, \"sim_seconds\": %.6f,\n"
         "     \"events\": %llu, \"events_per_sec\": %.0f,\n"
         "     \"segments\": %llu, \"segments_per_sec\": %.0f,\n"
@@ -588,6 +687,62 @@ int run_perf_grid() {
         i + 1 < workload.size() ? "," : "");
   }
   std::fprintf(out, "    ]\n");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"flow_fidelity\": {\n");
+  {
+    const double peps =
+        static_cast<double>(flowf.packet.events) / flowf.packet_wall;
+    const double feps =
+        static_cast<double>(flowf.flow.events) / flowf.flow_wall;
+    const double reduction =
+        flowf.flow.events > 0
+            ? static_cast<double>(flowf.packet.events) /
+                  static_cast<double>(flowf.flow.events)
+            : 0.0;
+    const double cct_ratio =
+        flowf.packet.cct_seconds.mean() > 0.0
+            ? flowf.flow.cct_seconds.mean() / flowf.packet.cct_seconds.mean()
+            : 0.0;
+    std::fprintf(out,
+                 "    \"reference_cell\": {\"scheme\": \"Peel\", "
+                 "\"collective\": \"Broadcast\", \"fat_tree_k\": 16, "
+                 "\"faults\": false, \"samples\": %d},\n",
+                 samples);
+    std::fprintf(out, "    \"cells\": [\n");
+    std::fprintf(out,
+                 "      {\"fidelity\": \"packet\", \"wall_seconds\": %.3f, "
+                 "\"events\": %llu, \"events_per_sec\": %.0f, "
+                 "\"fabric_bytes\": %llu},\n",
+                 flowf.packet_wall,
+                 static_cast<unsigned long long>(flowf.packet.events), peps,
+                 static_cast<unsigned long long>(flowf.packet.fabric_bytes));
+    std::fprintf(out,
+                 "      {\"fidelity\": \"flow\", \"wall_seconds\": %.3f, "
+                 "\"events\": %llu, \"events_per_sec\": %.0f, "
+                 "\"fabric_bytes\": %llu}\n",
+                 flowf.flow_wall,
+                 static_cast<unsigned long long>(flowf.flow.events), feps,
+                 static_cast<unsigned long long>(flowf.flow.fabric_bytes));
+    std::fprintf(out, "    ],\n");
+    std::fprintf(out, "    \"events_reduction\": %.2f,\n", reduction);
+    std::fprintf(out, "    \"cct_mean_ratio\": %.4f,\n", cct_ratio);
+    std::fprintf(out, "    \"bytes_identical\": %s,\n",
+                 json_bool(flowf.packet.fabric_bytes ==
+                           flowf.flow.fabric_bytes));
+    std::fprintf(
+        out,
+        "    \"tenancy\": {\"fat_tree_k\": 32, \"fidelity\": \"flow\", "
+        "\"jobs\": %d,\n"
+        "      \"wall_seconds\": %.3f, \"events\": %llu, "
+        "\"events_per_sec\": %.0f,\n"
+        "      \"jobs_admitted\": %zu, \"jobs_fell_back\": %zu, "
+        "\"unfinished\": %zu}\n",
+        flowf.tenancy_jobs, flowf.tenancy_wall,
+        static_cast<unsigned long long>(flowf.tenancy.sim.events),
+        static_cast<double>(flowf.tenancy.sim.events) / flowf.tenancy_wall,
+        flowf.tenancy.jobs_admitted, flowf.tenancy.jobs_fell_back,
+        flowf.tenancy.sim.unfinished);
+  }
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"microbench\": {\n");
   std::fprintf(out, "    \"scheduler\": [\n");

@@ -42,6 +42,11 @@
 //     --shards=N            pod-sharded parallel engine with N worker threads
 //                           (results are byte-identical for any N >= 1;
 //                           0 = classic single-queue engine)
+//     --fidelity=MODE       packet (default) = segment-granular simulation;
+//                           flow = fluid max-min fast path (orders of
+//                           magnitude fewer events, CCT within the stated
+//                           per-figure tolerances — docs/simulator.md).
+//                           flow takes precedence over --shards.
 //
 //   Workload mode (--workload): the positionals become
 //     [scheme] [collective] [group_gpus] [message_MiB] [load%] [jobs]
@@ -129,6 +134,7 @@ struct Flags {
   int stripes = 1;
   bool no_plan_cache = false;
   int shards = 0;
+  Fidelity fidelity = Fidelity::Packet;
   // --- workload mode ---
   bool workload = false;
   int iters = 2;
@@ -197,6 +203,13 @@ std::vector<const char*> parse_flags(int argc, char** argv, Flags& flags) {
       flags.no_plan_cache = true;
     } else if (flag_value(arg, "--shards", &value)) {
       flags.shards = std::atoi(value);
+    } else if (flag_value(arg, "--fidelity", &value)) {
+      try {
+        flags.fidelity = parse_fidelity(value);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        std::exit(1);
+      }
     } else if (!std::strcmp(arg, "--workload")) {
       flags.workload = true;
     } else if (flag_value(arg, "--iters", &value)) {
@@ -259,6 +272,7 @@ int run_workload_mode(const Flags& flags,
   wc.closed_loop = flags.closed_loop;
   wc.seed = 20260705;
   wc.shards = flags.shards;
+  wc.fidelity = flags.fidelity;
   if (flags.audit) wc.byte_audit = true;
   wc.watchdog = flags.watchdog;
   wc.deadline_seconds = flags.deadline_seconds;
@@ -424,6 +438,7 @@ int main(int argc, char** argv) {
   if (flags.stripes > 1) sc.runner.stripe_trees = flags.stripes;
   sc.runner.plan_cache = !flags.no_plan_cache;
   sc.shards = flags.shards;
+  sc.fidelity = flags.fidelity;
 
   const FatTree ft = build_fat_tree(FatTreeConfig{8, 4, 8});
   const Fabric fabric = Fabric::of(ft);

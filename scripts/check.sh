@@ -15,8 +15,10 @@
 # build of the simulator performance suite (scripts/perf.sh) in quick mode,
 # the standalone scheduler/control-plane microbench, a report-only diff
 # of the fresh BENCH_sim.json columns against the committed copy
-# (scripts/perf_diff.sh), and an audited in-network AllReduce smoke through
-# scenario_cli. It gates on determinism (perf_suite --check), not on speed.
+# (scripts/perf_diff.sh), an audited flow-fidelity smoke (scenario_cli
+# --fidelity=flow, with a packet-vs-flow byte-totals cross-check), and an
+# audited in-network AllReduce smoke through scenario_cli. It gates on
+# determinism (perf_suite --check), not on speed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -52,6 +54,15 @@ if [[ "${PEEL_CHECK_PERF:-0}" != "0" ]]; then
   PEEL_BENCH_QUICK=1 ./build-perf/bench/perf_suite --microbench
   echo "== perf diff vs committed BENCH_sim.json (report-only) =="
   scripts/perf_diff.sh
+  echo "== flow-fidelity smoke (scenario_cli --fidelity=flow, audited) =="
+  ./build-perf/examples/scenario_cli peel broadcast 64 8 30 10 \
+      --audit --watchdog --fidelity=flow | tee /tmp/peel_flow_smoke.txt
+  ./build-perf/examples/scenario_cli peel broadcast 64 8 30 10 \
+      --audit --watchdog --fidelity=packet | tee /tmp/peel_packet_smoke.txt
+  # Byte accounting is fidelity-independent (same trees, same chunks);
+  # CCT differs within documented tolerances, so only byte lines are diffed.
+  diff <(grep -E 'fabric|core links' /tmp/peel_flow_smoke.txt) \
+       <(grep -E 'fabric|core links' /tmp/peel_packet_smoke.txt)
   echo "== in-network AllReduce smoke (scenario_cli innet, audited) =="
   ./build-perf/examples/scenario_cli innet allreduce 16 8 30 5 --audit --watchdog
   echo "== multi-tenant workload smoke (scenario_cli --workload, audited) =="

@@ -4,9 +4,15 @@
 # rate, peak RSS and topology-delta apply latency (always shown for fault
 # cells, where surgical invalidation and repair make all of these the
 # regression surface), the sharded-engine cells (events/sec per worker
-# count plus the shard-invariance signature), and the microbench columns
-# (scheduler events/sec per queue depth, tree builds/sec, cached
-# lookups/sec).
+# count plus the shard-invariance signature), the flow-fidelity cells
+# (reference-cell events/sec per fidelity, events reduction, the k=32
+# tenancy sweep), and the microbench columns (scheduler events/sec per
+# queue depth, tree builds/sec, cached lookups/sec).
+#
+# Cells are keyed by fidelity since schema v5; v4 baselines (no fidelity
+# key) read as packet. Sharded wall-clock rows are diffed only when both
+# sides ran with host_cpus > 1 — a serial CI host shows ~0.9x pool
+# overhead at every worker count, which is not a regression.
 #
 # Usage: scripts/perf_diff.sh [fresh_json]
 #   fresh_json   default: BENCH_sim.json in the repo root (as written by
@@ -64,9 +70,11 @@ print(f"  {'column':<44} {'committed':>12} {'fresh':>12} {'delta':>7}")
 
 def cells_by_key(doc):
     # "scheme" arrived with schema v3 (the in-network AllReduce cells);
-    # older committed copies carried a single top-level scheme.
+    # older committed copies carried a single top-level scheme. "fidelity"
+    # arrived with v5 (the flow-level engine); v4 cells are all packet.
     return {(c.get("scheme", doc.get("scheme", "Peel")), c["collective"],
-             c["fat_tree_k"], c["faults"]): c
+             c["fat_tree_k"], c["faults"],
+             c.get("fidelity", "packet")): c
             for c in doc.get("cells", [])}
 
 old_cells, new_cells = cells_by_key(committed), cells_by_key(fresh)
@@ -75,7 +83,9 @@ for key in old_cells:
         continue
     o, n = old_cells[key], new_cells[key]
     faulty = bool(key[3])
-    label = f"{key[0]} {key[1]} k={key[2]} faults={'on' if faulty else 'off'} ev/s"
+    fid = "" if key[4] == "packet" else f" {key[4]}"
+    label = (f"{key[0]} {key[1]} k={key[2]}"
+             f" faults={'on' if faulty else 'off'}{fid} ev/s")
     row(label, o.get("events_per_sec", 0), n.get("events_per_sec", 0))
     # Fault cells are the surgical-invalidation regression surface: always
     # show their hit rate and peak RSS; elsewhere only a changed hit rate.
@@ -99,11 +109,21 @@ for key in old_cells:
 osh, nsh = committed.get("sharded", {}), fresh.get("sharded", {})
 oshc = {c["shards"]: c for c in osh.get("cells", [])}
 nshc = {c["shards"]: c for c in nsh.get("cells", [])}
-for shards in sorted(oshc):
-    if shards in nshc:
-        row(f"sharded ev/s @ shards={shards}",
-            oshc[shards].get("events_per_sec", 0),
-            nshc[shards].get("events_per_sec", 0))
+# host_cpus gate: on a single-hardware-thread host the multi-worker cells
+# measure pool overhead (~0.9x of shards=1), not the parallel win, so a
+# sub-1x "regression" there is expected — report the rows as informational
+# instead of diffing them.
+host_cpus = min(osh.get("host_cpus", 0) or 0, nsh.get("host_cpus", 0) or 0)
+if oshc and nshc and host_cpus <= 1:
+    print(f"  sharded cells: host_cpus={nsh.get('host_cpus')} (committed "
+          f"{osh.get('host_cpus')}) -- wall-clock rows reflect engine "
+          f"overhead on a serial host, not the parallel win; not diffed")
+else:
+    for shards in sorted(oshc):
+        if shards in nshc:
+            row(f"sharded ev/s @ shards={shards}",
+                oshc[shards].get("events_per_sec", 0),
+                nshc[shards].get("events_per_sec", 0))
 if nsh:
     if not nsh.get("invariant", True):
         print("  WARNING: fresh sharded cells are NOT shard-invariant "
@@ -131,6 +151,29 @@ for key in sorted(owlc):
         if o.get(col) != n.get(col):
             print(f"  NOTE: workload {key[0]} cap={key[1]} {col} changed "
                   f"{o.get(col)} -> {n.get(col)}")
+
+off, nff = committed.get("flow_fidelity", {}), fresh.get("flow_fidelity", {})
+if off and nff:
+    offc = {c["fidelity"]: c for c in off.get("cells", [])}
+    nffc = {c["fidelity"]: c for c in nff.get("cells", [])}
+    for fid in sorted(offc):
+        if fid in nffc:
+            row(f"flow-fidelity ref cell ({fid}) ev/s",
+                offc[fid].get("events_per_sec", 0),
+                nffc[fid].get("events_per_sec", 0))
+    row("flow-fidelity events reduction (x)",
+        off.get("events_reduction", 0), nff.get("events_reduction", 0))
+    ot, nt = off.get("tenancy", {}), nff.get("tenancy", {})
+    if ot and nt:
+        row("flow tenancy k=32 ev/s",
+            ot.get("events_per_sec", 0), nt.get("events_per_sec", 0))
+        for col in ("jobs_admitted", "jobs_fell_back", "unfinished"):
+            if ot.get(col) != nt.get(col):
+                print(f"  NOTE: flow tenancy {col} changed "
+                      f"{ot.get(col)} -> {nt.get(col)}")
+if nff and not nff.get("bytes_identical", True):
+    print("  WARNING: flow vs packet byte totals diverged on the reference "
+          "cell (the engines no longer share tree/chunk decisions)")
 
 om, nm = committed.get("microbench", {}), fresh.get("microbench", {})
 osched = {s["queue_depth"]: s["events_per_sec"] for s in om.get("scheduler", [])}

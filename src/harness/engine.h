@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/collectives/runner.h"
+#include "src/sim/flow_network.h"
 #include "src/sim/network.h"
 #include "src/sim/sharded.h"
 #include "src/sim/telemetry.h"
@@ -55,6 +56,47 @@ struct SoloEngine {
     if (Telemetry* telem = net.telemetry()) telem->reserve_series(expected);
   }
   /// Telemetry for audit/summary once the run has quiesced; null = disabled.
+  [[nodiscard]] const Telemetry* finished_telemetry() const {
+    return net.telemetry();
+  }
+};
+
+/// Flow-level (fluid) engine: one EventQueue, one FlowNetwork
+/// (src/sim/flow_network.h). Same shape as SoloEngine — the drivers cannot
+/// tell the fidelities apart.
+struct FlowEngine {
+  EventQueue queue;
+  FlowNetwork net;
+
+  FlowEngine(const Topology& topo, const SimConfig& sim)
+      : net(topo, sim, queue) {}
+
+  [[nodiscard]] EventQueue& control() noexcept { return queue; }
+  [[nodiscard]] DataPlane& data() noexcept { return net; }
+  void run() { queue.run(); }
+  void run_until(SimTime t) { queue.run_until(t); }
+  [[nodiscard]] bool empty() const { return queue.empty(); }
+  [[nodiscard]] SimTime now() const { return queue.now(); }
+  [[nodiscard]] std::uint64_t events() const { return queue.processed(); }
+  [[nodiscard]] std::uint64_t segments_serialized() const {
+    return net.segments_serialized();
+  }
+  [[nodiscard]] std::uint64_t segments_lost() const {
+    return net.segments_lost();
+  }
+  [[nodiscard]] std::uint64_t pfc_pauses() const { return net.pfc_pauses(); }
+  [[nodiscard]] std::uint64_t segments_marked() const {
+    return net.segments_marked();
+  }
+  [[nodiscard]] Bytes reduce_sram_peak() const {
+    return net.reduce_sram_peak();
+  }
+  [[nodiscard]] Bytes reduce_sram_peak_max_domain() const {
+    return net.reduce_sram_peak();
+  }
+  void reserve_series(std::size_t expected) {
+    if (Telemetry* telem = net.telemetry()) telem->reserve_series(expected);
+  }
   [[nodiscard]] const Telemetry* finished_telemetry() const {
     return net.telemetry();
   }

@@ -17,6 +17,7 @@ namespace peel {
 namespace {
 
 using detail::audit_message;
+using detail::FlowEngine;
 using detail::make_summary;
 using detail::ShardedEngine;
 using detail::SoloEngine;
@@ -240,6 +241,12 @@ ScenarioResult run_scenario_impl(const Fabric& fabric,
   SimConfig sim = config.sim;
   if (config.byte_audit) sim.telemetry.enabled = true;  // audit needs accounting
 
+  // Fidelity wins over shards: the flow engine is single-queue by design
+  // (its event count is small enough that sharding would only add barriers).
+  if (config.fidelity == Fidelity::Flow) {
+    FlowEngine engine(fabric.topo(), sim);
+    return run_scenario_with(engine, fabric, config, sim, faulty_topo);
+  }
   if (config.shards > 0) {
     ShardedEngine engine(fabric.topo(), sim, config.shards);
     return run_scenario_with(engine, fabric, config, sim, faulty_topo);
@@ -300,6 +307,21 @@ const char* to_string(CollectiveKind kind) noexcept {
   return "?";
 }
 
+const char* to_string(Fidelity f) noexcept {
+  switch (f) {
+    case Fidelity::Packet: return "packet";
+    case Fidelity::Flow: return "flow";
+  }
+  return "?";
+}
+
+Fidelity parse_fidelity(const std::string& name) {
+  if (name == "packet") return Fidelity::Packet;
+  if (name == "flow") return Fidelity::Flow;
+  throw std::invalid_argument("unknown fidelity '" + name +
+                              "' (expected packet | flow)");
+}
+
 Bytes bytes_on_links(const DataPlane& net, const Topology& topo, bool fabric,
                      bool host_nic, bool nvlink) {
   Bytes total = 0;
@@ -326,6 +348,10 @@ SingleResult run_single_broadcast(const Fabric& fabric,
   SimConfig sim = options.sim;
   if (options.byte_audit) sim.telemetry.enabled = true;
 
+  if (options.fidelity == Fidelity::Flow) {
+    FlowEngine engine(fabric.topo(), sim);
+    return run_single_with(engine, fabric, options);
+  }
   if (options.shards > 0) {
     ShardedEngine engine(fabric.topo(), sim, options.shards);
     return run_single_with(engine, fabric, options);

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "src/collectives/runner.h"
 #include "src/common/stats.h"
@@ -33,6 +34,18 @@ enum class CollectiveKind {
 };
 
 [[nodiscard]] const char* to_string(CollectiveKind kind) noexcept;
+
+/// Simulation fidelity of a scenario cell (src/sim/flow_network.h).
+///   Packet — segment-granular FIFO queues, DCQCN/ECN/PFC dynamics
+///            (Network / ShardedNetwork).
+///   Flow   — fluid max-min rates with fitted utilization caps; orders of
+///            magnitude fewer events, CCT within the per-figure tolerances
+///            stated in docs/simulator.md.
+enum class Fidelity : std::uint8_t { Packet, Flow };
+
+[[nodiscard]] const char* to_string(Fidelity f) noexcept;
+/// Parses "packet" / "flow"; throws std::invalid_argument otherwise.
+[[nodiscard]] Fidelity parse_fidelity(const std::string& name);
 
 /// Default for ScenarioConfig::byte_audit / SingleRunOptions::byte_audit:
 /// true iff the PEEL_BYTE_AUDIT environment variable is set to a non-empty,
@@ -95,6 +108,10 @@ struct ScenarioConfig {
   /// decomposition is fixed by the topology, so any two positive values
   /// produce byte-identical results — the knob trades wall-clock only.
   int shards = 0;
+  /// Simulation fidelity. Fidelity::Flow selects the fluid engine and takes
+  /// precedence over `shards` (the flow engine is single-queue; its event
+  /// count is small enough that sharding would only add barrier overhead).
+  Fidelity fidelity = Fidelity::Packet;
 
   /// Byte-conservation audit (src/sim/telemetry.h): forces telemetry on and
   /// throws std::runtime_error at drain if any stream over-delivered, or —
@@ -186,6 +203,9 @@ struct SingleRunOptions {
   bool byte_audit = byte_audit_env_default();
   /// Same engine selector as ScenarioConfig::shards (0 = single-queue).
   int shards = 0;
+  /// Same fidelity selector as ScenarioConfig::fidelity (Flow wins over
+  /// shards).
+  Fidelity fidelity = Fidelity::Packet;
 };
 
 /// Runs exactly one broadcast on an otherwise idle fabric (bandwidth

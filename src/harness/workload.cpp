@@ -18,6 +18,7 @@ namespace peel {
 namespace {
 
 using detail::audit_message;
+using detail::FlowEngine;
 using detail::make_summary;
 using detail::ShardedEngine;
 using detail::SoloEngine;
@@ -448,6 +449,10 @@ WorkloadResult run_workload(const Fabric& fabric,
   const std::vector<JobSpec> specs =
       generate_arrivals(config.arrivals, arrivals_rng);
 
+  if (config.fidelity == Fidelity::Flow) {
+    FlowEngine engine(fabric.topo(), sim);
+    return run_workload_with(engine, fabric, config, specs);
+  }
   if (config.shards > 0) {
     ShardedEngine engine(fabric.topo(), sim, config.shards);
     return run_workload_with(engine, fabric, config, specs);

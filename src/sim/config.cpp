@@ -55,6 +55,15 @@ void SimConfig::validate() const {
     reject("telemetry.sample_interval must be non-negative (got " +
            std::to_string(telemetry.sample_interval) + ")");
   }
+  for (const double u :
+       {flow.guard_utilization, flow.receiver_timer_unicast_utilization,
+        flow.receiver_timer_multicast_utilization,
+        flow.unthrottled_utilization}) {
+    if (u <= 0.0 || u > 1.0) {
+      reject("flow-model utilization caps must be in (0, 1] (got " +
+             std::to_string(u) + ")");
+    }
+  }
 }
 
 }  // namespace peel

@@ -50,6 +50,30 @@ enum class CnpMode : std::uint8_t {
   Unthrottled,
 };
 
+/// Knobs of the flow-level (fluid) fidelity mode (src/sim/flow_network.h).
+/// Streams are single-rate max-min fair flows; DCQCN/ECN/PFC dynamics are
+/// folded into per-mode utilization caps applied when a flow shares a
+/// bottleneck link. The defaults are fitted from cnp_dynamics.csv — the
+/// steady-state (> 2 ms) per-flow goodput of two contending broadcasts on a
+/// 100 Gbps fabric, as a fraction of the 50 Gbps fair share:
+///   sender guard 50 µs : 42.6 / 50 ≈ 0.85
+///   receiver timers    : 25.7 / 50 ≈ 0.51 (multicast CNP fan-in)
+///   unthrottled        : 25.9 / 50 ≈ 0.52
+/// Uncontended flows run at their max-min rate unscaled (DCQCN only backs
+/// off on marks, and an unshared path does not mark).
+struct FlowModelConfig {
+  double guard_utilization = 0.85;
+  /// ReceiverTimer with a single receiver (unicast — Ring hops, Orca
+  /// relays): one receiver's 50 µs CNP timer is the classic DCQCN setup,
+  /// which tracks its fair share about as well as the sender guard.
+  double receiver_timer_unicast_utilization = 0.85;
+  /// ReceiverTimer with multiple receivers: every receiver's timer fires
+  /// independently, so the sender hears a multiplied CNP stream (the §4
+  /// pathology the guard timer exists to fix).
+  double receiver_timer_multicast_utilization = 0.51;
+  double unthrottled_utilization = 0.52;
+};
+
 struct SimConfig {
   /// Serialization/queueing granularity. Smaller = higher fidelity, more
   /// events; 64 KiB keeps ECN behaviour meaningful against the 5–200 kB
@@ -84,8 +108,13 @@ struct SimConfig {
   /// hardware quotes sub-microsecond combine stages).
   SimTime reduce_combine_latency = 200;  // ns
 
-  /// Disables rate control entirely (links still serialize FIFO).
+  /// Disables rate control entirely (links still serialize FIFO). In the
+  /// flow-level fidelity it disables the fitted utilization caps, so flows
+  /// run at their unscaled max-min rates.
   bool congestion_control = true;
+
+  /// Flow-level fidelity knobs (ignored by the packet-level engines).
+  FlowModelConfig flow;
 
   TelemetryConfig telemetry;
 

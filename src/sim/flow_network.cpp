@@ -1,0 +1,715 @@
+#include "src/sim/flow_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace peel {
+
+namespace {
+
+/// Rate floor for a flow whose compiled link set is empty (a degenerate
+/// single-node spec): chunks complete in ~1 ns instead of dividing by zero.
+constexpr double kUnboundedRate = 1e6;  // bytes per ns
+
+}  // namespace
+
+FlowNetwork::FlowNetwork(const Topology& topo, const SimConfig& config,
+                         EventQueue& queue)
+    : topo_(&topo), config_(config), queue_(&queue) {
+  config_.validate();
+  links_.resize(topo.link_count());
+  if (config_.telemetry.enabled) {
+    telem_ = std::make_unique<Telemetry>(config_.telemetry, topo);
+  }
+}
+
+FlowNetwork::~FlowNetwork() = default;
+
+Bytes FlowNetwork::last_segment(Bytes bytes) const noexcept {
+  const Bytes rem = bytes % config_.segment_bytes;
+  return rem > 0 ? rem : std::min(bytes, config_.segment_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Stream lifecycle
+
+StreamId FlowNetwork::open_stream(StreamSpec spec) {
+  const auto id = static_cast<StreamId>(flows_.size());
+  flows_.emplace_back();
+  FlowState& f = flows_.back();
+  f.reduce = !spec.contributors.empty();
+
+  // Compile the directed link set. The forward map is the multicast tree
+  // oriented away from the source (toward it, semantically, for a reduce
+  // stream); a reduce flow additionally occupies the reverse of every
+  // forward link — the contributor up-paths that mirror the down-tree.
+  const auto node_total = static_cast<std::size_t>(topo_->node_count());
+  std::vector<LinkId> parent_link(node_total, kInvalidLink);
+  for (const auto& [node, outs] : spec.forward) {
+    if (node < 0 || static_cast<std::size_t>(node) >= node_total) {
+      throw std::invalid_argument("stream spec names an unknown node");
+    }
+    for (LinkId l : outs) {
+      if (l < 0 || static_cast<std::size_t>(l) >= links_.size()) {
+        throw std::invalid_argument("stream spec names an unknown link");
+      }
+      f.fwd_links.push_back(l);
+      const NodeId child = topo_->link(l).dst;
+      if (parent_link[static_cast<std::size_t>(child)] != kInvalidLink &&
+          f.reduce) {
+        throw std::invalid_argument(
+            "reduce stream forward map is not a tree (node has two parents)");
+      }
+      if (parent_link[static_cast<std::size_t>(child)] == kInvalidLink) {
+        parent_link[static_cast<std::size_t>(child)] = l;
+      }
+    }
+  }
+  std::sort(f.fwd_links.begin(), f.fwd_links.end());
+  f.fwd_links.erase(std::unique(f.fwd_links.begin(), f.fwd_links.end()),
+                    f.fwd_links.end());
+  f.links = f.fwd_links;
+  if (f.reduce) {
+    f.up_links.reserve(f.fwd_links.size());
+    for (LinkId l : f.fwd_links) f.up_links.push_back(topo_->reverse_of(l));
+    std::sort(f.up_links.begin(), f.up_links.end());
+    f.links.insert(f.links.end(), f.up_links.begin(), f.up_links.end());
+    std::sort(f.links.begin(), f.links.end());
+    f.links.erase(std::unique(f.links.begin(), f.links.end()), f.links.end());
+    for (const auto& [node, outs] : spec.forward) {
+      if (!outs.empty()) f.combiner_nodes.push_back(node);
+    }
+    std::sort(f.combiner_nodes.begin(), f.combiner_nodes.end());
+  }
+  f.link_live.assign(f.links.size(), 1);
+
+  // Per-receiver path timing: walk the parent chain back to the source and
+  // accumulate propagation plus per-hop line-rate inverse (the cut-through
+  // delay of the chunk's final segment).
+  const auto walk = [&](NodeId from, SimTime& prop, double& inv, int& hops) {
+    prop = 0;
+    inv = 0.0;
+    hops = 0;
+    NodeId at = from;
+    std::size_t guard = 0;
+    while (at != spec.source) {
+      if (at < 0 || ++guard > node_total) {
+        throw std::invalid_argument(
+            "stream spec has no forward path between source and endpoint");
+      }
+      const LinkId l = parent_link[static_cast<std::size_t>(at)];
+      if (l == kInvalidLink) {
+        throw std::invalid_argument(
+            "stream spec has no forward path between source and endpoint");
+      }
+      const Link& lk = topo_->link(l);
+      prop += lk.propagation;
+      inv += 1.0 / lk.rate.bytes_per_ns();
+      ++hops;
+      at = lk.src;
+    }
+  };
+  f.recvs.reserve(spec.receivers.size());
+  for (NodeId r : spec.receivers) {
+    const bool dup =
+        std::any_of(f.recvs.begin(), f.recvs.end(),
+                    [r](const RecvInfo& ri) { return ri.node == r; });
+    if (dup) continue;  // first entry wins, as in the packet engine
+    RecvInfo ri;
+    ri.node = r;
+    int hops = 0;
+    walk(r, ri.prop_sum, ri.inv_rate_sum, hops);
+    f.recvs.push_back(ri);
+  }
+  if (f.reduce) {
+    // The pipeline's tail byte must climb from the slowest contributor to
+    // the pivot (one combine latency per aggregation hop) before the down
+    // multicast can retire it.
+    for (NodeId c : spec.contributors) {
+      SimTime prop = 0;
+      double inv = 0.0;
+      int hops = 0;
+      walk(c, prop, inv, hops);
+      const SimTime up =
+          prop +
+          static_cast<SimTime>(std::ceil(
+              static_cast<double>(last_segment(config_.segment_bytes)) * inv)) +
+          config_.reduce_combine_latency * hops;
+      f.up_offset = std::max(f.up_offset, up);
+    }
+  }
+
+  if (telem_) {
+    std::vector<NodeId> recvs;
+    recvs.reserve(f.recvs.size());
+    for (const RecvInfo& ri : f.recvs) recvs.push_back(ri.node);
+    telem_->on_stream_open(id, spec.tag, recvs);
+    if (f.reduce) telem_->on_reduce_open(id, spec.contributors);
+  }
+
+  f.spec = std::move(spec);
+  if (topo_->failed_link_count() > 0) refresh_live_set(id);
+  return id;
+}
+
+void FlowNetwork::send_chunk(StreamId stream, int chunk_index, Bytes bytes) {
+  FlowState& f = flow(stream);
+  if (f.closed) throw std::logic_error("send_chunk on closed stream");
+  if (bytes <= 0) throw std::invalid_argument("chunk bytes must be positive");
+  if (chunk_index < 0) {
+    throw std::invalid_argument("chunk index must be non-negative");
+  }
+  if (telem_ && f.reduce) {
+    telem_->on_reduce_target(stream, chunk_index, bytes);
+  }
+  f.pending.push_back(PendingChunk{chunk_index, bytes});
+  if (!f.active && !f.frozen) activate(stream);
+}
+
+std::vector<int> FlowNetwork::cancel_unsent_chunks(StreamId stream) {
+  FlowState& f = flow(stream);
+  std::vector<int> cancelled;
+  if (f.closed) return cancelled;
+  settle(stream, queue_->now());
+  // Keep the chunk currently mid-transfer (if any); drop the rest.
+  std::size_t keep = f.pending_head;
+  if (keep < f.pending.size() && f.head_done > 0.0) ++keep;
+  for (std::size_t i = keep; i < f.pending.size(); ++i) {
+    cancelled.push_back(f.pending[i].chunk);
+  }
+  f.pending.resize(keep);
+  if (f.active && f.pending_head == f.pending.size()) deactivate(stream);
+  return cancelled;
+}
+
+void FlowNetwork::close_stream(StreamId stream) {
+  FlowState& f = flow(stream);
+  if (f.closed) return;
+  const SimTime now = queue_->now();
+  settle(stream, now);
+  if (f.active && f.head_done > 0.0) {
+    // The head chunk's partial fluid dies with the stream: it was never
+    // serialized (lump-sum accounting fires at completion), so take it back
+    // out of the rate integrals to keep them equal to the audited bytes.
+    for (std::size_t i = 0; i < f.links.size(); ++i) {
+      if (f.link_live[i]) {
+        links_[static_cast<std::size_t>(f.links[i])].util_integral -=
+            f.head_done;
+      }
+    }
+  }
+  const bool complete = f.pending_head == f.pending.size() &&
+                        !f.short_delivery && !f.frozen;
+  if (telem_) telem_->on_stream_close(stream, complete);
+  if (f.active) {
+    detach(stream);
+    f.active = false;
+    f.rate = 0.0;
+    ++f.gen;
+    f.completion_scheduled = false;
+    f.closed = true;
+    recompute_component(stream);
+  }
+  f.closed = true;
+  auto release = [](auto& c) { std::decay_t<decltype(c)>{}.swap(c); };
+  release(f.spec.forward);
+  release(f.spec.receivers);
+  release(f.spec.contributors);
+  release(f.spec.contributor_local);
+  release(f.links);
+  release(f.link_live);
+  release(f.fwd_links);
+  release(f.recvs);
+  release(f.up_links);
+  release(f.combiner_nodes);
+  release(f.pending);
+  f.pending_head = 0;
+  f.head_done = 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// Progress accrual and completion
+
+void FlowNetwork::settle(StreamId s, SimTime now) {
+  FlowState& f = flow(s);
+  const SimTime dt = now - f.last_settle;
+  f.last_settle = now;
+  if (!f.active || dt <= 0 || f.rate <= 0.0) return;
+  const PendingChunk& head = f.pending[f.pending_head];
+  const double remaining = static_cast<double>(head.bytes) - f.head_done;
+  const double progressed =
+      std::min(f.rate * static_cast<double>(dt), remaining);
+  if (progressed <= 0.0) return;
+  f.head_done += progressed;
+  for (std::size_t i = 0; i < f.links.size(); ++i) {
+    if (f.link_live[i]) {
+      links_[static_cast<std::size_t>(f.links[i])].util_integral += progressed;
+    }
+  }
+}
+
+void FlowNetwork::attach(StreamId s) {
+  FlowState& f = flow(s);
+  for (std::size_t i = 0; i < f.links.size(); ++i) {
+    if (f.link_live[i]) {
+      links_[static_cast<std::size_t>(f.links[i])].active.push_back(s);
+    }
+  }
+}
+
+void FlowNetwork::detach(StreamId s) {
+  FlowState& f = flow(s);
+  for (std::size_t i = 0; i < f.links.size(); ++i) {
+    if (!f.link_live[i]) continue;
+    auto& v = links_[static_cast<std::size_t>(f.links[i])].active;
+    v.erase(std::remove(v.begin(), v.end(), s), v.end());
+  }
+}
+
+void FlowNetwork::activate(StreamId s) {
+  FlowState& f = flow(s);
+  f.active = true;
+  f.last_settle = queue_->now();
+  f.head_done = 0.0;
+  attach(s);
+  recompute_component(s);
+}
+
+void FlowNetwork::deactivate(StreamId s) {
+  FlowState& f = flow(s);
+  settle(s, queue_->now());
+  detach(s);
+  f.active = false;
+  f.rate = 0.0;
+  ++f.gen;
+  f.completion_scheduled = false;
+  recompute_component(s);
+}
+
+double FlowNetwork::utilization_cap(const FlowState& f) const {
+  switch (f.spec.cnp_mode) {
+    case CnpMode::SenderGuard:
+      return config_.flow.guard_utilization;
+    case CnpMode::ReceiverTimer:
+      return f.recvs.size() > 1
+                 ? config_.flow.receiver_timer_multicast_utilization
+                 : config_.flow.receiver_timer_unicast_utilization;
+    case CnpMode::Unthrottled:
+      return config_.flow.unthrottled_utilization;
+  }
+  return 1.0;
+}
+
+double FlowNetwork::line_rate_floor(const FlowState& f) const {
+  double floor = kUnboundedRate;
+  for (LinkId l : f.links) {
+    floor = std::min(floor, topo_->link(l).rate.bytes_per_ns());
+  }
+  return floor;
+}
+
+void FlowNetwork::recompute_component(StreamId seed) {
+  const SimTime now = queue_->now();
+  ++rate_recomputes_;
+
+  // Connected component: streams transitively sharing a live link with the
+  // seed. The seed itself is included whether or not it is still active (a
+  // departure perturbs exactly the flows it used to share links with).
+  if (visit_stamp_.size() < flows_.size()) {
+    visit_stamp_.resize(flows_.size(), 0);
+  }
+  const std::uint32_t epoch = ++visit_epoch_;
+  std::vector<StreamId> comp;
+  comp.push_back(seed);
+  visit_stamp_[static_cast<std::size_t>(seed)] = epoch;
+  for (std::size_t i = 0; i < comp.size(); ++i) {
+    const FlowState& f = flow(comp[i]);
+    if (f.closed) continue;
+    for (std::size_t j = 0; j < f.links.size(); ++j) {
+      if (!f.link_live[j]) continue;
+      for (StreamId t :
+           links_[static_cast<std::size_t>(f.links[j])].active) {
+        auto& stamp = visit_stamp_[static_cast<std::size_t>(t)];
+        if (stamp == epoch) continue;
+        stamp = epoch;
+        comp.push_back(t);
+      }
+    }
+  }
+  std::sort(comp.begin(), comp.end());
+
+  std::vector<StreamId> act;
+  act.reserve(comp.size());
+  for (StreamId s : comp) {
+    if (flow(s).active) act.push_back(s);
+  }
+
+  // Progressive-filling max-min over the component's live links. Slots are
+  // assigned in ascending link id order, and ties in the fill level resolve
+  // to the lowest link id, so the allocation is a pure function of the
+  // component state.
+  std::vector<LinkId> slot_link;
+  std::vector<double> slot_cap;
+  std::vector<int> slot_count;
+  std::vector<std::vector<std::size_t>> flow_slots(act.size());
+  {
+    std::vector<std::int32_t> slot_of(links_.size(), -1);
+    std::vector<LinkId> used;
+    for (StreamId s : act) {
+      const FlowState& f = flow(s);
+      for (std::size_t j = 0; j < f.links.size(); ++j) {
+        if (f.link_live[j] && slot_of[static_cast<std::size_t>(f.links[j])] < 0) {
+          slot_of[static_cast<std::size_t>(f.links[j])] = 0;
+          used.push_back(f.links[j]);
+        }
+      }
+    }
+    std::sort(used.begin(), used.end());
+    slot_link = used;
+    slot_cap.resize(used.size());
+    slot_count.assign(used.size(), 0);
+    for (std::size_t i = 0; i < used.size(); ++i) {
+      slot_of[static_cast<std::size_t>(used[i])] =
+          static_cast<std::int32_t>(i);
+      slot_cap[i] = topo_->link(used[i]).rate.bytes_per_ns();
+    }
+    for (std::size_t fi = 0; fi < act.size(); ++fi) {
+      const FlowState& f = flow(act[fi]);
+      for (std::size_t j = 0; j < f.links.size(); ++j) {
+        if (!f.link_live[j]) continue;
+        const auto slot = static_cast<std::size_t>(
+            slot_of[static_cast<std::size_t>(f.links[j])]);
+        flow_slots[fi].push_back(slot);
+        ++slot_count[slot];
+      }
+    }
+  }
+  const std::vector<int> initial_count = slot_count;
+
+  std::vector<double> fair(act.size(), 0.0);
+  std::vector<char> assigned(act.size(), 0);
+  for (;;) {
+    std::size_t best = slot_link.size();
+    double best_fill = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < slot_link.size(); ++i) {
+      if (slot_count[i] <= 0) continue;
+      const double fill =
+          std::max(slot_cap[i], 0.0) / static_cast<double>(slot_count[i]);
+      if (fill < best_fill) {
+        best_fill = fill;
+        best = i;
+      }
+    }
+    if (best == slot_link.size()) break;
+    for (std::size_t fi = 0; fi < act.size(); ++fi) {
+      if (assigned[fi]) continue;
+      const auto& slots = flow_slots[fi];
+      if (std::find(slots.begin(), slots.end(), best) == slots.end()) continue;
+      assigned[fi] = 1;
+      fair[fi] = best_fill;
+      for (std::size_t slot : slots) {
+        slot_cap[slot] -= best_fill;
+        --slot_count[slot];
+      }
+    }
+  }
+
+  for (std::size_t fi = 0; fi < act.size(); ++fi) {
+    FlowState& f = flow(act[fi]);
+    double rate;
+    if (flow_slots[fi].empty()) {
+      // Every link this flow occupies is dead: the source keeps pacing into
+      // the outage at line rate, exactly as the packet engine's pump keeps
+      // injecting into a dead port (the bytes are recorded as losses when
+      // each chunk retires).
+      rate = line_rate_floor(f);
+    } else {
+      rate = fair[fi];
+      bool contended = false;
+      for (std::size_t slot : flow_slots[fi]) {
+        if (initial_count[slot] >= 2) {
+          contended = true;
+          break;
+        }
+      }
+      if (contended && config_.congestion_control) {
+        rate *= utilization_cap(f);
+      }
+    }
+    if (rate != f.rate || !f.completion_scheduled) {
+      settle(act[fi], now);
+      f.rate = rate;
+      schedule_completion(act[fi]);
+    }
+  }
+}
+
+void FlowNetwork::schedule_completion(StreamId s) {
+  FlowState& f = flow(s);
+  ++f.gen;
+  if (f.rate <= 0.0 || f.pending_head >= f.pending.size()) {
+    f.completion_scheduled = false;
+    return;
+  }
+  const PendingChunk& head = f.pending[f.pending_head];
+  const double remaining = static_cast<double>(head.bytes) - f.head_done;
+  const auto dt = static_cast<SimTime>(std::ceil(remaining / f.rate));
+  const SimTime at = queue_->now() + std::max<SimTime>(dt, 0);
+  f.completion_scheduled = true;
+  queue_->at(at, [this, s, gen = f.gen] {
+    FlowState& g = flow(s);
+    if (g.closed || g.gen != gen) return;  // stale (rate changed since)
+    settle(s, queue_->now());
+    complete_head_chunk(s);
+  });
+}
+
+void FlowNetwork::complete_head_chunk(StreamId s) {
+  FlowState& f = flow(s);
+  const SimTime now = queue_->now();
+  const PendingChunk head = f.pending[f.pending_head];
+  f.head_done = 0.0;
+  ++f.pending_head;
+  if (f.pending_head == f.pending.size()) {
+    f.pending.clear();
+    f.pending_head = 0;
+  }
+
+  // The audited lump: every integer record for this chunk lands here, at one
+  // instant, so hop conservation (enqueued == serialized) holds by
+  // construction and a chunk that never completes leaves no trace.
+  const std::uint64_t nseg = chunk_segments(head.bytes);
+  if (f.reduce && telem_) {
+    for (NodeId c : f.spec.contributors) {
+      telem_->on_inject(s, head.chunk, head.bytes);
+      telem_->on_reduce_contribute(s, c, head.chunk, head.bytes);
+    }
+  } else if (telem_) {
+    telem_->on_inject(s, head.chunk, head.bytes);
+  }
+  for (std::size_t i = 0; i < f.links.size(); ++i) {
+    const LinkId l = f.links[i];
+    if (f.link_live[i]) {
+      LinkAccum& a = links_[static_cast<std::size_t>(l)];
+      a.serialized += head.bytes;
+      a.segments += nseg;
+      total_bytes_ += head.bytes;
+      segments_serialized_ += nseg;
+      if (telem_) {
+        telem_->on_enqueue(l, s, head.bytes, 0, now);
+        telem_->on_serialized(l, s, head.bytes, 0, now);
+      }
+    } else {
+      // The replication onto the severed subtree died on the wire.
+      lost_segments_ += nseg;
+      if (telem_) telem_->on_wire_drop(s, head.bytes);
+    }
+  }
+  if (f.reduce && telem_) {
+    for (LinkId l : f.up_links) {
+      telem_->on_reduce_absorb(s, l, head.chunk, head.bytes);
+    }
+    for (NodeId n : f.combiner_nodes) {
+      telem_->on_reduce_emit(s, n, head.chunk, head.bytes);
+    }
+  }
+
+  const Bytes tail = last_segment(head.bytes);
+  for (const RecvInfo& ri : f.recvs) {
+    if (!ri.live) {
+      f.short_delivery = true;
+      continue;
+    }
+    if (telem_) telem_->on_deliver(s, ri.node, head.chunk, head.bytes);
+    const SimTime offset =
+        f.up_offset + ri.prop_sum +
+        static_cast<SimTime>(
+            std::ceil(static_cast<double>(tail) * ri.inv_rate_sum));
+    DeliveryEvent ev;
+    ev.stream = s;
+    ev.tag = f.spec.tag;
+    ev.receiver = ri.node;
+    ev.chunk = head.chunk;
+    queue_->at(now + offset, [this, ev] {
+      if (on_delivery_) on_delivery_(ev);
+    });
+  }
+
+  if (f.pending_head == f.pending.size()) {
+    deactivate(s);
+  } else {
+    schedule_completion(s);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Faults
+
+void FlowNetwork::refresh_live_set(StreamId s) {
+  FlowState& f = flow(s);
+  if (f.closed) return;
+  settle(s, queue_->now());
+
+  // Source-reachable subset of the compiled links over the current topology.
+  if (visit_stamp_.size() < static_cast<std::size_t>(topo_->node_count())) {
+    visit_stamp_.resize(static_cast<std::size_t>(topo_->node_count()), 0);
+  }
+  const std::uint32_t epoch = ++visit_epoch_;
+  std::vector<NodeId> frontier;
+  frontier.push_back(f.spec.source);
+  visit_stamp_[static_cast<std::size_t>(f.spec.source)] = epoch;
+  // The compiled set is small; scan it per frontier node (flat and cheap).
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    const NodeId at = frontier[i];
+    for (LinkId l : f.fwd_links) {
+      const Link& lk = topo_->link(l);
+      if (lk.src != at || lk.failed) continue;
+      auto& stamp = visit_stamp_[static_cast<std::size_t>(lk.dst)];
+      if (stamp == epoch) continue;
+      stamp = epoch;
+      frontier.push_back(lk.dst);
+    }
+  }
+  const auto reached = [&](NodeId n) {
+    return visit_stamp_[static_cast<std::size_t>(n)] == epoch;
+  };
+
+  bool lost_partial = false;
+  for (std::size_t i = 0; i < f.links.size(); ++i) {
+    const Link& lk = topo_->link(f.links[i]);
+    // A forward link is live when its upstream end is reachable and the wire
+    // itself is up; an up-path (reduce mirror) link hangs off the same
+    // duplex pair, so the same test applies to its reverse orientation.
+    const NodeId upstream_end =
+        f.reduce && !std::binary_search(f.fwd_links.begin(), f.fwd_links.end(),
+                                        f.links[i])
+            ? lk.dst
+            : lk.src;
+    const char live = static_cast<char>(!lk.failed && reached(upstream_end));
+    if (live == f.link_live[i]) continue;
+    LinkAccum& a = links_[static_cast<std::size_t>(f.links[i])];
+    if (f.active) {
+      if (live) {
+        a.active.push_back(s);
+        // Catch the link's integral up with the head chunk's progress so the
+        // completion lump matches it (the chunk retires over the full set).
+        a.util_integral += f.head_done;
+      } else {
+        a.active.erase(std::remove(a.active.begin(), a.active.end(), s),
+                       a.active.end());
+        // The partial fluid on the dead wire is gone.
+        a.util_integral -= f.head_done;
+        lost_partial = true;
+      }
+    }
+    f.link_live[i] = live;
+  }
+  for (RecvInfo& ri : f.recvs) ri.live = reached(ri.node);
+  if (lost_partial && f.head_done > 0.0) {
+    lost_segments_ += chunk_segments(
+        std::max<Bytes>(static_cast<Bytes>(f.head_done), 1));
+    if (telem_) telem_->on_wire_drop(s, static_cast<Bytes>(f.head_done));
+  }
+}
+
+void FlowNetwork::on_duplex_failed(LinkId l) {
+  const LinkId a = l;
+  const LinkId b = topo_->reverse_of(l);
+  for (StreamId s = 0; static_cast<StreamId>(flows_.size()) > s; ++s) {
+    FlowState& f = flow(s);
+    if (f.closed) continue;
+    const bool uses =
+        std::binary_search(f.links.begin(), f.links.end(), a) ||
+        std::binary_search(f.links.begin(), f.links.end(), b);
+    if (!uses) continue;
+    if (f.reduce) {
+      if (f.frozen) continue;
+      // A reduce pipeline cannot run truncated (the pivot would combine
+      // short); freeze it and let the recovery pass supersede the stream,
+      // exactly as the packet engine's combiners stall on the missing child.
+      settle(s, queue_->now());
+      if (f.active) {
+        if (f.head_done > 0.0) {
+          for (std::size_t i = 0; i < f.links.size(); ++i) {
+            if (f.link_live[i]) {
+              links_[static_cast<std::size_t>(f.links[i])].util_integral -=
+                  f.head_done;
+            }
+          }
+          lost_segments_ += chunk_segments(
+              std::max<Bytes>(static_cast<Bytes>(f.head_done), 1));
+          if (telem_) {
+            telem_->on_wire_drop(s, static_cast<Bytes>(f.head_done));
+          }
+          f.head_done = 0.0;
+        }
+        detach(s);
+        f.active = false;
+        f.rate = 0.0;
+        ++f.gen;
+        f.completion_scheduled = false;
+        f.frozen = true;
+        recompute_component(s);
+      } else {
+        f.frozen = true;
+      }
+      continue;
+    }
+    refresh_live_set(s);
+    recompute_component(s);
+  }
+}
+
+void FlowNetwork::on_duplex_restored(LinkId l) {
+  const LinkId a = l;
+  const LinkId b = topo_->reverse_of(l);
+  for (StreamId s = 0; static_cast<StreamId>(flows_.size()) > s; ++s) {
+    FlowState& f = flow(s);
+    if (f.closed || f.reduce) continue;  // frozen reduce awaits supersede
+    const bool uses =
+        std::binary_search(f.links.begin(), f.links.end(), a) ||
+        std::binary_search(f.links.begin(), f.links.end(), b);
+    if (!uses) continue;
+    refresh_live_set(s);
+    recompute_component(s);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+bool FlowNetwork::stream_uses_link(StreamId s, LinkId l) const {
+  const FlowState& f = flow(s);
+  if (f.closed) return false;
+  return std::binary_search(f.fwd_links.begin(), f.fwd_links.end(), l);
+}
+
+StreamDiagnostic FlowNetwork::stream_diagnostic(StreamId s) const {
+  const FlowState& f = flow(s);
+  StreamDiagnostic d;
+  d.stream = s;
+  d.tag = f.spec.tag;
+  d.closed = f.closed;
+  d.pump_blocked = f.frozen;
+  d.pump_scheduled = f.completion_scheduled;
+  d.pending_chunks = f.pending.size() - f.pending_head;
+  for (std::size_t i = f.pending_head; i < f.pending.size(); ++i) {
+    d.bytes_pending_injection += f.pending[i].bytes;
+  }
+  d.bytes_pending_injection -= static_cast<Bytes>(f.head_done);
+  d.incomplete_deliveries =
+      d.pending_chunks * f.recvs.size() + (f.short_delivery ? 1 : 0);
+  return d;
+}
+
+double FlowNetwork::link_rate(LinkId l) const {
+  double sum = 0.0;
+  for (StreamId s : links_[static_cast<std::size_t>(l)].active) {
+    sum += flow(s).rate;
+  }
+  return sum;
+}
+
+}  // namespace peel

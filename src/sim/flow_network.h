@@ -1,0 +1,247 @@
+// Flow-level (fluid) network data plane — the fast fidelity of the
+// multi-fidelity engine (ROADMAP item 5).
+//
+// Where the packet-level Network serializes 64 KiB segments through FIFO
+// egress queues, the FlowNetwork models every stream as a single-rate fluid
+// flow over its full compiled link set. Links share bandwidth by
+// progressive-filling max-min fair allocation, and DCQCN/ECN/PFC dynamics
+// collapse into per-CnpMode utilization caps fitted from cnp_dynamics.csv
+// (SimConfig::flow): a contended flow sustains only a fraction of its fair
+// share, exactly as the packet-level rate controllers do in steady state.
+//
+// Events fire only when something discrete happens — a chunk finishes, a
+// stream arrives or departs, a link fails or is repaired — and each such
+// event re-solves rates for the affected *connected component* only (streams
+// transitively sharing a link), never the whole fabric. Scheduled chunk
+// completions are invalidated lazily via per-stream generation counters, so
+// a rate change costs one reschedule, not a queue scan. The result is
+// O(receivers + links) work per chunk instead of O(segments x hops), which
+// is where the >= 20x event reduction in BENCH_sim.json's flow_fidelity
+// section comes from.
+//
+// The byte-audit contract is identical to the packet engine's: all integer
+// telemetry for a chunk (inject, per-link enqueue+serialize, per-receiver
+// delivery credit, and the reduction ledger for fused reduce streams) is
+// recorded lump-sum at the chunk's completion instant, so conservation holds
+// by construction and cancelled or truncated chunks never leave phantom
+// bytes behind. Delivery *callbacks* still fire at physically plausible
+// times (completion + per-receiver path delay), so pipelined collectives
+// (Ring's store-and-forward chaining) see the same chunk-granularity timing
+// structure as the packet engine.
+//
+// Fault semantics mirror the packet engine at flow granularity:
+//   - a broadcast stream crossing a failed duplex pair keeps flowing on the
+//     source-reachable part of its tree; severed receivers stop being
+//     credited (the bytes are recorded as wire losses, which exempts the
+//     stream from the under-delivery audit exactly like packet-level
+//     losses), and chunks completing after a repair reach the full tree;
+//   - an in-network reduce stream freezes on any failure in its fused tree
+//     (rate 0) until the recovery pass supersedes it — the packet engine's
+//     combiners stall the same way when a child's segments stop arriving.
+// stream_uses_link keeps answering for the full compiled forward set, so
+// CollectiveRunner damage detection and recovery work unchanged.
+//
+// In addition to the audited lump-sum link bytes, every link integrates its
+// piecewise-constant allocated rate (∫ rate dt). The two accountings are
+// kept equal by construction — partial progress of a chunk that dies
+// (cancel, close, truncation) is retroactively removed from the integral —
+// and tests/flow_fidelity_test.cpp asserts the identity.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/sim/config.h"
+#include "src/sim/data_plane.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/telemetry.h"
+#include "src/topology/topology.h"
+
+namespace peel {
+
+class FlowNetwork final : public DataPlane {
+ public:
+  FlowNetwork(const Topology& topo, const SimConfig& config, EventQueue& queue);
+  ~FlowNetwork() override;
+
+  FlowNetwork(const FlowNetwork&) = delete;
+  FlowNetwork& operator=(const FlowNetwork&) = delete;
+
+  // --- DataPlane ----------------------------------------------------------
+  void set_delivery_handler(
+      std::function<void(const DeliveryEvent&)> handler) override {
+    on_delivery_ = std::move(handler);
+  }
+  StreamId open_stream(StreamSpec spec) override;
+  void send_chunk(StreamId stream, int chunk_index, Bytes bytes) override;
+  std::vector<int> cancel_unsent_chunks(StreamId stream) override;
+  void close_stream(StreamId stream) override;
+  void on_duplex_failed(LinkId l) override;
+  void on_duplex_restored(LinkId l) override;
+  [[nodiscard]] bool stream_uses_link(StreamId s, LinkId l) const override;
+  [[nodiscard]] StreamDiagnostic stream_diagnostic(StreamId s) const override;
+  [[nodiscard]] Bytes link_bytes(LinkId l) const override {
+    return links_[static_cast<std::size_t>(l)].serialized;
+  }
+
+  // --- engine surface -----------------------------------------------------
+  [[nodiscard]] std::uint64_t segments_serialized() const noexcept {
+    return segments_serialized_;
+  }
+  [[nodiscard]] std::uint64_t segments_lost() const noexcept {
+    return lost_segments_;
+  }
+  /// The fluid model has no queues, so nothing ever marks or pauses.
+  [[nodiscard]] std::uint64_t segments_marked() const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t pfc_pauses() const noexcept { return 0; }
+  /// Combiner SRAM holding is a segment-skew phenomenon; a single-rate fluid
+  /// reduce stream has no skew to hold.
+  [[nodiscard]] Bytes reduce_sram_peak() const noexcept { return 0; }
+  [[nodiscard]] Bytes total_bytes_serialized() const noexcept {
+    return total_bytes_;
+  }
+  /// Max-min component re-solves performed (diagnostic).
+  [[nodiscard]] std::uint64_t rate_recomputes() const noexcept {
+    return rate_recomputes_;
+  }
+
+  /// Current summed allocated rate on a directed link, in bytes/ns — one
+  /// point of the piecewise-constant utilization series.
+  [[nodiscard]] double link_rate(LinkId l) const;
+  /// ∫ rate dt over the run so far, in bytes. At drain this equals the
+  /// audited link_bytes(l) (see the header comment and the property test).
+  [[nodiscard]] double link_rate_integral(LinkId l) const {
+    return links_[static_cast<std::size_t>(l)].util_integral;
+  }
+
+  [[nodiscard]] Telemetry* telemetry() noexcept { return telem_.get(); }
+  [[nodiscard]] const Telemetry* telemetry() const noexcept {
+    return telem_.get();
+  }
+  [[nodiscard]] EventQueue& queue() noexcept { return *queue_; }
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+
+ private:
+  struct PendingChunk {
+    int chunk;
+    Bytes bytes;
+  };
+
+  /// One receiver's precompiled path timing: last-byte delivery lags the
+  /// source-side chunk completion by prop_sum + last_segment * inv_rate_sum
+  /// (per-hop cut-through at segment granularity, matching the packet
+  /// engine's store-and-forward of the final segment).
+  struct RecvInfo {
+    NodeId node = kInvalidNode;
+    SimTime prop_sum = 0;
+    double inv_rate_sum = 0.0;  ///< ns per byte, summed over path hops
+    bool live = true;           ///< still source-reachable (faults)
+  };
+
+  struct FlowState {
+    StreamSpec spec;
+    bool closed = false;
+    bool reduce = false;
+    /// Reduce stream hit a failure in its fused tree; rate pinned to 0
+    /// until the recovery pass closes (supersedes) it.
+    bool frozen = false;
+    /// Some (receiver, chunk) credit was skipped by fault truncation.
+    bool short_delivery = false;
+    bool active = false;  ///< open, pending non-empty, not frozen
+
+    /// Every directed link the fluid occupies: the compiled forward set,
+    /// plus (reduce streams) the reverse of each forward link — the
+    /// contributor up-paths that mirror the down-tree.
+    std::vector<LinkId> links;
+    std::vector<char> link_live;  ///< parallel: on the source-reachable part
+    /// Forward links only (what stream_uses_link answers for, mirroring the
+    /// packet engine's compiled fwd_links).
+    std::vector<LinkId> fwd_links;
+
+    std::vector<RecvInfo> recvs;
+    /// Reduce streams: the mirrored child links (reverse of each forward
+    /// link) and combiner nodes for the ledger records, plus the worst-case
+    /// contributor->pivot pipeline delay added to every delivery offset.
+    std::vector<LinkId> up_links;
+    std::vector<NodeId> combiner_nodes;
+    SimTime up_offset = 0;
+
+    std::vector<PendingChunk> pending;  // FIFO via pending_head
+    std::size_t pending_head = 0;
+    double head_done = 0.0;  ///< bytes of the head chunk already carried
+    double rate = 0.0;       ///< allocated rate, bytes/ns
+    SimTime last_settle = 0;
+    /// Bumped on every rate change / reschedule; a scheduled completion
+    /// whose generation no longer matches is stale and ignored.
+    std::uint64_t gen = 0;
+    bool completion_scheduled = false;
+  };
+
+  struct LinkAccum {
+    Bytes serialized = 0;      ///< audited lump-sum bytes (chunk completion)
+    std::uint64_t segments = 0;
+    double util_integral = 0.0;  ///< ∫ allocated rate dt, bytes
+    std::vector<StreamId> active;  ///< active flows whose live set has this link
+  };
+
+  [[nodiscard]] FlowState& flow(StreamId s) {
+    return flows_[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] const FlowState& flow(StreamId s) const {
+    return flows_[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] std::uint64_t chunk_segments(Bytes bytes) const noexcept {
+    return static_cast<std::uint64_t>((bytes + config_.segment_bytes - 1) /
+                                      config_.segment_bytes);
+  }
+  /// Last segment of a chunk (what the per-hop cut-through delay carries).
+  [[nodiscard]] Bytes last_segment(Bytes bytes) const noexcept;
+
+  /// Accrues head-chunk progress (and per-link rate integrals) up to `now`.
+  void settle(StreamId s, SimTime now);
+  /// Adds/removes `s` from its live links' active lists.
+  void attach(StreamId s);
+  void detach(StreamId s);
+  /// Marks `s` active/inactive and re-solves its component.
+  void activate(StreamId s);
+  void deactivate(StreamId s);
+  /// Re-solves max-min rates for the connected component containing `seed`
+  /// (always settles and re-rates `seed` itself, active or not).
+  void recompute_component(StreamId seed);
+  /// Fitted DCQCN utilization cap for a contended flow.
+  [[nodiscard]] double utilization_cap(const FlowState& f) const;
+  /// (Re)schedules the head-chunk completion event at the current rate.
+  void schedule_completion(StreamId s);
+  /// Head chunk of `s` finished: record the audited lump, fire delivery
+  /// callbacks at per-receiver offsets, advance the FIFO.
+  void complete_head_chunk(StreamId s);
+  /// Recomputes the source-reachable live subset of `s`'s links/receivers
+  /// after a topology change; adjusts active lists and rate integrals.
+  void refresh_live_set(StreamId s);
+  /// Smallest line rate over the compiled link set — the pacing fallback
+  /// when a fault leaves a flow with no live links (the packet engine's
+  /// source keeps injecting into the dead port at line rate).
+  [[nodiscard]] double line_rate_floor(const FlowState& f) const;
+
+  const Topology* topo_;
+  SimConfig config_;
+  EventQueue* queue_;
+
+  std::vector<FlowState> flows_;
+  std::vector<LinkAccum> links_;
+  std::function<void(const DeliveryEvent&)> on_delivery_;
+  std::unique_ptr<Telemetry> telem_;
+
+  /// Scratch for component BFS (epoch-stamped visited marks).
+  std::vector<std::uint32_t> visit_stamp_;
+  std::uint32_t visit_epoch_ = 0;
+
+  Bytes total_bytes_ = 0;
+  std::uint64_t segments_serialized_ = 0;
+  std::uint64_t lost_segments_ = 0;
+  std::uint64_t rate_recomputes_ = 0;
+};
+
+}  // namespace peel

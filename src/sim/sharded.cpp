@@ -231,7 +231,29 @@ void ShardedNetwork::advance(bool bounded, SimTime deadline) {
     SimTime horizon = xdelay_ > 0 ? w + xdelay_ : kNoHorizon;
     horizon = std::min(horizon, tc);
     if (bounded) horizon = std::min(horizon, deadline + 1);
-    run_domains(horizon);
+
+    // Adaptive window execution: a dense control plane clamps `horizon` to
+    // the next control event, shrinking windows until most carry events in
+    // one domain only. Waking the pool for such a window pays a barrier
+    // round-trip for zero parallelism, so run a lone busy domain inline.
+    // Byte-identical by construction: every skipped domain's next event is
+    // >= horizon, so its run_window(horizon) would process nothing (and
+    // run_window never advances a clock past the events it runs).
+    EventQueue* busy = nullptr;
+    int busy_count = 0;
+    for (auto& dom : domains_) {
+      if (SimTime t = 0; dom->queue.next_event_time(t) && t < horizon) {
+        busy = &dom->queue;
+        if (++busy_count > 1) break;
+      }
+    }
+    if (busy_count == 1) {
+      ++windows_inline_;
+      busy->run_window(horizon);
+    } else {
+      ++windows_parallel_;
+      run_domains(horizon);
+    }
     drain_windows();
   }
 

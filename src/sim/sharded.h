@@ -119,6 +119,21 @@ class ShardedNetwork final : public DataPlane {
   [[nodiscard]] int worker_count() const noexcept { return workers_; }
   [[nodiscard]] const ShardPlan& plan() const noexcept { return plan_; }
 
+  /// Adaptive-window execution counters. Dense control planes (fault
+  /// storms, churny workloads) clamp every advance window to the next
+  /// control event, so windows shrink until most hold events in a single
+  /// domain; such a window runs inline on the coordinator thread
+  /// (`windows_inline`) instead of paying a pool barrier round-trip, while
+  /// multi-domain windows still fan out (`windows_parallel`). Diagnostics
+  /// only — the split never changes results: a skipped domain's
+  /// run_window would process nothing.
+  [[nodiscard]] std::uint64_t windows_inline() const noexcept {
+    return windows_inline_;
+  }
+  [[nodiscard]] std::uint64_t windows_parallel() const noexcept {
+    return windows_parallel_;
+  }
+
   // --- merged counters (sums / maxima over the domain replicas) -----------
   [[nodiscard]] Bytes total_bytes_serialized() const;
   [[nodiscard]] std::uint64_t segments_serialized() const;
@@ -224,6 +239,8 @@ class ShardedNetwork final : public DataPlane {
   std::atomic<bool> stop_{false};
   std::uint64_t windows_issued_ = 0;
   SimTime horizon_ = 0;  ///< published before each go_ bump
+  std::uint64_t windows_inline_ = 0;    ///< single-domain windows, no barrier
+  std::uint64_t windows_parallel_ = 0;  ///< windows run through run_domains
 
   mutable std::unique_ptr<Telemetry> merged_telem_;
 };

@@ -15,6 +15,7 @@
 #include "src/prefix/prefix.h"
 #include "src/routing/router.h"
 #include "src/sim/dcqcn.h"
+#include "src/sim/flow_network.h"
 #include "src/steiner/symmetric.h"
 #include "src/topology/failures.h"
 
@@ -392,6 +393,112 @@ TEST_P(ConservationProperty, OptimalBroadcastBytesMatchTreeExactly) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ConservationProperty,
                          ::testing::Range<std::uint64_t>(400, 415));
+
+// --- Flow-fidelity utilization conservation ----------------------------------
+
+class FlowUtilizationProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+// The fluid engine's defining identity: on every link, the allocated-rate
+// integral ∫rate dt equals the audited byte count at drain — under random
+// chunk counts, deliberately unaligned chunk sizes, contention on a shared
+// hop, and a mid-run cancel+close that strips a partial head chunk.
+TEST_P(FlowUtilizationProperty, RateIntegralMatchesAuditedBytes) {
+  Rng rng(GetParam());
+  Topology topo;
+  const NodeId h0 = topo.add_node(Node{NodeKind::Host, 0, 0});
+  const NodeId h1 = topo.add_node(Node{NodeKind::Host, 0, 1});
+  const NodeId t0 = topo.add_node(Node{NodeKind::Tor, 0, 0});
+  const NodeId t1 = topo.add_node(Node{NodeKind::Tor, 0, 1});
+  const NodeId h2 = topo.add_node(Node{NodeKind::Host, 0, 2});
+  const LinkId l0 = topo.add_duplex_link(h0, t0, GbpsRate{100.0}, 100,
+                                         LinkKind::HostNic);
+  const LinkId l1 = topo.add_duplex_link(h1, t0, GbpsRate{100.0}, 100,
+                                         LinkKind::HostNic);
+  const LinkId mid = topo.add_duplex_link(t0, t1, GbpsRate{100.0});
+  const LinkId l2 = topo.add_duplex_link(t1, h2, GbpsRate{100.0}, 100,
+                                         LinkKind::HostNic);
+
+  SimConfig sim;
+  EventQueue queue;
+  FlowNetwork net(topo, sim, queue);
+  net.set_delivery_handler([](const DeliveryEvent&) {});
+
+  StreamSpec a;  // h0 -> h2, contends with `b` on every shared hop
+  a.source = h0;
+  a.forward[h0] = {l0};
+  a.forward[t0] = {mid};
+  a.forward[t1] = {l2};
+  a.receivers = {h2};
+  const StreamId sa = net.open_stream(std::move(a));
+
+  StreamSpec b;  // h1 -> h2 through the same middle hop
+  b.source = h1;
+  b.forward[h1] = {l1};
+  b.forward[t0] = {mid};
+  b.forward[t1] = {l2};
+  b.receivers = {h2};
+  const StreamId sb = net.open_stream(std::move(b));
+
+  for (const StreamId s : {sa, sb}) {
+    const int chunks = 1 + static_cast<int>(rng.next_below(5));
+    const Bytes bytes = 64 * kKiB + rng.next_below(448 * kKiB) + 1;
+    for (int c = 0; c < chunks; ++c) net.send_chunk(s, c, bytes);
+  }
+  // Half the seeds kill `b` mid-flight: the unsent tail returns, the close
+  // strips a partial head whose fluid must leave the rate integrals too.
+  bool b_closed = false;
+  if (rng.next_below(2) == 0) {
+    const SimTime cancel_at = (20 + rng.next_below(200)) * kMicrosecond;
+    queue.after(cancel_at, [&net, &b_closed, sb] {
+      net.cancel_unsent_chunks(sb);
+      net.close_stream(sb);
+      b_closed = true;
+    });
+  }
+  queue.run();
+  net.close_stream(sa);
+  if (!b_closed) net.close_stream(sb);
+
+  for (LinkId l = 0; l < static_cast<LinkId>(topo.link_count()); ++l) {
+    EXPECT_NEAR(net.link_rate_integral(l),
+                static_cast<double>(net.link_bytes(l)), 1.0)
+        << "link " << l << ": ∫rate dt diverged from audited bytes";
+  }
+  EXPECT_GT(net.link_bytes(mid), 0u);
+  EXPECT_EQ(net.segments_lost(), 0u);
+}
+
+// Grid-level corollary: the two engines share tree and chunk decisions, so
+// the flow engine's audited totals (which the identity above pins to its
+// rate integrals) must equal the packet engine's audit byte-for-byte.
+TEST_P(FlowUtilizationProperty, FlowBytesMatchPacketAuditExactly) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 2});
+  const Fabric fabric = Fabric::of(ft);
+  Rng rng(GetParam() + 7'000);
+  std::vector<NodeId> pool = ft.gpus;
+  rng.shuffle(pool);
+  const std::size_t n = 3 + rng.next_below(12);
+  SingleRunOptions run;
+  run.scheme = rng.next_below(2) == 0 ? Scheme::Peel : Scheme::Optimal;
+  run.group.source = pool[0];
+  run.group.destinations.assign(pool.begin() + 1, pool.begin() + 1 + n);
+  run.message_bytes = 2 * kMiB + 211;  // deliberately unaligned
+  run.byte_audit = true;
+
+  run.fidelity = Fidelity::Packet;
+  const SingleResult packet = run_single_broadcast(fabric, run);
+  run.fidelity = Fidelity::Flow;
+  const SingleResult flow = run_single_broadcast(fabric, run);
+
+  EXPECT_EQ(flow.fabric_bytes, packet.fabric_bytes);
+  EXPECT_EQ(flow.core_bytes, packet.core_bytes);
+  EXPECT_EQ(flow.nvlink_bytes, packet.nvlink_bytes);
+  EXPECT_GT(flow.fabric_bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowUtilizationProperty,
+                         ::testing::Range<std::uint64_t>(500, 515));
 
 }  // namespace
 }  // namespace peel

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/harness/experiment.h"
+#include "src/sim/sharded.h"
 #include "src/sim/trace.h"
 #include "src/topology/fat_tree.h"
 #include "src/topology/leaf_spine.h"
@@ -224,6 +225,91 @@ TEST(ShardInvariance, CrossShardFaultRecoveryIsExactlyOnce) {
       << "flapping never hit a live stream — the test lost its teeth";
   EXPECT_GT(results[0].delta_applies, 0u)
       << "fault deltas must be measured by the apply-latency counters";
+}
+
+// Dense fault schedule: flap fast enough that the control plane fires every
+// few microseconds, clamping nearly every advance window to the next
+// control event. This is the regime the adaptive window fast path targets
+// (single-busy-domain windows run inline on the coordinator instead of
+// waking the pool), so this test pins the claim that the fast path is an
+// execution detail only: results stay byte-identical at 1, 2, and 8 shards
+// and the byte audit stays clean through every truncation/re-admission.
+TEST(ShardInvariance, DenseFaultScheduleByteIdenticalAcrossShardCounts) {
+  LeafSpine ls = build_leaf_spine(LeafSpineConfig{4, 8, 2, 2});
+  const Fabric fabric = Fabric::of(ls);
+  ScenarioConfig config;
+  config.scheme = Scheme::Peel;
+  config.runner.peel_asymmetric = true;
+  config.group_size = 16;
+  config.message_bytes = 256 * kKiB;
+  config.offered_load = 0.3;
+  config.collectives = 8;
+  config.seed = 90210;
+  config.byte_audit = true;
+  config.watchdog = true;
+  // ~4x denser than CrossShardFaultRecoveryIsExactlyOnce: a control event
+  // roughly every handful of microseconds across 12 flapping links.
+  config.faults.flap.mtbf_seconds = 15e-6;
+  config.faults.flap.mttr_seconds = 8e-6;
+  config.faults.flap.links = 12;
+  config.faults.flap.horizon_seconds = 400e-6;
+
+  ScenarioResult results[3];
+  const int shard_counts[3] = {1, 2, 8};
+  for (int i = 0; i < 3; ++i) {
+    config.shards = shard_counts[i];
+    results[i] = run_scenario(fabric, config);
+  }
+  for (int i = 1; i < 3; ++i) {
+    SCOPED_TRACE("shards=" + std::to_string(shard_counts[i]) + " vs shards=1");
+    expect_identical(results[0], results[i]);
+  }
+  EXPECT_EQ(results[0].unfinished, 0u);
+  EXPECT_GT(results[0].fault_downs, 20u)
+      << "schedule not dense enough to stress the window loop";
+  EXPECT_EQ(results[0].fault_ups, results[0].fault_downs);
+  EXPECT_GT(results[0].recovered_deliveries, 0u)
+      << "flapping never hit a live stream — the test lost its teeth";
+}
+
+// The adaptive fast path itself: a stream confined to one pod (host to a
+// sibling host under the same ToR) puts every data-plane event in a single
+// domain, so every advance window must take the inline path — the pool
+// barrier is never paid — while deliveries still fire normally.
+TEST(ShardInvariance, SingleDomainWindowsRunInline) {
+  const FatTree ft = build_fat_tree(FatTreeConfig{4, 2, 4});
+  auto link_between = [&](NodeId src, NodeId dst) {
+    for (LinkId l = 0; l < static_cast<LinkId>(ft.topo.link_count()); ++l) {
+      if (ft.topo.link(l).src == src && ft.topo.link(l).dst == dst) return l;
+    }
+    ADD_FAILURE() << "no link " << src << " -> " << dst;
+    return kInvalidLink;
+  };
+  const NodeId a = ft.hosts[0];
+  const NodeId b = ft.hosts[1];  // locality order: same ToR as hosts[0]
+  const NodeId tor = ft.tors[0];
+
+  SimConfig sim;
+  ShardedNetwork net(ft.topo, sim, 2);
+  int delivered = 0;
+  net.set_delivery_handler([&](const DeliveryEvent&) { ++delivered; });
+
+  StreamSpec spec;
+  spec.source = a;
+  spec.forward[a] = {link_between(a, tor)};
+  spec.forward[tor] = {link_between(tor, b)};
+  spec.receivers = {b};
+  const StreamId id = net.open_stream(std::move(spec));
+  net.send_chunk(id, 0, 256 * kKiB);
+  net.send_chunk(id, 1, 256 * kKiB);
+  net.run();
+  net.close_stream(id);
+
+  EXPECT_EQ(delivered, 2);
+  EXPECT_GT(net.windows_inline(), 0u)
+      << "single-domain windows should bypass the pool barrier";
+  EXPECT_EQ(net.windows_parallel(), 0u)
+      << "no window held events in more than one domain";
 }
 
 // Same config, same shard count, run twice: the parallel engine must be
